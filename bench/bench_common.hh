@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harnesses.
+ *
+ * Every binary in bench/ regenerates one of the paper's tables or
+ * figures: it prints the same rows/series the paper reports, plus a
+ * CSV block (between BEGIN/END markers) for replotting. Absolute
+ * values come from the bundled simulator, not the authors' Xeons; the
+ * shapes are the reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef MEMSENSE_BENCH_BENCH_COMMON_HH
+#define MEMSENSE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hh"
+#include "util/log.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+namespace memsense::bench
+{
+
+/** Print the standard header for a reproduction binary. */
+inline void
+header(const std::string &exp_id, const std::string &what)
+{
+    std::cout << "=== memsense reproduction: " << exp_id << " ===\n"
+              << what << "\n\n";
+}
+
+/** Print a CSV block delimited for machine extraction. */
+inline void
+csvBlock(const std::string &name,
+         const std::vector<std::string> &columns,
+         const std::vector<std::vector<double>> &rows)
+{
+    std::cout << "--- BEGIN CSV " << name << " ---\n";
+    CsvWriter w(std::cout);
+    w.writeRow(columns);
+    for (const auto &r : rows)
+        w.writeRow(r);
+    std::cout << "--- END CSV " << name << " ---\n";
+}
+
+/** Shorten noisy logging for bench runs unless asked otherwise. */
+inline void
+quietLogs(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Info);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quiet")
+            setLogLevel(LogLevel::Warn);
+        if (std::string(argv[i]) == "--debug")
+            setLogLevel(LogLevel::Debug);
+    }
+}
+
+/** True when the user passed --fast (smaller simulation windows). */
+inline bool
+fastMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--fast")
+            return true;
+    return false;
+}
+
+} // namespace memsense::bench
+
+#endif // MEMSENSE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload calibration diagnostic.
+ *
+ * Characterizes every catalog workload on the simulator and prints the
+ * fitted model parameters next to the paper's published (or inferred)
+ * targets. Not a paper table itself — this is the maintenance tool
+ * used to keep the synthetic generators aligned with the counter
+ * signatures the paper reports.
+ *
+ * Usage: calibrate_workloads [workload_id ...]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "measure/freq_scaling.hh"
+#include "util/log.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+using namespace memsense;
+
+namespace
+{
+
+void
+printRow(Table &t, const measure::Characterization &c)
+{
+    const auto &info = workloads::workloadInfo(c.workloadId);
+    const auto &target = info.paperTarget;
+    const auto &got = c.model.params;
+
+    // CPU utilization and mean CPI come from the mid-grid observation.
+    t.addRow({info.display,
+              strformat("%.2f/%.2f", got.cpiCache, target.cpiCache),
+              strformat("%.3f/%.3f", got.bf, target.bf),
+              strformat("%.1f/%.1f", got.mpki, target.mpki),
+              strformat("%.0f%%/%.0f%%", got.wbr * 100.0,
+                        target.wbr * 100.0),
+              strformat("%.3f", c.model.fit.r2)});
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+    measure::FreqScalingConfig cfg;
+
+    Table t({"workload", "CPI_cache (got/target)", "BF (got/target)",
+             "MPKI (got/target)", "WBR (got/target)", "R^2"});
+    t.setTitle("Workload calibration: fitted vs. paper targets");
+
+    std::vector<std::string> ids;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!arg.empty() && arg[0] != '-')
+            ids.push_back(arg); // flags (--quiet etc.) are not ids
+    }
+    if (!ids.empty()) {
+        for (const auto &id : ids)
+            printRow(t, measure::characterize(id, cfg));
+    } else {
+        for (const auto &c : measure::characterizeAll(cfg))
+            printRow(t, c);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the model-application benches (Figs 8-11,
+ * Table 7): baseline platform, class parameters, and the queuing
+ * model (analytic by default; --measured rebuilds it from an MLC
+ * sweep on the simulator, the paper's actual procedure).
+ */
+
+#ifndef MEMSENSE_BENCH_MODEL_COMMON_HH
+#define MEMSENSE_BENCH_MODEL_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "measure/loaded_latency.hh"
+#include "model/memsense.hh"
+
+namespace memsense::bench
+{
+
+/** Build the solver; --measured derives the queuing curve via MLC. */
+inline model::Solver
+makeSolver(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--measured") {
+            inform("measuring the queuing model on the simulator "
+                   "(Fig. 7 procedure) ...");
+            auto setups = measure::paperFig7Setups();
+            for (auto &s : setups) {
+                s.delayCycles = {0, 8, 16, 32, 48, 96, 256, 1024};
+                s.measure = nsToPicos(250'000.0);
+            }
+            return model::Solver(measure::measureQueuingModel(setups));
+        }
+    }
+    return model::Solver();
+}
+
+/** The three class-mean parameter sets (published Table 6 values). */
+inline std::vector<model::WorkloadParams>
+classMixes()
+{
+    return model::paper::classParams();
+}
+
+} // namespace memsense::bench
+
+#endif // MEMSENSE_BENCH_MODEL_COMMON_HH

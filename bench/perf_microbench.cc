@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths: the
+ * analytic solver, the model fitter, cache lookups, the DRAM channel,
+ * and end-to-end simulation throughput (instructions simulated per
+ * second of host time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "measure/runner.hh"
+#include "model/memsense.hh"
+#include "sim/machine.hh"
+#include "stats/regression.hh"
+#include "util/log.hh"
+#include "workloads/factory.hh"
+
+using namespace memsense;
+
+namespace
+{
+
+void
+BM_SolverSolve(benchmark::State &state)
+{
+    model::Solver solver;
+    model::Platform base = model::Platform::paperBaseline();
+    auto params = model::paper::classParams();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            solver.solve(params[i++ % params.size()], base));
+    }
+}
+BENCHMARK(BM_SolverSolve);
+
+void
+BM_EquivalenceSummary(benchmark::State &state)
+{
+    model::EquivalenceAnalyzer an(model::Solver(),
+                                  model::Platform::paperBaseline());
+    auto bd = model::paper::classParams(model::WorkloadClass::BigData);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(an.summarize(bd));
+}
+BENCHMARK(BM_EquivalenceSummary);
+
+void
+BM_LinearFit(benchmark::State &state)
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 64; ++i) {
+        xs.push_back(i * 0.1);
+        ys.push_back(0.9 + 0.2 * i * 0.1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::linearFit(xs, ys));
+}
+BENCHMARK(BM_LinearFit);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = 2 * 1024 * 1024;
+    cfg.ways = 16;
+    sim::SetAssocCache cache("bench", cfg);
+    Rng rng(1);
+    for (sim::Addr a = 0; a < 40'000; ++a)
+        cache.insert(a, false, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.lookup(rng.nextBounded(80'000), false, 0));
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_DramChannelRead(benchmark::State &state)
+{
+    sim::DramConfig cfg;
+    sim::DramChannel ch(cfg);
+    Rng rng(2);
+    Picos t = 0;
+    for (auto _ : state) {
+        t += 10'000;
+        benchmark::DoNotOptimize(ch.read(
+            static_cast<std::uint32_t>(rng.nextBounded(16)),
+            rng.nextBounded(1024), t));
+    }
+}
+BENCHMARK(BM_DramChannelRead);
+
+/** End-to-end: simulated instructions per host second. */
+void
+BM_SimulationThroughput(benchmark::State &state)
+{
+    setLogLevel(LogLevel::Warn);
+    const char *ids[] = {"column_store", "oltp", "bwaves"};
+    const char *id = ids[state.range(0)];
+    state.SetLabel(id);
+
+    measure::RunConfig rc;
+    rc.workloadId = id;
+    rc.cores = 4;
+    rc.adaptiveWarmup = false;
+    rc.warmup = nsToPicos(100'000.0);
+    measure::WorkloadRun run(rc);
+    run.warmup();
+
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::MachineSnapshot d =
+            run.sampleInterval(nsToPicos(100'000.0));
+        instructions += d.instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

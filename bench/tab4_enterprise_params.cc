@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 4 reproduction: fitted workload parameters for the enterprise
+ * workloads.
+ *
+ * The paper's per-row Table 4 values were not recoverable from the
+ * available copy; the "paper" columns show the values we inferred
+ * from the published Table 6 class means (see model/paper_data.hh).
+ * Paper claims reproduced: the enterprise class carries the highest
+ * blocking factors of all classes (ineffective prefetching over
+ * pointer-heavy access, Sec. VI.A).
+ */
+
+#include "characterize_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace memsense::bench;
+    quietLogs(argc, argv);
+    header("Table 4", "Workload parameters for enterprise "
+                      "(fitted on the simulator vs. inferred targets)");
+    auto chars = characterizeIds(
+        {"virtualization", "web_caching", "oltp", "jvm"},
+        sweepConfig(fastMode(argc, argv)));
+    printParamTable("tab4", chars);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 5 reproduction: fitted workload parameters for the SPECfp HPC
+ * proxies (run with three cores per socket, per paper Sec. V.N).
+ *
+ * The paper's per-row Table 5 values were not recoverable from the
+ * available copy; the "paper" columns show values inferred from the
+ * published Table 6 class mean. Paper claims reproduced: low blocking
+ * factors (regular access, highly effective prefetching) combined
+ * with MPKIs several times the other classes.
+ */
+
+#include "characterize_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace memsense::bench;
+    quietLogs(argc, argv);
+    header("Table 5", "Workload parameters for HPC "
+                      "(fitted on the simulator vs. inferred targets)");
+    auto chars = characterizeIds({"bwaves", "milc", "soplex", "wrf"},
+                                 sweepConfig(fastMode(argc, argv)));
+    printParamTable("tab5", chars);
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Characterize your own workload: the paper's full measurement
+ * pipeline applied to a user-defined micro-op stream.
+ *
+ * Defines a custom workload (a toy key-value scan with a tunable
+ * pointer-chase fraction), runs it on the bundled simulator across
+ * the frequency-scaling grid, fits Eq. 1 to the counters, and places
+ * the result on the paper's Fig. 6 map next to the published class
+ * means.
+ *
+ *   ./build/examples/characterize_workload [chase_fraction]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "measure/freq_scaling.hh"
+#include "model/memsense.hh"
+#include "sim/machine.hh"
+#include "util/log.hh"
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+using namespace memsense;
+
+namespace
+{
+
+/** A toy workload: scan a table, occasionally chase into an index. */
+class MyWorkload : public workloads::Workload
+{
+  public:
+    MyWorkload(double chase_fraction, std::uint64_t seed,
+               sim::Addr arena_base)
+        : Workload("my_workload", seed), chaseFraction(chase_fraction)
+    {
+        workloads::AddressSpace arena(arena_base);
+        table = arena.allocate("table", 512ULL << 20);
+        index = arena.allocate("index", 256ULL << 20);
+    }
+
+  protected:
+    bool
+    generateBatch() override
+    {
+        // Scan one line of the table...
+        pushLoad(table.lineAddr(cursor), false, /*stream=*/1);
+        cursor = (cursor + 1) % table.lines();
+        pushCompute(120);
+        pushBubble(30);
+        // ...and sometimes dereference into the index.
+        if (rng.chance(chaseFraction)) {
+            pushLoad(index.lineAddr(rng.nextBounded(index.lines())),
+                     /*dependent=*/true, 0);
+            pushCompute(10);
+        }
+        return true;
+    }
+
+  private:
+    double chaseFraction;
+    workloads::Region table;
+    workloads::Region index;
+    std::uint64_t cursor = 0;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+    double chase = argc > 1 ? std::atof(argv[1]) : 0.3;
+    std::printf("Characterizing a custom workload (pointer-chase "
+                "fraction %.2f) on the simulator...\n\n",
+                chase);
+
+    // The frequency-scaling grid of paper Sec. V.A.
+    const double core_ghz[] = {2.1, 2.4, 2.7, 3.1};
+    const double mem_mt[] = {1333.3, 1866.7};
+
+    std::vector<model::FitObservation> obs;
+    for (double ghz : core_ghz) {
+        for (double mt : mem_mt) {
+            sim::MachineConfig mc;
+            mc.cores = 4;
+            mc.core.ghz = ghz;
+            mc.dram.megaTransfers = mt;
+            sim::Machine machine(mc);
+            std::vector<std::unique_ptr<MyWorkload>> streams;
+            for (int c = 0; c < mc.cores; ++c) {
+                streams.push_back(std::make_unique<MyWorkload>(
+                    chase, 100 + static_cast<std::uint64_t>(c),
+                    (sim::Addr{1} << 44) +
+                        static_cast<sim::Addr>(c) * (sim::Addr{1} << 42)));
+                machine.bind(c, *streams.back());
+            }
+            machine.runFor(nsToPicos(6'000'000.0)); // warmup
+            sim::MachineSnapshot before = machine.snapshot();
+            machine.runFor(nsToPicos(1'000'000.0)); // measure
+            sim::MachineSnapshot d = machine.snapshot() - before;
+
+            model::FitObservation o;
+            o.coreGhz = ghz;
+            o.memMtPerSec = mt;
+            o.cpiEff = d.cpi(ghz);
+            o.mpki = d.mpki();
+            o.mpi = o.mpki / 1000.0;
+            o.mpCycles = d.avgMissPenaltyCycles(ghz);
+            o.wbr = d.wbr();
+            obs.push_back(o);
+            std::printf("  %.1f GHz / DDR3-%4.0f: CPI %.3f, MPKI %.1f, "
+                        "MP %.0f cycles\n",
+                        ghz, mt, o.cpiEff, o.mpki, o.mpCycles);
+        }
+    }
+
+    // Fit Eq. 1 and report.
+    model::FittedModel fit = model::fitModel(
+        "my_workload", model::WorkloadClass::BigData, obs);
+    std::printf("\nFitted model: CPI = %.3f + %.3f * (MPI*MP), "
+                "R^2 = %.3f\n",
+                fit.params.cpiCache, fit.params.bf, fit.fit.r2);
+    std::printf("MPKI %.1f, WBR %.0f%%%s\n", fit.params.mpki,
+                fit.params.wbr * 100.0,
+                fit.coreBound ? " — core bound" : "");
+
+    // Where does it land on the Fig. 6 map?
+    model::ScatterPoint me = model::toScatterPoint(fit.params);
+    std::printf("\nFig. 6 position: BF=%.3f, refs/cycle=%.4f\n", me.bf,
+                me.refsPerCycle);
+    for (const auto &cls : model::paper::classParams()) {
+        model::ScatterPoint ref = model::toScatterPoint(cls);
+        std::printf("  %-11s mean sits at BF=%.2f, refs/cycle=%.4f\n",
+                    cls.name.c_str(), ref.bf, ref.refsPerCycle);
+    }
+
+    // And what does the model predict on the paper baseline?
+    model::Solver solver;
+    model::OperatingPoint op =
+        solver.solve(fit.params, model::Platform::paperBaseline());
+    std::printf("\nOn the paper baseline platform: CPI %.3f, "
+                "%.1f GB/s, %s\n",
+                op.cpiEff, op.bandwidthTotal / 1e9,
+                op.bandwidthBound ? "bandwidth bound"
+                                  : "latency limited");
+    return 0;
+}

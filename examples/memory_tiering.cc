@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory tiering: size a DRAM cache in front of an emerging-memory
+ * capacity tier (paper Sec. VII, Eq. 5).
+ *
+ * An in-memory analytics service wants to move a 256 GB working set
+ * from DRAM to a cheaper, slower technology (300 ns, 12 GB/s) with a
+ * DRAM cache in front. How much DRAM is enough? This sweeps the
+ * near-tier capacity for the big data class model and reports the
+ * knee: the smallest DRAM tier that keeps the slowdown under a
+ * threshold vs. all-DRAM.
+ *
+ *   ./build/examples/memory_tiering [threshold_pct]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "model/memsense.hh"
+
+using namespace memsense::model;
+
+int
+main(int argc, char **argv)
+{
+    double threshold_pct = argc > 1 ? std::atof(argv[1]) : 10.0;
+    const double footprint_gb = 256.0;
+    const double ghz = 2.7;
+    const int cores = 8;
+
+    WorkloadParams app = paper::classParams(WorkloadClass::BigData);
+
+    MemoryTier dram{"DRAM-cache", 75.0, 40.0, 0.0};
+    MemoryTier nvm{"NVM", 300.0, 12.0, 1024.0};
+    TieredMemoryModel tiered(dram, nvm, footprint_gb, /*theta=*/0.5);
+
+    // All-DRAM reference: near tier covers the whole footprint.
+    double all_dram_cpi =
+        tiered.capacitySweep(app, ghz, cores, {footprint_gb})[0].cpiEff;
+
+    std::printf("Tiering a %.0f GB big data working set over "
+                "%.0f ns / %.0f GB/s capacity memory\n"
+                "all-DRAM reference CPI: %.3f; tolerated slowdown: "
+                "%.0f%%\n\n",
+                footprint_gb, nvm.latencyNs, nvm.bandwidthGBps,
+                all_dram_cpi, threshold_pct);
+
+    std::vector<double> capacities = {4,  8,   16,  32, 48,
+                                      64, 96, 128, 192, 256};
+    auto sweep = tiered.capacitySweep(app, ghz, cores, capacities);
+
+    std::printf("%10s %12s %8s %12s %12s\n", "DRAM (GB)", "hit rate",
+                "CPI", "slowdown", "far tier");
+    double knee = -1.0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &r = sweep[i];
+        double slowdown = (r.cpiEff / all_dram_cpi - 1.0) * 100.0;
+        std::printf("%10.0f %11.1f%% %8.3f %11.1f%% %12s\n",
+                    capacities[i], r.hitFraction * 100.0, r.cpiEff,
+                    slowdown,
+                    r.farBandwidthBound ? "BW bound" : "ok");
+        if (knee < 0.0 && slowdown <= threshold_pct)
+            knee = capacities[i];
+    }
+
+    if (knee >= 0.0) {
+        std::printf("\n-> %.0f GB of DRAM cache (%.0f%% of the "
+                    "footprint) keeps the penalty under %.0f%%.\n",
+                    knee, knee / footprint_gb * 100.0, threshold_pct);
+    } else {
+        std::printf("\n-> no DRAM size under the full footprint meets "
+                    "the target; the far tier is too slow for this "
+                    "workload.\n");
+    }
+    std::printf("\nEq. 5 at work: CPI = CPI_cache + (MPI_near*MP_near "
+                "+ MPI_far*MP_far) * BF, with per-tier queuing.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the analytic model in ten minutes.
+ *
+ * Builds a workload description from performance-counter-style
+ * numbers, solves for its operating point on a concrete platform, and
+ * asks the two questions the paper is about: what does losing
+ * bandwidth cost, and what does losing latency cost?
+ *
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "model/memsense.hh"
+
+using namespace memsense::model;
+
+int
+main()
+{
+    // 1. Describe a workload by its counter-derived parameters. These
+    //    are the paper's published values for the big data class
+    //    (Table 6); to derive your own from a running system, measure
+    //    CPI at a few core/memory frequencies and use model::fitModel
+    //    (see examples/characterize_workload.cc for the simulator
+    //    version of that pipeline).
+    WorkloadParams app;
+    app.name = "my-analytics-app";
+    app.cls = WorkloadClass::BigData;
+    app.cpiCache = 0.91; // CPI with an infinite LLC
+    app.bf = 0.21;       // blocking factor: latency sensitivity
+    app.mpki = 5.5;      // LLC misses per kilo-instruction
+    app.wbr = 0.92;      // writebacks per miss
+
+    // 2. Describe the platform: cores, clock, and the memory system.
+    Platform plat = Platform::paperBaseline(); // 8C/16T @ 2.7 GHz,
+                                               // 4ch DDR3-1867, 75 ns
+
+    // 3. Solve for the stable operating point (Eq. 1 + Eq. 4 coupled
+    //    through the queuing model).
+    Solver solver;
+    OperatingPoint op = solver.solve(app, plat);
+    std::printf("On %s:\n", plat.describe().c_str());
+    std::printf("  CPI            : %.3f\n", op.cpiEff);
+    std::printf("  loaded latency : %.1f ns (%.1f ns queuing)\n",
+                op.missPenaltyNs, op.queuingDelayNs);
+    std::printf("  bandwidth      : %.1f GB/s (%.0f%% of available)\n",
+                op.bandwidthTotal / 1e9, op.utilization * 100.0);
+    std::printf("  bandwidth bound: %s\n",
+                op.bandwidthBound ? "yes" : "no");
+
+    // 4. What should the next platform optimize — latency or
+    //    bandwidth? (The paper's Table 7 question.)
+    EquivalenceAnalyzer eq(solver, plat);
+    TradeoffSummary s = eq.summarize(app);
+    std::printf("\nDesign tradeoffs for %s:\n", app.name.c_str());
+    std::printf("  +1 GB/s/core of bandwidth : %+.2f%% performance\n",
+                s.perfGainBandwidthPct);
+    std::printf("  -10 ns of latency         : %+.2f%% performance\n",
+                s.perfGainLatencyPct);
+    std::printf("  10 ns is worth the same as %.1f GB/s of extra "
+                "bandwidth\n",
+                s.bandwidthEquivalentGBps);
+
+    // 5. And how does CPI respond across a whole latency range?
+    SensitivityAnalyzer an(solver, plat);
+    std::printf("\nCompulsory latency sweep:\n");
+    for (const auto &pt : an.latencySweep(app, 60.0, 20.0)) {
+        std::printf("  %3.0f ns -> CPI %.3f (%+.1f%%)\n",
+                    pt.compulsoryNs, pt.op.cpiEff,
+                    pt.cpiIncrease * 100.0);
+    }
+    return 0;
+}

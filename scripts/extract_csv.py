@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Extract the delimited CSV blocks from a bench run.
+
+Every reproduction binary prints its data series between
+`--- BEGIN CSV <name> ---` / `--- END CSV <name> ---` markers. This
+script splits a captured run (e.g. bench_output.txt) into one .csv
+file per block so the figures can be re-plotted with any tool:
+
+    for b in build/bench/*; do $b; done > bench_output.txt 2>&1
+    python3 scripts/extract_csv.py bench_output.txt out_csv/
+
+No third-party dependencies.
+"""
+
+import os
+import re
+import sys
+
+BEGIN = re.compile(r"^--- BEGIN CSV (.+?) ---$")
+END = re.compile(r"^--- END CSV .+? ---$")
+
+
+def sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name.strip())
+
+
+def extract(source: str, outdir: str) -> int:
+    os.makedirs(outdir, exist_ok=True)
+    count = 0
+    current = None
+    rows = []
+    with open(source, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            m = BEGIN.match(line)
+            if m:
+                current = sanitize(m.group(1))
+                rows = []
+                continue
+            if END.match(line):
+                if current is None:
+                    continue
+                path = os.path.join(outdir, current + ".csv")
+                with open(path, "w", encoding="utf-8") as out:
+                    out.write("\n".join(rows) + "\n")
+                count += 1
+                current = None
+                continue
+            if current is not None:
+                rows.append(line)
+    return count
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    n = extract(sys.argv[1], sys.argv[2])
+    print(f"wrote {n} csv files to {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+#include "measure/freq_scaling.hh"
+
+#include "util/error.hh"
+#include "util/log.hh"
+#include "util/string_util.hh"
+
+namespace memsense::measure
+{
+
+Characterization
+characterize(const std::string &workload_id, const FreqScalingConfig &cfg)
+{
+    requireConfig(!cfg.coreGhz.empty() && !cfg.memMtPerSec.empty(),
+                  "frequency-scaling sweep needs a non-empty grid");
+    requireConfig(cfg.runsPerPoint >= 1, "need at least one run per point");
+
+    const workloads::WorkloadInfo &info =
+        workloads::workloadInfo(workload_id);
+
+    Characterization out;
+    out.workloadId = workload_id;
+    for (double ghz : cfg.coreGhz) {
+        for (double mt : cfg.memMtPerSec) {
+            for (int r = 0; r < cfg.runsPerPoint; ++r) {
+                RunConfig rc;
+                rc.workloadId = workload_id;
+                rc.cores = cfg.coresOverride > 0
+                               ? cfg.coresOverride
+                               : info.characterizationCores;
+                rc.ghz = ghz;
+                rc.memMtPerSec = mt;
+                rc.channels = cfg.channels;
+                rc.seed = cfg.seed + static_cast<std::uint64_t>(r);
+                rc.warmup = cfg.warmup;
+                rc.measure = cfg.measure;
+                rc.prefetcherEnabled = cfg.prefetcherEnabled;
+                rc.mshrs = cfg.mshrs;
+                rc.adaptiveWarmup = cfg.adaptiveWarmup;
+                out.observations.push_back(runObservation(rc));
+            }
+        }
+    }
+
+    out.model = model::fitModel(info.display, info.cls, out.observations);
+    debug(strformat("%s: CPI_cache=%.3f BF=%.3f R2=%.3f",
+                    workload_id.c_str(), out.model.params.cpiCache,
+                    out.model.params.bf, out.model.fit.r2));
+    return out;
+}
+
+std::vector<Characterization>
+characterizeAll(const FreqScalingConfig &cfg)
+{
+    std::vector<Characterization> out;
+    for (const auto &info : workloads::workloadCatalog()) {
+        inform("characterizing " + info.id + " ...");
+        out.push_back(characterize(info.id, cfg));
+    }
+    return out;
+}
+
+} // namespace memsense::measure

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Frequency-scaling characterization experiment (paper Sec. V.A/B,
+ * Fig. 3, Tables 2-5).
+ *
+ * Runs a workload at several core frequencies and memory speeds to
+ * spread the MPI*MP product, measures (CPI_eff, MPI, MP) with the
+ * simulator's counters at each point, and fits Eq. 1 to estimate
+ * CPI_cache and the blocking factor.
+ */
+
+#ifndef MEMSENSE_MEASURE_FREQ_SCALING_HH
+#define MEMSENSE_MEASURE_FREQ_SCALING_HH
+
+#include <string>
+#include <vector>
+
+#include "measure/runner.hh"
+#include "model/fitter.hh"
+
+namespace memsense::measure
+{
+
+/** Grid and window settings for a characterization sweep. */
+struct FreqScalingConfig
+{
+    /** Core frequencies; the paper's grid was 2.1/2.4/2.7/3.1 GHz. */
+    std::vector<double> coreGhz = {2.1, 2.4, 2.7, 3.1};
+    /** Memory speeds; reducing speed raises MP in core cycles. */
+    std::vector<double> memMtPerSec = {1333.3, 1866.7};
+    /** Repeat runs per grid point (run-to-run variation; Table 3
+     *  measured two per point). */
+    int runsPerPoint = 1;
+    int channels = 4;
+    std::uint64_t seed = 1;
+    Picos warmup = nsToPicos(8'000'000.0);
+    Picos measure = nsToPicos(1'000'000.0);
+    bool prefetcherEnabled = true;
+    std::uint32_t mshrs = 10;
+    bool adaptiveWarmup = true;
+    /** Override the catalog's characterization core count; <= 0 keeps
+     *  the catalog value. */
+    int coresOverride = 0;
+};
+
+/** Result of characterizing one workload. */
+struct Characterization
+{
+    std::string workloadId;
+    std::vector<model::FitObservation> observations;
+    model::FittedModel model;
+};
+
+/**
+ * Run the sweep for one workload and fit the model.
+ *
+ * @param workload_id catalog id
+ * @param cfg         sweep configuration
+ */
+Characterization characterize(const std::string &workload_id,
+                              const FreqScalingConfig &cfg = {});
+
+/** Characterize every catalog workload (Tables 2 + 4 + 5 pipeline). */
+std::vector<Characterization>
+characterizeAll(const FreqScalingConfig &cfg = {});
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_FREQ_SCALING_HH

@@ -1,0 +1,152 @@
+#include "measure/loaded_latency.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/machine.hh"
+#include "util/error.hh"
+#include "util/log.hh"
+#include "util/string_util.hh"
+#include "workloads/latency_checker.hh"
+
+namespace memsense::measure
+{
+
+namespace
+{
+
+/** Measure one (delay, mix, speed) point. */
+LoadedLatencyPoint
+measurePoint(const LoadedLatencySetup &setup, std::uint32_t delay)
+{
+    sim::MachineConfig mc;
+    mc.cores = setup.cores;
+    mc.core.ghz = setup.ghz;
+    // MLC's generator threads keep many more requests in flight than
+    // a typical workload; deepen the MSHRs so the sweep can reach the
+    // platform's achievable bandwidth.
+    mc.core.mshrs = 28;
+    mc.dram.channels = setup.channels;
+    mc.dram.megaTransfers = setup.memMtPerSec;
+    mc.seed = setup.seed;
+
+    sim::Machine machine(mc);
+    std::vector<std::unique_ptr<workloads::Workload>> streams;
+    for (int c = 0; c < setup.cores; ++c) {
+        workloads::LatencyCheckerConfig lc;
+        lc.role = (c == 0) ? workloads::MlcRole::LatencyProbe
+                           : workloads::MlcRole::BandwidthGen;
+        lc.seed = setup.seed * 131 + static_cast<std::uint64_t>(c);
+        lc.readFraction = setup.readFraction;
+        lc.delayCycles = delay;
+        lc.arenaBase = (sim::Addr{1} << 44) +
+                       static_cast<sim::Addr>(c) * (sim::Addr{1} << 42);
+        streams.push_back(
+            std::make_unique<workloads::LatencyCheckerWorkload>(lc));
+        machine.bind(c, *streams.back());
+    }
+
+    machine.runFor(setup.warmup);
+    const sim::CoreCounters probe0 = machine.core(0).counters();
+    const sim::MachineSnapshot snap0 = machine.snapshot();
+
+    machine.runFor(setup.measure);
+    const sim::CoreCounters probe1 = machine.core(0).counters();
+    const sim::MachineSnapshot snap1 = machine.snapshot();
+    const sim::MachineSnapshot d = snap1 - snap0;
+
+    const std::uint64_t fetches =
+        probe1.memoryFetches() - probe0.memoryFetches();
+    requireInvariant(fetches > 0, "latency probe made no fetches");
+    const Picos lat =
+        probe1.dramLatencyTotal - probe0.dramLatencyTotal;
+
+    LoadedLatencyPoint pt;
+    pt.delayCycles = delay;
+    pt.latencyNs = picosToNs(lat) / static_cast<double>(fetches);
+    pt.bandwidthGBps = d.dramBandwidth() / 1e9;
+    return pt;
+}
+
+} // anonymous namespace
+
+std::vector<stats::CurvePoint>
+LoadedLatencyCurve::toQueuingSamples() const
+{
+    requireConfig(maxBandwidthGBps > 0.0, "curve has no bandwidth points");
+    std::vector<stats::CurvePoint> samples;
+    samples.reserve(points.size());
+    for (const auto &pt : points) {
+        stats::CurvePoint s;
+        s.x = pt.bandwidthGBps / maxBandwidthGBps;
+        s.y = std::max(0.0, pt.latencyNs - unloadedNs);
+        samples.push_back(s);
+    }
+    return samples;
+}
+
+LoadedLatencyCurve
+sweepLoadedLatency(const LoadedLatencySetup &setup)
+{
+    requireConfig(setup.cores >= 2,
+                  "loaded-latency sweep needs a probe and at least one "
+                  "bandwidth generator");
+    requireConfig(!setup.delayCycles.empty(), "no delay points");
+
+    LoadedLatencyCurve curve;
+    curve.setup = setup;
+    for (std::uint32_t delay : setup.delayCycles) {
+        LoadedLatencyPoint pt = measurePoint(setup, delay);
+        debug(strformat("mlc %g MT/s rf=%.2f delay=%u: %.2f GB/s, "
+                        "%.1f ns",
+                        setup.memMtPerSec, setup.readFraction, delay,
+                        pt.bandwidthGBps, pt.latencyNs));
+        curve.points.push_back(pt);
+    }
+
+    curve.unloadedNs = curve.points.front().latencyNs;
+    curve.maxBandwidthGBps = 0.0;
+    for (const auto &pt : curve.points) {
+        curve.unloadedNs = std::min(curve.unloadedNs, pt.latencyNs);
+        curve.maxBandwidthGBps =
+            std::max(curve.maxBandwidthGBps, pt.bandwidthGBps);
+    }
+    return curve;
+}
+
+std::vector<LoadedLatencySetup>
+paperFig7Setups()
+{
+    std::vector<LoadedLatencySetup> setups;
+    for (double mt : {1333.3, 1866.7}) {
+        for (double rf : {1.0, 0.67}) {
+            LoadedLatencySetup s;
+            s.memMtPerSec = mt;
+            s.readFraction = rf;
+            setups.push_back(s);
+        }
+    }
+    return setups;
+}
+
+model::QueuingModel
+measureQueuingModel(const std::vector<LoadedLatencySetup> &setups,
+                    std::size_t bins, double max_stable_util)
+{
+    requireConfig(!setups.empty(), "no sweep setups");
+    std::vector<stats::PiecewiseCurve> curves;
+    for (const auto &setup : setups) {
+        inform(strformat("loaded-latency sweep: DDR-%g, %.0f%% reads",
+                         setup.memMtPerSec, setup.readFraction * 100.0));
+        LoadedLatencyCurve c = sweepLoadedLatency(setup);
+        curves.push_back(stats::PiecewiseCurve::fromSamples(
+                             c.toQueuingSamples(), bins)
+                             .monotoneEnvelope());
+    }
+    stats::PiecewiseCurve composite =
+        stats::PiecewiseCurve::composite(curves, bins).monotoneEnvelope();
+    return model::QueuingModel::fromCurve(std::move(composite),
+                                          max_stable_util);
+}
+
+} // namespace memsense::measure

@@ -1,0 +1,115 @@
+#include "measure/runner.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace memsense::measure
+{
+
+sim::MachineConfig
+RunConfig::machineConfig() const
+{
+    sim::MachineConfig mc;
+    mc.cores = cores;
+    mc.core.ghz = ghz;
+    mc.core.mshrs = mshrs;
+    mc.core.prefetcher.enabled = prefetcherEnabled;
+    mc.llcPerCore.replacement = llcReplacement;
+    mc.dram.channels = channels;
+    mc.dram.megaTransfers = memMtPerSec;
+    mc.seed = seed;
+    return mc;
+}
+
+WorkloadRun::WorkloadRun(const RunConfig &config)
+    : cfg(config)
+{
+    const workloads::WorkloadInfo &info =
+        workloads::workloadInfo(cfg.workloadId);
+    sim::MachineConfig mc = cfg.machineConfig();
+    mach = std::make_unique<sim::Machine>(mc);
+    for (int c = 0; c < cfg.cores; ++c) {
+        streams.push_back(
+            workloads::makeWorkload(cfg.workloadId, c, cfg.seed));
+        mach->bind(c, *streams.back());
+    }
+    if (info.io.bytesPerSecond > 0.0) {
+        sim::IoConfig io = info.io;
+        io.seed = cfg.seed * 17 + 5;
+        mach->setIo(io);
+    }
+    last = mach->snapshot();
+}
+
+void
+WorkloadRun::warmup()
+{
+    if (!cfg.adaptiveWarmup) {
+        mach->runFor(cfg.warmup);
+        last = mach->snapshot();
+        return;
+    }
+
+    // Probe a slice of the minimum warmup to estimate the fetch rate,
+    // then extend so the run covers ~1.3 LLC residence times.
+    const Picos probe = cfg.warmup / 4;
+    mach->runFor(probe);
+    sim::MachineSnapshot s = mach->snapshot();
+    Picos total = cfg.warmup;
+    if (s.memoryFetches > 0) {
+        const double llc_lines = static_cast<double>(
+            mach->config().llcTotalBytes() / sim::kLineBytes);
+        const double rate = static_cast<double>(s.memoryFetches) /
+                            static_cast<double>(probe);
+        const auto needed =
+            static_cast<Picos>(1.3 * llc_lines / rate);
+        total = std::clamp(needed, cfg.warmup, cfg.maxWarmup);
+    }
+    mach->runFor(total - probe);
+    last = mach->snapshot();
+}
+
+sim::MachineSnapshot
+WorkloadRun::measure()
+{
+    mach->runFor(cfg.measure);
+    sim::MachineSnapshot now = mach->snapshot();
+    sim::MachineSnapshot delta = now - last;
+    last = now;
+    return delta;
+}
+
+sim::MachineSnapshot
+WorkloadRun::sampleInterval(Picos interval)
+{
+    mach->runFor(interval);
+    sim::MachineSnapshot now = mach->snapshot();
+    sim::MachineSnapshot delta = now - last;
+    last = now;
+    return delta;
+}
+
+model::FitObservation
+runObservation(const RunConfig &cfg)
+{
+    WorkloadRun run(cfg);
+    run.warmup();
+    sim::MachineSnapshot d = run.measure();
+    requireInvariant(d.instructions > 0,
+                     cfg.workloadId + ": no instructions retired in the "
+                                      "measurement window");
+
+    model::FitObservation o;
+    o.coreGhz = cfg.ghz;
+    o.memMtPerSec = cfg.memMtPerSec;
+    o.cpiEff = d.cpi(cfg.ghz);
+    o.mpki = d.mpki();
+    o.mpi = o.mpki / 1000.0;
+    o.mpCycles = d.avgMissPenaltyCycles(cfg.ghz);
+    o.wbr = d.wbr();
+    o.instructions = static_cast<double>(d.instructions);
+    return o;
+}
+
+} // namespace memsense::measure

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Workload run harness: builds a machine for a catalog workload at a
+ * given core/memory speed, owns the per-core generator instances, and
+ * produces counter measurements over warmup/measure windows — the
+ * simulator-side equivalent of the paper's perf-counter collection
+ * runs.
+ */
+
+#ifndef MEMSENSE_MEASURE_RUNNER_HH
+#define MEMSENSE_MEASURE_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/fitter.hh"
+#include "sim/machine.hh"
+#include "workloads/factory.hh"
+
+namespace memsense::measure
+{
+
+/** One simulator run configuration. */
+struct RunConfig
+{
+    std::string workloadId;   ///< catalog id
+    int cores = 4;            ///< cores generating load
+    double ghz = 2.7;         ///< core frequency
+    double memMtPerSec = 1866.7; ///< DDR transfer rate
+    int channels = 4;         ///< DDR channels
+    std::uint64_t seed = 1;   ///< run seed
+    Picos warmup = nsToPicos(8'000'000.0); ///< minimum warmup window
+    Picos measure = nsToPicos(1'000'000.0);///< measurement window
+    bool prefetcherEnabled = true; ///< ablation knob
+    std::uint32_t mshrs = 10;      ///< ablation knob
+    /** Extend warmup until the LLC has turned over once (about 1.3
+     *  residence times at the observed fetch rate), so writeback
+     *  rates are measured in steady state even for low-MPKI
+     *  workloads. */
+    bool adaptiveWarmup = true;
+    Picos maxWarmup = nsToPicos(40'000'000.0); ///< adaptive cap
+    /** LLC replacement policy (ablation knob). */
+    sim::ReplacementKind llcReplacement = sim::ReplacementKind::Lru;
+
+    /** The machine configuration this run implies. */
+    sim::MachineConfig machineConfig() const;
+};
+
+/**
+ * A live run: machine plus the generator instances bound to it.
+ *
+ * Generators must outlive the machine's runs, so the harness owns
+ * both.
+ */
+class WorkloadRun
+{
+  public:
+    explicit WorkloadRun(const RunConfig &cfg);
+
+    /** The machine under test. */
+    sim::Machine &machine() { return *mach; }
+
+    /** Run the warmup window (counters then cleared via snapshots). */
+    void warmup();
+
+    /**
+     * Run the measurement window and return the counter delta over
+     * it.
+     */
+    sim::MachineSnapshot measure();
+
+    /**
+     * Run one interval of @p interval and return the delta (for
+     * time-series sampling).
+     */
+    sim::MachineSnapshot sampleInterval(Picos interval);
+
+    /** The run configuration. */
+    const RunConfig &config() const { return cfg; }
+
+  private:
+    RunConfig cfg;
+    std::unique_ptr<sim::Machine> mach;
+    std::vector<std::unique_ptr<workloads::Workload>> streams;
+    sim::MachineSnapshot last;
+};
+
+/**
+ * Execute a full run (warmup + measure) and convert the counters into
+ * a model fit observation.
+ */
+model::FitObservation runObservation(const RunConfig &cfg);
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_RUNNER_HH

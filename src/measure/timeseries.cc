@@ -1,0 +1,75 @@
+#include "measure/timeseries.hh"
+
+#include "stats/summary.hh"
+#include "util/error.hh"
+
+namespace memsense::measure
+{
+
+double
+TimeSeries::meanCpi() const
+{
+    stats::RunningStats s;
+    for (const auto &x : samples)
+        s.add(x.cpi);
+    return s.mean();
+}
+
+double
+TimeSeries::cpiCv() const
+{
+    stats::RunningStats s;
+    for (const auto &x : samples)
+        s.add(x.cpi);
+    return s.cv();
+}
+
+double
+TimeSeries::meanBandwidthGBps() const
+{
+    stats::RunningStats s;
+    for (const auto &x : samples)
+        s.add(x.bandwidthGBps);
+    return s.mean();
+}
+
+double
+TimeSeries::meanCpuUtilization() const
+{
+    stats::RunningStats s;
+    for (const auto &x : samples)
+        s.add(x.cpuUtilization);
+    return s.mean();
+}
+
+TimeSeries
+captureTimeSeries(const TimeSeriesConfig &cfg)
+{
+    requireConfig(cfg.samples >= 1, "need at least one sample");
+    requireConfig(cfg.interval > 0, "interval must be positive");
+
+    WorkloadRun run(cfg.run);
+    run.warmup();
+
+    TimeSeries ts;
+    ts.workloadId = cfg.run.workloadId;
+    double t_ms = 0.0;
+    for (int i = 0; i < cfg.samples; ++i) {
+        sim::MachineSnapshot d = run.sampleInterval(cfg.interval);
+        t_ms += picosToNs(cfg.interval) / 1e6;
+
+        IntervalSample s;
+        s.timeMs = t_ms;
+        s.cpuUtilization = d.cpuUtilization();
+        s.cpi = d.cpi(cfg.run.ghz);
+        s.bandwidthGBps = d.dramBandwidth() / 1e9;
+        double seconds = static_cast<double>(cfg.interval) * 1e-12;
+        s.ioGBps = d.ioBytes / seconds / 1e9;
+        s.mpki = d.mpki();
+        s.missPenaltyNs = d.avgMissPenaltyNs();
+        ts.samples.push_back(s);
+    }
+    return ts;
+}
+
+} // namespace memsense::measure

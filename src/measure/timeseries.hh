@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Interval-sampled workload characterization (paper Figs 2, 4, 5).
+ *
+ * Runs a workload and samples the machine counters at a fixed interval
+ * (the paper sampled at ~100 ms on hardware; the simulator uses a
+ * proportionally scaled virtual interval), producing the CPU
+ * utilization / CPI / memory bandwidth time series the paper plots
+ * for each workload.
+ */
+
+#ifndef MEMSENSE_MEASURE_TIMESERIES_HH
+#define MEMSENSE_MEASURE_TIMESERIES_HH
+
+#include <string>
+#include <vector>
+
+#include "measure/runner.hh"
+
+namespace memsense::measure
+{
+
+/** One interval sample (one x position of Figs 2/4/5). */
+struct IntervalSample
+{
+    double timeMs = 0.0;       ///< end of interval, virtual ms
+    double cpuUtilization = 0.0; ///< non-halted fraction
+    double cpi = 0.0;          ///< effective CPI of the interval
+    double bandwidthGBps = 0.0;///< DRAM read+write traffic
+    double ioGBps = 0.0;       ///< injected DMA traffic
+    double mpki = 0.0;         ///< misses per kilo-instruction
+    double missPenaltyNs = 0.0;///< average loaded latency
+};
+
+/** Time-series capture settings. */
+struct TimeSeriesConfig
+{
+    RunConfig run;                ///< machine + workload settings
+    Picos interval = nsToPicos(100'000.0); ///< sampling granularity
+    int samples = 50;             ///< intervals to record
+};
+
+/** Captured series for one workload. */
+struct TimeSeries
+{
+    std::string workloadId;
+    std::vector<IntervalSample> samples;
+
+    /** Mean CPI across samples. */
+    double meanCpi() const;
+
+    /** Coefficient of variation of CPI (phase variability). */
+    double cpiCv() const;
+
+    /** Mean bandwidth in GB/s. */
+    double meanBandwidthGBps() const;
+
+    /** Mean CPU utilization. */
+    double meanCpuUtilization() const;
+};
+
+/** Run and sample one workload. */
+TimeSeries captureTimeSeries(const TimeSeriesConfig &cfg);
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_TIMESERIES_HH

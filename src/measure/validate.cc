@@ -1,0 +1,60 @@
+#include "measure/validate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+#include "workloads/factory.hh"
+
+namespace memsense::measure
+{
+
+double
+ValidationResult::meanAbsTestError() const
+{
+    if (testErrors.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double e : testErrors)
+        sum += std::abs(e);
+    return sum / static_cast<double>(testErrors.size());
+}
+
+ValidationResult
+validateModel(const std::string &workload_id, const ValidationConfig &cfg)
+{
+    Characterization full = characterize(workload_id, cfg.sweep);
+
+    auto held_out = [&](const model::FitObservation &o) {
+        for (double ghz : cfg.holdOutGhz) {
+            if (std::abs(o.coreGhz - ghz) < 1e-9)
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<model::FitObservation> train;
+    std::vector<model::FitObservation> test;
+    for (const auto &o : full.observations)
+        (held_out(o) ? test : train).push_back(o);
+    requireConfig(train.size() >= 2,
+                  workload_id + ": holding out " +
+                      std::to_string(test.size()) +
+                      " observations leaves too few to fit");
+
+    const auto &info = workloads::workloadInfo(workload_id);
+    ValidationResult res;
+    res.workloadId = workload_id;
+    res.model = model::fitModel(info.display, info.cls, train);
+    res.trainErrors = model::validationErrors(res.model, train);
+    if (!test.empty())
+        res.testErrors = model::validationErrors(res.model, test);
+
+    for (double e : res.trainErrors)
+        res.worstTrainError = std::max(res.worstTrainError, std::abs(e));
+    for (double e : res.testErrors)
+        res.worstTestError = std::max(res.worstTestError, std::abs(e));
+    return res;
+}
+
+} // namespace memsense::measure

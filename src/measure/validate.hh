@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Model validation driver (the paper's Table 3 exercise, reusable):
+ * fit Eq. 1 on a measured grid, predict every observation back, and
+ * report the error distribution — optionally holding out part of the
+ * grid to test genuine prediction rather than interpolation.
+ */
+
+#ifndef MEMSENSE_MEASURE_VALIDATE_HH
+#define MEMSENSE_MEASURE_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "measure/freq_scaling.hh"
+
+namespace memsense::measure
+{
+
+/** Error summary of a validation run. */
+struct ValidationResult
+{
+    std::string workloadId;
+    model::FittedModel model;        ///< the fit under test
+    std::vector<double> trainErrors; ///< relative, fitted points
+    std::vector<double> testErrors;  ///< relative, held-out points
+    double worstTrainError = 0.0;    ///< max |error| over train
+    double worstTestError = 0.0;     ///< max |error| over held-out
+
+    /** Mean absolute relative error over the held-out points. */
+    double meanAbsTestError() const;
+};
+
+/** Validation configuration. */
+struct ValidationConfig
+{
+    FreqScalingConfig sweep;     ///< grid to measure
+    /** Core frequencies excluded from the fit and used as the test
+     *  set; empty = validate on the training grid (the paper's own
+     *  Table 3 procedure). */
+    std::vector<double> holdOutGhz;
+};
+
+/**
+ * Run the validation for one workload.
+ *
+ * The grid in @p cfg.sweep is measured once; observations whose core
+ * frequency is in holdOutGhz are excluded from the fit and predicted
+ * afterwards.
+ */
+ValidationResult validateModel(const std::string &workload_id,
+                               const ValidationConfig &cfg);
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_VALIDATE_HH

@@ -1,0 +1,33 @@
+#include "model/bandwidth_model.hh"
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+double
+bandwidthDemandPerCore(const WorkloadParams &p, double cpi_eff, double cps)
+{
+    requireConfig(cpi_eff > 0.0, "CPI must be positive");
+    requireConfig(cps > 0.0, "core speed must be positive");
+    return p.bytesPerInstruction() * cps / cpi_eff;
+}
+
+double
+bandwidthDemandTotal(const WorkloadParams &p, double cpi_eff, double cps,
+                     int cores)
+{
+    requireConfig(cores >= 1, "need at least one core");
+    return bandwidthDemandPerCore(p, cpi_eff, cps) *
+           static_cast<double>(cores);
+}
+
+double
+bandwidthLimitedCpi(const WorkloadParams &p, double bw_per_core, double cps)
+{
+    requireConfig(bw_per_core > 0.0, "available bandwidth must be positive");
+    requireConfig(cps > 0.0, "core speed must be positive");
+    return p.bytesPerInstruction() * cps / bw_per_core;
+}
+
+} // namespace memsense::model

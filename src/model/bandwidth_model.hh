@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's bandwidth equation (Eq. 4) in both directions.
+ *
+ * Forward: given CPI_eff, the memory bandwidth a core demands.
+ * Inverse: given an available bandwidth, the bandwidth-limited CPI —
+ * the CPI floor imposed when the memory system can move no more bytes.
+ */
+
+#ifndef MEMSENSE_MODEL_BANDWIDTH_MODEL_HH
+#define MEMSENSE_MODEL_BANDWIDTH_MODEL_HH
+
+#include "model/params.hh"
+
+namespace memsense::model
+{
+
+/**
+ * Eq. 4: per-core bandwidth demand in bytes/second.
+ *
+ * BW = (MPI*(1+WBR)*LS + IOPI*IOSZ) * CPS / CPI_eff
+ *
+ * @param p        workload parameters
+ * @param cpi_eff  effective CPI at which the core is running
+ * @param cps      core speed in cycles per second
+ */
+double bandwidthDemandPerCore(const WorkloadParams &p, double cpi_eff,
+                              double cps);
+
+/** Eq. 4 scaled by core count: system bandwidth demand, bytes/s. */
+double bandwidthDemandTotal(const WorkloadParams &p, double cpi_eff,
+                            double cps, int cores);
+
+/**
+ * Eq. 4 inverted: the CPI when each core is granted
+ * @p bw_per_core bytes/second of memory bandwidth and is limited by it.
+ */
+double bandwidthLimitedCpi(const WorkloadParams &p, double bw_per_core,
+                           double cps);
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_BANDWIDTH_MODEL_HH

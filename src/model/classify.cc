@@ -1,0 +1,94 @@
+#include "model/classify.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+ScatterPoint
+toScatterPoint(const WorkloadParams &p, const CoreBoundCriteria &crit)
+{
+    ScatterPoint sp;
+    sp.name = p.name;
+    sp.cls = p.cls;
+    sp.bf = p.bf;
+    sp.refsPerCycle = p.refsPerCycle();
+    sp.coreBound = p.bf <= crit.maxBf &&
+                   sp.refsPerCycle <= crit.maxRefsPerCycle;
+    return sp;
+}
+
+Classification
+classify(const std::vector<WorkloadParams> &workloads,
+         const CoreBoundCriteria &crit)
+{
+    requireConfig(!workloads.empty(), "classify needs workloads");
+
+    Classification out;
+    out.points.reserve(workloads.size());
+    std::map<WorkloadClass, std::vector<WorkloadParams>> by_class;
+    for (const auto &w : workloads) {
+        ScatterPoint sp = toScatterPoint(w, crit);
+        out.points.push_back(sp);
+        if (!sp.coreBound && w.cls != WorkloadClass::CoreBound)
+            by_class[w.cls].push_back(w);
+    }
+
+    for (const auto &[cls, members] : by_class)
+        out.means.push_back(classMean(className(cls), cls, members));
+
+    // Unsupervised sanity check: k-means on normalized coordinates with
+    // k = number of classes should recover the labeled grouping.
+    std::vector<stats::Point> pts;
+    std::vector<WorkloadClass> labels;
+    double max_y = 0.0;
+    double max_x = 0.0;
+    for (const auto &sp : out.points) {
+        if (sp.coreBound)
+            continue;
+        max_x = std::max(max_x, sp.bf);
+        max_y = std::max(max_y, sp.refsPerCycle);
+    }
+    for (const auto &sp : out.points) {
+        if (sp.coreBound)
+            continue;
+        pts.push_back({max_x > 0 ? sp.bf / max_x : 0.0,
+                       max_y > 0 ? sp.refsPerCycle / max_y : 0.0});
+        labels.push_back(sp.cls);
+    }
+
+    if (pts.size() >= by_class.size() && by_class.size() >= 1) {
+        stats::KMeansConfig cfg;
+        cfg.k = by_class.size();
+        cfg.restarts = 16;
+        out.clusters = stats::kMeans(pts, cfg);
+
+        // Map each k-means cluster to its majority class and count
+        // agreement.
+        std::map<std::size_t, std::map<WorkloadClass, std::size_t>> votes;
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            ++votes[out.clusters.assignment[i]][labels[i]];
+        std::map<std::size_t, WorkloadClass> majority;
+        for (const auto &[c, tally] : votes) {
+            auto best = std::max_element(
+                tally.begin(), tally.end(),
+                [](const auto &a, const auto &b) {
+                    return a.second < b.second;
+                });
+            majority[c] = best->first;
+        }
+        std::size_t agree = 0;
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            if (majority[out.clusters.assignment[i]] == labels[i])
+                ++agree;
+        out.clusterAgreement =
+            static_cast<double>(agree) / static_cast<double>(pts.size());
+    }
+
+    return out;
+}
+
+} // namespace memsense::model

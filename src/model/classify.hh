@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload classification (paper Sec. VI.B, Fig. 6, Table 6).
+ *
+ * Each workload is a point in (blocking factor, memory references per
+ * cycle) space: x measures latency sensitivity, y measures intrinsic
+ * bandwidth demand. The paper computes per-class means (Table 6) and
+ * observes that the classes form distinct clusters; core-bound
+ * workloads (Proximity, some SPEC components) cluster near the origin
+ * and are excluded from the class means.
+ */
+
+#ifndef MEMSENSE_MODEL_CLASSIFY_HH
+#define MEMSENSE_MODEL_CLASSIFY_HH
+
+#include <vector>
+
+#include "model/params.hh"
+#include "stats/kmeans.hh"
+
+namespace memsense::model
+{
+
+/** A workload's position in the Fig. 6 scatter. */
+struct ScatterPoint
+{
+    std::string name;          ///< workload name
+    WorkloadClass cls;         ///< class label
+    double bf = 0.0;           ///< x: latency sensitivity
+    double refsPerCycle = 0.0; ///< y: bandwidth demand proxy
+    bool coreBound = false;    ///< near-origin cluster member
+};
+
+/** Criteria for the near-origin (core-bound) cluster. */
+struct CoreBoundCriteria
+{
+    double maxBf = 0.05;           ///< BF at or below this, and
+    double maxRefsPerCycle = 0.002;///< refs/cycle at or below this
+};
+
+/** Classification output. */
+struct Classification
+{
+    std::vector<ScatterPoint> points;   ///< one per input workload
+    std::vector<WorkloadParams> means;  ///< per-class means (Table 6),
+                                        ///< core-bound points excluded
+    stats::KMeansResult clusters;       ///< unsupervised check (k-means)
+    double clusterAgreement = 0.0;      ///< fraction of non-core-bound
+                                        ///< points whose k-means cluster
+                                        ///< matches their class label
+};
+
+/** Map a parameter bundle onto the Fig. 6 scatter. */
+ScatterPoint toScatterPoint(const WorkloadParams &p,
+                            const CoreBoundCriteria &crit = {});
+
+/**
+ * Classify a set of workloads: compute scatter points, per-class means
+ * over the non-core-bound members, and verify cluster separation with
+ * k-means (k = number of distinct non-core-bound classes present).
+ */
+Classification classify(const std::vector<WorkloadParams> &workloads,
+                        const CoreBoundCriteria &crit = {});
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_CLASSIFY_HH

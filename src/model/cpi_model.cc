@@ -1,0 +1,56 @@
+#include "model/cpi_model.hh"
+
+#include <limits>
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+double
+effectiveCpi(const WorkloadParams &p, double mp_cycles)
+{
+    requireConfig(mp_cycles >= 0.0, "miss penalty must be non-negative");
+    return p.cpiCache + p.mpi() * mp_cycles * p.bf;
+}
+
+double
+missPenaltyForCpi(const WorkloadParams &p, double cpi_eff)
+{
+    requireConfig(p.bf > 0.0 && p.mpi() > 0.0,
+                  "inverting Eq. 1 needs BF > 0 and MPI > 0");
+    requireConfig(cpi_eff >= p.cpiCache,
+                  "effective CPI below CPI_cache is not representable");
+    return (cpi_eff - p.cpiCache) / (p.mpi() * p.bf);
+}
+
+double
+chouEffectiveCpi(const ChouInputs &in)
+{
+    requireConfig(in.mlp >= 1.0, "MLP must be at least 1");
+    requireConfig(in.overlapCm >= 0.0 && in.overlapCm <= 1.0,
+                  "Overlap_cm must be in [0, 1]");
+    return in.cpiCache * (1.0 - in.overlapCm) +
+           in.mpi * in.mpCycles / in.mlp;
+}
+
+double
+blockingFactorFromChou(const ChouInputs &in)
+{
+    requireConfig(in.mlp >= 1.0, "MLP must be at least 1");
+    requireConfig(in.mpi > 0.0 && in.mpCycles > 0.0,
+                  "Eq. 3 needs MPI > 0 and MP > 0");
+    return 1.0 / in.mlp -
+           in.cpiCache * in.overlapCm / (in.mpi * in.mpCycles);
+}
+
+double
+impliedMlp(double bf)
+{
+    requireConfig(bf >= 0.0, "blocking factor must be non-negative");
+    if (bf == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / bf;
+}
+
+} // namespace memsense::model

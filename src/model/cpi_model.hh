@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's CPI equations (Eq. 1-3).
+ *
+ * Eq. 1:  CPI_eff = CPI_cache + MPI * MP * BF
+ * Eq. 2:  CPI_eff = CPI_cache * (1 - Overlap_cm) + MPI * MP / MLP  (Chou)
+ * Eq. 3:  BF = 1/MLP - CPI_cache * Overlap_cm / (MPI * MP)
+ *
+ * MP is measured in core cycles here; callers convert ns -> cycles via
+ * Platform::nsToCycles. All functions are pure.
+ */
+
+#ifndef MEMSENSE_MODEL_CPI_MODEL_HH
+#define MEMSENSE_MODEL_CPI_MODEL_HH
+
+#include "model/params.hh"
+
+namespace memsense::model
+{
+
+/**
+ * Eq. 1: effective CPI from miss penalty.
+ *
+ * @param p         workload parameters (CPI_cache, BF, MPKI)
+ * @param mp_cycles average LLC miss penalty in core cycles
+ */
+double effectiveCpi(const WorkloadParams &p, double mp_cycles);
+
+/**
+ * Invert Eq. 1: the miss penalty (core cycles) that would produce the
+ * given effective CPI. Requires BF > 0 and MPI > 0.
+ */
+double missPenaltyForCpi(const WorkloadParams &p, double cpi_eff);
+
+/** Inputs of Chou's model (Eq. 2). */
+struct ChouInputs
+{
+    double cpiCache = 1.0;  ///< infinite-cache CPI
+    double overlapCm = 0.0; ///< overlap of core execution with misses
+    double mlp = 1.0;       ///< memory-level parallelism (>= 1)
+    double mpi = 0.005;     ///< misses per instruction
+    double mpCycles = 200;  ///< miss penalty in core cycles
+};
+
+/** Eq. 2: Chou's effective CPI with explicit MLP and overlap. */
+double chouEffectiveCpi(const ChouInputs &in);
+
+/**
+ * Eq. 3: the blocking factor implied by Chou's model components.
+ * As MP grows the second term vanishes and BF tends to 1/MLP.
+ */
+double blockingFactorFromChou(const ChouInputs &in);
+
+/**
+ * The MLP a measured blocking factor implies under the constant-BF
+ * approximation (BF ~= 1/MLP); returns +inf when bf == 0.
+ */
+double impliedMlp(double bf);
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_CPI_MODEL_HH

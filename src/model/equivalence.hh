@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Latency <-> bandwidth design-tradeoff equivalence (paper Sec. VI.D,
+ * Table 7).
+ *
+ * For a workload class on a baseline platform, compute (a) the
+ * performance benefit of adding 1 GB/s/core of bandwidth, (b) the
+ * benefit of shaving 10 ns of compulsory latency, and (c) the
+ * equivalences: how much extra bandwidth matches a 10 ns latency
+ * improvement, and how much latency reduction matches an extra
+ * 1 GB/s/core. The paper's headline: ~39.7 GB/s == 10 ns for
+ * enterprise, ~27.1 GB/s == 10 ns for big data, and no amount of
+ * latency reduction compensates bandwidth for the HPC mix.
+ */
+
+#ifndef MEMSENSE_MODEL_EQUIVALENCE_HH
+#define MEMSENSE_MODEL_EQUIVALENCE_HH
+
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+
+/** Table 7 row for one workload class. */
+struct TradeoffSummary
+{
+    std::string name;              ///< workload (class) name
+    double baselineCpi = 0.0;      ///< CPI on the baseline
+    double perfGainBandwidthPct = 0.0; ///< % perf gain from +1 GB/s/core
+    double perfGainLatencyPct = 0.0;   ///< % perf gain from -10 ns
+    /** Total GB/s matching a 10 ns latency improvement; +inf when no
+     *  finite amount of bandwidth reproduces the latency benefit; 0
+     *  when the latency benefit itself is (near) zero. */
+    double bandwidthEquivalentGBps = 0.0;
+    /** ns of latency reduction matching +1 GB/s/core; +inf when no
+     *  finite latency reduction reproduces the bandwidth benefit; 0
+     *  when the bandwidth benefit itself is (near) zero. */
+    double latencyEquivalentNs = 0.0;
+};
+
+/** Computes Table 7 rows. */
+class EquivalenceAnalyzer
+{
+  public:
+    /**
+     * @param solver   performance solver
+     * @param baseline baseline platform (paper: Platform::paperBaseline)
+     */
+    EquivalenceAnalyzer(Solver solver, Platform baseline);
+
+    /** Percent performance gain from adding @p gbps_per_core GB/s/core. */
+    double perfGainFromBandwidth(const WorkloadParams &p,
+                                 double gbps_per_core = 1.0) const;
+
+    /** Percent performance gain from reducing compulsory latency. */
+    double perfGainFromLatency(const WorkloadParams &p,
+                               double delta_ns = 10.0) const;
+
+    /**
+     * Total extra bandwidth (GB/s, system-wide) equivalent to a
+     * @p delta_ns compulsory-latency reduction. Bisection on the
+     * bandwidth axis; returns +inf when unreachable, 0 when the
+     * latency benefit is below @p negligible (relative CPI change).
+     */
+    double bandwidthEquivalentOfLatency(const WorkloadParams &p,
+                                        double delta_ns = 10.0,
+                                        double negligible = 1e-6) const;
+
+    /**
+     * Compulsory-latency reduction (ns) equivalent to adding
+     * @p gbps_per_core GB/s/core. Returns +inf when unreachable, 0
+     * when the bandwidth benefit is below @p negligible.
+     */
+    double latencyEquivalentOfBandwidth(const WorkloadParams &p,
+                                        double gbps_per_core = 1.0,
+                                        double negligible = 1e-6) const;
+
+    /** Compute the full Table 7 row for a workload class. */
+    TradeoffSummary summarize(const WorkloadParams &p) const;
+
+  private:
+    /** Platform with extra system bandwidth grafted on via efficiency. */
+    Platform withExtraBandwidth(double extra_gbps_total) const;
+
+    /** Platform with reduced compulsory latency (floored at 1 ns). */
+    Platform withReducedLatency(double delta_ns) const;
+
+    Solver solver;
+    Platform base;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_EQUIVALENCE_HH

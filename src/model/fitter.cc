@@ -1,0 +1,67 @@
+#include "model/fitter.hh"
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+FittedModel
+fitModel(const std::string &name, WorkloadClass cls,
+         const std::vector<FitObservation> &obs, const FitOptions &opts)
+{
+    requireConfig(obs.size() >= 2,
+                  name + ": need at least two observations to fit");
+
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<double> ws;
+    xs.reserve(obs.size());
+    ys.reserve(obs.size());
+    double mpki_sum = 0.0;
+    double wbr_sum = 0.0;
+    for (const auto &o : obs) {
+        xs.push_back(o.latencyPerInstruction());
+        ys.push_back(o.cpiEff);
+        ws.push_back(o.instructions > 0.0 ? o.instructions : 1.0);
+        mpki_sum += o.mpki;
+        wbr_sum += o.wbr;
+    }
+
+    stats::LinearFit fit;
+    if (opts.weightByInstructions) {
+        fit = stats::weightedLinearFit(xs, ys, ws);
+        if (opts.clampNegativeSlope && fit.slope < 0.0)
+            fit = stats::nonNegativeSlopeFit(xs, ys);
+    } else if (opts.clampNegativeSlope) {
+        fit = stats::nonNegativeSlopeFit(xs, ys);
+    } else {
+        fit = stats::linearFit(xs, ys);
+    }
+
+    FittedModel model;
+    model.fit = fit;
+    model.params.name = name;
+    model.params.cls = cls;
+    model.params.cpiCache = fit.intercept;
+    model.params.bf = fit.slope;
+    model.params.mpki = mpki_sum / static_cast<double>(obs.size());
+    model.params.wbr = wbr_sum / static_cast<double>(obs.size());
+    model.coreBound = fit.slope < opts.coreBoundBfThreshold;
+    return model;
+}
+
+std::vector<double>
+validationErrors(const FittedModel &model,
+                 const std::vector<FitObservation> &obs)
+{
+    std::vector<double> errs;
+    errs.reserve(obs.size());
+    for (const auto &o : obs) {
+        requireConfig(o.cpiEff > 0.0, "measured CPI must be positive");
+        double predicted = model.predictCpi(o.latencyPerInstruction());
+        errs.push_back((predicted - o.cpiEff) / o.cpiEff);
+    }
+    return errs;
+}
+
+} // namespace memsense::model

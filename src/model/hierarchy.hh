@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hierarchical (tiered) memory extension of Eq. 1 (paper Sec. VII,
+ * Eq. 5):
+ *
+ *   CPI_eff = CPI_cache + (MPI_i * MP_i + MPI_ii * MP_ii + ...) * BF
+ *
+ * where MPI_k / MP_k are the miss count and penalty for requests
+ * satisfied by the k-th level of the memory hierarchy. This models
+ * emerging memory technologies fronted by a fast DRAM tier: the near
+ * tier serves a hit fraction at DRAM-like latency, the far tier serves
+ * the rest at higher latency and lower bandwidth.
+ */
+
+#ifndef MEMSENSE_MODEL_HIERARCHY_HH
+#define MEMSENSE_MODEL_HIERARCHY_HH
+
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+#include "model/platform.hh"
+#include "model/queuing.hh"
+
+namespace memsense::model
+{
+
+/** One level of the memory hierarchy as seen by Eq. 5. */
+struct TierAccess
+{
+    std::string name;     ///< tier label ("DRAM", "NVM", ...)
+    double mpi = 0.0;     ///< misses per instruction served by this tier
+    double mpCycles = 0.0;///< penalty for those misses, core cycles
+};
+
+/**
+ * Eq. 5: effective CPI with per-tier miss counts and penalties.
+ *
+ * @param cpi_cache infinite-cache CPI
+ * @param bf        blocking factor (shared across tiers, per Eq. 5)
+ * @param tiers     per-tier access terms
+ */
+double hierarchicalCpi(double cpi_cache, double bf,
+                       const std::vector<TierAccess> &tiers);
+
+/** A physical memory tier for the two-level solver. */
+struct MemoryTier
+{
+    std::string name;          ///< tier label
+    double latencyNs = 75.0;   ///< compulsory latency of the tier
+    double bandwidthGBps = 40; ///< effective bandwidth of the tier
+    double capacityGB = 16.0;  ///< capacity (drives the hit fraction)
+};
+
+/** Result of a two-tier evaluation. */
+struct TieredResult
+{
+    double hitFraction = 0.0;  ///< fraction of misses served near
+    double cpiEff = 0.0;       ///< Eq. 5 CPI
+    double nearUtilization = 0.0; ///< near-tier bandwidth utilization
+    double farUtilization = 0.0;  ///< far-tier bandwidth utilization
+    bool farBandwidthBound = false; ///< far tier ran out of bandwidth
+};
+
+/**
+ * Two-tier memory model: a near (fast, small) tier backed by a far
+ * (slow, large) tier, as sketched in Sec. VII.
+ *
+ * The near-tier hit fraction follows a concave working-set curve
+ * hit = min(1, (near_capacity / footprint)^theta) with theta in (0, 1]
+ * capturing access locality (theta = 1: uniform random over the
+ * footprint; smaller theta: more skew, earlier saturation).
+ */
+class TieredMemoryModel
+{
+  public:
+    /**
+     * @param near      fast tier (e.g. DRAM cache)
+     * @param far       capacity tier (e.g. NVM)
+     * @param footprintGB workload's resident data footprint
+     * @param theta     locality exponent in (0, 1]
+     */
+    TieredMemoryModel(MemoryTier near, MemoryTier far, double footprintGB,
+                      double theta = 0.5);
+
+    /** Near-tier hit fraction implied by the capacity/locality model. */
+    double hitFraction() const;
+
+    /**
+     * Evaluate a workload at core speed @p ghz on @p cores cores.
+     * Queuing on each tier uses an analytic M/D/1 model scaled by the
+     * tier's bandwidth.
+     */
+    TieredResult evaluate(const WorkloadParams &p, double ghz,
+                          int cores) const;
+
+    /**
+     * Sweep the near-tier capacity across @p capacities and return the
+     * CPI at each point (the bench's tiering curve).
+     */
+    std::vector<TieredResult>
+    capacitySweep(const WorkloadParams &p, double ghz, int cores,
+                  const std::vector<double> &capacitiesGB) const;
+
+  private:
+    MemoryTier near;
+    MemoryTier far;
+    double footprintGB;
+    double theta;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_HIERARCHY_HH

@@ -1,0 +1,79 @@
+#include "model/memory_config.hh"
+
+#include "util/error.hh"
+#include "util/string_util.hh"
+
+namespace memsense::model
+{
+
+double
+MemoryConfig::peakBandwidth() const
+{
+    return static_cast<double>(channels) * megaTransfers * 1e6 *
+           kBytesPerTransfer;
+}
+
+double
+MemoryConfig::effectiveBandwidth() const
+{
+    return peakBandwidth() * efficiency;
+}
+
+double
+MemoryConfig::effectiveBandwidthGBps() const
+{
+    return effectiveBandwidth() / 1e9;
+}
+
+std::string
+MemoryConfig::describe() const
+{
+    return strformat("%dch DDR-%.0f @%.0f%% eff, %.0f ns compulsory",
+                     channels, megaTransfers, efficiency * 100.0,
+                     compulsoryNs);
+}
+
+void
+MemoryConfig::validate() const
+{
+    requireConfig(channels >= 1 && channels <= 16,
+                  "channel count must be in [1, 16]");
+    requireConfig(megaTransfers > 0.0, "transfer rate must be positive");
+    requireConfig(efficiency > 0.0 && efficiency <= 1.0,
+                  "efficiency must be in (0, 1]");
+    requireConfig(compulsoryNs > 0.0, "compulsory latency must be positive");
+}
+
+MemoryConfig
+MemoryConfig::withChannels(int n) const
+{
+    MemoryConfig c = *this;
+    c.channels = n;
+    return c;
+}
+
+MemoryConfig
+MemoryConfig::withSpeed(double mt_per_s) const
+{
+    MemoryConfig c = *this;
+    c.megaTransfers = mt_per_s;
+    return c;
+}
+
+MemoryConfig
+MemoryConfig::withEfficiency(double eff) const
+{
+    MemoryConfig c = *this;
+    c.efficiency = eff;
+    return c;
+}
+
+MemoryConfig
+MemoryConfig::withCompulsoryNs(double ns) const
+{
+    MemoryConfig c = *this;
+    c.compulsoryNs = ns;
+    return c;
+}
+
+} // namespace memsense::model

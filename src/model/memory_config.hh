@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory subsystem configuration for the analytic model.
+ *
+ * Describes the platform's memory side the way the paper's Sec. VI does:
+ * a number of DDR channels at a given transfer rate, an achievable
+ * efficiency (peak-to-sustained ratio, ~70% observed), and a compulsory
+ * (unloaded) latency.
+ */
+
+#ifndef MEMSENSE_MODEL_MEMORY_CONFIG_HH
+#define MEMSENSE_MODEL_MEMORY_CONFIG_HH
+
+#include <string>
+
+namespace memsense::model
+{
+
+/** Common DDR3 transfer rates, in mega-transfers per second. */
+namespace ddr
+{
+constexpr double kDdr3_1067 = 1066.7;
+constexpr double kDdr3_1333 = 1333.3;
+constexpr double kDdr3_1600 = 1600.0;
+constexpr double kDdr3_1867 = 1866.7;
+constexpr double kDdr4_2400 = 2400.0;
+} // namespace ddr
+
+/** Bytes transferred per DDR beat (64-bit channel). */
+constexpr double kBytesPerTransfer = 8.0;
+
+/** Memory-side platform description. */
+struct MemoryConfig
+{
+    int channels = 4;                ///< DDR channels per socket
+    double megaTransfers = ddr::kDdr3_1867; ///< channel rate in MT/s
+    double efficiency = 0.70;        ///< sustainable fraction of peak
+    double compulsoryNs = 75.0;      ///< unloaded (compulsory) latency
+
+    /** Peak bandwidth across all channels, bytes/second. */
+    double peakBandwidth() const;
+
+    /** Sustainable (effective) bandwidth: peak * efficiency. */
+    double effectiveBandwidth() const;
+
+    /** Effective bandwidth in GB/s (decimal) for reporting. */
+    double effectiveBandwidthGBps() const;
+
+    /** Short human-readable description ("4ch DDR3-1867 @70%"). */
+    std::string describe() const;
+
+    /** Validate ranges; throws ConfigError when out of domain. */
+    void validate() const;
+
+    /** Copy with a different channel count. */
+    MemoryConfig withChannels(int n) const;
+
+    /** Copy with a different transfer rate. */
+    MemoryConfig withSpeed(double mt_per_s) const;
+
+    /** Copy with a different efficiency. */
+    MemoryConfig withEfficiency(double eff) const;
+
+    /** Copy with a different compulsory latency. */
+    MemoryConfig withCompulsoryNs(double ns) const;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_MEMORY_CONFIG_HH

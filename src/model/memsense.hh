@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Umbrella header for the memsense analytic model: include this to get
+ * the full public model API (Eq. 1-5, solver, fitter, classification,
+ * sensitivity and equivalence analyses).
+ */
+
+#ifndef MEMSENSE_MODEL_MEMSENSE_HH
+#define MEMSENSE_MODEL_MEMSENSE_HH
+
+#include "model/bandwidth_model.hh"
+#include "model/classify.hh"
+#include "model/cpi_model.hh"
+#include "model/equivalence.hh"
+#include "model/fitter.hh"
+#include "model/hierarchy.hh"
+#include "model/memory_config.hh"
+#include "model/multisocket.hh"
+#include "model/paper_data.hh"
+#include "model/params.hh"
+#include "model/phases.hh"
+#include "model/platform.hh"
+#include "model/queuing.hh"
+#include "model/report.hh"
+#include "model/sensitivity.hh"
+#include "model/solver.hh"
+#include "model/trends.hh"
+
+#endif // MEMSENSE_MODEL_MEMSENSE_HH

@@ -1,0 +1,133 @@
+#include "model/multisocket.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/bandwidth_model.hh"
+#include "model/cpi_model.hh"
+#include "model/hierarchy.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+void
+MultiSocketPlatform::validate() const
+{
+    socket.validate();
+    requireConfig(sockets >= 1 && sockets <= 16,
+                  "socket count must be in [1, 16]");
+    requireConfig(remoteFraction >= 0.0 && remoteFraction <= 1.0,
+                  "remote fraction must be in [0, 1]");
+    requireConfig(remoteExtraNs >= 0.0,
+                  "remote extra latency must be non-negative");
+    requireConfig(interconnectGBps > 0.0,
+                  "interconnect bandwidth must be positive");
+}
+
+MultiSocketSolver::MultiSocketSolver()
+    : queuing(QueuingModel::analyticDefault())
+{
+}
+
+MultiSocketSolver::MultiSocketSolver(QueuingModel queuing_model)
+    : queuing(std::move(queuing_model))
+{
+}
+
+MultiSocketPoint
+MultiSocketSolver::solve(const WorkloadParams &p,
+                         const MultiSocketPlatform &plat) const
+{
+    p.validate();
+    plat.validate();
+
+    const Platform &s = plat.socket;
+    const double cps = s.cyclesPerSecond();
+    const int threads = s.hardwareThreads();
+    // Sockets are symmetric: each socket's local channels serve its own
+    // local misses plus the other sockets' remote misses; with a
+    // uniform remote spread that totals exactly one socket's traffic,
+    // so the local-channel utilization uses one socket's full demand.
+    const double local_avail = s.memory.effectiveBandwidth();
+    const double link_avail = plat.interconnectGBps * 1e9;
+    const double rf = plat.remoteFraction;
+    const double max_util = queuing.maxStableUtilization();
+
+    // Bisection on the local-channel utilization (the dominant
+    // resource); interconnect queuing is slaved to the remote share.
+    auto solve_cpi = [&](double u_local) {
+        double local_mp =
+            s.memory.compulsoryNs + queuing.delayNs(u_local);
+        // Remote misses traverse the link and then the remote socket's
+        // channels (same utilization by symmetry).
+        double demand_guess = u_local * local_avail;
+        double u_link =
+            std::min(max_util, demand_guess * rf / link_avail);
+        double remote_mp = local_mp + plat.remoteExtraNs +
+                           queuing.delayNs(u_link);
+        std::vector<TierAccess> tiers = {
+            {"local", p.mpi() * (1.0 - rf),
+             s.nsToCycles(local_mp)},
+            {"remote", p.mpi() * rf, s.nsToCycles(remote_mp)},
+        };
+        return hierarchicalCpi(p.cpiCache, p.bf, tiers);
+    };
+    auto implied_util = [&](double u) {
+        double c = solve_cpi(u);
+        return bandwidthDemandTotal(p, c, cps, threads) / local_avail;
+    };
+
+    double lo = 0.0;
+    double hi = max_util;
+    for (int i = 0; i < 100; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (implied_util(mid) > mid)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    double u_local = 0.5 * (lo + hi);
+    double lat_cpi = solve_cpi(u_local);
+
+    // Bandwidth floors: local channels and the interconnect.
+    double bw_cpi_local = bandwidthLimitedCpi(
+        p, local_avail / static_cast<double>(threads), cps);
+    double bw_cpi_link =
+        rf > 0.0 ? p.bytesPerInstruction() * rf * cps /
+                       (link_avail / static_cast<double>(threads))
+                 : 0.0;
+
+    MultiSocketPoint pt;
+    pt.cpiEff = std::max({lat_cpi, bw_cpi_local, bw_cpi_link});
+    pt.bandwidthBound = bw_cpi_local >= lat_cpi;
+    pt.interconnectBound =
+        bw_cpi_link >= lat_cpi && bw_cpi_link >= bw_cpi_local;
+
+    double demand =
+        bandwidthDemandTotal(p, pt.cpiEff, cps, threads);
+    pt.localUtilization = std::min(1.0, demand / local_avail);
+    pt.interconnectUtilization =
+        std::min(1.0, demand * rf / link_avail);
+    pt.localMpNs =
+        s.memory.compulsoryNs + queuing.delayNs(pt.localUtilization);
+    pt.remoteMpNs = pt.localMpNs + plat.remoteExtraNs +
+                    queuing.delayNs(pt.interconnectUtilization);
+    return pt;
+}
+
+std::vector<MultiSocketPoint>
+MultiSocketSolver::remoteFractionSweep(
+    const WorkloadParams &p, MultiSocketPlatform plat,
+    const std::vector<double> &fractions) const
+{
+    std::vector<MultiSocketPoint> out;
+    out.reserve(fractions.size());
+    for (double f : fractions) {
+        plat.remoteFraction = f;
+        out.push_back(solve(p, plat));
+    }
+    return out;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multi-socket extension of the model (paper Sec. VIII: "can be
+ * extended in a straightforward way to model additional memory
+ * architectures such as multi-socket").
+ *
+ * On a multi-socket system a fraction of LLC misses is served by a
+ * remote socket's memory over the coherent interconnect, paying an
+ * extra latency and consuming interconnect bandwidth. Eq. 1's miss
+ * penalty becomes a local/remote mixture (the same decomposition as
+ * Eq. 5 with the remote path as the second "tier"), and Eq. 4 demand
+ * splits between the local channels and the remote path.
+ */
+
+#ifndef MEMSENSE_MODEL_MULTISOCKET_HH
+#define MEMSENSE_MODEL_MULTISOCKET_HH
+
+#include <vector>
+
+#include "model/platform.hh"
+#include "model/queuing.hh"
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+
+/** Multi-socket platform description. */
+struct MultiSocketPlatform
+{
+    Platform socket;            ///< one socket (cores + local memory)
+    int sockets = 2;            ///< socket count
+    /** Fraction of misses served remotely. 0 = perfect NUMA pinning;
+     *  1/sockets = fully interleaved allocation. */
+    double remoteFraction = 0.25;
+    double remoteExtraNs = 65.0;   ///< extra latency of a remote hop
+    double interconnectGBps = 32.0;///< QPI-like link bandwidth/socket
+
+    void validate() const;
+
+    /** Remote fraction implied by fully interleaved pages. */
+    double interleavedRemoteFraction() const
+    {
+        return 1.0 - 1.0 / static_cast<double>(sockets);
+    }
+};
+
+/** Converged multi-socket operating point. */
+struct MultiSocketPoint
+{
+    double cpiEff = 0.0;
+    double localMpNs = 0.0;     ///< loaded local miss penalty
+    double remoteMpNs = 0.0;    ///< loaded remote miss penalty
+    double localUtilization = 0.0;  ///< local channels, per socket
+    double interconnectUtilization = 0.0;
+    bool bandwidthBound = false;///< local channels saturated
+    bool interconnectBound = false; ///< link saturated
+};
+
+/**
+ * Multi-socket solver: Eq. 1 with a local/remote miss-penalty mixture,
+ * Eq. 4 demand split across local memory and the interconnect, and
+ * queuing on both resources.
+ */
+class MultiSocketSolver
+{
+  public:
+    /** Use the analytic default queuing model for both resources. */
+    MultiSocketSolver();
+
+    /** Supply a queuing model (applied to both resources). */
+    explicit MultiSocketSolver(QueuingModel queuing);
+
+    /** Solve one socket's operating point (sockets are symmetric). */
+    MultiSocketPoint solve(const WorkloadParams &p,
+                           const MultiSocketPlatform &plat) const;
+
+    /**
+     * Sweep the remote fraction (NUMA placement quality) and return
+     * the CPI at each point — quantifies what page placement is worth
+     * in the model's terms.
+     */
+    std::vector<MultiSocketPoint>
+    remoteFractionSweep(const WorkloadParams &p,
+                        MultiSocketPlatform plat,
+                        const std::vector<double> &fractions) const;
+
+  private:
+    QueuingModel queuing;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_MULTISOCKET_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload model parameters (the components of Eq. 1 and Eq. 4).
+ *
+ * A WorkloadParams bundle is everything the paper's model needs to know
+ * about a workload: the infinite-LLC CPI, the blocking factor, the LLC
+ * miss rate, the dirty-writeback rate, and (for I/O-heavy workloads)
+ * the I/O traffic per instruction. Parameters are obtained either from
+ * the fitting pipeline (measure::FreqScalingExperiment on the
+ * simulator) or from the paper's published tables (model::paper_data).
+ */
+
+#ifndef MEMSENSE_MODEL_PARAMS_HH
+#define MEMSENSE_MODEL_PARAMS_HH
+
+#include <string>
+#include <vector>
+
+namespace memsense::model
+{
+
+/** Cache line size used throughout the model, in bytes. */
+constexpr double kLineSizeBytes = 64.0;
+
+/** Workload classes used in the paper's Fig. 6 / Table 6. */
+enum class WorkloadClass
+{
+    BigData,
+    Enterprise,
+    Hpc,
+    CoreBound, ///< near-origin cluster (Proximity, some SPEC components)
+};
+
+/** Human-readable name of a workload class. */
+std::string className(WorkloadClass cls);
+
+/**
+ * Model parameters of one workload (or one workload-class mean).
+ *
+ * Units: cpiCache in cycles/instruction; bf dimensionless in [0, 1];
+ * mpki in LLC misses per 1000 instructions; wbr as a fraction of
+ * misses (may exceed 1 with non-temporal stores); iopi in I/O events
+ * per instruction; ioBytes in bytes of memory traffic per I/O event.
+ */
+struct WorkloadParams
+{
+    std::string name;          ///< workload identifier
+    WorkloadClass cls = WorkloadClass::BigData; ///< class label
+    double cpiCache = 1.0;     ///< CPI_cache: CPI with an infinite LLC
+    double bf = 0.2;           ///< blocking factor (Eq. 1 slope)
+    double mpki = 5.0;         ///< LLC misses per kilo-instruction
+    double wbr = 0.3;          ///< writebacks per miss (fraction)
+    double iopi = 0.0;         ///< I/O events per instruction
+    double ioBytes = 0.0;      ///< memory bytes per I/O event
+
+    /** Misses per instruction (MPI in the paper's equations). */
+    double mpi() const { return mpki / 1000.0; }
+
+    /**
+     * Memory-traffic bytes per instruction:
+     * MPI*(1+WBR)*LS + IOPI*IOSZ (the numerator of Eq. 4 without CPS).
+     */
+    double bytesPerInstruction() const;
+
+    /**
+     * Intrinsic memory references (reads + writebacks) per cycle at
+     * CPI_eff = CPI_cache; the paper's Fig. 6 y-axis.
+     */
+    double refsPerCycle() const;
+
+    /** Validate ranges; throws ConfigError when out of domain. */
+    void validate() const;
+};
+
+/** Average the parameters of several workloads (class mean, Table 6). */
+WorkloadParams classMean(const std::string &name, WorkloadClass cls,
+                         const std::vector<WorkloadParams> &members);
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_PARAMS_HH

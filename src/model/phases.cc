@@ -1,0 +1,69 @@
+#include "model/phases.hh"
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+PhasedWorkload::PhasedWorkload(std::vector<Phase> phases)
+    : list(std::move(phases)), totalWeight(0.0)
+{
+    requireConfig(!list.empty(), "phased workload needs phases");
+    for (const auto &ph : list) {
+        requireConfig(ph.weight > 0.0,
+                      ph.name + ": phase weight must be positive");
+        ph.params.validate();
+        totalWeight += ph.weight;
+    }
+}
+
+PhasedPoint
+PhasedWorkload::evaluate(const Solver &solver, const Platform &plat) const
+{
+    PhasedPoint out;
+    out.perPhase.reserve(list.size());
+    double time_weight_total = 0.0;
+    for (const auto &ph : list) {
+        OperatingPoint op = solver.solve(ph.params, plat);
+        // Instruction-weighted CPI; bandwidth is weighted by the time
+        // each phase occupies (weight * CPI).
+        out.cpiEff += ph.weight / totalWeight * op.cpiEff;
+        double time_weight = ph.weight * op.cpiEff;
+        out.bandwidthTotal += time_weight * op.bandwidthTotal;
+        time_weight_total += time_weight;
+        out.perPhase.push_back(op);
+    }
+    out.bandwidthTotal /= time_weight_total;
+    return out;
+}
+
+WorkloadParams
+PhasedWorkload::averagedParams(const std::string &name) const
+{
+    WorkloadParams avg;
+    avg.name = name;
+    avg.cls = list.front().params.cls;
+    avg.cpiCache = 0.0;
+    avg.bf = 0.0;
+    avg.mpki = 0.0;
+    avg.wbr = 0.0;
+    avg.iopi = 0.0;
+    avg.ioBytes = 0.0;
+    double wbr_weight = 0.0;
+    for (const auto &ph : list) {
+        double w = ph.weight / totalWeight;
+        avg.cpiCache += w * ph.params.cpiCache;
+        avg.bf += w * ph.params.bf;
+        avg.mpki += w * ph.params.mpki;
+        // WBR is per-miss: weight by miss count, not instructions.
+        avg.wbr += w * ph.params.mpki * ph.params.wbr;
+        wbr_weight += w * ph.params.mpki;
+        avg.iopi += w * ph.params.iopi;
+        avg.ioBytes += w * ph.params.ioBytes;
+    }
+    if (wbr_weight > 0.0)
+        avg.wbr /= wbr_weight;
+    return avg;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Phase-weighted application of the model (paper Sec. IV.D: "we can
+ * apply our model to multiple program phases independently ...
+ * provided we are able to apply a weight to each phase based on the
+ * relative number of instructions contained in that phase").
+ *
+ * A PhasedWorkload is a set of (weight, parameters) pairs — e.g. a
+ * Spark job's map and shuffle phases, or an OLTP day/night mix. The
+ * combined CPI over a run is the instruction-weighted mean of the
+ * per-phase CPIs; throughput-style metrics combine harmonically.
+ */
+
+#ifndef MEMSENSE_MODEL_PHASES_HH
+#define MEMSENSE_MODEL_PHASES_HH
+
+#include <string>
+#include <vector>
+
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+
+/** One program phase. */
+struct Phase
+{
+    std::string name;       ///< phase label
+    double weight = 1.0;    ///< relative instruction count
+    WorkloadParams params;  ///< the phase's model parameters
+};
+
+/** Result of evaluating a phased workload on a platform. */
+struct PhasedPoint
+{
+    double cpiEff = 0.0;            ///< instruction-weighted CPI
+    double bandwidthTotal = 0.0;    ///< time-weighted bandwidth
+    std::vector<OperatingPoint> perPhase; ///< each phase's solution
+};
+
+/** A workload made of weighted phases. */
+class PhasedWorkload
+{
+  public:
+    /** @param phases phases with positive weights (at least one) */
+    explicit PhasedWorkload(std::vector<Phase> phases);
+
+    /** The phases. */
+    const std::vector<Phase> &phases() const { return list; }
+
+    /**
+     * Evaluate on @p plat with @p solver: each phase is solved
+     * independently (the paper's per-phase application), then
+     * combined by instruction weight.
+     */
+    PhasedPoint evaluate(const Solver &solver,
+                         const Platform &plat) const;
+
+    /**
+     * Instruction-weighted average parameters — the single-phase
+     * approximation of this workload. Comparing evaluate() against
+     * solving these averaged parameters quantifies the error of
+     * ignoring phase behavior (Jensen's inequality makes the
+     * single-phase CPI differ whenever phases straddle a
+     * nonlinearity such as the bandwidth knee).
+     */
+    WorkloadParams averagedParams(const std::string &name) const;
+
+  private:
+    std::vector<Phase> list;
+    double totalWeight;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_PHASES_HH

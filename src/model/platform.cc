@@ -1,0 +1,48 @@
+#include "model/platform.hh"
+
+#include "util/error.hh"
+#include "util/string_util.hh"
+
+namespace memsense::model
+{
+
+double
+Platform::bandwidthPerCore() const
+{
+    return memory.effectiveBandwidth() / static_cast<double>(cores);
+}
+
+void
+Platform::validate() const
+{
+    requireConfig(cores >= 1 && cores <= 1024,
+                  "core count must be in [1, 1024]");
+    requireConfig(smt >= 1 && smt <= 8,
+                  "SMT width must be in [1, 8]");
+    requireConfig(ghz > 0.0 && ghz <= 10.0,
+                  "core frequency must be in (0, 10] GHz");
+    memory.validate();
+}
+
+std::string
+Platform::describe() const
+{
+    return strformat("%d cores @ %.1f GHz, %s (%.1f GB/s effective)", cores,
+                     ghz, memory.describe().c_str(),
+                     memory.effectiveBandwidthGBps());
+}
+
+Platform
+Platform::paperBaseline()
+{
+    Platform p;
+    p.cores = 8;
+    p.ghz = 2.7;
+    p.memory.channels = 4;
+    p.memory.megaTransfers = ddr::kDdr3_1867;
+    p.memory.efficiency = 0.70;
+    p.memory.compulsoryNs = 75.0;
+    return p;
+}
+
+} // namespace memsense::model

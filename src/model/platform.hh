@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Whole-platform description for the analytic model: cores plus the
+ * memory subsystem. The paper's baseline (Sec. VI.C) is a single socket
+ * with eight cores at 2.7 GHz, 75 ns compulsory latency, and four
+ * channels of DDR3-1867 at ~70% efficiency (~42 GB/s, 5.25 GB/s/core).
+ */
+
+#ifndef MEMSENSE_MODEL_PLATFORM_HH
+#define MEMSENSE_MODEL_PLATFORM_HH
+
+#include <string>
+
+#include "model/memory_config.hh"
+
+namespace memsense::model
+{
+
+/** Core + memory platform description. */
+struct Platform
+{
+    int cores = 8;        ///< physical cores
+    int smt = 2;          ///< hardware threads per core (paper: HT on,
+                          ///< "creating 16 hardware threads")
+    double ghz = 2.7;     ///< core frequency
+    MemoryConfig memory;  ///< memory subsystem
+
+    /** Logical processors generating memory traffic. The model's CPI
+     *  and MPI values are per-thread measurements, so Eq. 4 demand
+     *  scales with this count (paper Sec. IV.C). */
+    int hardwareThreads() const { return cores * smt; }
+
+    /** Core speed in cycles per second (CPS in Eq. 4). */
+    double cyclesPerSecond() const { return ghz * 1e9; }
+
+    /** Effective memory bandwidth available per core, bytes/s. */
+    double bandwidthPerCore() const;
+
+    /** Convert a duration in ns into core cycles. */
+    double nsToCycles(double ns) const { return ns * ghz; }
+
+    /** Convert core cycles into ns. */
+    double cyclesToNs(double cycles) const { return cycles / ghz; }
+
+    /** Validate ranges; throws ConfigError when out of domain. */
+    void validate() const;
+
+    /** Short description for table footers. */
+    std::string describe() const;
+
+    /** The paper's Sec. VI baseline platform. */
+    static Platform paperBaseline();
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_PLATFORM_HH

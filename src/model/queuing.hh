@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Queuing-delay vs. bandwidth-utilization model (paper Sec. VI.C.1,
+ * Fig. 7).
+ *
+ * The miss penalty decomposes into compulsory (unloaded) latency plus a
+ * queuing delay that grows with bandwidth utilization. The paper
+ * measures this relationship with Intel MLC at two DDR speeds and two
+ * read/write mixes, observes that the curves coincide up to ~95%
+ * utilization when the x-axis is normalized to each configuration's
+ * achievable bandwidth, and averages them into one composite curve.
+ *
+ * QueuingModel holds such a curve — either the built-in analytic
+ * default or a composite built from measured (utilization, delay)
+ * samples produced by measure::LoadedLatencySweep on the simulator.
+ */
+
+#ifndef MEMSENSE_MODEL_QUEUING_HH
+#define MEMSENSE_MODEL_QUEUING_HH
+
+#include <vector>
+
+#include "stats/curve.hh"
+
+namespace memsense::model
+{
+
+/** Queuing delay as a function of bandwidth utilization. */
+class QueuingModel
+{
+  public:
+    /**
+     * Analytic default:
+     *   d(u) = linear_ns * u  +  service_ns * u / (2 * (1 - u))
+     * clipped at the stable limit. The linear term models bank
+     * conflicts and arrival burstiness that grow with traffic long
+     * before the bus saturates (clearly visible in the measured
+     * composite of bench/fig07: ~20 ns of delay at 30%% utilization);
+     * the M/D/1 term supplies the blow-up near saturation.
+     *
+     * @param linear_ns        contention delay at 100%% utilization
+     * @param service_ns       M/D/1 service-time scale
+     * @param max_stable_util  utilization beyond which no stable
+     *                         queuing solution exists (paper: ~0.95)
+     */
+    static QueuingModel analyticDefault(double linear_ns = 80.0,
+                                        double service_ns = 7.0,
+                                        double max_stable_util = 0.95);
+
+    /**
+     * Build from a measured composite curve. The curve maps utilization
+     * in [0, 1] to queuing delay in ns and must be non-decreasing
+     * after envelope cleanup.
+     */
+    static QueuingModel fromCurve(stats::PiecewiseCurve curve,
+                                  double max_stable_util = 0.95);
+
+    /**
+     * Queuing delay in ns at @p utilization (fraction of achievable
+     * bandwidth). Utilization is clamped to [0, maxStableUtilization].
+     */
+    double delayNs(double utilization) const;
+
+    /** Delay at the maximum stable utilization (the paper's cap). */
+    double maxStableDelayNs() const;
+
+    /** The utilization cap. */
+    double maxStableUtilization() const { return maxUtil; }
+
+    /** True when this model came from measured samples. */
+    bool isMeasured() const { return measured; }
+
+    /** Access the underlying curve (for plotting / tests). */
+    const stats::PiecewiseCurve &curve() const { return pw; }
+
+  private:
+    QueuingModel(stats::PiecewiseCurve curve, double max_stable_util,
+                 bool from_measurement);
+
+    stats::PiecewiseCurve pw;
+    double maxUtil;
+    bool measured;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_QUEUING_HH

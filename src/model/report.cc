@@ -1,0 +1,137 @@
+#include "model/report.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.hh"
+
+namespace memsense::model
+{
+
+namespace
+{
+
+std::string
+recommend(const SensitivityReport &r)
+{
+    std::ostringstream out;
+    if (r.baseline.bandwidthBound) {
+        out << "The workload is BANDWIDTH BOUND on this platform: "
+               "Eq. 4 caps its CPI and latency changes buy nothing "
+               "(the Table 7 latency equivalence is unbounded). "
+               "Provide more channels or faster DIMMs before any "
+               "latency optimization (paper Sec. VI.D).";
+        return out.str();
+    }
+    if (r.tradeoff.perfGainLatencyPct < 0.5 &&
+        r.tradeoff.perfGainBandwidthPct < 0.5) {
+        out << "The workload is CORE BOUND: neither memory latency "
+            << "nor bandwidth moves its CPI by more than 0.5%. Spend "
+            << "the design budget on the cores.";
+        return out.str();
+    }
+    out << strformat(
+        "The workload is LATENCY LIMITED: -10 ns of compulsory "
+        "latency is worth %+.1f%% performance versus %+.1f%% for "
+        "+1 GB/s/core of bandwidth",
+        r.tradeoff.perfGainLatencyPct, r.tradeoff.perfGainBandwidthPct);
+    if (std::isfinite(r.tradeoff.bandwidthEquivalentGBps) &&
+        r.tradeoff.bandwidthEquivalentGBps > 0.0) {
+        out << strformat("; matching the 10 ns via bandwidth would "
+                         "take %.1f GB/s",
+                         r.tradeoff.bandwidthEquivalentGBps);
+    }
+    out << ". Optimize latency first, but keep utilization below the "
+           "queuing knee (paper Sec. VI.D).";
+    return out.str();
+}
+
+} // anonymous namespace
+
+SensitivityReport
+buildReport(const Solver &solver, const WorkloadParams &workload,
+            const Platform &platform)
+{
+    SensitivityReport r;
+    r.workload = workload;
+    r.platform = platform;
+    r.baseline = solver.solve(workload, platform);
+
+    SensitivityAnalyzer an(solver, platform);
+    r.latencySweep = an.latencySweep(workload, 60.0, 10.0);
+    r.bandwidthSweep = an.bandwidthSweep(
+        workload,
+        SensitivityAnalyzer::standardBandwidthVariants(platform.memory));
+
+    EquivalenceAnalyzer eq(solver, platform);
+    r.tradeoff = eq.summarize(workload);
+    r.recommendation = recommend(r);
+    return r;
+}
+
+std::string
+SensitivityReport::toMarkdown() const
+{
+    std::ostringstream md;
+    md << "# Memory sensitivity report: " << workload.name << "\n\n";
+    md << "Platform: " << platform.describe() << "\n\n";
+    md << strformat(
+        "Workload parameters: CPI_cache %.2f, BF %.2f, MPKI %.1f, "
+        "WBR %.0f%%\n\n",
+        workload.cpiCache, workload.bf, workload.mpki,
+        workload.wbr * 100.0);
+
+    md << "## Operating point\n\n";
+    md << strformat("| CPI | loaded latency | queuing | bandwidth | "
+                    "utilization | regime |\n|---|---|---|---|---|---|\n"
+                    "| %.3f | %.1f ns | %.1f ns | %.1f GB/s | %.0f%% | "
+                    "%s |\n\n",
+                    baseline.cpiEff, baseline.missPenaltyNs,
+                    baseline.queuingDelayNs,
+                    baseline.bandwidthTotal / 1e9,
+                    baseline.utilization * 100.0,
+                    baseline.bandwidthBound ? "bandwidth bound"
+                                            : "latency limited");
+
+    md << "## Latency sensitivity (Fig. 10)\n\n"
+          "| compulsory (ns) | CPI | increase |\n|---|---|---|\n";
+    for (const auto &pt : latencySweep) {
+        md << strformat("| %.0f | %.3f | %+.1f%% |\n", pt.compulsoryNs,
+                        pt.op.cpiEff, pt.cpiIncrease * 100.0);
+    }
+
+    md << "\n## Bandwidth sensitivity (Fig. 8)\n\n"
+          "| GB/s per core | CPI | increase | regime |\n"
+          "|---|---|---|---|\n";
+    for (const auto &pt : bandwidthSweep) {
+        md << strformat("| %.2f | %.3f | %+.1f%% | %s |\n",
+                        pt.bwPerCoreGBps, pt.op.cpiEff,
+                        pt.cpiIncrease * 100.0,
+                        pt.op.bandwidthBound ? "BW bound" : "latency");
+    }
+
+    md << "\n## Design tradeoff (Table 7)\n\n";
+    md << strformat("* +1 GB/s/core of bandwidth: %+.2f%%\n",
+                    tradeoff.perfGainBandwidthPct);
+    md << strformat("* -10 ns of compulsory latency: %+.2f%%\n",
+                    tradeoff.perfGainLatencyPct);
+    if (std::isinf(tradeoff.bandwidthEquivalentGBps)) {
+        md << "* no finite bandwidth matches a 10 ns improvement\n";
+    } else {
+        md << strformat("* 10 ns is equivalent to %.1f GB/s of "
+                        "bandwidth\n",
+                        tradeoff.bandwidthEquivalentGBps);
+    }
+    if (std::isinf(tradeoff.latencyEquivalentNs)) {
+        md << "* no latency reduction matches +1 GB/s/core\n";
+    } else {
+        md << strformat("* +1 GB/s/core is equivalent to %.1f ns of "
+                        "latency\n",
+                        tradeoff.latencyEquivalentNs);
+    }
+
+    md << "\n## Recommendation\n\n" << recommendation << "\n";
+    return md.str();
+}
+
+} // namespace memsense::model

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * One-call sensitivity report: everything the paper's methodology can
+ * say about a workload on a platform, rendered as markdown.
+ *
+ * Combines the operating point (Eq. 1 + Eq. 4), latency and bandwidth
+ * sweeps (Figs 8/10), the tradeoff equivalence (Table 7), and a
+ * plain-language recommendation (the paper's Sec. VI.D guidance:
+ * provide bandwidth first where it binds, otherwise optimize latency).
+ */
+
+#ifndef MEMSENSE_MODEL_REPORT_HH
+#define MEMSENSE_MODEL_REPORT_HH
+
+#include <string>
+
+#include "model/equivalence.hh"
+#include "model/sensitivity.hh"
+
+namespace memsense::model
+{
+
+/** Everything the report needs, precomputed. */
+struct SensitivityReport
+{
+    WorkloadParams workload;   ///< inputs
+    Platform platform;         ///< inputs
+    OperatingPoint baseline;   ///< solved baseline
+    TradeoffSummary tradeoff;  ///< Table 7 row
+    std::vector<LatencySweepPoint> latencySweep;    ///< Fig. 10 data
+    std::vector<BandwidthSweepPoint> bandwidthSweep;///< Fig. 8 data
+    std::string recommendation; ///< Sec. VI.D-style advice
+
+    /** Render the full report as markdown. */
+    std::string toMarkdown() const;
+};
+
+/**
+ * Build the report for @p workload on @p platform.
+ *
+ * @param solver   performance solver (owns the queuing model)
+ * @param workload workload parameters
+ * @param platform baseline platform
+ */
+SensitivityReport buildReport(const Solver &solver,
+                              const WorkloadParams &workload,
+                              const Platform &platform);
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_REPORT_HH

@@ -1,0 +1,138 @@
+#include "model/sensitivity.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+SensitivityAnalyzer::SensitivityAnalyzer(Solver solver_in,
+                                         Platform baseline)
+    : solver(std::move(solver_in)), base(std::move(baseline))
+{
+    base.validate();
+}
+
+OperatingPoint
+SensitivityAnalyzer::baselinePoint(const WorkloadParams &p) const
+{
+    return solver.solve(p, base);
+}
+
+std::vector<BandwidthSweepPoint>
+SensitivityAnalyzer::bandwidthSweep(
+    const WorkloadParams &p,
+    const std::vector<MemoryConfig> &variants) const
+{
+    requireConfig(!variants.empty(), "bandwidth sweep needs variants");
+    const double base_cpi = baselinePoint(p).cpiEff;
+    const double base_per_core =
+        base.memory.effectiveBandwidth() /
+        static_cast<double>(base.cores) / 1e9;
+
+    std::vector<BandwidthSweepPoint> sweep;
+    sweep.reserve(variants.size());
+    for (const auto &mem : variants) {
+        Platform plat = base;
+        plat.memory = mem;
+        BandwidthSweepPoint pt;
+        pt.memory = mem;
+        pt.bwPerCoreGBps = mem.effectiveBandwidth() /
+                           static_cast<double>(plat.cores) / 1e9;
+        pt.bwDeltaPerCoreGBps = pt.bwPerCoreGBps - base_per_core;
+        pt.op = solver.solve(p, plat);
+        pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
+        sweep.push_back(pt);
+    }
+    std::sort(sweep.begin(), sweep.end(),
+              [](const BandwidthSweepPoint &a, const BandwidthSweepPoint &b) {
+                  return a.bwPerCoreGBps > b.bwPerCoreGBps;
+              });
+    return sweep;
+}
+
+std::vector<LatencySweepPoint>
+SensitivityAnalyzer::latencySweep(const WorkloadParams &p,
+                                  double max_extra_ns, double step_ns) const
+{
+    requireConfig(step_ns > 0.0, "latency step must be positive");
+    requireConfig(max_extra_ns >= 0.0, "latency range must be non-negative");
+    const double base_cpi = baselinePoint(p).cpiEff;
+
+    std::vector<LatencySweepPoint> sweep;
+    for (double extra = 0.0; extra <= max_extra_ns + 1e-9;
+         extra += step_ns) {
+        Platform plat = base;
+        plat.memory =
+            base.memory.withCompulsoryNs(base.memory.compulsoryNs + extra);
+        LatencySweepPoint pt;
+        pt.compulsoryNs = plat.memory.compulsoryNs;
+        pt.deltaNs = extra;
+        pt.op = solver.solve(p, plat);
+        pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
+        sweep.push_back(pt);
+    }
+    return sweep;
+}
+
+std::vector<DerivativePoint>
+SensitivityAnalyzer::bandwidthDerivative(
+    const std::vector<BandwidthSweepPoint> &sweep)
+{
+    std::vector<DerivativePoint> out;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        const auto &hi = sweep[i - 1]; // more bandwidth
+        const auto &lo = sweep[i];     // less bandwidth
+        double dbw = hi.bwPerCoreGBps - lo.bwPerCoreGBps;
+        if (dbw <= 0.0)
+            continue;
+        DerivativePoint d;
+        d.x = lo.bwPerCoreGBps;
+        d.dCpiPct =
+            (lo.op.cpiEff / hi.op.cpiEff - 1.0) * 100.0 / dbw;
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<DerivativePoint>
+SensitivityAnalyzer::latencyDerivative(
+    const std::vector<LatencySweepPoint> &sweep)
+{
+    std::vector<DerivativePoint> out;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        const auto &lo = sweep[i - 1]; // lower latency
+        const auto &hi = sweep[i];     // higher latency
+        double dns = hi.compulsoryNs - lo.compulsoryNs;
+        if (dns <= 0.0)
+            continue;
+        DerivativePoint d;
+        d.x = hi.compulsoryNs;
+        // Normalized to a 10 ns step, as the paper reports.
+        d.dCpiPct =
+            (hi.op.cpiEff / lo.op.cpiEff - 1.0) * 100.0 * (10.0 / dns);
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<MemoryConfig>
+SensitivityAnalyzer::standardBandwidthVariants(const MemoryConfig &baseline)
+{
+    const double speeds[] = {ddr::kDdr3_1867, ddr::kDdr3_1600,
+                             ddr::kDdr3_1333, ddr::kDdr3_1067};
+    std::vector<MemoryConfig> variants;
+    variants.push_back(baseline);
+    for (int ch = baseline.channels; ch >= 1; --ch) {
+        for (double sp : speeds) {
+            if (ch == baseline.channels && sp == baseline.megaTransfers)
+                continue;
+            variants.push_back(
+                baseline.withChannels(ch).withSpeed(sp));
+        }
+    }
+    return variants;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memory-subsystem sensitivity sweeps (paper Sec. VI.C.2-3, Figs 8-11).
+ *
+ * Starting from a baseline platform, vary either the available memory
+ * bandwidth (channel count, channel speed, efficiency — Fig. 8/9) or
+ * the compulsory latency (+10 ns steps — Fig. 10/11) and record the
+ * resulting CPI for a workload or workload class. The derivative
+ * helpers compute the paper's "performance impact per GB/s" (Fig. 9)
+ * and "CPI impact per 10 ns" (Fig. 11) series.
+ */
+
+#ifndef MEMSENSE_MODEL_SENSITIVITY_HH
+#define MEMSENSE_MODEL_SENSITIVITY_HH
+
+#include <vector>
+
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+
+/** One point of a bandwidth sweep (Fig. 8). */
+struct BandwidthSweepPoint
+{
+    MemoryConfig memory;          ///< variant configuration
+    double bwPerCoreGBps = 0.0;   ///< available GB/s per core
+    double bwDeltaPerCoreGBps = 0.0; ///< change vs. baseline (negative
+                                  ///< = reduction)
+    OperatingPoint op;            ///< solved operating point
+    double cpiIncrease = 0.0;     ///< cpi / baseline_cpi - 1
+};
+
+/** One point of a compulsory-latency sweep (Fig. 10). */
+struct LatencySweepPoint
+{
+    double compulsoryNs = 0.0;    ///< compulsory latency of the variant
+    double deltaNs = 0.0;         ///< change vs. baseline
+    OperatingPoint op;            ///< solved operating point
+    double cpiIncrease = 0.0;     ///< cpi / baseline_cpi - 1
+};
+
+/** A derivative sample (Fig. 9 / Fig. 11). */
+struct DerivativePoint
+{
+    double x = 0.0;  ///< Fig. 9: GB/s per core available;
+                     ///< Fig. 11: compulsory latency (ns)
+    double dCpiPct = 0.0; ///< % CPI change per unit (GB/s or 10 ns)
+};
+
+/** Sensitivity sweep driver bound to a solver and baseline platform. */
+class SensitivityAnalyzer
+{
+  public:
+    /**
+     * @param solver   performance solver (owns the queuing model)
+     * @param baseline platform all sweeps are measured against
+     */
+    SensitivityAnalyzer(Solver solver, Platform baseline);
+
+    /** The baseline platform. */
+    const Platform &baseline() const { return base; }
+
+    /** Solve the workload on the unmodified baseline. */
+    OperatingPoint baselinePoint(const WorkloadParams &p) const;
+
+    /**
+     * Fig. 8: solve @p p on each memory variant; points are returned
+     * sorted by descending per-core bandwidth (baseline first).
+     */
+    std::vector<BandwidthSweepPoint>
+    bandwidthSweep(const WorkloadParams &p,
+                   const std::vector<MemoryConfig> &variants) const;
+
+    /**
+     * Fig. 10: sweep compulsory latency from the baseline value up to
+     * baseline + @p max_extra_ns in steps of @p step_ns.
+     */
+    std::vector<LatencySweepPoint>
+    latencySweep(const WorkloadParams &p, double max_extra_ns = 60.0,
+                 double step_ns = 10.0) const;
+
+    /**
+     * Fig. 9: discrete derivative of a bandwidth sweep — % CPI change
+     * per GB/s/core between consecutive points, plotted against the
+     * (smaller) available bandwidth per core.
+     */
+    static std::vector<DerivativePoint>
+    bandwidthDerivative(const std::vector<BandwidthSweepPoint> &sweep);
+
+    /**
+     * Fig. 11: % CPI change per step between consecutive latency
+     * points, plotted against the (larger) compulsory latency.
+     */
+    static std::vector<DerivativePoint>
+    latencyDerivative(const std::vector<LatencySweepPoint> &sweep);
+
+    /**
+     * The paper's Fig. 8 variant list: the baseline plus reduced
+     * channel counts and channel speeds spanning roughly 0 to
+     * -4.3 GB/s/core vs. the 4ch DDR3-1867 baseline.
+     */
+    static std::vector<MemoryConfig>
+    standardBandwidthVariants(const MemoryConfig &baseline);
+
+  private:
+    Solver solver;
+    Platform base;
+};
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_SENSITIVITY_HH

@@ -1,0 +1,115 @@
+#include "model/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/bandwidth_model.hh"
+#include "model/cpi_model.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+Solver::Solver()
+    : queuingModel(QueuingModel::analyticDefault())
+{
+}
+
+Solver::Solver(QueuingModel queuing_model, SolverOptions options)
+    : queuingModel(std::move(queuing_model)), opts(options)
+{
+    requireConfig(opts.maxIterations >= 1, "need at least one iteration");
+    requireConfig(opts.tolerance > 0.0, "tolerance must be positive");
+    requireConfig(opts.damping > 0.0 && opts.damping <= 1.0,
+                  "damping must be in (0, 1]");
+}
+
+OperatingPoint
+Solver::solve(const WorkloadParams &p, const Platform &plat) const
+{
+    p.validate();
+    plat.validate();
+
+    const double cps = plat.cyclesPerSecond();
+    const double avail = plat.memory.effectiveBandwidth();
+    const double max_util = queuingModel.maxStableUtilization();
+    const int threads = plat.hardwareThreads();
+
+    OperatingPoint op;
+
+    // A workload with no memory traffic never touches the queue.
+    if (p.bytesPerInstruction() == 0.0) {
+        op.cpiEff = p.cpiCache;
+        op.missPenaltyNs = plat.memory.compulsoryNs;
+        op.iterations = 0;
+        return op;
+    }
+
+    // Latency regime: the utilization implied by running at
+    // utilization u is
+    //   g(u) = demand(Eq1(compulsory + qdelay(u))) / available,
+    // which is non-increasing in u (more queuing -> higher CPI ->
+    // less demand), so it crosses the identity at most once below the
+    // stable cap. Bisect for that point — the paper's "iterative
+    // calculation to find a stable solution for queuing delay vs.
+    // bandwidth demand" made robust near saturation. When g stays
+    // above the identity everywhere (demand exceeds supply even at
+    // the saturated queue), the bisection converges to the cap and
+    // the latency-regime CPI becomes the saturated-queue Eq. 1 value.
+    auto implied_util = [&](double u) {
+        double mp = plat.memory.compulsoryNs + queuingModel.delayNs(u);
+        double c = effectiveCpi(p, plat.nsToCycles(mp));
+        return bandwidthDemandTotal(p, c, cps, threads) / avail;
+    };
+
+    double lo = 0.0;
+    double hi = max_util;
+    int iter = 0;
+    while (hi - lo > opts.tolerance && iter < opts.maxIterations) {
+        double mid = 0.5 * (lo + hi);
+        if (implied_util(mid) > mid)
+            lo = mid;
+        else
+            hi = mid;
+        ++iter;
+    }
+    const double util = 0.5 * (lo + hi);
+    op.iterations = iter;
+
+    const double qdelay = queuingModel.delayNs(util);
+    const double mp_ns = plat.memory.compulsoryNs + qdelay;
+    const double lat_cpi = effectiveCpi(p, plat.nsToCycles(mp_ns));
+
+    // Bandwidth regime (paper Sec. VI.C.2): Eq. 4 inverted with the
+    // denominator pinned to the available supply gives the CPI floor
+    // the memory system can sustain. The effective CPI is whichever
+    // limiter binds; when Eq. 4 wins, the compulsory latency drops
+    // out entirely ("no amount of latency reduction can compensate
+    // for bandwidth constraints"). Both limiters are monotone in
+    // latency and in supply, so the combined CPI is too, and the two
+    // curves meet continuously at the regime boundary.
+    const double bw_cpi = bandwidthLimitedCpi(
+        p, avail / static_cast<double>(threads), cps);
+    op.bandwidthBound = bw_cpi >= lat_cpi;
+    op.cpiEff = std::max(lat_cpi, bw_cpi);
+    op.queuingDelayNs = qdelay;
+    op.missPenaltyNs = mp_ns;
+
+    const double demand =
+        bandwidthDemandTotal(p, op.cpiEff, cps, threads);
+    op.bandwidthTotal = std::min(demand, avail);
+    op.bandwidthPerCore =
+        op.bandwidthTotal / static_cast<double>(plat.cores);
+    op.utilization = op.bandwidthTotal / avail;
+    return op;
+}
+
+double
+Solver::relativeCpi(const WorkloadParams &p, const Platform &plat,
+                    double reference_cpi) const
+{
+    requireConfig(reference_cpi > 0.0, "reference CPI must be positive");
+    return solve(p, plat).cpiEff / reference_cpi;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,34 @@
+#include "model/trends.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace memsense::model
+{
+
+std::vector<TrendPoint>
+scalingTrends(int base_year, int years, const TrendRates &rates)
+{
+    requireConfig(years >= 1, "need at least one year");
+    requireConfig(rates.coreGrowth > -1.0 && rates.densityGrowth > -1.0 &&
+                      rates.channelBwGrowth > -1.0 &&
+                      rates.latencyImprovement < 1.0,
+                  "growth rates out of domain");
+
+    std::vector<TrendPoint> out;
+    out.reserve(static_cast<std::size_t>(years));
+    for (int i = 0; i < years; ++i) {
+        TrendPoint t;
+        t.year = base_year + i;
+        t.relativeCores = std::pow(1.0 + rates.coreGrowth, i);
+        t.relativeDramDensity = std::pow(1.0 + rates.densityGrowth, i);
+        t.relativeChannelBw = std::pow(1.0 + rates.channelBwGrowth, i);
+        t.relativeLatency = std::pow(1.0 - rates.latencyImprovement, i);
+        t.computeToCapacityGap = t.relativeCores / t.relativeDramDensity;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CPU vs. DRAM scaling-trend data (paper Fig. 1, motivation).
+ *
+ * Fig. 1 plots the widening gap between processor compute scaling and
+ * DRAM density/bandwidth scaling. It is industry trend data, not a
+ * measurement; we reproduce it as a generated series from the growth
+ * rates the paper cites (server core counts growing 33-50% per year,
+ * DDR channel bandwidth growing far slower, latency roughly flat).
+ */
+
+#ifndef MEMSENSE_MODEL_TRENDS_HH
+#define MEMSENSE_MODEL_TRENDS_HH
+
+#include <vector>
+
+namespace memsense::model
+{
+
+/** One year of the Fig. 1 trend series, normalized to the base year. */
+struct TrendPoint
+{
+    int year = 0;
+    double relativeCores = 1.0;     ///< core count vs. base year
+    double relativeDramDensity = 1.0; ///< DRAM Gb/die vs. base year
+    double relativeChannelBw = 1.0; ///< per-channel GB/s vs. base year
+    double relativeLatency = 1.0;   ///< DRAM latency vs. base year
+    double computeToCapacityGap = 1.0; ///< cores / density ratio
+};
+
+/** Growth-rate assumptions for the trend generator. */
+struct TrendRates
+{
+    double coreGrowth = 0.40;      ///< paper: 33-50% per year
+    double densityGrowth = 0.20;   ///< DRAM density lags badly
+    double channelBwGrowth = 0.12; ///< DDR3->DDR4 cadence
+    double latencyImprovement = 0.01; ///< nearly flat
+};
+
+/** Generate the Fig. 1 series for @p years starting at @p base_year. */
+std::vector<TrendPoint> scalingTrends(int base_year = 2012, int years = 9,
+                                      const TrendRates &rates = {});
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_TRENDS_HH

@@ -1,0 +1,196 @@
+#include "sim/cache.hh"
+
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+
+SetAssocCache::SetAssocCache(std::string name_in, const CacheConfig &config,
+                             std::uint64_t seed)
+    : _name(std::move(name_in)), cfg(config), rng(seed)
+{
+    // Validate before deriving the geometry: sets() divides by the
+    // way count, so a zero-way config must be rejected first.
+    cfg.validate();
+    numSets = cfg.sets();
+    ways.resize(static_cast<std::size_t>(numSets) * cfg.ways);
+}
+
+LookupResult
+SetAssocCache::lookup(Addr line_addr, bool is_write, Picos now)
+{
+    (void)now;
+    const std::size_t base = setBase(setIndex(line_addr));
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        Way &w = ways[i];
+        if (w.valid && w.tag == line_addr) {
+            w.lastUse = ++useCounter;
+            w.rrpv = 0;
+            if (is_write)
+                w.dirty = true;
+            ++_stats.hits;
+            bool first_touch = w.prefetched;
+            w.prefetched = false;
+            return {true, w.fillTime, first_touch};
+        }
+    }
+    ++_stats.misses;
+    return {false, 0, false};
+}
+
+bool
+SetAssocCache::contains(Addr line_addr) const
+{
+    const std::size_t base = setBase(setIndex(line_addr));
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        if (ways[i].valid && ways[i].tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+SetAssocCache::pickVictim(std::size_t base)
+{
+    switch (cfg.replacement) {
+      case ReplacementKind::Lru: {
+        std::size_t victim = base;
+        std::uint64_t oldest = ways[base].lastUse;
+        for (std::size_t i = base + 1; i < base + cfg.ways; ++i) {
+            if (ways[i].lastUse < oldest) {
+                oldest = ways[i].lastUse;
+                victim = i;
+            }
+        }
+        return victim;
+      }
+      case ReplacementKind::Random:
+        return base + static_cast<std::size_t>(rng.nextBounded(cfg.ways));
+      case ReplacementKind::Srrip: {
+        // Find an RRPV-3 line, aging the set until one appears.
+        for (;;) {
+            for (std::size_t i = base; i < base + cfg.ways; ++i) {
+                if (ways[i].rrpv >= 3)
+                    return i;
+            }
+            for (std::size_t i = base; i < base + cfg.ways; ++i)
+                ++ways[i].rrpv;
+        }
+      }
+    }
+    throw LogicError("unknown replacement policy");
+}
+
+Victim
+SetAssocCache::insert(Addr line_addr, bool dirty, Picos fill_time,
+                      bool prefetched)
+{
+    const std::size_t base = setBase(setIndex(line_addr));
+
+    // Already present (racing fill): refresh state, no eviction.
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        Way &w = ways[i];
+        if (w.valid && w.tag == line_addr) {
+            w.dirty = w.dirty || dirty;
+            w.lastUse = ++useCounter;
+            return {};
+        }
+    }
+
+    // Prefer an invalid way.
+    std::size_t slot = base + cfg.ways;
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        if (!ways[i].valid) {
+            slot = i;
+            break;
+        }
+    }
+
+    Victim victim;
+    if (slot == base + cfg.ways) {
+        slot = pickVictim(base);
+        Way &w = ways[slot];
+        victim.valid = true;
+        victim.dirty = w.dirty;
+        victim.lineAddr = w.tag;
+        ++_stats.evictions;
+        if (w.dirty)
+            ++_stats.dirtyEvictions;
+    }
+
+    Way &w = ways[slot];
+    w.tag = line_addr;
+    w.valid = true;
+    w.dirty = dirty;
+    w.lastUse = ++useCounter;
+    w.rrpv = 2; // SRRIP long re-reference insertion
+    w.prefetched = prefetched;
+    w.fillTime = fill_time;
+    ++_stats.fills;
+    return victim;
+}
+
+bool
+SetAssocCache::invalidate(Addr line_addr)
+{
+    const std::size_t base = setBase(setIndex(line_addr));
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        Way &w = ways[i];
+        if (w.valid && w.tag == line_addr) {
+            w.valid = false;
+            bool was_dirty = w.dirty;
+            w.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssocCache::markDirtyIfPresent(Addr line_addr)
+{
+    const std::size_t base = setBase(setIndex(line_addr));
+    for (std::size_t i = base; i < base + cfg.ways; ++i) {
+        Way &w = ways[i];
+        if (w.valid && w.tag == line_addr) {
+            w.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::prefill()
+{
+    // Tags from the top of the address space cannot collide with
+    // workload arenas (which sit near 2^44); line (base + w*sets + s)
+    // maps to set s under the modulo indexing.
+    constexpr Addr kDummyBase = Addr{1} << 56;
+    for (std::uint64_t s = 0; s < numSets; ++s) {
+        const std::size_t base = setBase(s);
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            Way &way = ways[base + w];
+            if (way.valid)
+                continue;
+            way.tag = kDummyBase + w * numSets + s;
+            way.valid = true;
+            way.dirty = false;
+            way.lastUse = 0; // evict dummies before any real line
+            way.rrpv = 3;
+            way.fillTime = 0;
+        }
+    }
+}
+
+std::uint64_t
+SetAssocCache::validLineCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : ways)
+        if (w.valid)
+            ++n;
+    return n;
+}
+
+} // namespace memsense::sim

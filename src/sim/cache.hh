@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Set-associative cache with pluggable replacement and write-back
+ * write-allocate semantics.
+ *
+ * The cache stores tags only — no data — since workloads are address
+ * streams. Each line carries a fill timestamp so that demand hits on
+ * lines still in flight (installed by a prefetch that has not yet
+ * returned from memory) can charge the remaining latency.
+ */
+
+#ifndef MEMSENSE_SIM_CACHE_HH
+#define MEMSENSE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/microop.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace memsense::sim
+{
+
+/** Hit/miss and traffic counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    /** Accesses observed. */
+    std::uint64_t accesses() const { return hits + misses; }
+
+    /** Miss ratio in [0, 1]; 0 when never accessed. */
+    double missRatio() const
+    {
+        return accesses() ? static_cast<double>(misses) /
+                                static_cast<double>(accesses())
+                          : 0.0;
+    }
+};
+
+/** An evicted line (returned from insert()). */
+struct Victim
+{
+    bool valid = false;    ///< an eviction actually happened
+    bool dirty = false;    ///< the victim needs writing back
+    Addr lineAddr = 0;     ///< victim's line address
+};
+
+/** Result of a cache lookup. */
+struct LookupResult
+{
+    bool hit = false;      ///< line present (possibly still in flight)
+    Picos fillTime = 0;    ///< when the line's data is/was available
+    bool firstPrefetchTouch = false; ///< first demand touch of a line
+                                     ///< a prefetch installed (used to
+                                     ///< keep streamers training)
+};
+
+/**
+ * A tag-only set-associative cache.
+ *
+ * Addresses are line addresses (byte address >> kLineShift). The cache
+ * is indexed by line address modulo the set count, which supports
+ * non-power-of-two set counts (needed when the shared LLC is scaled by
+ * a non-power-of-two core count).
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name human-readable name for diagnostics
+     * @param cfg  geometry and replacement policy
+     * @param seed RNG seed for the Random replacement policy
+     */
+    SetAssocCache(std::string name, const CacheConfig &cfg,
+                  std::uint64_t seed = 1);
+
+    /**
+     * Probe for @p line_addr; updates replacement state and statistics.
+     *
+     * @param line_addr line address to look up
+     * @param is_write  true marks the line dirty on a hit
+     * @param now       current time (unused except for bookkeeping)
+     */
+    LookupResult lookup(Addr line_addr, bool is_write, Picos now);
+
+    /**
+     * Probe without updating replacement state or statistics.
+     */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Install @p line_addr, evicting a victim if the set is full.
+     *
+     * @param line_addr line to install
+     * @param dirty     install in dirty state (write allocate)
+     * @param fill_time when the line's data arrives (>= now for lines
+     *                  installed by in-flight fetches)
+     * @param prefetched true when a prefetch (not a demand access)
+     *                  installed the line
+     */
+    Victim insert(Addr line_addr, bool dirty, Picos fill_time,
+                  bool prefetched = false);
+
+    /** Invalidate a line if present; returns whether it was dirty. */
+    bool invalidate(Addr line_addr);
+
+    /**
+     * Mark a line dirty if present (writeback from an inner level),
+     * without touching replacement state or hit/miss statistics.
+     *
+     * @return true when the line was present
+     */
+    bool markDirtyIfPresent(Addr line_addr);
+
+    /** Statistics accessor. */
+    const CacheStats &stats() const { return _stats; }
+
+    /** Reset statistics (not contents). */
+    void clearStats() { _stats = CacheStats{}; }
+
+    /** Configuration in use. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** Name for diagnostics. */
+    const std::string &name() const { return _name; }
+
+    /** Number of currently valid lines (linear scan; tests only). */
+    std::uint64_t validLineCount() const;
+
+    /**
+     * Fill every way with distinct clean dummy lines from a reserved
+     * address region, so capacity evictions (and therefore dirty
+     * writebacks of real lines) begin immediately instead of after a
+     * long cold-start window. Does not touch statistics.
+     */
+    void prefill();
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+        std::uint8_t rrpv = 3;     ///< SRRIP re-reference value
+        bool prefetched = false;   ///< installed by a prefetch, not
+                                   ///< yet demand touched
+        Picos fillTime = 0;
+    };
+
+    /** Set index for a line address. */
+    std::uint64_t setIndex(Addr line_addr) const
+    {
+        return line_addr % numSets;
+    }
+
+    /** First way of set @p s in the flat array. */
+    std::size_t setBase(std::uint64_t s) const
+    {
+        return static_cast<std::size_t>(s) * cfg.ways;
+    }
+
+    /** Choose a victim way within [base, base+ways). */
+    std::size_t pickVictim(std::size_t base);
+
+    std::string _name;
+    CacheConfig cfg;
+    std::uint64_t numSets = 0;
+    std::vector<Way> ways;
+    std::uint64_t useCounter = 0;
+    Rng rng;
+    CacheStats _stats;
+};
+
+} // namespace memsense::sim
+
+#endif // MEMSENSE_SIM_CACHE_HH

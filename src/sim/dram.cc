@@ -1,0 +1,84 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+
+DramChannel::DramChannel(const DramConfig &config)
+    : cfg(config), banks(config.banksPerChannel),
+      tCas(nsToPicos(config.tCasNs)), tRcd(nsToPicos(config.tRcdNs)),
+      tRp(nsToPicos(config.tRpNs)),
+      tTransfer(nsToPicos(config.lineTransferNs())),
+      tBusOccupancy(nsToPicos(config.lineTransferNs() *
+                              config.busOverheadFactor))
+{
+    cfg.validate();
+}
+
+DramService
+DramChannel::access(std::uint32_t bank, std::uint64_t row, Picos arrival)
+{
+    requireInvariant(bank < banks.size(), "bank index out of range");
+    Bank &b = banks[bank];
+
+    Picos start = std::max(arrival, b.readyAt);
+    Picos row_latency;
+    bool row_hit;
+    if (b.openRow == static_cast<std::int64_t>(row)) {
+        row_latency = tCas;
+        row_hit = true;
+    } else if (b.openRow == -1) {
+        row_latency = tRcd + tCas;
+        row_hit = false;
+    } else {
+        row_latency = tRp + tRcd + tCas;
+        row_hit = false;
+    }
+
+    // Command/array access, then win the data bus for the burst.
+    Picos data_ready = start + row_latency;
+    Picos bus_start = std::max(data_ready, busFreeAt);
+    Picos complete = bus_start + tTransfer;
+
+    busFreeAt = bus_start + tBusOccupancy;
+    // Column accesses pipeline: on a row hit the bank can accept the
+    // next CAS a burst-gap later (tCCD ~ transfer time), not after the
+    // whole access; only the row activate/precharge occupies the
+    // array. The data bus remains the aggregate throughput limit.
+    b.readyAt = start + (row_latency - tCas) + tBusOccupancy;
+    b.openRow = static_cast<std::int64_t>(row);
+
+    _stats.busBusy += tBusOccupancy;
+    _stats.queueDelay += (start - arrival) + (bus_start - data_ready);
+    if (row_hit)
+        ++_stats.rowHits;
+    else
+        ++_stats.rowMisses;
+
+    return {complete, row_hit};
+}
+
+DramService
+DramChannel::read(std::uint32_t bank, std::uint64_t row, Picos arrival)
+{
+    ++_stats.reads;
+    return access(bank, row, arrival);
+}
+
+void
+DramChannel::write(std::uint32_t bank, std::uint64_t row, Picos arrival)
+{
+    ++_stats.writes;
+    access(bank, row, arrival);
+}
+
+Picos
+DramChannel::unloadedReadPs() const
+{
+    return tRcd + tCas + tTransfer;
+}
+
+} // namespace memsense::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DDR channel timing model.
+ *
+ * Each channel owns a set of banks with open-page row buffers and a
+ * shared data bus. Requests are serviced with O(1) resource
+ * reservations: a bank's `readyAt` and the channel's `busFreeAt`
+ * advance monotonically, so queuing delay *emerges* from contention
+ * (the basis of the paper's Fig. 7 loaded-latency curves) rather than
+ * being a model input.
+ */
+
+#ifndef MEMSENSE_SIM_DRAM_HH
+#define MEMSENSE_SIM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "util/units.hh"
+
+namespace memsense::sim
+{
+
+/** Result of a channel access. */
+struct DramService
+{
+    Picos complete = 0;   ///< time data transfer finishes
+    bool rowHit = false;  ///< row buffer hit
+};
+
+/** Per-channel statistics. */
+struct ChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    Picos busBusy = 0;    ///< accumulated data-bus occupancy
+    Picos queueDelay = 0; ///< accumulated (start - arrival) wait
+
+    /** Row hit fraction of all accesses. */
+    double rowHitRatio() const
+    {
+        std::uint64_t total = rowHits + rowMisses;
+        return total ? static_cast<double>(rowHits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * One DDR channel: banks plus a data bus.
+ *
+ * Thread-compatible (no internal synchronization); the machine's event
+ * loop serializes access.
+ */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const DramConfig &cfg);
+
+    /**
+     * Service a read of one line.
+     *
+     * @param bank    bank index within the channel
+     * @param row     row index within the bank
+     * @param arrival time the request reaches the channel
+     */
+    DramService read(std::uint32_t bank, std::uint64_t row, Picos arrival);
+
+    /**
+     * Service a posted write of one line; occupies the same bank and
+     * bus resources as a read but reports no completion to the issuer.
+     */
+    void write(std::uint32_t bank, std::uint64_t row, Picos arrival);
+
+    /** Statistics accessor. */
+    const ChannelStats &stats() const { return _stats; }
+
+    /** Reset statistics (not timing state). */
+    void clearStats() { _stats = ChannelStats{}; }
+
+    /** Unloaded read latency (row miss, idle channel) in picoseconds. */
+    Picos unloadedReadPs() const;
+
+    /** Time at which the data bus becomes free (write scheduling). */
+    Picos busFreeTime() const { return busFreeAt; }
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1; ///< -1: closed
+        Picos readyAt = 0;
+    };
+
+    /** Shared service path for reads and writes. */
+    DramService access(std::uint32_t bank, std::uint64_t row,
+                       Picos arrival);
+
+    DramConfig cfg;
+    std::vector<Bank> banks;
+    Picos busFreeAt = 0;
+    Picos tCas;
+    Picos tRcd;
+    Picos tRp;
+    Picos tTransfer;
+    Picos tBusOccupancy; ///< transfer plus turnaround/refresh overhead
+    ChannelStats _stats;
+};
+
+} // namespace memsense::sim
+
+#endif // MEMSENSE_SIM_DRAM_HH

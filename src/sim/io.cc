@@ -1,0 +1,65 @@
+#include "sim/io.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+
+void
+IoConfig::validate() const
+{
+    requireConfig(bytesPerSecond >= 0.0, "I/O rate must be non-negative");
+    requireConfig(readFraction >= 0.0 && readFraction <= 1.0,
+                  "I/O read fraction must be in [0, 1]");
+    requireConfig(burstBytes >= kLineBytes &&
+                      burstBytes % kLineBytes == 0,
+                  "I/O burst must be a positive multiple of the line size");
+    requireConfig(rangeBytes >= burstBytes,
+                  "I/O region must hold at least one burst");
+}
+
+IoInjector::IoInjector(const IoConfig &config, MemoryController &memctrl)
+    : cfg(config), mem(memctrl), rng(config.seed)
+{
+    cfg.validate();
+    if (enabled()) {
+        double gap_sec =
+            static_cast<double>(cfg.burstBytes) / cfg.bytesPerSecond;
+        burstGapPs = static_cast<Picos>(std::llround(gap_sec * 1e12));
+        requireConfig(burstGapPs > 0, "I/O rate too high to schedule");
+    }
+}
+
+void
+IoInjector::runUntil(Picos until)
+{
+    if (!enabled()) {
+        timePs = until;
+        return;
+    }
+    const std::uint64_t lines_per_burst = cfg.burstBytes / kLineBytes;
+    const std::uint64_t range_lines = cfg.rangeBytes / kLineBytes;
+    while (timePs < until) {
+        // Pick a random burst-aligned position in the DMA region.
+        std::uint64_t max_start = range_lines - lines_per_burst + 1;
+        std::uint64_t start_line =
+            (cfg.baseAddr >> kLineShift) + rng.nextBounded(max_start);
+        bool is_read = rng.chance(cfg.readFraction);
+        for (std::uint64_t i = 0; i < lines_per_burst; ++i) {
+            if (is_read)
+                mem.read(start_line + i, timePs);
+            else
+                mem.write(start_line + i, timePs);
+        }
+        if (is_read)
+            ctrs.bytesRead += static_cast<double>(cfg.burstBytes);
+        else
+            ctrs.bytesWritten += static_cast<double>(cfg.burstBytes);
+        ++ctrs.bursts;
+        timePs += burstGapPs;
+    }
+}
+
+} // namespace memsense::sim

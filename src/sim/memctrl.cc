@@ -1,0 +1,136 @@
+#include "sim/memctrl.hh"
+
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+
+MemoryController::MemoryController(const DramConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+    chans.reserve(static_cast<std::size_t>(cfg.channels));
+    for (int i = 0; i < cfg.channels; ++i)
+        chans.emplace_back(cfg);
+    writeBuf.resize(static_cast<std::size_t>(cfg.channels));
+    Picos uncore_total = nsToPicos(cfg.uncoreNs);
+    uncoreRequest = uncore_total / 2;
+    uncoreResponse = uncore_total - uncoreRequest;
+    linesPerRow = cfg.rowBytes / kLineBytes;
+}
+
+DramCoord
+MemoryController::decode(Addr line_addr) const
+{
+    DramCoord c;
+    auto nch = static_cast<std::uint64_t>(cfg.channels);
+    c.channel = static_cast<std::uint32_t>(line_addr % nch);
+    std::uint64_t in_channel = line_addr / nch;
+    std::uint64_t bank_row = in_channel / linesPerRow;
+    // Hash the bank index (golden-ratio multiplicative hash) the way
+    // real controllers permute bank bits: equally-aligned concurrent
+    // streams would otherwise camp on one bank and ping-pong its row
+    // buffer forever. Row-buffer locality within a row is preserved.
+    std::uint64_t hashed = bank_row * 0x9E3779B97F4A7C15ULL;
+    c.bank = static_cast<std::uint32_t>(
+        (hashed >> 32) % cfg.banksPerChannel);
+    c.row = bank_row / cfg.banksPerChannel;
+    return c;
+}
+
+Picos
+MemoryController::read(Addr line_addr, Picos now)
+{
+    DramCoord c = decode(line_addr);
+    Picos arrival = now + uncoreRequest;
+    DramService svc = chans[c.channel].read(c.bank, c.row, arrival);
+    Picos complete = svc.complete + uncoreResponse;
+    ++_stats.reads;
+    _stats.totalReadLatency += complete - now;
+    return complete;
+}
+
+void
+MemoryController::write(Addr line_addr, Picos now)
+{
+    DramCoord c = decode(line_addr);
+    auto &buf = writeBuf[c.channel];
+    buf.push_back({c.bank, c.row});
+    ++_stats.writes;
+
+    const Picos arrival = now + uncoreRequest;
+    auto watermark = static_cast<std::size_t>(
+        cfg.writeDrainWatermark *
+        static_cast<double>(cfg.writeBufferEntries));
+
+    if (buf.size() >= cfg.writeBufferEntries) {
+        // Buffer full: forced burst drain (a real write storm).
+        for (const auto &w : buf)
+            chans[c.channel].write(w.bank, w.row, arrival);
+        buf.clear();
+        return;
+    }
+
+    // Opportunistic drain: slip buffered writes into idle bus time so
+    // they do not form read-blocking bursts at moderate load. Above
+    // the watermark, drain one write per posting regardless, keeping
+    // the buffer bounded under sustained write pressure.
+    while (!buf.empty() &&
+           (chans[c.channel].busFreeTime() <= arrival ||
+            buf.size() > std::max<std::size_t>(1, watermark))) {
+        const PendingWrite w = buf.front();
+        buf.erase(buf.begin());
+        chans[c.channel].write(w.bank, w.row, arrival);
+        if (chans[c.channel].busFreeTime() > arrival &&
+            buf.size() <= watermark) {
+            break;
+        }
+    }
+}
+
+void
+MemoryController::drainWrites(Picos now)
+{
+    for (std::uint32_t ch = 0; ch < chans.size(); ++ch) {
+        Picos arrival = now + uncoreRequest;
+        for (const auto &w : writeBuf[ch])
+            chans[ch].write(w.bank, w.row, arrival);
+        writeBuf[ch].clear();
+    }
+}
+
+const ChannelStats &
+MemoryController::channelStats(std::uint32_t ch) const
+{
+    requireInvariant(ch < chans.size(), "channel index out of range");
+    return chans[ch].stats();
+}
+
+void
+MemoryController::clearStats()
+{
+    _stats = MemCtrlStats{};
+    for (auto &c : chans)
+        c.clearStats();
+}
+
+double
+MemoryController::unloadedLatencyNs() const
+{
+    return cfg.unloadedLatencyNs();
+}
+
+double
+MemoryController::busUtilization(Picos elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    Picos busy = 0;
+    for (const auto &c : chans)
+        busy += c.stats().busBusy;
+    return static_cast<double>(busy) /
+           (static_cast<double>(elapsed) *
+            static_cast<double>(chans.size()));
+}
+
+} // namespace memsense::sim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Memory controller: address interleaving across channels, write
+ * buffering, and the uncore latency between the LLC miss and the DDR
+ * command.
+ *
+ * The mapping is line-interleaved across channels; within a channel,
+ * consecutive lines fill a bank row (8 KB) before moving to the next
+ * bank, the standard open-page-friendly layout.
+ */
+
+#ifndef MEMSENSE_SIM_MEMCTRL_HH
+#define MEMSENSE_SIM_MEMCTRL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/dram.hh"
+#include "sim/microop.hh"
+#include "util/units.hh"
+
+namespace memsense::sim
+{
+
+/** Decoded DRAM coordinates of a line address. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+};
+
+/** Controller-level statistics. */
+struct MemCtrlStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    Picos totalReadLatency = 0; ///< sum over reads of (complete-issue)
+
+    /** Bytes read from DRAM. */
+    double bytesRead() const
+    {
+        return static_cast<double>(reads) * kLineBytes;
+    }
+
+    /** Bytes written to DRAM. */
+    double bytesWritten() const
+    {
+        return static_cast<double>(writes) * kLineBytes;
+    }
+
+    /** Average read latency in ns; 0 when no reads. */
+    double avgReadLatencyNs() const
+    {
+        return reads ? picosToNs(totalReadLatency) /
+                           static_cast<double>(reads)
+                     : 0.0;
+    }
+};
+
+/** Channel-interleaved memory controller with posted writes. */
+class MemoryController
+{
+  public:
+    explicit MemoryController(const DramConfig &cfg);
+
+    /** Decode a line address into channel/bank/row coordinates. */
+    DramCoord decode(Addr line_addr) const;
+
+    /**
+     * Issue a demand/prefetch read; returns the completion time
+     * (data available at the requesting core), including uncore
+     * latency both ways.
+     */
+    Picos read(Addr line_addr, Picos now);
+
+    /**
+     * Post a write (LLC dirty writeback or non-temporal store).
+     * Writes complete immediately for the issuer; they drain to the
+     * channel in batches once the per-channel buffer passes the
+     * configured watermark, competing with reads for bank and bus.
+     */
+    void write(Addr line_addr, Picos now);
+
+    /** Drain all buffered writes (end of run). */
+    void drainWrites(Picos now);
+
+    /** Controller statistics. */
+    const MemCtrlStats &stats() const { return _stats; }
+
+    /** Per-channel statistics. */
+    const ChannelStats &channelStats(std::uint32_t ch) const;
+
+    /** Number of channels. */
+    std::uint32_t channels() const
+    {
+        return static_cast<std::uint32_t>(chans.size());
+    }
+
+    /** Reset statistics on the controller and all channels. */
+    void clearStats();
+
+    /** Unloaded end-to-end read latency in ns (the compulsory value). */
+    double unloadedLatencyNs() const;
+
+    /** Aggregate DRAM bus utilization over @p elapsed picoseconds. */
+    double busUtilization(Picos elapsed) const;
+
+    /** Configuration in use. */
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    struct PendingWrite
+    {
+        std::uint32_t bank;
+        std::uint64_t row;
+    };
+
+    DramConfig cfg;
+    std::vector<DramChannel> chans;
+    std::vector<std::vector<PendingWrite>> writeBuf; ///< per channel
+    Picos uncoreRequest;  ///< LLC-miss to DDR-command latency
+    Picos uncoreResponse; ///< DDR-data to core latency
+    std::uint32_t linesPerRow;
+    MemCtrlStats _stats;
+};
+
+} // namespace memsense::sim
+
+#endif // MEMSENSE_SIM_MEMCTRL_HH

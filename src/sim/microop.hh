@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Micro-operation stream interface between workload generators and the
+ * simulated core.
+ *
+ * Workloads are ISA-less: they emit a stream of MicroOps (compute
+ * bundles, loads, stores, idle gaps) over a virtual address space. The
+ * core consumes the stream and produces timing; the address space is
+ * never backed by host memory — only cache tag arrays exist.
+ */
+
+#ifndef MEMSENSE_SIM_MICROOP_HH
+#define MEMSENSE_SIM_MICROOP_HH
+
+#include <cstdint>
+
+namespace memsense::sim
+{
+
+/** A virtual byte address in the workload's address space. */
+using Addr = std::uint64_t;
+
+/** Kinds of micro-operations a workload can emit. */
+enum class OpKind : std::uint8_t
+{
+    Compute, ///< `count` instructions with no memory access
+    Bubble,  ///< `count` cycles of pipeline stall retiring nothing
+             ///< (branch misprediction, serialization); counts as
+             ///< busy time, so it raises CPI_cache
+    Load,    ///< one memory read instruction
+    Store,   ///< one memory write instruction (write-allocate)
+    NtStore, ///< non-temporal store: bypasses caches, writes memory
+    Idle,    ///< core halts for `count` cycles (thread-level gaps);
+             ///< excluded from CPI, lowers CPU utilization
+};
+
+/** One micro-operation. */
+struct MicroOp
+{
+    OpKind kind = OpKind::Compute;
+    Addr addr = 0;            ///< target address (Load/Store/NtStore)
+    std::uint32_t count = 1;  ///< instructions (Compute) / cycles (Idle)
+    bool dependent = false;   ///< Load only: the instruction stream
+                              ///< cannot proceed past this load until
+                              ///< its data returns (pointer chase)
+    std::uint16_t stream = 0; ///< prefetcher training stream id
+};
+
+/**
+ * Abstract producer of micro-ops.
+ *
+ * Implementations must be deterministic given their construction seed.
+ * next() returns false when the workload is complete (streams meant to
+ * run forever simply always return true).
+ */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /** Produce the next op into @p op; false at end of stream. */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+} // namespace memsense::sim
+
+#endif // MEMSENSE_SIM_MICROOP_HH

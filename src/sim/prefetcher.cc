@@ -1,0 +1,83 @@
+#include "sim/prefetcher.hh"
+
+namespace memsense::sim
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+    if (cfg.enabled)
+        table.resize(cfg.tableEntries);
+}
+
+void
+StridePrefetcher::observeMiss(std::uint16_t stream, Addr line_addr,
+                              std::vector<Addr> &out)
+{
+    if (!cfg.enabled)
+        return;
+    ++_stats.trainings;
+
+    // Find the stream's entry, or victimize the least recently used.
+    Entry *entry = nullptr;
+    Entry *lru = &table[0];
+    for (auto &e : table) {
+        if (e.valid && e.stream == stream) {
+            entry = &e;
+            break;
+        }
+        if (e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+    if (!entry) {
+        entry = lru;
+        entry->valid = true;
+        entry->stream = stream;
+        entry->lastLine = line_addr;
+        entry->stride = 0;
+        entry->confidence = 0;
+        entry->lastUse = ++useCounter;
+        return;
+    }
+
+    entry->lastUse = ++useCounter;
+    std::int64_t stride = static_cast<std::int64_t>(line_addr) -
+                          static_cast<std::int64_t>(entry->lastLine);
+    entry->lastLine = line_addr;
+    if (stride == 0)
+        return;
+
+    if (stride == entry->stride) {
+        if (entry->confidence < 255)
+            ++entry->confidence;
+    } else {
+        entry->stride = stride;
+        entry->confidence = 1;
+        return;
+    }
+
+    if (entry->confidence < cfg.trainThreshold)
+        return;
+
+    // Confident stream: fetch `degree` lines starting `distance` ahead.
+    for (std::uint32_t i = 0; i < cfg.degree; ++i) {
+        std::int64_t ahead =
+            static_cast<std::int64_t>(cfg.distance + i) * entry->stride;
+        std::int64_t target = static_cast<std::int64_t>(line_addr) + ahead;
+        if (target < 0)
+            continue;
+        out.push_back(static_cast<Addr>(target));
+        ++_stats.issued;
+    }
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &e : table)
+        e = Entry{};
+    useCounter = 0;
+}
+
+} // namespace memsense::sim

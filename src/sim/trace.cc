@@ -1,0 +1,174 @@
+#include "sim/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+
+const MicroOp &
+Trace::at(std::size_t i) const
+{
+    requireInvariant(i < ops.size(), "trace index out of range");
+    return ops[i];
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "# memsense micro-op trace v1\n";
+    for (const auto &op : ops) {
+        switch (op.kind) {
+          case OpKind::Compute:
+            os << "C " << op.count << '\n';
+            break;
+          case OpKind::Bubble:
+            os << "B " << op.count << '\n';
+            break;
+          case OpKind::Idle:
+            os << "I " << op.count << '\n';
+            break;
+          case OpKind::Load:
+            os << "L " << std::hex << op.addr << std::dec << ' '
+               << (op.dependent ? 1 : 0) << ' ' << op.stream << '\n';
+            break;
+          case OpKind::Store:
+            os << "S " << std::hex << op.addr << std::dec << ' '
+               << op.stream << '\n';
+            break;
+          case OpKind::NtStore:
+            os << "N " << std::hex << op.addr << std::dec << '\n';
+            break;
+        }
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    Trace t;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char tag = 0;
+        ls >> tag;
+        MicroOp op;
+        bool ok = true;
+        switch (tag) {
+          case 'C':
+            op.kind = OpKind::Compute;
+            ok = static_cast<bool>(ls >> op.count);
+            break;
+          case 'B':
+            op.kind = OpKind::Bubble;
+            ok = static_cast<bool>(ls >> op.count);
+            break;
+          case 'I':
+            op.kind = OpKind::Idle;
+            ok = static_cast<bool>(ls >> op.count);
+            break;
+          case 'L': {
+            op.kind = OpKind::Load;
+            int dep = 0;
+            ok = static_cast<bool>(ls >> std::hex >> op.addr >>
+                                   std::dec >> dep >> op.stream);
+            op.dependent = dep != 0;
+            break;
+          }
+          case 'S':
+            op.kind = OpKind::Store;
+            ok = static_cast<bool>(ls >> std::hex >> op.addr >>
+                                   std::dec >> op.stream);
+            break;
+          case 'N':
+            op.kind = OpKind::NtStore;
+            ok = static_cast<bool>(ls >> std::hex >> op.addr);
+            break;
+          default:
+            ok = false;
+        }
+        requireConfig(ok, "malformed trace line " +
+                              std::to_string(lineno) + ": " + line);
+        t.append(op);
+    }
+    return t;
+}
+
+std::uint64_t
+Trace::instructionCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : ops) {
+        switch (op.kind) {
+          case OpKind::Compute:
+            n += op.count;
+            break;
+          case OpKind::Load:
+          case OpKind::Store:
+          case OpKind::NtStore:
+            n += 1;
+            break;
+          case OpKind::Bubble:
+          case OpKind::Idle:
+            break;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+Trace::memOpCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : ops) {
+        if (op.kind == OpKind::Load || op.kind == OpKind::Store ||
+            op.kind == OpKind::NtStore) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+RecordingStream::RecordingStream(OpStream &upstream_in,
+                                 std::size_t max_ops)
+    : upstream(upstream_in), maxOps(max_ops)
+{
+}
+
+bool
+RecordingStream::next(MicroOp &op)
+{
+    if (!upstream.next(op))
+        return false;
+    if (maxOps == 0 || recorded.size() < maxOps)
+        recorded.append(op);
+    return true;
+}
+
+ReplayStream::ReplayStream(Trace trace, bool loop_in)
+    : source(std::move(trace)), loop(loop_in)
+{
+    requireConfig(source.size() > 0, "cannot replay an empty trace");
+}
+
+bool
+ReplayStream::next(MicroOp &op)
+{
+    if (pos >= source.size()) {
+        if (!loop)
+            return false;
+        pos = 0;
+    }
+    op = source.at(pos++);
+    return true;
+}
+
+} // namespace memsense::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Micro-op trace recording and replay.
+ *
+ * RecordingStream tees any OpStream into an in-memory trace that can
+ * be saved to a portable text format; ReplayStream plays a trace back
+ * as an OpStream. Traces make workload behavior reproducible across
+ * machines and generator versions (record once, replay forever) and
+ * let external tools inject their own access streams into the
+ * simulator without writing a generator.
+ *
+ * Format: one op per line, `#`-comments allowed:
+ *   C <count>                 compute
+ *   B <cycles>                bubble
+ *   I <cycles>                idle
+ *   L <addr-hex> <dep> <stream>   load
+ *   S <addr-hex> <stream>     store
+ *   N <addr-hex>              non-temporal store
+ */
+
+#ifndef MEMSENSE_SIM_TRACE_HH
+#define MEMSENSE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/microop.hh"
+
+namespace memsense::sim
+{
+
+/** An in-memory op trace. */
+class Trace
+{
+  public:
+    /** Append one op. */
+    void append(const MicroOp &op) { ops.push_back(op); }
+
+    /** Number of recorded ops. */
+    std::size_t size() const { return ops.size(); }
+
+    /** Op accessor. */
+    const MicroOp &at(std::size_t i) const;
+
+    /** Serialize to the text format. */
+    void save(std::ostream &os) const;
+
+    /** Parse the text format; throws ConfigError on malformed input. */
+    static Trace load(std::istream &is);
+
+    /** Total instructions represented (compute counts + mem ops). */
+    std::uint64_t instructionCount() const;
+
+    /** Memory operations (loads + stores + NT stores). */
+    std::uint64_t memOpCount() const;
+
+  private:
+    std::vector<MicroOp> ops;
+};
+
+/** Tees an upstream OpStream into a Trace while passing ops through. */
+class RecordingStream : public OpStream
+{
+  public:
+    /**
+     * @param upstream    stream to record (borrowed)
+     * @param max_ops     stop recording (but keep passing through)
+     *                    after this many ops; 0 = unlimited
+     */
+    explicit RecordingStream(OpStream &upstream,
+                             std::size_t max_ops = 0);
+
+    bool next(MicroOp &op) override;
+
+    /** The trace recorded so far. */
+    const Trace &trace() const { return recorded; }
+
+  private:
+    OpStream &upstream;
+    std::size_t maxOps;
+    Trace recorded;
+};
+
+/** Replays a Trace as an OpStream (optionally looping). */
+class ReplayStream : public OpStream
+{
+  public:
+    /**
+     * @param trace trace to replay (copied)
+     * @param loop  restart from the beginning at the end of the trace
+     */
+    explicit ReplayStream(Trace trace, bool loop = false);
+
+    bool next(MicroOp &op) override;
+
+  private:
+    Trace source;
+    std::size_t pos = 0;
+    bool loop;
+};
+
+} // namespace memsense::sim
+
+#endif // MEMSENSE_SIM_TRACE_HH

@@ -1,0 +1,167 @@
+#include "stats/curve.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace memsense::stats
+{
+
+PiecewiseCurve::PiecewiseCurve(std::vector<CurvePoint> pts)
+{
+    std::sort(pts.begin(), pts.end(),
+              [](const CurvePoint &a, const CurvePoint &b) {
+                  return a.x < b.x;
+              });
+    // Average duplicate x values so at() is a function.
+    for (std::size_t i = 0; i < pts.size();) {
+        std::size_t j = i;
+        double sum = 0.0;
+        while (j < pts.size() && pts[j].x == pts[i].x) {
+            sum += pts[j].y;
+            ++j;
+        }
+        knots.push_back({pts[i].x, sum / static_cast<double>(j - i)});
+        i = j;
+    }
+}
+
+const CurvePoint &
+PiecewiseCurve::knot(std::size_t i) const
+{
+    requireInvariant(i < knots.size(), "curve knot out of range");
+    return knots[i];
+}
+
+double
+PiecewiseCurve::minX() const
+{
+    requireInvariant(!knots.empty(), "minX of empty curve");
+    return knots.front().x;
+}
+
+double
+PiecewiseCurve::maxX() const
+{
+    requireInvariant(!knots.empty(), "maxX of empty curve");
+    return knots.back().x;
+}
+
+double
+PiecewiseCurve::at(double x) const
+{
+    requireInvariant(!knots.empty(), "evaluating empty curve");
+    if (knots.size() == 1)
+        return knots.front().y;
+    if (x <= knots.front().x)
+        return knots.front().y;
+
+    auto it = std::lower_bound(knots.begin(), knots.end(), x,
+                               [](const CurvePoint &p, double v) {
+                                   return p.x < v;
+                               });
+    std::size_t hi;
+    if (it == knots.end()) {
+        hi = knots.size() - 1; // extrapolate on the last segment
+    } else {
+        hi = static_cast<std::size_t>(it - knots.begin());
+        if (hi == 0)
+            return knots.front().y;
+    }
+    const CurvePoint &a = knots[hi - 1];
+    const CurvePoint &b = knots[hi];
+    double t = (x - a.x) / (b.x - a.x);
+    return a.y + t * (b.y - a.y);
+}
+
+bool
+PiecewiseCurve::isMonotoneNonDecreasing() const
+{
+    for (std::size_t i = 1; i < knots.size(); ++i)
+        if (knots[i].y < knots[i - 1].y)
+            return false;
+    return true;
+}
+
+PiecewiseCurve
+PiecewiseCurve::fromSamples(const std::vector<CurvePoint> &samples,
+                            std::size_t bins)
+{
+    requireConfig(!samples.empty(), "no samples to build curve from");
+    requireConfig(bins >= 1, "need at least one bin");
+
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (const auto &s : samples) {
+        lo = std::min(lo, s.x);
+        hi = std::max(hi, s.x);
+    }
+    if (lo == hi)
+        return PiecewiseCurve({{lo, 0.0}}); // degenerate; averaged below
+
+    std::vector<double> ysum(bins, 0.0);
+    std::vector<double> xsum(bins, 0.0);
+    std::vector<std::size_t> count(bins, 0);
+    double width = (hi - lo) / static_cast<double>(bins);
+    for (const auto &s : samples) {
+        auto b = static_cast<std::size_t>((s.x - lo) / width);
+        if (b >= bins)
+            b = bins - 1;
+        ysum[b] += s.y;
+        xsum[b] += s.x;
+        ++count[b];
+    }
+
+    std::vector<CurvePoint> knots;
+    for (std::size_t b = 0; b < bins; ++b) {
+        if (count[b] == 0)
+            continue;
+        double cnt = static_cast<double>(count[b]);
+        knots.push_back({xsum[b] / cnt, ysum[b] / cnt});
+    }
+    return PiecewiseCurve(std::move(knots));
+}
+
+PiecewiseCurve
+PiecewiseCurve::composite(const std::vector<PiecewiseCurve> &curves,
+                          std::size_t bins)
+{
+    requireConfig(!curves.empty(), "composite of zero curves");
+    requireConfig(bins >= 2, "composite needs at least two bins");
+    double lo = std::numeric_limits<double>::lowest();
+    double hi = std::numeric_limits<double>::max();
+    for (const auto &c : curves) {
+        requireConfig(!c.empty(), "composite input curve is empty");
+        lo = std::max(lo, c.minX());
+        hi = std::min(hi, c.maxX());
+    }
+    requireConfig(lo < hi, "composite curves have disjoint x domains");
+
+    std::vector<CurvePoint> knots;
+    knots.reserve(bins);
+    for (std::size_t i = 0; i < bins; ++i) {
+        double x = lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(bins - 1);
+        double y = 0.0;
+        for (const auto &c : curves)
+            y += c.at(x);
+        knots.push_back({x, y / static_cast<double>(curves.size())});
+    }
+    return PiecewiseCurve(std::move(knots));
+}
+
+PiecewiseCurve
+PiecewiseCurve::monotoneEnvelope() const
+{
+    PiecewiseCurve out = *this;
+    double running = -std::numeric_limits<double>::max();
+    for (auto &k : out.knots) {
+        running = std::max(running, k.y);
+        k.y = running;
+    }
+    return out;
+}
+
+} // namespace memsense::stats

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Piecewise-linear curves over scattered (x, y) samples.
+ *
+ * The paper's Fig. 7 builds a composite queuing-delay vs. bandwidth-
+ * utilization relationship by averaging measured curves from several
+ * memory speeds and read/write mixes. PiecewiseCurve is the container
+ * for one such curve: it bins scattered samples, enforces monotone x,
+ * and interpolates (with configurable extrapolation at the ends).
+ */
+
+#ifndef MEMSENSE_STATS_CURVE_HH
+#define MEMSENSE_STATS_CURVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace memsense::stats
+{
+
+/** One (x, y) knot of a piecewise-linear curve. */
+struct CurvePoint
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * A piecewise-linear function defined by sorted knots.
+ *
+ * Evaluation clamps to the first knot below the domain and linearly
+ * extrapolates above it (queuing delay keeps growing past the last
+ * measured utilization point).
+ */
+class PiecewiseCurve
+{
+  public:
+    PiecewiseCurve() = default;
+
+    /** Construct from knots; they are sorted by x, duplicates averaged. */
+    explicit PiecewiseCurve(std::vector<CurvePoint> knots);
+
+    /** True when no knots are present. */
+    bool empty() const { return knots.empty(); }
+
+    /** Number of knots. */
+    std::size_t size() const { return knots.size(); }
+
+    /** Knot accessor. */
+    const CurvePoint &knot(std::size_t i) const;
+
+    /** Smallest knot x; undefined when empty. */
+    double minX() const;
+
+    /** Largest knot x; undefined when empty. */
+    double maxX() const;
+
+    /**
+     * Evaluate at @p x.
+     *
+     * Below minX() the first knot's y is returned; above maxX() the
+     * last segment's slope is extended.
+     */
+    double at(double x) const;
+
+    /** True if y is non-decreasing in x over all knots. */
+    bool isMonotoneNonDecreasing() const;
+
+    /**
+     * Build a curve by bucketing scattered samples into @p bins
+     * equal-width x bins and averaging y within each bin.
+     */
+    static PiecewiseCurve fromSamples(const std::vector<CurvePoint> &samples,
+                                      std::size_t bins);
+
+    /**
+     * Average several curves into a composite (the paper's Fig. 7
+     * composite): evaluates every input at @p bins uniform x positions
+     * spanning the intersection of their domains and averages.
+     */
+    static PiecewiseCurve composite(const std::vector<PiecewiseCurve> &curves,
+                                    std::size_t bins);
+
+    /**
+     * Return a copy whose y values are replaced by the running maximum
+     * (a cheap monotone regression; queuing delay is physically
+     * non-decreasing in utilization, measurement noise is not).
+     */
+    PiecewiseCurve monotoneEnvelope() const;
+
+  private:
+    std::vector<CurvePoint> knots;
+};
+
+} // namespace memsense::stats
+
+#endif // MEMSENSE_STATS_CURVE_HH

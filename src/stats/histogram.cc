@@ -1,0 +1,90 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+#include "util/string_util.hh"
+
+namespace memsense::stats
+{
+
+Histogram::Histogram(double lower, double upper, std::size_t bin_count)
+    : lo(lower), hi(upper), width((upper - lower) /
+                                  static_cast<double>(bin_count)),
+      counts(bin_count, 0)
+{
+    requireConfig(upper > lower, "histogram needs hi > lo");
+    requireConfig(bin_count >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++n;
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    if (x >= hi) {
+        ++over;
+        return;
+    }
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    if (b >= counts.size())
+        b = counts.size() - 1;
+    ++counts[b];
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    requireInvariant(i < counts.size(), "histogram bin out of range");
+    return counts[i];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    requireInvariant(i < counts.size(), "histogram bin out of range");
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    requireConfig(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    requireConfig(n > 0, "quantile of empty histogram");
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(n));
+    std::uint64_t seen = under;
+    if (seen > target)
+        return lo;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen > target)
+            return binCenter(i);
+    }
+    return hi;
+}
+
+std::string
+Histogram::sketch(std::size_t sketch_width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        auto bar = static_cast<std::size_t>(
+            (counts[i] * sketch_width + peak - 1) / peak);
+        out += strformat("%12.3f | ", binCenter(i));
+        out += std::string(bar, '#');
+        out += strformat("  (%llu)\n",
+                         static_cast<unsigned long long>(counts[i]));
+    }
+    return out;
+}
+
+} // namespace memsense::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-width histogram, used for latency distributions in the DRAM
+ * model and for time-series summaries in the characterization benches.
+ */
+
+#ifndef MEMSENSE_STATS_HISTOGRAM_HH
+#define MEMSENSE_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memsense::stats
+{
+
+/** Fixed-width histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   inclusive lower bound of the tracked range
+     * @param hi   exclusive upper bound
+     * @param bins number of equal-width bins
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Center x of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins (excluding under/overflow). */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Observations below the range. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Observations at or above the range. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Total observations including under/overflow. */
+    std::uint64_t total() const { return n; }
+
+    /** Approximate quantile from bin centers; @p q in [0, 1]. */
+    double quantile(double q) const;
+
+    /** Render an ASCII sketch, one line per non-empty bin. */
+    std::string sketch(std::size_t width = 40) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+};
+
+} // namespace memsense::stats
+
+#endif // MEMSENSE_STATS_HISTOGRAM_HH

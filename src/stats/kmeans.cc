@@ -1,0 +1,146 @@
+#include "stats/kmeans.hh"
+
+#include <limits>
+
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace memsense::stats
+{
+
+double
+squaredDistance(const Point &a, const Point &b)
+{
+    requireInvariant(a.size() == b.size(), "dimension mismatch");
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+namespace
+{
+
+std::vector<Point>
+initPlusPlus(const std::vector<Point> &points, std::size_t k, Rng &rng)
+{
+    std::vector<Point> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.nextBounded(points.size())]);
+
+    std::vector<double> d2(points.size());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : centroids)
+                best = std::min(best, squaredDistance(points[i], c));
+            d2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; duplicate.
+            centroids.push_back(points[rng.nextBounded(points.size())]);
+            continue;
+        }
+        double r = rng.nextDouble() * total;
+        std::size_t pick = 0;
+        for (; pick + 1 < points.size(); ++pick) {
+            r -= d2[pick];
+            if (r <= 0.0)
+                break;
+        }
+        centroids.push_back(points[pick]);
+    }
+    return centroids;
+}
+
+KMeansResult
+lloyd(const std::vector<Point> &points, std::size_t k, std::size_t max_iters,
+      Rng &rng)
+{
+    const std::size_t dim = points[0].size();
+    KMeansResult res;
+    res.centroids = initPlusPlus(points, k, rng);
+    res.assignment.assign(points.size(), 0);
+
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                double d = squaredDistance(points[i], res.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (res.assignment[i] != best) {
+                res.assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        std::vector<Point> sums(k, Point(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[res.assignment[i]][d] += points[i][d];
+            ++counts[res.assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster on a random point.
+                res.centroids[c] = points[rng.nextBounded(points.size())];
+                changed = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d) {
+                res.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+
+        res.iterations = iter + 1;
+        if (!changed) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        res.inertia +=
+            squaredDistance(points[i], res.centroids[res.assignment[i]]);
+    }
+    return res;
+}
+
+} // anonymous namespace
+
+KMeansResult
+kMeans(const std::vector<Point> &points, const KMeansConfig &cfg)
+{
+    requireConfig(!points.empty(), "k-means on empty point set");
+    requireConfig(cfg.k >= 1 && cfg.k <= points.size(),
+                  "k must be in [1, #points]");
+    const std::size_t dim = points[0].size();
+    for (const auto &p : points)
+        requireConfig(p.size() == dim, "points must share dimensionality");
+
+    Rng rng(cfg.seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    std::size_t restarts = std::max<std::size_t>(1, cfg.restarts);
+    for (std::size_t r = 0; r < restarts; ++r) {
+        KMeansResult res = lloyd(points, cfg.k, cfg.maxIters, rng);
+        if (res.inertia < best.inertia)
+            best = std::move(res);
+    }
+    return best;
+}
+
+} // namespace memsense::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small-dimension k-means clustering.
+ *
+ * Used by the classifier (paper Fig. 6) to verify that the workload
+ * classes form distinct clusters in (blocking factor, memory references
+ * per cycle) space, complementing the paper's a-priori class means.
+ */
+
+#ifndef MEMSENSE_STATS_KMEANS_HH
+#define MEMSENSE_STATS_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace memsense::stats
+{
+
+/** A point in d-dimensional space. */
+using Point = std::vector<double>;
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    std::vector<Point> centroids;       ///< final cluster centers
+    std::vector<std::size_t> assignment;///< cluster index per input point
+    double inertia = 0.0;               ///< sum of squared distances
+    std::size_t iterations = 0;         ///< iterations until convergence
+    bool converged = false;             ///< true if assignments stabilized
+};
+
+/** Configuration for kMeans(). */
+struct KMeansConfig
+{
+    std::size_t k = 2;          ///< number of clusters
+    std::size_t maxIters = 100; ///< iteration cap
+    std::size_t restarts = 8;   ///< independent restarts, best kept
+    std::uint64_t seed = 1;     ///< RNG seed for k-means++ init
+};
+
+/**
+ * Lloyd's algorithm with k-means++ initialization and restarts.
+ *
+ * @param points input points; all must share one dimensionality
+ * @param cfg    clustering configuration
+ * @return best-inertia result over the restarts
+ */
+KMeansResult kMeans(const std::vector<Point> &points,
+                    const KMeansConfig &cfg);
+
+/** Squared Euclidean distance between equal-dimension points. */
+double squaredDistance(const Point &a, const Point &b);
+
+} // namespace memsense::stats
+
+#endif // MEMSENSE_STATS_KMEANS_HH

@@ -1,0 +1,124 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace memsense::stats
+{
+
+namespace
+{
+
+LinearFit
+fitImpl(const std::vector<double> &xs, const std::vector<double> &ys,
+        const std::vector<double> *weights)
+{
+    requireConfig(xs.size() == ys.size(),
+                  "regression needs equally sized x and y vectors");
+    requireConfig(xs.size() >= 2, "regression needs at least two points");
+    if (weights) {
+        requireConfig(weights->size() == xs.size(),
+                      "weight vector size mismatch");
+    }
+
+    double sw = 0.0;
+    double swx = 0.0;
+    double swy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double w = weights ? (*weights)[i] : 1.0;
+        requireConfig(w >= 0.0, "regression weights must be non-negative");
+        sw += w;
+        swx += w * xs[i];
+        swy += w * ys[i];
+    }
+    requireConfig(sw > 0.0, "regression weights sum to zero");
+    double mx = swx / sw;
+    double my = swy / sw;
+
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double w = weights ? (*weights)[i] : 1.0;
+        double dx = xs[i] - mx;
+        sxx += w * dx * dx;
+        sxy += w * dx * (ys[i] - my);
+    }
+    requireConfig(sxx > 0.0,
+                  "regression x values are all identical; vary core or "
+                  "memory speed to obtain a spread in MPI*MP");
+
+    LinearFit fit;
+    fit.n = xs.size();
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+
+    double sse = 0.0;
+    double sst = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double w = weights ? (*weights)[i] : 1.0;
+        double resid = ys[i] - fit.at(xs[i]);
+        sse += w * resid * resid;
+        double dy = ys[i] - my;
+        sst += w * dy * dy;
+    }
+    fit.r2 = (sst > 0.0) ? 1.0 - sse / sst : 1.0;
+    if (xs.size() > 2) {
+        double dof = static_cast<double>(xs.size() - 2);
+        fit.residualStddev = std::sqrt(sse / dof);
+        fit.slopeStderr = fit.residualStddev / std::sqrt(sxx);
+        fit.interceptStderr =
+            fit.residualStddev * std::sqrt(1.0 / sw + mx * mx / sxx);
+    }
+    return fit;
+}
+
+} // anonymous namespace
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    return fitImpl(xs, ys, nullptr);
+}
+
+LinearFit
+weightedLinearFit(const std::vector<double> &xs, const std::vector<double> &ys,
+                  const std::vector<double> &weights)
+{
+    return fitImpl(xs, ys, &weights);
+}
+
+LinearFit
+nonNegativeSlopeFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys)
+{
+    LinearFit fit = fitImpl(xs, ys, nullptr);
+    if (fit.slope >= 0.0)
+        return fit;
+
+    // Clamp to slope 0; the least-squares intercept is then mean(y).
+    double my = 0.0;
+    for (double y : ys)
+        my += y;
+    my /= static_cast<double>(ys.size());
+
+    LinearFit clamped;
+    clamped.n = fit.n;
+    clamped.slope = 0.0;
+    clamped.intercept = my;
+    double sse = 0.0;
+    double sst = 0.0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        double r = ys[i] - my;
+        sse += r * r;
+        sst += r * r;
+    }
+    clamped.r2 = (sst > 0.0) ? 1.0 - sse / sst : 1.0;
+    if (ys.size() > 2) {
+        clamped.residualStddev =
+            std::sqrt(sse / static_cast<double>(ys.size() - 2));
+    }
+    return clamped;
+}
+
+} // namespace memsense::stats

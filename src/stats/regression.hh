@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ordinary least squares linear regression.
+ *
+ * This is the mathematical core of the paper's fitting methodology
+ * (Sec. V.A): CPI_eff measured at several (MPI * MP) points is fit to
+ * the line CPI_eff = CPI_cache + BF * (MPI * MP), so the intercept is
+ * CPI_cache and the slope is the blocking factor.
+ */
+
+#ifndef MEMSENSE_STATS_REGRESSION_HH
+#define MEMSENSE_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace memsense::stats
+{
+
+/** Result of a simple linear regression y = intercept + slope * x. */
+struct LinearFit
+{
+    double intercept = 0.0;      ///< fitted intercept
+    double slope = 0.0;          ///< fitted slope
+    double r2 = 0.0;             ///< coefficient of determination
+    double slopeStderr = 0.0;    ///< standard error of the slope
+    double interceptStderr = 0.0;///< standard error of the intercept
+    double residualStddev = 0.0; ///< sqrt(SSE / (n - 2))
+    std::size_t n = 0;           ///< number of points
+
+    /** Predicted value at @p x. */
+    double at(double x) const { return intercept + slope * x; }
+};
+
+/**
+ * Fit y = a + b*x by ordinary least squares.
+ *
+ * Requires at least two points with non-degenerate x spread.
+ */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Weighted least squares variant; weight i multiplies the squared
+ * residual of point i (used to weight program phases by instruction
+ * count, per Sec. IV.D).
+ */
+LinearFit weightedLinearFit(const std::vector<double> &xs,
+                            const std::vector<double> &ys,
+                            const std::vector<double> &weights);
+
+/**
+ * Fit y = a + b*x with the slope constrained to be non-negative.
+ *
+ * The blocking factor is physically non-negative; on noisy core-bound
+ * workloads an unconstrained fit can go slightly negative, which the
+ * paper treats as BF ~= 0 (e.g. the Proximity workload).
+ */
+LinearFit nonNegativeSlopeFit(const std::vector<double> &xs,
+                              const std::vector<double> &ys);
+
+} // namespace memsense::stats
+
+#endif // MEMSENSE_STATS_REGRESSION_HH

@@ -1,0 +1,136 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace memsense::stats
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.m - m;
+    std::size_t combined = n + other.n;
+    double nd = static_cast<double>(n);
+    double od = static_cast<double>(other.n);
+    double cd = static_cast<double>(combined);
+    m2 = m2 + other.m2 + delta * delta * nd * od / cd;
+    m = m + delta * od / cd;
+    total += other.total;
+    mn = std::min(mn, other.mn);
+    mx = std::max(mx, other.mx);
+    n = combined;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::cv() const
+{
+    if (mean() == 0.0)
+        return 0.0;
+    return stddev() / mean();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    requireConfig(!xs.empty(), "percentile of empty sample");
+    requireConfig(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+correlation(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    requireConfig(xs.size() == ys.size(), "correlation needs paired samples");
+    std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace memsense::stats

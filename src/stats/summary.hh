@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Streaming and batch summary statistics.
+ *
+ * RunningStats implements Welford's online algorithm so samplers can
+ * accumulate mean/variance over millions of interval samples without
+ * storing them; the batch helpers operate on stored vectors (needed for
+ * percentiles).
+ */
+
+#ifndef MEMSENSE_STATS_SUMMARY_HH
+#define MEMSENSE_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace memsense::stats
+{
+
+/** Online mean/variance/min/max accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel Welford combine). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return mn; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return mx; }
+
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+    /** Coefficient of variation (stddev/mean); 0 when mean is 0. */
+    double cv() const;
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double mn = 1.0 / 0.0;
+    double mx = -1.0 / 0.0;
+    double total = 0.0;
+};
+
+/** Mean of @p xs; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation of @p xs. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile of @p xs.
+ *
+ * @param xs observations (copied and sorted internally)
+ * @param p  percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Median (50th percentile). */
+double median(std::vector<double> xs);
+
+/** Pearson correlation of paired samples; 0 if degenerate. */
+double correlation(const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+} // namespace memsense::stats
+
+#endif // MEMSENSE_STATS_SUMMARY_HH

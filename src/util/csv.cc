@@ -1,0 +1,45 @@
+#include "util/csv.hh"
+
+#include "util/string_util.hh"
+
+namespace memsense
+{
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    bool needs = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os << ',';
+        os << quote(cells[i]);
+    }
+    os << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(strformat("%.6g", v));
+    writeRow(cells);
+}
+
+} // namespace memsense

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV emission for bench series output, so plots can be regenerated
+ * from the harness output without scraping aligned tables.
+ */
+
+#ifndef MEMSENSE_UTIL_CSV_HH
+#define MEMSENSE_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memsense
+{
+
+/**
+ * A simple row-oriented CSV writer with RFC 4180 quoting.
+ *
+ * Numeric convenience overloads format doubles with enough precision
+ * to round-trip typical model values.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os; the writer does not own the stream. */
+    explicit CsvWriter(std::ostream &stream) : os(stream) {}
+
+    /** Write one row of string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of doubles (formatted with %.6g). */
+    void writeRow(const std::vector<double> &values);
+
+    /** Quote a single cell per RFC 4180 (exposed for tests). */
+    static std::string quote(const std::string &cell);
+
+  private:
+    std::ostream &os;
+};
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_CSV_HH

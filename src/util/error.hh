@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error handling primitives for memsense.
+ *
+ * Follows the gem5 fatal()/panic() distinction: a ConfigError is the
+ * user's fault (bad configuration or arguments) and is recoverable by
+ * fixing the input; a LogicError indicates a bug inside the library and
+ * should never be observed by a correct program.
+ */
+
+#ifndef MEMSENSE_UTIL_ERROR_HH
+#define MEMSENSE_UTIL_ERROR_HH
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace memsense
+{
+
+/** Raised when a user-supplied configuration or argument is invalid. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what_arg)
+        : std::runtime_error("memsense config error: " + what_arg)
+    {}
+};
+
+/** Raised when an internal invariant is violated (a library bug). */
+class LogicError : public std::logic_error
+{
+  public:
+    explicit LogicError(const std::string &what_arg)
+        : std::logic_error("memsense internal error: " + what_arg)
+    {}
+};
+
+/**
+ * Throw a ConfigError unless @p cond holds.
+ *
+ * @param cond condition that must be true for the configuration to be valid
+ * @param msg  human-readable description of the requirement
+ */
+inline void
+requireConfig(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw ConfigError(msg);
+}
+
+/**
+ * Throw a LogicError unless the invariant @p cond holds.
+ *
+ * @param cond invariant that must hold
+ * @param msg  description of the violated invariant
+ * @param loc  call site, captured automatically
+ */
+inline void
+requireInvariant(bool cond, const std::string &msg,
+                 std::source_location loc = std::source_location::current())
+{
+    if (!cond) {
+        throw LogicError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + msg);
+    }
+}
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_ERROR_HH

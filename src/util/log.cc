@@ -1,0 +1,46 @@
+#include "util/log.hh"
+
+#include <cstdio>
+
+namespace memsense
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Info;
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+debug(const std::string &msg)
+{
+    if (globalLevel >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace memsense

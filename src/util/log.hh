@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal leveled logging for memsense tools.
+ *
+ * Mirrors the gem5 inform()/warn() split: inform() is status output the
+ * user may want, warn() flags behaviour that might be wrong but does not
+ * stop the run. Verbosity is a process-global knob so that benchmarks
+ * and tests can silence progress chatter.
+ */
+
+#ifndef MEMSENSE_UTIL_LOG_HH
+#define MEMSENSE_UTIL_LOG_HH
+
+#include <string>
+
+namespace memsense
+{
+
+/** Logging verbosity levels, in increasing chattiness. */
+enum class LogLevel
+{
+    Silent = 0, ///< nothing at all
+    Warn = 1,   ///< warnings only
+    Info = 2,   ///< warnings + status messages (default)
+    Debug = 3,  ///< everything
+};
+
+/** Set the process-global verbosity. */
+void setLogLevel(LogLevel level);
+
+/** Current process-global verbosity. */
+LogLevel logLevel();
+
+/** Status message for the user (LogLevel::Info and above). */
+void inform(const std::string &msg);
+
+/** Possible-problem message (LogLevel::Warn and above). */
+void warn(const std::string &msg);
+
+/** Developer diagnostics (LogLevel::Debug only). */
+void debug(const std::string &msg);
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_LOG_HH

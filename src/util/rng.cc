@@ -1,0 +1,171 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hh"
+
+namespace memsense
+{
+
+namespace
+{
+
+/** splitmix64, used only to expand the seed into the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    requireInvariant(bound != 0, "nextBounded called with bound 0");
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    requireInvariant(lo <= hi, "nextRange with lo > hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGauss) {
+        haveGauss = false;
+        return cachedGauss;
+    }
+    double u1;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    double u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    cachedGauss = r * std::sin(theta);
+    haveGauss = true;
+    return r * std::cos(theta);
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double skew)
+{
+    requireInvariant(n > 0, "nextZipf with n == 0");
+    if (skew <= 0.0)
+        return nextBounded(n);
+
+    // Rejection-inversion after Hormann & Derflinger. H is the integral
+    // of the (shifted) Zipf density; Hinv its inverse.
+    const double s_exp = skew;
+    auto H = [s_exp](double x) {
+        if (s_exp == 1.0)
+            return std::log(x);
+        return (std::pow(x, 1.0 - s_exp) - 1.0) / (1.0 - s_exp);
+    };
+    auto Hinv = [s_exp](double x) {
+        if (s_exp == 1.0)
+            return std::exp(x);
+        return std::pow(1.0 + x * (1.0 - s_exp), 1.0 / (1.0 - s_exp));
+    };
+
+    if (zipfN != n || zipfS != skew) {
+        zipfN = n;
+        zipfS = skew;
+        zipfHx0 = H(0.5) - 1.0;
+        zipfHn = H(static_cast<double>(n) + 0.5);
+        zipfDenom = zipfHn - zipfHx0;
+    }
+
+    for (;;) {
+        double u = zipfHx0 + nextDouble() * zipfDenom;
+        double x = Hinv(u);
+        auto k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        double kd = static_cast<double>(k);
+        if (u >= H(kd + 0.5) - std::pow(kd, -s_exp))
+            return k - 1;
+    }
+}
+
+} // namespace memsense

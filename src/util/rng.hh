@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All stochastic behaviour in memsense flows through Rng so that a
+ * (workload, seed) pair fully determines the generated micro-op stream
+ * and therefore every simulation result. The generator is xoshiro256**,
+ * which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef MEMSENSE_UTIL_RNG_HH
+#define MEMSENSE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace memsense
+{
+
+/** Deterministic pseudo-random number source (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool chance(double p);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /**
+     * Zipf-distributed rank in [0, n) with skew @p s.
+     *
+     * Uses rejection-inversion (Hormann/Derflinger), suitable for large n.
+     * s = 0 degenerates to uniform.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Fisher-Yates shuffle of @p v. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s[4];
+    bool haveGauss = false;
+    double cachedGauss = 0.0;
+
+    // Cached parameters for the Zipf sampler, recomputed when (n, s)
+    // changes between calls.
+    std::uint64_t zipfN = 0;
+    double zipfS = -1.0;
+    double zipfHx0 = 0.0;
+    double zipfHn = 0.0;
+    double zipfDenom = 1.0;
+};
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_RNG_HH

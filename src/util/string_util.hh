@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string formatting helpers shared by the table/CSV writers and
+ * the command line tools.
+ */
+
+#ifndef MEMSENSE_UTIL_STRING_UTIL_HH
+#define MEMSENSE_UTIL_STRING_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace memsense
+{
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format @p value with @p decimals digits after the point. */
+std::string formatDouble(double value, int decimals = 3);
+
+/** Format as a percentage ("42.0%") with @p decimals digits. */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Lower-case ASCII copy of @p text. */
+std::string toLower(std::string text);
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_STRING_UTIL_HH

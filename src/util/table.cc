@@ -1,0 +1,76 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace memsense
+{
+
+Table::Table(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+    requireConfig(!headers.empty(), "table must have at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    requireConfig(cells.size() == headers.size(),
+                  "row has " + std::to_string(cells.size()) +
+                      " cells, table has " + std::to_string(headers.size()) +
+                      " columns");
+    rows.push_back(std::move(cells));
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t col) const
+{
+    requireInvariant(row < rows.size() && col < headers.size(),
+                     "table cell out of range");
+    return rows[row][col];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size()) {
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    if (!_title.empty())
+        os << _title << '\n';
+    print_row(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        print_row(row);
+    if (!_footnote.empty())
+        os << _footnote << '\n';
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace memsense

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Console table writer used by the bench harnesses to print paper-style
+ * tables (aligned columns, optional title and footnote).
+ */
+
+#ifndef MEMSENSE_UTIL_TABLE_HH
+#define MEMSENSE_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memsense
+{
+
+/**
+ * An aligned, plain-text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Workload", "CPI_cache", "BF"});
+ *   t.addRow({"Spark", "0.90", "0.25"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title) { _title = std::move(title); }
+
+    /** Optional footnote printed below the table. */
+    void setFootnote(std::string note) { _footnote = std::move(note); }
+
+    /**
+     * Append a row; must have exactly as many cells as there are
+     * headers.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Cell accessor (row-major), for tests. */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+    /** Render to @p os with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (same format as print()). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    std::string _title;
+    std::string _footnote;
+};
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_TABLE_HH

@@ -1,0 +1,63 @@
+#include "util/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hh"
+
+namespace memsense
+{
+
+Picos
+nsToPicos(double ns)
+{
+    requireConfig(ns >= 0.0, "time must be non-negative");
+    return static_cast<Picos>(std::llround(ns * kPicosPerNano));
+}
+
+double
+picosToNs(Picos ps)
+{
+    return static_cast<double>(ps) / kPicosPerNano;
+}
+
+Clock::Clock(double ghz)
+    : _ghz(ghz)
+{
+    requireConfig(ghz > 0.0 && ghz <= 100.0,
+                  "clock frequency must be in (0, 100] GHz");
+    _periodPs = static_cast<Picos>(std::llround(1000.0 / ghz));
+    requireConfig(_periodPs > 0, "clock period rounds to zero picoseconds");
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+    int idx = 0;
+    while (bytes >= 1000.0 && idx < 4) {
+        bytes /= 1000.0;
+        ++idx;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_sec / kBytesPerGB);
+    return buf;
+}
+
+std::string
+formatNs(Picos ps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f ns", picosToNs(ps));
+    return buf;
+}
+
+} // namespace memsense

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Strongly-named unit helpers used throughout memsense.
+ *
+ * Simulated time is kept in integer picoseconds (Picos) so that mixed
+ * core/DDR clock domains never accumulate floating point drift. Rates
+ * (frequency, bandwidth) are doubles since they only appear in model
+ * arithmetic, not in event ordering.
+ */
+
+#ifndef MEMSENSE_UTIL_UNITS_HH
+#define MEMSENSE_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace memsense
+{
+
+/** Simulated time in picoseconds. */
+using Picos = std::uint64_t;
+
+/** A count of core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Picoseconds per nanosecond. */
+constexpr Picos kPicosPerNano = 1000;
+
+/** Convert nanoseconds (may be fractional) to picoseconds, rounding. */
+Picos nsToPicos(double ns);
+
+/** Convert picoseconds to (fractional) nanoseconds. */
+double picosToNs(Picos ps);
+
+/** Bytes in one gigabyte (decimal, as used for bandwidth). */
+constexpr double kBytesPerGB = 1e9;
+
+/**
+ * A core or memory clock.
+ *
+ * Wraps a frequency in GHz and provides exact cycle<->picosecond
+ * conversion with a precomputed integer period.
+ */
+class Clock
+{
+  public:
+    /** Construct a clock running at @p ghz gigahertz. */
+    explicit Clock(double ghz);
+
+    /** Frequency in GHz. */
+    double ghz() const { return _ghz; }
+
+    /** Frequency in cycles per second. */
+    double hz() const { return _ghz * 1e9; }
+
+    /** Clock period in picoseconds (rounded to nearest integer ps). */
+    Picos periodPs() const { return _periodPs; }
+
+    /** Convert a cycle count to picoseconds. */
+    Picos toPicos(Cycles cycles) const { return cycles * _periodPs; }
+
+    /** Convert picoseconds to whole elapsed cycles (floor). */
+    Cycles toCycles(Picos ps) const { return ps / _periodPs; }
+
+    /** Convert picoseconds to fractional cycles. */
+    double toCyclesExact(Picos ps) const
+    {
+        return static_cast<double>(ps) / static_cast<double>(_periodPs);
+    }
+
+  private:
+    double _ghz;
+    Picos _periodPs;
+};
+
+/** Format a byte count as a human-readable string ("1.5 GB"). */
+std::string formatBytes(double bytes);
+
+/** Format a bandwidth in bytes/second as "NN.N GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Format picoseconds as "NN.N ns". */
+std::string formatNs(Picos ps);
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_UNITS_HH

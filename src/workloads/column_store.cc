@@ -1,0 +1,46 @@
+#include "workloads/column_store.hh"
+
+namespace memsense::workloads
+{
+
+ColumnStoreWorkload::ColumnStoreWorkload(const ColumnStoreConfig &config)
+    : Workload("column_store", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    column = arena.allocate("column", cfg.columnBytes);
+    dictionary = arena.allocate("dictionary", cfg.dictionaryBytes);
+    aggTable = arena.allocate("agg_table", cfg.aggTableBytes);
+}
+
+bool
+ColumnStoreWorkload::generateBatch()
+{
+    // One batch processes one 64 B line of packed column values.
+    const sim::Addr line_base = column.lineAddr(scanLine);
+    scanLine = (scanLine + 1) % column.lines();
+
+    for (std::uint32_t v = 0; v < kValuesPerLine; ++v) {
+        pushLoad(line_base + v * 4, false, kScanStream);
+        pushCompute(cfg.decodeInstrPerValue);
+        pushBubble(cfg.decodeBubblePerValue);
+
+        if (rng.chance(cfg.dictProbePerValue)) {
+            // Dictionary probe: data-dependent lookup of an infrequent
+            // code; skewed so hot entries stay LLC resident.
+            std::uint64_t entry =
+                rng.nextZipf(dictionary.lines(), cfg.dictZipf);
+            pushLoad(dictionary.lineAddr(entry), true, 0);
+            pushCompute(4);
+        }
+        if (rng.chance(cfg.aggStorePerValue)) {
+            // Group-by bucket update: read-modify-write of a random
+            // bucket in a table larger than the LLC.
+            std::uint64_t bucket = rng.nextBounded(aggTable.lines());
+            pushStore(aggTable.lineAddr(bucket));
+            pushCompute(6);
+        }
+    }
+    return true;
+}
+
+} // namespace memsense::workloads

@@ -1,0 +1,179 @@
+#include "workloads/factory.hh"
+
+#include "model/paper_data.hh"
+#include "util/error.hh"
+#include "workloads/column_store.hh"
+#include "workloads/hpc.hh"
+#include "workloads/jvm.hh"
+#include "workloads/nits.hh"
+#include "workloads/oltp.hh"
+#include "workloads/proximity.hh"
+#include "workloads/spark.hh"
+#include "workloads/virtualization.hh"
+#include "workloads/webcache.hh"
+
+namespace memsense::workloads
+{
+
+namespace
+{
+
+/** Per-core arena stride: 4 TB keeps any two cores' regions apart. */
+constexpr sim::Addr kCoreArenaStride = sim::Addr{1} << 42;
+/** Workload arenas start above the I/O injector's region. */
+constexpr sim::Addr kArenaBase = sim::Addr{1} << 44;
+
+sim::Addr
+coreArena(int core_idx)
+{
+    return kArenaBase +
+           static_cast<sim::Addr>(core_idx) * kCoreArenaStride;
+}
+
+model::WorkloadParams
+findTarget(const std::string &display)
+{
+    for (const auto &p : model::paper::allWorkloadParams()) {
+        if (p.name == display)
+            return p;
+    }
+    throw LogicError("no paper target named " + display);
+}
+
+WorkloadInfo
+entry(const std::string &id, const std::string &display,
+      model::WorkloadClass cls, int cores, double io_bytes_per_sec = 0.0,
+      double io_read_fraction = 0.5)
+{
+    WorkloadInfo info;
+    info.id = id;
+    info.display = display;
+    info.cls = cls;
+    info.paperTarget = findTarget(display);
+    info.characterizationCores = cores;
+    info.io.bytesPerSecond = io_bytes_per_sec;
+    info.io.readFraction = io_read_fraction;
+    return info;
+}
+
+std::vector<WorkloadInfo>
+buildCatalog()
+{
+    using model::WorkloadClass;
+    std::vector<WorkloadInfo> cat;
+    cat.push_back(entry("column_store", "Structured Data",
+                        WorkloadClass::BigData, 4));
+    // NITS drove >2 GB/s from the SSD RAID (paper Sec. V.D).
+    cat.push_back(entry("nits", "NITS", WorkloadClass::BigData, 4,
+                        2.2e9, 0.85));
+    cat.push_back(entry("proximity", "Proximity",
+                        WorkloadClass::BigData, 4));
+    cat.push_back(entry("spark", "Spark", WorkloadClass::BigData, 4));
+    // OLTP runs with 56 SSDs at moderate I/O rates (Sec. V.J).
+    cat.push_back(entry("oltp", "OLTP", WorkloadClass::Enterprise, 4,
+                        0.6e9, 0.6));
+    cat.push_back(entry("jvm", "JVM", WorkloadClass::Enterprise, 4));
+    cat.push_back(entry("virtualization", "Virtualization",
+                        WorkloadClass::Enterprise, 4));
+    cat.push_back(entry("web_caching", "Web Caching",
+                        WorkloadClass::Enterprise, 4));
+    // SPECfp rate components used three cores per socket (Sec. V.N).
+    cat.push_back(entry("bwaves", "bwaves", WorkloadClass::Hpc, 3));
+    cat.push_back(entry("milc", "milc", WorkloadClass::Hpc, 3));
+    cat.push_back(entry("soplex", "soplex", WorkloadClass::Hpc, 3));
+    cat.push_back(entry("wrf", "wrf", WorkloadClass::Hpc, 3));
+    return cat;
+}
+
+} // anonymous namespace
+
+const std::vector<WorkloadInfo> &
+workloadCatalog()
+{
+    static const std::vector<WorkloadInfo> catalog = buildCatalog();
+    return catalog;
+}
+
+const WorkloadInfo &
+workloadInfo(const std::string &id)
+{
+    for (const auto &info : workloadCatalog()) {
+        if (info.id == id)
+            return info;
+    }
+    throw ConfigError("unknown workload id: " + id);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &id, int core_idx, std::uint64_t seed)
+{
+    requireConfig(core_idx >= 0, "core index must be non-negative");
+    const sim::Addr arena = coreArena(core_idx);
+    const std::uint64_t s =
+        seed * 1000003 + static_cast<std::uint64_t>(core_idx) + 1;
+
+    if (id == "column_store") {
+        ColumnStoreConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<ColumnStoreWorkload>(c);
+    }
+    if (id == "nits") {
+        NitsConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<NitsWorkload>(c);
+    }
+    if (id == "proximity") {
+        ProximityConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<ProximityWorkload>(c);
+    }
+    if (id == "spark") {
+        SparkConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<SparkWorkload>(c);
+    }
+    if (id == "oltp") {
+        OltpConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<OltpWorkload>(c);
+    }
+    if (id == "jvm") {
+        JvmConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<JvmWorkload>(c);
+    }
+    if (id == "virtualization") {
+        VirtualizationConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<VirtualizationWorkload>(c);
+    }
+    if (id == "web_caching") {
+        WebCacheConfig c;
+        c.seed = s;
+        c.arenaBase = arena;
+        return std::make_unique<WebCacheWorkload>(c);
+    }
+    if (id == "bwaves" || id == "milc" || id == "soplex" || id == "wrf") {
+        HpcKernelConfig c;
+        if (id == "bwaves")
+            c = bwavesConfig(s);
+        else if (id == "milc")
+            c = milcConfig(s);
+        else if (id == "soplex")
+            c = soplexConfig(s);
+        else
+            c = wrfConfig(s);
+        c.arenaBase = arena;
+        return std::make_unique<HpcKernelWorkload>(c);
+    }
+    throw ConfigError("unknown workload id: " + id);
+}
+
+} // namespace memsense::workloads

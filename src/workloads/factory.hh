@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload catalog and factory.
+ *
+ * The catalog lists the paper's twelve workloads with their class
+ * labels, published (or inferred) parameter targets, machine-level
+ * I/O configuration, and the core count the paper used for the
+ * frequency-scaling characterization (HPC components ran three cores
+ * per socket; the rest used more). The factory builds per-core
+ * generator instances with disjoint address arenas.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_FACTORY_HH
+#define MEMSENSE_WORKLOADS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+#include "sim/io.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Catalog entry for one workload. */
+struct WorkloadInfo
+{
+    std::string id;       ///< factory key ("column_store", ...)
+    std::string display;  ///< paper name ("Structured Data", ...)
+    model::WorkloadClass cls = model::WorkloadClass::BigData;
+    model::WorkloadParams paperTarget; ///< published/inferred values
+    sim::IoConfig io;     ///< DMA stream (rate 0 when none)
+    int characterizationCores = 4; ///< cores for scaling runs
+};
+
+/** All twelve workloads in paper order (big data, enterprise, HPC). */
+const std::vector<WorkloadInfo> &workloadCatalog();
+
+/** Catalog lookup; throws ConfigError for unknown ids. */
+const WorkloadInfo &workloadInfo(const std::string &id);
+
+/**
+ * Build the generator for @p id on core @p core_idx.
+ *
+ * Each core receives a disjoint virtual arena so per-core footprints
+ * match the paper's rate-style / partitioned execution.
+ *
+ * @param id       catalog id
+ * @param core_idx core the stream will be bound to
+ * @param seed     run seed (combined with the core index)
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &id, int core_idx,
+                                       std::uint64_t seed);
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_FACTORY_HH

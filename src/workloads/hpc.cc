@@ -1,0 +1,129 @@
+#include "workloads/hpc.hh"
+
+#include "util/string_util.hh"
+
+namespace memsense::workloads
+{
+
+HpcKernelWorkload::HpcKernelWorkload(const HpcKernelConfig &config)
+    : Workload(config.kernelName, config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    for (std::uint32_t s = 0; s < cfg.readStreams; ++s) {
+        readRegions.push_back(
+            arena.allocate(strformat("in%u", s), cfg.streamBytes));
+    }
+    for (std::uint32_t s = 0; s < cfg.writeStreams; ++s) {
+        writeRegions.push_back(
+            arena.allocate(strformat("out%u", s), cfg.streamBytes));
+    }
+    if (cfg.gatherPerLine > 0.0)
+        gatherRegion = arena.allocate("gather", cfg.gatherBytes);
+}
+
+bool
+HpcKernelWorkload::generateBatch()
+{
+    // One batch consumes one line position from every stream.
+    const std::uint64_t stream_lines =
+        readRegions.front().lines() / cfg.strideLines;
+    const std::uint64_t line = (cursor % stream_lines) * cfg.strideLines;
+    ++cursor;
+
+    std::uint16_t stream_id = kFirstStream;
+    for (const Region &r : readRegions) {
+        pushLoad(r.lineAddr(line % r.lines()), false, stream_id++);
+        pushCompute(cfg.instrPerLine / (cfg.readStreams + 1));
+    }
+
+    if (cfg.gatherPerLine > 0.0) {
+        double g = cfg.gatherPerLine;
+        while (g > 0.0) {
+            if (g >= 1.0 || rng.chance(g)) {
+                std::uint64_t target =
+                    rng.nextBounded(gatherRegion.lines());
+                bool dep = rng.chance(cfg.gatherDependentFraction);
+                pushLoad(gatherRegion.lineAddr(target), dep, 0);
+                pushCompute(6);
+            }
+            g -= 1.0;
+        }
+    }
+
+    for (const Region &r : writeRegions) {
+        pushStore(r.lineAddr(line % r.lines()), stream_id++);
+        pushCompute(cfg.instrPerLine / (cfg.readStreams + 1));
+    }
+
+    pushBubble(cfg.loopBubblePerLine);
+    return true;
+}
+
+HpcKernelConfig
+bwavesConfig(std::uint64_t seed)
+{
+    HpcKernelConfig c;
+    c.kernelName = "bwaves";
+    c.seed = seed;
+    c.readStreams = 3;
+    c.writeStreams = 1;
+    c.strideLines = 1;
+    c.instrPerLine = 130;
+    c.loopBubblePerLine = 40;
+    // Small boundary-condition gathers give bwaves its residual
+    // latency sensitivity (paper BF 0.04).
+    c.gatherPerLine = 0.18;
+    c.gatherDependentFraction = 1.0;
+    return c;
+}
+
+HpcKernelConfig
+milcConfig(std::uint64_t seed)
+{
+    HpcKernelConfig c;
+    c.kernelName = "milc";
+    c.seed = seed;
+    c.readStreams = 3;
+    c.writeStreams = 1;
+    c.strideLines = 2; // lattice sub-plane access
+    c.writeStreams = 2;
+    c.instrPerLine = 180;
+    c.loopBubblePerLine = 95;
+    c.gatherPerLine = 0.80; // SU(3) link indirection
+    c.gatherDependentFraction = 1.0;
+    return c;
+}
+
+HpcKernelConfig
+soplexConfig(std::uint64_t seed)
+{
+    HpcKernelConfig c;
+    c.kernelName = "soplex";
+    c.seed = seed;
+    c.readStreams = 2; // row index + value arrays
+    c.writeStreams = 1;
+    c.strideLines = 1;
+    c.instrPerLine = 135;
+    c.loopBubblePerLine = 85;
+    c.gatherPerLine = 0.6; // sparse column gathers
+    c.gatherDependentFraction = 0.52;
+    return c;
+}
+
+HpcKernelConfig
+wrfConfig(std::uint64_t seed)
+{
+    HpcKernelConfig c;
+    c.kernelName = "wrf";
+    c.seed = seed;
+    c.readStreams = 4; // wide stencil
+    c.writeStreams = 1;
+    c.strideLines = 1;
+    c.instrPerLine = 210;
+    c.loopBubblePerLine = 118;
+    c.gatherPerLine = 0.27;
+    c.gatherDependentFraction = 1.0;
+    return c;
+}
+
+} // namespace memsense::workloads

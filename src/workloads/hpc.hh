@@ -1,0 +1,77 @@
+/**
+ * @file
+ * HPC proxy kernels (paper Sec. III.C): bwaves, milc, soplex, wrf from
+ * SPEC CPU2006 floating point, run rate-style (independent copies).
+ *
+ * All four share a streaming-kernel skeleton — several concurrent
+ * read streams, a write stream, and per-element floating point work —
+ * differentiated by stride, gather irregularity, and compute density.
+ * Regular strides make the stride prefetcher highly effective, which
+ * is exactly why the paper measures low HPC blocking factors; soplex's
+ * sparse gathers and milc's lattice indirection add the residual
+ * latency sensitivity that separates them from bwaves/wrf.
+ *
+ * Tuning targets (inferred Table 5, class mean 0.75/0.07/26.7/27%):
+ *   bwaves: CPI_cache 0.55, BF 0.04, MPKI 30.0, WBR 30%
+ *   milc:   CPI_cache 0.80, BF 0.10, MPKI 28.0, WBR 35%
+ *   soplex: CPI_cache 0.85, BF 0.09, MPKI 25.0, WBR 25%
+ *   wrf:    CPI_cache 0.80, BF 0.05, MPKI 23.8, WBR 18%
+ */
+
+#ifndef MEMSENSE_WORKLOADS_HPC_HH
+#define MEMSENSE_WORKLOADS_HPC_HH
+
+#include <vector>
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Parameterization of one streaming HPC kernel. */
+struct HpcKernelConfig
+{
+    std::string kernelName = "bwaves";
+    std::uint64_t seed = 9;
+    std::uint32_t readStreams = 3;      ///< concurrent input arrays
+    std::uint32_t writeStreams = 1;     ///< output arrays
+    std::uint64_t streamBytes = 512ULL << 20; ///< per-array footprint
+    std::uint32_t strideLines = 1;      ///< stream stride in lines
+    std::uint32_t instrPerLine = 90;    ///< FP work per line consumed
+    std::uint32_t loopBubblePerLine = 10; ///< loop/addr-gen overhead
+    double gatherPerLine = 0.0;         ///< irregular gathers per line
+    double gatherDependentFraction = 0.5; ///< serialized gathers
+    std::uint64_t gatherBytes = 512ULL << 20; ///< gather target region
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{8} << 42);
+};
+
+/** Streaming stencil/gather kernel generator. */
+class HpcKernelWorkload : public Workload
+{
+  public:
+    explicit HpcKernelWorkload(const HpcKernelConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    HpcKernelConfig cfg;
+    std::vector<Region> readRegions;
+    std::vector<Region> writeRegions;
+    Region gatherRegion;
+    std::uint64_t cursor = 0; ///< logical line position in the sweep
+
+    static constexpr std::uint16_t kFirstStream = 16;
+};
+
+/** @{ Preset configurations for the paper's four components. */
+HpcKernelConfig bwavesConfig(std::uint64_t seed);
+HpcKernelConfig milcConfig(std::uint64_t seed);
+HpcKernelConfig soplexConfig(std::uint64_t seed);
+HpcKernelConfig wrfConfig(std::uint64_t seed);
+/** @} */
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_HPC_HH

@@ -1,0 +1,58 @@
+#include "workloads/jvm.hh"
+
+namespace memsense::workloads
+{
+
+JvmWorkload::JvmWorkload(const JvmConfig &config)
+    : Workload("jvm", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    heap = arena.allocate("heap", cfg.heapBytes);
+    youngGen = arena.allocate("young_gen", cfg.youngGenBytes);
+}
+
+void
+JvmWorkload::garbageCollect()
+{
+    // Mark: pointer chase across live objects.
+    for (std::uint32_t i = 0; i < cfg.gcMarkHops; ++i) {
+        std::uint64_t obj = rng.nextZipf(heap.lines(), cfg.heapZipf);
+        pushLoad(heap.lineAddr(obj), true, 0);
+        pushCompute(6);
+    }
+    // Copy: streaming evacuation of survivors.
+    for (std::uint32_t i = 0; i < cfg.gcCopyLines; ++i) {
+        pushLoad(youngGen.lineAddr(allocCursor), false, kGcStream);
+        std::uint64_t dst = rng.nextBounded(heap.lines());
+        pushStore(heap.lineAddr(dst));
+        allocCursor = (allocCursor + 1) % youngGen.lines();
+        pushCompute(10);
+    }
+}
+
+bool
+JvmWorkload::generateBatch()
+{
+    // One batch is one middle-tier request.
+    for (std::uint32_t d = 0; d < cfg.derefsPerRequest; ++d) {
+        std::uint64_t obj = rng.nextZipf(heap.lines(), cfg.heapZipf);
+        bool dep = rng.chance(cfg.dependentDerefFraction);
+        pushLoad(heap.lineAddr(obj), dep, 0);
+        pushCompute(cfg.instrPerRequest / cfg.derefsPerRequest);
+    }
+
+    // Bump-pointer allocation: sequential nursery stores.
+    for (std::uint32_t i = 0; i < cfg.allocLinesPerRequest; ++i) {
+        pushStore(youngGen.lineAddr(allocCursor), kAllocStream);
+        allocCursor = (allocCursor + 1) % youngGen.lines();
+        pushCompute(8);
+    }
+
+    pushBubble(cfg.vmBubblePerRequest);
+
+    if (++requestCount % cfg.requestsPerGc == 0)
+        garbageCollect();
+    return true;
+}
+
+} // namespace memsense::workloads

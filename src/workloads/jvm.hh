@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Java middle-tier workload (paper Sec. III.B.2, "JVM").
+ *
+ * Models SPECjbb-like XML/BigDecimal request processing on a managed
+ * runtime: object-graph walks with dependent dereferences over a heap
+ * larger than the LLC, bump-pointer allocation streaming stores into a
+ * rotating young generation, JIT/dispatch bubbles, and periodic
+ * stop-the-world-ish GC phases that mark (pointer chase) and copy
+ * (streams) — little I/O, modest capacity sensitivity.
+ *
+ * Tuning targets (inferred Table 4): CPI_cache 1.33, BF 0.34,
+ * MPKI 6.8, WBR 33%.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_JVM_HH
+#define MEMSENSE_WORKLOADS_JVM_HH
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Tuning knobs for the JVM generator. */
+struct JvmConfig
+{
+    std::uint64_t seed = 6;
+    std::uint64_t heapBytes = 2ULL << 30;     ///< tenured heap
+    std::uint64_t youngGenBytes = 512ULL << 20; ///< allocation nursery
+    std::uint32_t derefsPerRequest = 5;  ///< object-graph hops
+    double heapZipf = 0.75;              ///< hot-object skew
+    double dependentDerefFraction = 0.55;///< pointer-chase hops
+    std::uint32_t allocLinesPerRequest = 2; ///< nursery bump stores
+    std::uint32_t instrPerRequest = 1150; ///< XML/BigDecimal work
+    std::uint32_t vmBubblePerRequest = 1150; ///< dispatch/JIT stalls
+    std::uint32_t requestsPerGc = 600;   ///< GC cadence
+    std::uint32_t gcMarkHops = 220;      ///< dependent marking walk
+    std::uint32_t gcCopyLines = 380;     ///< evacuation streaming
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{5} << 42);
+};
+
+/** Managed-runtime request processing generator. */
+class JvmWorkload : public Workload
+{
+  public:
+    explicit JvmWorkload(const JvmConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    /** Emit one young-GC pause (mark + copy). */
+    void garbageCollect();
+
+    JvmConfig cfg;
+    Region heap;
+    Region youngGen;
+    std::uint64_t allocCursor = 0;
+    std::uint64_t requestCount = 0;
+
+    static constexpr std::uint16_t kAllocStream = 7;
+    static constexpr std::uint16_t kGcStream = 8;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_JVM_HH

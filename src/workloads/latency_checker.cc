@@ -1,0 +1,40 @@
+#include "workloads/latency_checker.hh"
+
+namespace memsense::workloads
+{
+
+LatencyCheckerWorkload::LatencyCheckerWorkload(
+    const LatencyCheckerConfig &config)
+    : Workload(config.role == MlcRole::LatencyProbe ? "mlc_probe"
+                                                    : "mlc_bwgen",
+               config.seed),
+      cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    region = arena.allocate("mlc_region", cfg.regionBytes);
+}
+
+bool
+LatencyCheckerWorkload::generateBatch()
+{
+    std::uint64_t line = rng.nextBounded(region.lines());
+    if (cfg.role == MlcRole::LatencyProbe) {
+        // Pointer chase: strictly one outstanding dependent load.
+        pushLoad(region.lineAddr(line), true, 0);
+        pushCompute(2); // pointer arithmetic
+        return true;
+    }
+
+    // Bandwidth generator: independent accesses; random addresses so
+    // the stride prefetcher cannot multiply the injected traffic.
+    if (rng.chance(cfg.readFraction))
+        pushLoad(region.lineAddr(line), false, 0);
+    else
+        pushNtStore(region.lineAddr(line));
+    pushCompute(1);
+    if (cfg.delayCycles > 0)
+        pushBubble(cfg.delayCycles);
+    return true;
+}
+
+} // namespace memsense::workloads

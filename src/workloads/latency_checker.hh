@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory Latency Checker clone (paper Sec. III.D and VI.C.1, Fig. 7).
+ *
+ * Reproduces Intel MLC's loaded-latency methodology on the simulator:
+ * bandwidth-generator streams issue independent memory traffic at a
+ * configurable injection rate and read/write mix, while a latency
+ * probe performs a dependent pointer chase through a large region.
+ * Sweeping the injection delay traces out (bandwidth utilization,
+ * loaded latency) points; subtracting the unloaded latency gives the
+ * queuing-delay curves the model composites.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_LATENCY_CHECKER_HH
+#define MEMSENSE_WORKLOADS_LATENCY_CHECKER_HH
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Roles an MLC agent can play. */
+enum class MlcRole
+{
+    LatencyProbe, ///< dependent pointer chase, one access at a time
+    BandwidthGen, ///< independent traffic at the injection rate
+};
+
+/** Tuning knobs for one MLC agent. */
+struct LatencyCheckerConfig
+{
+    MlcRole role = MlcRole::BandwidthGen;
+    std::uint64_t seed = 10;
+    std::uint64_t regionBytes = 1ULL << 30; ///< traffic target region
+    double readFraction = 1.0;   ///< generator read/write mix
+    std::uint32_t delayCycles = 0; ///< injected delay between accesses
+    /** Distinct arenas keep probe and generator traffic apart. */
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{9} << 42);
+};
+
+/** One MLC agent (bind one per core). */
+class LatencyCheckerWorkload : public Workload
+{
+  public:
+    explicit LatencyCheckerWorkload(const LatencyCheckerConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    LatencyCheckerConfig cfg;
+    Region region;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_LATENCY_CHECKER_HH

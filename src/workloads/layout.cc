@@ -1,0 +1,39 @@
+#include "workloads/layout.hh"
+
+#include "util/error.hh"
+
+namespace memsense::workloads
+{
+
+sim::Addr
+Region::at(std::uint64_t offset) const
+{
+    requireInvariant(offset < bytes, name + ": offset out of region");
+    return base + offset;
+}
+
+sim::Addr
+Region::lineAddr(std::uint64_t idx) const
+{
+    requireInvariant(idx < lines(), name + ": line index out of region");
+    return base + idx * 64;
+}
+
+AddressSpace::AddressSpace(sim::Addr base)
+    : cursor(base)
+{
+}
+
+Region
+AddressSpace::allocate(const std::string &name, std::uint64_t bytes)
+{
+    requireConfig(bytes > 0, name + ": empty region");
+    constexpr std::uint64_t kAlign = 2ULL * 1024 * 1024;
+    std::uint64_t rounded = (bytes + kAlign - 1) / kAlign * kAlign;
+    Region r{name, cursor, rounded};
+    cursor += rounded;
+    allocated.push_back(r);
+    return r;
+}
+
+} // namespace memsense::workloads

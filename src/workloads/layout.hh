@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Virtual address-space layout for synthetic workloads.
+ *
+ * Workload generators operate on virtual addresses that are never
+ * backed by host memory — the simulator only keeps cache tags. The
+ * AddressSpace allocator hands out disjoint, page-aligned regions so
+ * that a workload's data structures (column segments, hash tables,
+ * heaps) occupy realistic, non-overlapping footprints.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_LAYOUT_HH
+#define MEMSENSE_WORKLOADS_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/microop.hh"
+
+namespace memsense::workloads
+{
+
+/** A contiguous virtual region. */
+struct Region
+{
+    std::string name;        ///< what lives here (diagnostics)
+    sim::Addr base = 0;      ///< starting byte address
+    std::uint64_t bytes = 0; ///< size
+
+    /** Number of cache lines covered. */
+    std::uint64_t lines() const { return bytes / 64; }
+
+    /** Byte address of @p offset into the region (bounds-checked). */
+    sim::Addr at(std::uint64_t offset) const;
+
+    /** Line-aligned address of line @p idx (bounds-checked). */
+    sim::Addr lineAddr(std::uint64_t idx) const;
+};
+
+/** Simple bump allocator over a big virtual arena. */
+class AddressSpace
+{
+  public:
+    /** @param base arena start (distinct per workload to avoid overlap
+     *              with the I/O injector's region) */
+    explicit AddressSpace(sim::Addr base = sim::Addr{1} << 44);
+
+    /** Allocate @p bytes (rounded up to 2 MB) under @p name. */
+    Region allocate(const std::string &name, std::uint64_t bytes);
+
+    /** All allocations so far. */
+    const std::vector<Region> &regions() const { return allocated; }
+
+  private:
+    sim::Addr cursor;
+    std::vector<Region> allocated;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_LAYOUT_HH

@@ -1,0 +1,48 @@
+#include "workloads/nits.hh"
+
+namespace memsense::workloads
+{
+
+NitsWorkload::NitsWorkload(const NitsConfig &config)
+    : Workload("nits", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    dataset = arena.allocate("dataset", cfg.datasetBytes);
+    filter = arena.allocate("bloom_filter", cfg.filterBytes);
+    results = arena.allocate("results", cfg.resultBytes);
+}
+
+bool
+NitsWorkload::generateBatch()
+{
+    // One batch scans one record (recordLines consecutive lines).
+    double fetches_this_batch = 0.0;
+    for (std::uint32_t l = 0; l < cfg.recordLines; ++l) {
+        pushLoad(dataset.lineAddr(scanLine), false, kScanStream);
+        scanLine = (scanLine + 1) % dataset.lines();
+        pushCompute(cfg.parseInstrPerLine);
+        pushBubble(cfg.systemBubblePerLine);
+        fetches_this_batch += 1.0;
+    }
+
+    if (rng.chance(cfg.filterProbePerRecord)) {
+        // Membership check: hash-addressed, data dependent.
+        std::uint64_t slot = rng.nextBounded(filter.lines());
+        pushLoad(filter.lineAddr(slot), true, 0);
+        pushCompute(8);
+        fetches_this_batch += 1.0;
+    }
+
+    // Result/index building with non-temporal stores; these do not
+    // fetch, so they push WBR above 100% of misses.
+    ntDebt += fetches_this_batch * cfg.ntStoresPerFetch;
+    while (ntDebt >= 1.0) {
+        pushNtStore(results.lineAddr(resultLine));
+        resultLine = (resultLine + 1) % results.lines();
+        pushCompute(2);
+        ntDebt -= 1.0;
+    }
+    return true;
+}
+
+} // namespace memsense::workloads

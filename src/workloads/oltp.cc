@@ -1,0 +1,59 @@
+#include "workloads/oltp.hh"
+
+namespace memsense::workloads
+{
+
+OltpWorkload::OltpWorkload(const OltpConfig &config)
+    : Workload("oltp", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    bufferPool = arena.allocate("buffer_pool", cfg.bufferPoolBytes);
+    innerNodes = arena.allocate("inner_nodes", cfg.innerNodeBytes);
+    log = arena.allocate("redo_log", cfg.logBytes);
+}
+
+bool
+OltpWorkload::generateBatch()
+{
+    // One batch is one transaction.
+    for (std::uint32_t l = 0; l < cfg.lookupsPerTxn; ++l) {
+        // Inner levels: dependent pointer walk through cache-resident
+        // nodes (cheap but serialized — raises CPI_cache).
+        for (std::uint32_t lvl = 0; lvl + 1 < cfg.treeLevels; ++lvl) {
+            std::uint64_t node = rng.nextBounded(innerNodes.lines());
+            pushLoad(innerNodes.lineAddr(node), true, 0);
+            pushCompute(10);
+        }
+        // Leaf page: random over the buffer pool, usually a miss.
+        bool dep = rng.chance(cfg.dependentAccessFraction);
+        std::uint64_t leaf = rng.nextBounded(bufferPool.lines());
+        pushLoad(bufferPool.lineAddr(leaf), dep, 0);
+        pushCompute(cfg.instrPerLookup);
+    }
+
+    for (std::uint32_t r = 0; r < cfg.rowsPerTxn; ++r) {
+        bool dep = rng.chance(cfg.dependentAccessFraction);
+        std::uint64_t row = rng.nextBounded(bufferPool.lines());
+        pushLoad(bufferPool.lineAddr(row), dep, 0);
+        pushCompute(60);
+    }
+
+    for (std::uint32_t u = 0; u < cfg.rowUpdatesPerTxn; ++u) {
+        std::uint64_t row = rng.nextBounded(bufferPool.lines());
+        pushStore(bufferPool.lineAddr(row));
+        pushCompute(30);
+    }
+
+    // Redo log append: sequential, prefetch-friendly stores.
+    for (std::uint32_t i = 0; i < cfg.logLinesPerTxn; ++i) {
+        pushStore(log.lineAddr(logCursor), kLogStream);
+        logCursor = (logCursor + 1) % log.lines();
+        pushCompute(12);
+    }
+
+    // Concurrency control, plan dispatch, branch-heavy txn logic.
+    pushBubble(cfg.lockBubblePerTxn);
+    return true;
+}
+
+} // namespace memsense::workloads

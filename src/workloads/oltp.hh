@@ -1,0 +1,65 @@
+/**
+ * @file
+ * OLTP (brokerage transaction processing) workload (paper Sec. III.B.1).
+ *
+ * Models a client/server relational DBMS under a TPC-E-like mix:
+ * B+-tree index traversals whose upper levels stay cache resident
+ * (their dependent hits inflate CPI_cache) while leaf and row accesses
+ * are dependent random misses over a large buffer pool; concurrency
+ * control and query logic add heavy branch/bubble overhead; log
+ * appends stream sequential stores; a light DMA stream models the
+ * paper's moderate SSD I/O.
+ *
+ * Tuning targets (inferred Table 4): CPI_cache 1.55, BF 0.40,
+ * MPKI 7.0, WBR 30%.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_OLTP_HH
+#define MEMSENSE_WORKLOADS_OLTP_HH
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Tuning knobs for the OLTP generator. */
+struct OltpConfig
+{
+    std::uint64_t seed = 5;
+    std::uint64_t bufferPoolBytes = 4ULL << 30; ///< rows + leaf pages
+    std::uint64_t innerNodeBytes = 1536ULL << 10; ///< hot inner levels
+    std::uint64_t logBytes = 512ULL << 20;      ///< redo log
+    std::uint32_t treeLevels = 4;        ///< index depth (incl. leaf)
+    std::uint32_t lookupsPerTxn = 4;     ///< index probes per txn
+    std::uint32_t rowsPerTxn = 2;        ///< row accesses per txn
+    std::uint32_t rowUpdatesPerTxn = 2;  ///< dirtied rows per txn
+    std::uint32_t logLinesPerTxn = 2;    ///< sequential log appends
+    std::uint32_t instrPerLookup = 360;  ///< predicate + plan work
+    std::uint32_t lockBubblePerTxn = 2100; ///< latching/branch stalls
+    double dependentAccessFraction = 0.30; ///< truly serialized probes
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{4} << 42);
+};
+
+/** Transaction-processing generator. */
+class OltpWorkload : public Workload
+{
+  public:
+    explicit OltpWorkload(const OltpConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    OltpConfig cfg;
+    Region bufferPool;
+    Region innerNodes;
+    Region log;
+    std::uint64_t logCursor = 0;
+
+    static constexpr std::uint16_t kLogStream = 6;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_OLTP_HH

@@ -1,0 +1,51 @@
+#include "workloads/proximity.hh"
+
+namespace memsense::workloads
+{
+
+ProximityWorkload::ProximityWorkload(const ProximityConfig &config)
+    : Workload("proximity", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    dataset = arena.allocate("dataset", cfg.datasetBytes);
+    windowLines = cfg.windowBytes / 64;
+}
+
+bool
+ProximityWorkload::generateBatch()
+{
+    // One batch is one pruned query: touch a handful of lines inside
+    // the hot window, decompress, compare.
+    for (std::uint32_t i = 0; i < cfg.linesPerQuery; ++i) {
+        std::uint64_t line =
+            (windowStart + rng.nextBounded(windowLines)) %
+            dataset.lines();
+        bool write = rng.chance(cfg.dirtyFraction);
+        if (write)
+            pushStore(dataset.lineAddr(line), kWindowStream);
+        else
+            pushLoad(dataset.lineAddr(line), false, kWindowStream);
+        pushCompute(cfg.decompressInstrPerLine);
+        pushBubble(cfg.compareBubblePerLine);
+    }
+
+    // The proximity interval drifts slowly through the dataset.
+    slideDebt += cfg.windowSlidePerQuery;
+    while (slideDebt >= 1.0) {
+        windowStart = (windowStart + 1) % dataset.lines();
+        // Touch the newly exposed line (a genuine cold miss) and
+        // flush the finalized output line leaving the window.
+        std::uint64_t newest =
+            (windowStart + windowLines - 1) % dataset.lines();
+        pushLoad(dataset.lineAddr(newest), false, 0);
+        if (rng.chance(cfg.dirtyFraction)) {
+            std::uint64_t oldest =
+                (windowStart + dataset.lines() - 1) % dataset.lines();
+            pushNtStore(dataset.lineAddr(oldest));
+        }
+        slideDebt -= 1.0;
+    }
+    return true;
+}
+
+} // namespace memsense::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Proximity (dense) search workload (paper Sec. III.A.3).
+ *
+ * The proximity metric prunes the search space, so queries touch only
+ * a small, LLC-resident window of the dataset and spend their time
+ * decompressing and comparing — the workload is strongly core bound.
+ * The window slides slowly, producing the paper's order-of-magnitude
+ * lower MPKI; half of the slid-out lines are dirty (decompression
+ * output), giving a moderate WBR on a tiny miss base.
+ *
+ * Tuning targets (Table 2): CPI_cache 0.93, BF 0.03, MPKI 0.5,
+ * WBR 47%.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_PROXIMITY_HH
+#define MEMSENSE_WORKLOADS_PROXIMITY_HH
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Tuning knobs for the proximity search generator. */
+struct ProximityConfig
+{
+    std::uint64_t seed = 3;
+    std::uint64_t datasetBytes = 4ULL << 30; ///< full (mostly untouched)
+    std::uint64_t windowBytes = 1536ULL << 10; ///< hot search window
+    std::uint32_t linesPerQuery = 8;     ///< window lines per query
+    std::uint32_t decompressInstrPerLine = 70; ///< heavy compute
+    std::uint32_t compareBubblePerLine = 52;   ///< branchy comparisons
+    double windowSlidePerQuery = 0.30;   ///< expected new lines/query
+    double dirtyFraction = 0.47;         ///< output lines made dirty
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{2} << 42);
+};
+
+/** Core-bound windowed search generator. */
+class ProximityWorkload : public Workload
+{
+  public:
+    explicit ProximityWorkload(const ProximityConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    ProximityConfig cfg;
+    Region dataset;
+    std::uint64_t windowLines;
+    std::uint64_t windowStart = 0; ///< line index of the hot window
+    double slideDebt = 0.0;
+
+    static constexpr std::uint16_t kWindowStream = 3;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_PROXIMITY_HH

@@ -1,0 +1,86 @@
+#include "workloads/spark.hh"
+
+namespace memsense::workloads
+{
+
+SparkWorkload::SparkWorkload(const SparkConfig &config)
+    : Workload("spark", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    edges = arena.allocate("edges", cfg.edgeBytes);
+    properties = arena.allocate("properties", cfg.propertyBytes);
+    accumulators = arena.allocate("accumulators", cfg.accumBytes);
+    shuffle = arena.allocate("shuffle", cfg.shuffleBytes);
+}
+
+void
+SparkWorkload::mapVertex()
+{
+    // Degree varies; a skewed graph has a heavy tail.
+    std::uint32_t degree = 1 + static_cast<std::uint32_t>(rng.nextZipf(
+                                   2ULL * cfg.meanDegree, 0.4));
+    for (std::uint32_t e = 0; e < degree; ++e) {
+        // Edge-list read: sequential CSR traversal; several 16 B edge
+        // entries share one line.
+        pushLoad(edges.lineAddr(edgeCursor), false, kEdgeStream);
+        if (++edgeSubCursor >= cfg.edgesPerLine) {
+            edgeSubCursor = 0;
+            edgeCursor = (edgeCursor + 1) % edges.lines();
+        }
+
+        // Neighbor property gather: popularity-skewed; object
+        // dereferencing makes a fraction truly dependent.
+        std::uint64_t prop =
+            rng.nextZipf(properties.lines(), cfg.propertyZipf);
+        bool dep = rng.chance(cfg.dependentGatherFraction);
+        pushLoad(properties.lineAddr(prop), dep, 0);
+
+        pushCompute(cfg.instrPerEdge);
+        pushBubble(cfg.jvmBubblePerEdge);
+    }
+
+    // Accumulator read-modify-writes.
+    double stores = cfg.accumStoresPerVertex;
+    while (stores > 0.0) {
+        if (stores >= 1.0 || rng.chance(stores)) {
+            std::uint64_t slot = rng.nextBounded(accumulators.lines());
+            pushStore(accumulators.lineAddr(slot));
+            pushCompute(8);
+        }
+        stores -= 1.0;
+    }
+}
+
+void
+SparkWorkload::shuffleVertex()
+{
+    // Bulk serialization into shuffle buffers: sequential writes plus
+    // serialization compute; lighter on gathers, so the phase's CPI
+    // profile differs visibly from the map phase (paper Fig. 2).
+    for (std::uint32_t i = 0; i < cfg.shuffleLinesPerVertex; ++i) {
+        pushStore(shuffle.lineAddr(shuffleCursor), kShuffleStream);
+        shuffleCursor = (shuffleCursor + 1) % shuffle.lines();
+        pushCompute(cfg.instrPerEdge);
+        pushBubble(cfg.jvmBubblePerEdge / 2);
+    }
+}
+
+bool
+SparkWorkload::generateBatch()
+{
+    if (inShufflePhase)
+        shuffleVertex();
+    else
+        mapVertex();
+
+    ++vertexCount;
+    if (vertexCount % cfg.verticesPerPhase == 0)
+        inShufflePhase = !inShufflePhase;
+
+    // Dynamic thread-level parallelism: scheduling gaps halt the core.
+    if (vertexCount % cfg.verticesPerTask == 0)
+        pushIdle(cfg.taskGapCycles);
+    return true;
+}
+
+} // namespace memsense::workloads

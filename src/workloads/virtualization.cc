@@ -1,0 +1,43 @@
+#include "workloads/virtualization.hh"
+
+#include "util/string_util.hh"
+
+namespace memsense::workloads
+{
+
+VirtualizationWorkload::VirtualizationWorkload(
+    const VirtualizationConfig &config)
+    : Workload("virtualization", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    guestRegions.reserve(cfg.guests);
+    for (std::uint32_t g = 0; g < cfg.guests; ++g) {
+        guestRegions.push_back(
+            arena.allocate(strformat("guest%u", g), cfg.guestBytes));
+    }
+}
+
+bool
+VirtualizationWorkload::generateBatch()
+{
+    // One batch is one hypervisor time slice of one guest.
+    const Region &guest = guestRegions[currentGuest];
+    for (std::uint32_t i = 0; i < cfg.accessesPerSlice; ++i) {
+        std::uint64_t line = rng.nextZipf(guest.lines(), cfg.guestZipf);
+        if (rng.chance(cfg.storeFraction)) {
+            pushStore(guest.lineAddr(line));
+        } else {
+            bool dep = rng.chance(cfg.dependentFraction);
+            pushLoad(guest.lineAddr(line), dep, 0);
+        }
+        pushCompute(cfg.instrPerAccess);
+        pushBubble(cfg.guestBubblePerAccess);
+    }
+
+    // World switch to the next guest.
+    pushBubble(cfg.vmExitBubble);
+    currentGuest = (currentGuest + 1) % cfg.guests;
+    return true;
+}
+
+} // namespace memsense::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Virtualized server-consolidation workload (paper Sec. III.B.3).
+ *
+ * Models a hypervisor time-slicing consolidated mail/app/web guests:
+ * each slice runs one guest's access profile (random dependent reads
+ * over that guest's footprint plus guest-specific store/compute mix),
+ * and slice boundaries pay VM-exit/entry bubbles and re-touch cold
+ * guest state. Cache interference between guests and the poor
+ * prefetchability of the mixed access streams give this profile the
+ * enterprise class's high blocking factor.
+ *
+ * Tuning targets (inferred Table 4): CPI_cache 1.40, BF 0.44,
+ * MPKI 7.6, WBR 25%.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_VIRTUALIZATION_HH
+#define MEMSENSE_WORKLOADS_VIRTUALIZATION_HH
+
+#include <vector>
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Tuning knobs for the virtualization generator. */
+struct VirtualizationConfig
+{
+    std::uint64_t seed = 7;
+    std::uint32_t guests = 6;             ///< consolidated VMs
+    std::uint64_t guestBytes = 768ULL << 20; ///< per-guest footprint
+    std::uint32_t accessesPerSlice = 180; ///< memory ops per time slice
+    std::uint32_t instrPerAccess = 125;   ///< guest work per access
+    std::uint32_t guestBubblePerAccess = 96; ///< guest kernel stalls
+    std::uint32_t vmExitBubble = 9000;    ///< world-switch cost
+    double dependentFraction = 0.50;      ///< serialized guest loads
+    double storeFraction = 0.22;          ///< stores among accesses
+    double guestZipf = 0.50;              ///< per-guest access skew
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{6} << 42);
+};
+
+/** Hypervisor slice-round-robin generator. */
+class VirtualizationWorkload : public Workload
+{
+  public:
+    explicit VirtualizationWorkload(const VirtualizationConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    VirtualizationConfig cfg;
+    std::vector<Region> guestRegions;
+    std::uint32_t currentGuest = 0;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_VIRTUALIZATION_HH

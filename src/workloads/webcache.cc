@@ -1,0 +1,51 @@
+#include "workloads/webcache.hh"
+
+namespace memsense::workloads
+{
+
+WebCacheWorkload::WebCacheWorkload(const WebCacheConfig &config)
+    : Workload("web_caching", config.seed), cfg(config)
+{
+    AddressSpace arena(cfg.arenaBase);
+    slabs = arena.allocate("slabs", cfg.slabBytes);
+    buckets = arena.allocate("buckets", cfg.bucketBytes);
+}
+
+bool
+WebCacheWorkload::generateBatch()
+{
+    // One batch is one request (GET, occasionally SET).
+    pushCompute(cfg.instrPerGet / 2); // parse + key hash
+    pushBubble(cfg.stackBubblePerGet / 2);
+
+    // Bucket probe: hash-addressed, so independent of prior loads;
+    // collision-chain hops dereference the bucket and are dependent.
+    std::uint64_t bucket = rng.nextZipf(buckets.lines(), cfg.bucketZipf);
+    pushLoad(buckets.lineAddr(bucket), false, 0);
+    if (rng.chance(cfg.chainSecondHopFraction)) {
+        std::uint64_t next = rng.nextZipf(buckets.lines(), cfg.bucketZipf);
+        pushLoad(buckets.lineAddr(next), true, 0);
+    }
+
+    // Object access: 64 B objects randomly distributed (paper setup);
+    // the object pointer comes from the bucket, so this is dependent.
+    std::uint64_t obj = rng.nextBounded(slabs.lines());
+    if (rng.chance(cfg.setFraction))
+        pushStore(slabs.lineAddr(obj));
+    else
+        pushLoad(slabs.lineAddr(obj), true, 0);
+    // LRU recency update dirties the object's line.
+    if (rng.chance(cfg.lruUpdateFraction))
+        pushStore(slabs.lineAddr(obj));
+
+    pushCompute(cfg.instrPerGet - cfg.instrPerGet / 2); // respond
+    pushBubble(cfg.stackBubblePerGet - cfg.stackBubblePerGet / 2);
+
+    // Half the virtual processors were reserved for packet processing
+    // and not fully used: halt between request groups.
+    if (++requestCount % cfg.requestsPerIdle == 0)
+        pushIdle(cfg.idleCyclesPerGap);
+    return true;
+}
+
+} // namespace memsense::workloads

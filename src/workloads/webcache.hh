@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Web-tier caching workload (paper Sec. III.B.4, modified memcached).
+ *
+ * Models GET-dominated traffic against a memory-resident object store:
+ * key hashing (compute), a dependent hash-bucket probe and object read
+ * over a slab region far larger than the LLC (the paper used 64 B
+ * objects randomly distributed), LRU list maintenance stores, and
+ * network-stack bubble overhead. Only half the virtual processors run
+ * the application in the paper's configuration, so the generator halts
+ * ~half the time.
+ *
+ * Tuning targets (inferred Table 4): CPI_cache 1.60, BF 0.46,
+ * MPKI 5.4, WBR 20%, CPU util ~50%.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_WEBCACHE_HH
+#define MEMSENSE_WORKLOADS_WEBCACHE_HH
+
+#include "workloads/layout.hh"
+#include "workloads/workload.hh"
+
+namespace memsense::workloads
+{
+
+/** Tuning knobs for the web caching generator. */
+struct WebCacheConfig
+{
+    std::uint64_t seed = 8;
+    std::uint64_t slabBytes = 6ULL << 30;   ///< object store
+    std::uint64_t bucketBytes = 192ULL << 20; ///< hash bucket array
+    std::uint32_t instrPerGet = 420;     ///< parse + hash + respond
+    std::uint32_t stackBubblePerGet = 560; ///< network stack stalls
+    double chainSecondHopFraction = 0.30; ///< bucket collision chains
+    double bucketZipf = 0.60;            ///< hot-bucket skew
+    double lruUpdateFraction = 0.45;     ///< recency-list store per GET
+    double setFraction = 0.10;           ///< SETs among requests
+    std::uint32_t requestsPerIdle = 4;   ///< halting cadence
+    std::uint32_t idleCyclesPerGap = 3000; ///< idle poll gap
+    sim::Addr arenaBase = (sim::Addr{1} << 44) + (sim::Addr{7} << 42);
+};
+
+/** memcached-like GET/SET generator. */
+class WebCacheWorkload : public Workload
+{
+  public:
+    explicit WebCacheWorkload(const WebCacheConfig &cfg);
+
+  protected:
+    bool generateBatch() override;
+
+  private:
+    WebCacheConfig cfg;
+    Region slabs;
+    Region buckets;
+    std::uint64_t requestCount = 0;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_WEBCACHE_HH

@@ -1,0 +1,96 @@
+#include "workloads/workload.hh"
+
+#include "util/error.hh"
+
+namespace memsense::workloads
+{
+
+Workload::Workload(std::string name, std::uint64_t seed)
+    : rng(seed), _name(std::move(name))
+{
+}
+
+bool
+Workload::next(sim::MicroOp &op)
+{
+    while (pos >= buf.size()) {
+        if (ended)
+            return false;
+        buf.clear();
+        pos = 0;
+        if (!generateBatch()) {
+            ended = true;
+            if (buf.empty())
+                return false;
+        }
+        requireInvariant(ended || !buf.empty(),
+                         _name + ": generateBatch produced no ops");
+    }
+    op = buf[pos++];
+    return true;
+}
+
+void
+Workload::pushCompute(std::uint32_t instructions)
+{
+    if (instructions == 0)
+        return;
+    sim::MicroOp op;
+    op.kind = sim::OpKind::Compute;
+    op.count = instructions;
+    buf.push_back(op);
+}
+
+void
+Workload::pushBubble(std::uint32_t cycles)
+{
+    if (cycles == 0)
+        return;
+    sim::MicroOp op;
+    op.kind = sim::OpKind::Bubble;
+    op.count = cycles;
+    buf.push_back(op);
+}
+
+void
+Workload::pushIdle(std::uint32_t cycles)
+{
+    if (cycles == 0)
+        return;
+    sim::MicroOp op;
+    op.kind = sim::OpKind::Idle;
+    op.count = cycles;
+    buf.push_back(op);
+}
+
+void
+Workload::pushLoad(sim::Addr addr, bool dependent, std::uint16_t stream)
+{
+    sim::MicroOp op;
+    op.kind = sim::OpKind::Load;
+    op.addr = addr;
+    op.dependent = dependent;
+    op.stream = stream;
+    buf.push_back(op);
+}
+
+void
+Workload::pushStore(sim::Addr addr, std::uint16_t stream)
+{
+    sim::MicroOp op;
+    op.kind = sim::OpKind::Store;
+    op.addr = addr;
+    op.stream = stream;
+    buf.push_back(op);
+}
+
+void
+Workload::pushNtStore(sim::Addr addr)
+{
+    sim::MicroOp op;
+    op.kind = sim::OpKind::NtStore;
+    op.addr = addr;
+    buf.push_back(op);
+}
+
+} // namespace memsense::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Base class for synthetic workload generators.
+ *
+ * A Workload is an OpStream that produces micro-ops in batches: the
+ * subclass's generateBatch() emits one unit of work (a vector chunk, a
+ * transaction, a graph super-step) into the buffer, and next() drains
+ * it. All randomness flows through the protected Rng, so a (workload,
+ * seed) pair is fully deterministic.
+ */
+
+#ifndef MEMSENSE_WORKLOADS_WORKLOAD_HH
+#define MEMSENSE_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/microop.hh"
+#include "util/rng.hh"
+
+namespace memsense::workloads
+{
+
+/** Buffered op-stream base for generators. */
+class Workload : public sim::OpStream
+{
+  public:
+    /**
+     * @param name workload id for diagnostics
+     * @param seed determinism seed (vary per core)
+     */
+    Workload(std::string name, std::uint64_t seed);
+
+    /** Pop the next op, refilling from generateBatch() as needed. */
+    bool next(sim::MicroOp &op) final;
+
+    /** Workload id. */
+    const std::string &name() const { return _name; }
+
+  protected:
+    /**
+     * Emit one unit of work via the push helpers. Return false to end
+     * the stream (most workloads run forever and return true).
+     */
+    virtual bool generateBatch() = 0;
+
+    /** @{ Push helpers appending to the batch buffer. */
+    void pushCompute(std::uint32_t instructions);
+    void pushBubble(std::uint32_t cycles);
+    void pushIdle(std::uint32_t cycles);
+    void pushLoad(sim::Addr addr, bool dependent, std::uint16_t stream);
+    void pushStore(sim::Addr addr, std::uint16_t stream = 0);
+    void pushNtStore(sim::Addr addr);
+    /** @} */
+
+    Rng rng; ///< deterministic randomness for the generator
+
+  private:
+    std::string _name;
+    std::vector<sim::MicroOp> buf;
+    std::size_t pos = 0;
+    bool ended = false;
+};
+
+} // namespace memsense::workloads
+
+#endif // MEMSENSE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Calibration regression tests: every synthetic workload's fitted
+ * parameters must stay inside a tolerance band around its paper
+ * target (Tables 2/4/5). These are the contract between the workload
+ * generators and the reproduction benches — if a simulator or
+ * generator change drifts a workload out of band, this suite catches
+ * it before the benches silently stop matching the paper.
+ *
+ * Runs a reduced grid (3 core speeds x 1 memory speed, short windows)
+ * to keep ctest fast; the bands are wider than the full-grid
+ * calibration in bench/calibrate_workloads accordingly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/freq_scaling.hh"
+#include "util/log.hh"
+#include "workloads/factory.hh"
+
+namespace memsense
+{
+namespace
+{
+
+/** Relative tolerance bands for the reduced-grid fit. */
+struct Band
+{
+    double cpiCacheTol = 0.30; ///< relative
+    double bfAbsTol = 0.12;    ///< absolute (BF is small)
+    double mpkiTol = 0.35;     ///< relative
+    /** Spark's WBR sits ~0.15 under its paper target even on the
+     *  full grid (see EXPERIMENTS.md), so the band is generous. */
+    double wbrAbsTol = 0.30;   ///< absolute
+};
+
+class CalibrationBand : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static measure::FreqScalingConfig
+    reducedGrid()
+    {
+        measure::FreqScalingConfig cfg;
+        cfg.coreGhz = {2.1, 2.7, 3.1};
+        cfg.memMtPerSec = {1866.7};
+        cfg.warmup = nsToPicos(5'000'000.0);
+        cfg.measure = nsToPicos(700'000.0);
+        cfg.adaptiveWarmup = false;
+        return cfg;
+    }
+};
+
+TEST_P(CalibrationBand, FittedParamsWithinBand)
+{
+    setLogLevel(LogLevel::Warn);
+    const auto &info = workloads::workloadInfo(GetParam());
+    const auto &ref = info.paperTarget;
+    Band band;
+
+    measure::Characterization c =
+        measure::characterize(GetParam(), reducedGrid());
+    const auto &got = c.model.params;
+
+    EXPECT_NEAR(got.cpiCache, ref.cpiCache,
+                ref.cpiCache * band.cpiCacheTol)
+        << "CPI_cache drifted";
+    EXPECT_NEAR(got.bf, ref.bf, band.bfAbsTol) << "BF drifted";
+    EXPECT_NEAR(got.mpki, ref.mpki, ref.mpki * band.mpkiTol)
+        << "MPKI drifted";
+    EXPECT_NEAR(got.wbr, ref.wbr, band.wbrAbsTol) << "WBR drifted";
+}
+
+TEST_P(CalibrationBand, FitQualityHolds)
+{
+    setLogLevel(LogLevel::Warn);
+    measure::Characterization c =
+        measure::characterize(GetParam(), reducedGrid());
+    // Core-bound proximity legitimately fits poorly (paper Sec. V.E);
+    // everything else must fit well.
+    if (GetParam() != "proximity") {
+        EXPECT_GT(c.model.fit.r2, 0.85);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CalibrationBand,
+    ::testing::Values("column_store", "nits", "proximity", "spark",
+                      "oltp", "jvm", "virtualization", "web_caching",
+                      "bwaves", "milc", "soplex", "wrf"),
+    [](const auto &p) { return p.param; });
+
+} // anonymous namespace
+} // namespace memsense

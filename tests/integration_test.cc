@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end integration tests: the full paper pipeline on reduced
+ * configurations — simulate, measure, fit, validate (Table 3 style),
+ * classify, and cross-check the analytic model against direct
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/freq_scaling.hh"
+#include "model/classify.hh"
+#include "model/cpi_model.hh"
+#include "model/fitter.hh"
+#include "util/log.hh"
+
+namespace memsense
+{
+namespace
+{
+
+measure::FreqScalingConfig
+quickSweep()
+{
+    measure::FreqScalingConfig cfg;
+    cfg.coreGhz = {2.1, 2.7, 3.1};
+    cfg.memMtPerSec = {1333.3, 1866.7};
+    cfg.warmup = nsToPicos(4'000'000.0);
+    cfg.measure = nsToPicos(800'000.0);
+    cfg.adaptiveWarmup = false;
+    return cfg;
+}
+
+TEST(Integration, FittedModelPredictsHeldOutRuns)
+{
+    // The paper's Table 3 validation: fit on the grid, then the
+    // Eq. 1 prediction must match each measured CPI within a few
+    // percent.
+    setLogLevel(LogLevel::Warn);
+    measure::Characterization c =
+        measure::characterize("column_store", quickSweep());
+    auto errs = model::validationErrors(c.model, c.observations);
+    for (double e : errs)
+        EXPECT_LT(std::abs(e), 0.06);
+}
+
+TEST(Integration, FitQualityIsHighForMemoryBoundWorkloads)
+{
+    setLogLevel(LogLevel::Warn);
+    measure::Characterization c =
+        measure::characterize("column_store", quickSweep());
+    // Paper reports R^2 = 0.95 for the structured-data fit.
+    EXPECT_GT(c.model.fit.r2, 0.95);
+    EXPECT_GT(c.model.params.bf, 0.1);
+    EXPECT_LT(c.model.params.bf, 0.4);
+}
+
+TEST(Integration, CoreBoundWorkloadFitsFlat)
+{
+    // Proximity: near-zero slope and an R^2 that does not matter
+    // (paper Sec. V.E: "the poor correlation coefficient is not of
+    // concern in this case").
+    setLogLevel(LogLevel::Warn);
+    measure::Characterization c =
+        measure::characterize("proximity", quickSweep());
+    EXPECT_LT(c.model.params.bf, 0.10);
+    EXPECT_LT(c.model.params.mpki, 2.0);
+    // Its latency term is an order of magnitude below the memory-
+    // bound workloads' (BF * MPKI is the Eq. 1 slope driver).
+    EXPECT_LT(c.model.params.bf * c.model.params.mpki, 0.12);
+}
+
+TEST(Integration, MeasuredClassOrderingMatchesPaper)
+{
+    // Characterize one representative of each class on the simulator
+    // and confirm the Fig. 6 ordering without using any published
+    // numbers: enterprise BF > big data BF > HPC BF, and HPC MPKI
+    // dominates.
+    setLogLevel(LogLevel::Warn);
+    auto sweep = quickSweep();
+    auto ent = measure::characterize("oltp", sweep).model.params;
+    auto bd = measure::characterize("column_store", sweep).model.params;
+    auto hpc = measure::characterize("wrf", sweep).model.params;
+    EXPECT_GT(ent.bf, bd.bf);
+    EXPECT_GT(bd.bf, hpc.bf);
+    EXPECT_GT(hpc.mpki, 2.0 * bd.mpki);
+    EXPECT_GT(hpc.refsPerCycle(), bd.refsPerCycle());
+    EXPECT_GT(bd.refsPerCycle(), ent.refsPerCycle());
+}
+
+TEST(Integration, FittedParamsClassifyIntoPaperClusters)
+{
+    setLogLevel(LogLevel::Warn);
+    auto sweep = quickSweep();
+    std::vector<model::WorkloadParams> fitted;
+    for (const char *id :
+         {"column_store", "spark", "oltp", "web_caching", "bwaves",
+          "soplex"}) {
+        fitted.push_back(measure::characterize(id, sweep).model.params);
+    }
+    model::Classification cls = model::classify(fitted);
+    EXPECT_EQ(cls.means.size(), 3u);
+    EXPECT_GE(cls.clusterAgreement, 0.6);
+}
+
+TEST(Integration, ModelPredictsSimulatedFrequencyScaling)
+{
+    // Cross-validation: fit the model on a {core speed, memory speed}
+    // grid, then predict the CPI of a configuration OUTSIDE the
+    // training grid and compare against direct simulation.
+    setLogLevel(LogLevel::Warn);
+    measure::FreqScalingConfig train = quickSweep();
+    train.coreGhz = {2.1, 2.7};
+    measure::Characterization c =
+        measure::characterize("column_store", train);
+
+    measure::RunConfig held_out;
+    held_out.workloadId = "column_store";
+    held_out.cores = 4;
+    held_out.ghz = 3.1; // extrapolation beyond the training grid
+    held_out.warmup = train.warmup;
+    held_out.measure = train.measure;
+    held_out.adaptiveWarmup = false;
+    model::FitObservation o = measure::runObservation(held_out);
+
+    double predicted = c.model.predictCpi(o.latencyPerInstruction());
+    EXPECT_NEAR(predicted, o.cpiEff, o.cpiEff * 0.06);
+}
+
+TEST(Integration, PrefetcherAblationLowersBlockingFactor)
+{
+    // Paper Sec. VII: "an improved prefetching technique will
+    // increase memory-level parallelism and will lower the blocking
+    // factor." Run the same streaming workload with the prefetcher on
+    // and off.
+    setLogLevel(LogLevel::Warn);
+    measure::FreqScalingConfig cfg = quickSweep();
+    cfg.coreGhz = {2.1, 3.1};
+    measure::Characterization with_pf =
+        measure::characterize("bwaves", cfg);
+    cfg.prefetcherEnabled = false;
+    measure::Characterization without_pf =
+        measure::characterize("bwaves", cfg);
+    EXPECT_LT(with_pf.model.params.bf,
+              0.5 * without_pf.model.params.bf);
+}
+
+TEST(Integration, MlpAblationRaisesBlockingFactor)
+{
+    // Fewer MSHRs -> less overlap -> higher BF (BF ~ 1/MLP, Eq. 3).
+    setLogLevel(LogLevel::Warn);
+    measure::FreqScalingConfig cfg = quickSweep();
+    cfg.coreGhz = {2.1, 3.1};
+    cfg.mshrs = 10;
+    measure::Characterization wide =
+        measure::characterize("column_store", cfg);
+    cfg.mshrs = 1;
+    measure::Characterization narrow =
+        measure::characterize("column_store", cfg);
+    EXPECT_GT(narrow.model.params.bf, wide.model.params.bf * 1.3);
+}
+
+} // anonymous namespace
+} // namespace memsense

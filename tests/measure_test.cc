@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the measurement drivers: run harness, frequency-scaling
+ * characterization, time-series capture, and the loaded-latency
+ * sweep. Configurations are scaled down to keep ctest fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/freq_scaling.hh"
+#include "measure/loaded_latency.hh"
+#include "measure/timeseries.hh"
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace memsense::measure
+{
+namespace
+{
+
+class MeasureTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogLevel(LogLevel::Warn);
+    }
+
+    static RunConfig
+    quickRun(const std::string &id)
+    {
+        RunConfig rc;
+        rc.workloadId = id;
+        rc.cores = 2;
+        rc.warmup = nsToPicos(400'000.0);
+        rc.measure = nsToPicos(400'000.0);
+        rc.adaptiveWarmup = false;
+        return rc;
+    }
+};
+
+TEST_F(MeasureTest, RunObservationProducesSaneCounters)
+{
+    model::FitObservation o = runObservation(quickRun("column_store"));
+    EXPECT_GT(o.cpiEff, 0.5);
+    EXPECT_LT(o.cpiEff, 5.0);
+    EXPECT_GT(o.mpki, 1.0);
+    EXPECT_LT(o.mpki, 20.0);
+    EXPECT_GT(o.mpCycles, 100.0);
+    EXPECT_GT(o.instructions, 1e5);
+    EXPECT_NEAR(o.mpi * 1000.0, o.mpki, 1e-9);
+}
+
+TEST_F(MeasureTest, MissPenaltyInCoreCyclesScalesWithFrequency)
+{
+    // The fitting methodology's core lever (Sec. V.A): at a higher
+    // core frequency the same memory latency costs more cycles.
+    RunConfig slow = quickRun("column_store");
+    slow.ghz = 2.1;
+    RunConfig fast = quickRun("column_store");
+    fast.ghz = 3.1;
+    model::FitObservation a = runObservation(slow);
+    model::FitObservation b = runObservation(fast);
+    EXPECT_GT(b.mpCycles, a.mpCycles * 1.2);
+    // And the effective CPI rises with it.
+    EXPECT_GT(b.cpiEff, a.cpiEff);
+}
+
+TEST_F(MeasureTest, SlowerMemoryRaisesMissPenalty)
+{
+    RunConfig fast = quickRun("spark");
+    fast.memMtPerSec = 1866.7;
+    RunConfig slow = quickRun("spark");
+    slow.memMtPerSec = 1066.7;
+    model::FitObservation a = runObservation(fast);
+    model::FitObservation b = runObservation(slow);
+    EXPECT_GT(b.mpCycles, a.mpCycles);
+}
+
+TEST_F(MeasureTest, CharacterizationFitsPositiveModel)
+{
+    FreqScalingConfig cfg;
+    cfg.coreGhz = {2.1, 3.1};
+    cfg.memMtPerSec = {1333.3, 1866.7};
+    cfg.warmup = nsToPicos(1'000'000.0);
+    cfg.measure = nsToPicos(500'000.0);
+    cfg.adaptiveWarmup = false;
+    cfg.coresOverride = 2;
+    Characterization c = characterize("oltp", cfg);
+    ASSERT_EQ(c.observations.size(), 4u);
+    EXPECT_GT(c.model.params.cpiCache, 0.5);
+    EXPECT_GT(c.model.params.bf, 0.1);
+    EXPECT_LE(c.model.params.bf, 1.0);
+    EXPECT_GT(c.model.fit.r2, 0.7);
+    EXPECT_EQ(c.model.params.cls, model::WorkloadClass::Enterprise);
+}
+
+TEST_F(MeasureTest, CharacterizationValidation)
+{
+    FreqScalingConfig cfg;
+    cfg.coreGhz = {};
+    EXPECT_THROW(characterize("oltp", cfg), ConfigError);
+    cfg = FreqScalingConfig{};
+    cfg.runsPerPoint = 0;
+    EXPECT_THROW(characterize("oltp", cfg), ConfigError);
+}
+
+TEST_F(MeasureTest, TimeSeriesCapturesPerIntervalSamples)
+{
+    TimeSeriesConfig cfg;
+    cfg.run = quickRun("spark");
+    cfg.interval = nsToPicos(50'000.0);
+    cfg.samples = 12;
+    TimeSeries ts = captureTimeSeries(cfg);
+    ASSERT_EQ(ts.samples.size(), 12u);
+    for (const auto &s : ts.samples) {
+        EXPECT_GT(s.cpi, 0.3);
+        EXPECT_GE(s.cpuUtilization, 0.0);
+        EXPECT_LE(s.cpuUtilization, 1.0);
+        EXPECT_GE(s.bandwidthGBps, 0.0);
+    }
+    EXPECT_GT(ts.meanCpi(), 0.5);
+    EXPECT_GT(ts.meanBandwidthGBps(), 0.0);
+    // Spark has visible CPI variation (phases).
+    EXPECT_GT(ts.cpiCv(), 0.0);
+}
+
+TEST_F(MeasureTest, TimeSeriesShowsSparkIdleGaps)
+{
+    TimeSeriesConfig cfg;
+    cfg.run = quickRun("spark");
+    cfg.interval = nsToPicos(100'000.0);
+    cfg.samples = 8;
+    TimeSeries ts = captureTimeSeries(cfg);
+    EXPECT_LT(ts.meanCpuUtilization(), 0.97);
+}
+
+TEST_F(MeasureTest, LoadedLatencySweepShape)
+{
+    LoadedLatencySetup setup;
+    setup.cores = 4;
+    setup.delayCycles = {0, 64, 1024};
+    setup.warmup = nsToPicos(60'000.0);
+    setup.measure = nsToPicos(150'000.0);
+    LoadedLatencyCurve c = sweepLoadedLatency(setup);
+    ASSERT_EQ(c.points.size(), 3u);
+    // More delay, less bandwidth.
+    EXPECT_GT(c.points[0].bandwidthGBps, c.points[2].bandwidthGBps);
+    // More bandwidth, more latency.
+    EXPECT_GT(c.points[0].latencyNs, c.points[2].latencyNs);
+    // Unloaded latency lands near the platform's compulsory ~75 ns.
+    EXPECT_NEAR(c.unloadedNs, 75.0, 6.0);
+    auto samples = c.toQueuingSamples();
+    ASSERT_EQ(samples.size(), 3u);
+    for (const auto &s : samples) {
+        EXPECT_GE(s.x, 0.0);
+        EXPECT_LE(s.x, 1.0);
+        EXPECT_GE(s.y, 0.0);
+    }
+}
+
+TEST_F(MeasureTest, MeasuredQueuingModelIsUsable)
+{
+    LoadedLatencySetup setup;
+    setup.cores = 4;
+    setup.delayCycles = {0, 16, 64, 256, 1024};
+    setup.warmup = nsToPicos(60'000.0);
+    setup.measure = nsToPicos(120'000.0);
+    model::QueuingModel q = measureQueuingModel({setup}, 8);
+    EXPECT_TRUE(q.isMeasured());
+    EXPECT_GE(q.maxStableDelayNs(), q.delayNs(0.3));
+    EXPECT_GE(q.delayNs(0.9), 0.0);
+}
+
+TEST_F(MeasureTest, SweepValidation)
+{
+    LoadedLatencySetup setup;
+    setup.cores = 1; // no generators
+    EXPECT_THROW(sweepLoadedLatency(setup), ConfigError);
+    setup = LoadedLatencySetup{};
+    setup.delayCycles = {};
+    EXPECT_THROW(sweepLoadedLatency(setup), ConfigError);
+    EXPECT_THROW(measureQueuingModel({}), ConfigError);
+}
+
+TEST_F(MeasureTest, Fig7SetupsCoverSpeedAndMixGrid)
+{
+    auto setups = paperFig7Setups();
+    ASSERT_EQ(setups.size(), 4u);
+    int fast = 0;
+    int read_only = 0;
+    for (const auto &s : setups) {
+        if (s.memMtPerSec > 1800)
+            ++fast;
+        if (s.readFraction == 1.0)
+            ++read_only;
+    }
+    EXPECT_EQ(fast, 2);
+    EXPECT_EQ(read_only, 2);
+}
+
+} // anonymous namespace
+} // namespace memsense::measure

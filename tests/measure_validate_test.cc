@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the reusable validation driver (Table 3 generalized with
+ * hold-out support).
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/validate.hh"
+#include "util/error.hh"
+#include "util/log.hh"
+
+namespace memsense::measure
+{
+namespace
+{
+
+ValidationConfig
+quickConfig()
+{
+    ValidationConfig cfg;
+    cfg.sweep.coreGhz = {2.1, 2.4, 2.7, 3.1};
+    cfg.sweep.memMtPerSec = {1866.7};
+    cfg.sweep.warmup = nsToPicos(4'000'000.0);
+    cfg.sweep.measure = nsToPicos(700'000.0);
+    cfg.sweep.adaptiveWarmup = false;
+    cfg.sweep.coresOverride = 2;
+    return cfg;
+}
+
+TEST(Validate, TrainOnlyMatchesTable3Procedure)
+{
+    setLogLevel(LogLevel::Warn);
+    ValidationResult res = validateModel("column_store", quickConfig());
+    EXPECT_TRUE(res.testErrors.empty());
+    ASSERT_EQ(res.trainErrors.size(), 4u);
+    EXPECT_LT(res.worstTrainError, 0.05);
+    EXPECT_EQ(res.workloadId, "column_store");
+}
+
+TEST(Validate, HoldOutPredictsUnseenFrequency)
+{
+    setLogLevel(LogLevel::Warn);
+    ValidationConfig cfg = quickConfig();
+    cfg.holdOutGhz = {3.1};
+    ValidationResult res = validateModel("column_store", cfg);
+    ASSERT_EQ(res.trainErrors.size(), 3u);
+    ASSERT_EQ(res.testErrors.size(), 1u);
+    EXPECT_LT(res.worstTestError, 0.08);
+    EXPECT_GT(res.meanAbsTestError(), 0.0);
+}
+
+TEST(Validate, RefusesWhenTooFewTrainingPoints)
+{
+    setLogLevel(LogLevel::Warn);
+    ValidationConfig cfg = quickConfig();
+    cfg.holdOutGhz = {2.1, 2.4, 2.7};
+    EXPECT_THROW(validateModel("column_store", cfg), ConfigError);
+}
+
+TEST(Validate, EmptyTestErrorsMeanZero)
+{
+    ValidationResult res;
+    EXPECT_DOUBLE_EQ(res.meanAbsTestError(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace memsense::measure

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for Eq. 4 (bandwidth demand) and the memory/platform configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/bandwidth_model.hh"
+#include "model/memory_config.hh"
+#include "model/platform.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+WorkloadParams
+hpcMean()
+{
+    WorkloadParams p;
+    p.name = "HPC";
+    p.cpiCache = 0.75;
+    p.bf = 0.07;
+    p.mpki = 26.7;
+    p.wbr = 0.27;
+    return p;
+}
+
+TEST(Eq4, MatchesHandComputation)
+{
+    // BW = MPI*(1+WBR)*64 * CPS / CPI.
+    WorkloadParams p = hpcMean();
+    double bw = bandwidthDemandPerCore(p, 1.0, 2.7e9);
+    EXPECT_NEAR(bw, 0.0267 * 1.27 * 64.0 * 2.7e9, 1e6);
+}
+
+TEST(Eq4, HpcClassDemandExceedsBaselineSupply)
+{
+    // The paper's headline: the HPC class is bandwidth bound on the
+    // 4ch DDR3-1867 baseline (~42 GB/s effective).
+    WorkloadParams p = hpcMean();
+    Platform base = Platform::paperBaseline();
+    double cpi_latency_only =
+        p.cpiCache + p.mpi() * base.nsToCycles(75.0) * p.bf;
+    double total =
+        bandwidthDemandTotal(p, cpi_latency_only, base.cyclesPerSecond(),
+                             base.hardwareThreads());
+    EXPECT_GT(total, base.memory.effectiveBandwidth());
+}
+
+TEST(Eq4, ScalesInverselyWithCpi)
+{
+    WorkloadParams p = hpcMean();
+    double fast = bandwidthDemandPerCore(p, 1.0, 2.7e9);
+    double slow = bandwidthDemandPerCore(p, 2.0, 2.7e9);
+    EXPECT_NEAR(fast / slow, 2.0, 1e-12);
+}
+
+TEST(Eq4, IoTermAddsTraffic)
+{
+    WorkloadParams p = hpcMean();
+    double base = bandwidthDemandPerCore(p, 1.0, 2.7e9);
+    p.iopi = 1.0 / 8192.0;
+    p.ioBytes = 4096.0;
+    double with_io = bandwidthDemandPerCore(p, 1.0, 2.7e9);
+    EXPECT_NEAR(with_io - base, 0.5 * 2.7e9, 1e6);
+}
+
+TEST(Eq4Inverse, RoundTrips)
+{
+    WorkloadParams p = hpcMean();
+    double cpi = 1.3;
+    double bw = bandwidthDemandPerCore(p, cpi, 2.7e9);
+    EXPECT_NEAR(bandwidthLimitedCpi(p, bw, 2.7e9), cpi, 1e-9);
+}
+
+TEST(Eq4, Validation)
+{
+    WorkloadParams p = hpcMean();
+    EXPECT_THROW(bandwidthDemandPerCore(p, 0.0, 2.7e9), ConfigError);
+    EXPECT_THROW(bandwidthDemandPerCore(p, 1.0, 0.0), ConfigError);
+    EXPECT_THROW(bandwidthDemandTotal(p, 1.0, 2.7e9, 0), ConfigError);
+    EXPECT_THROW(bandwidthLimitedCpi(p, 0.0, 2.7e9), ConfigError);
+}
+
+TEST(MemoryConfig, PaperBaselineBandwidth)
+{
+    MemoryConfig m; // defaults = 4ch DDR3-1867 @ 70%
+    EXPECT_NEAR(m.peakBandwidth() / 1e9, 59.7, 0.1);
+    EXPECT_NEAR(m.effectiveBandwidthGBps(), 41.8, 0.1);
+}
+
+TEST(MemoryConfig, WithersProduceModifiedCopies)
+{
+    MemoryConfig m;
+    EXPECT_EQ(m.withChannels(2).channels, 2);
+    EXPECT_DOUBLE_EQ(m.withSpeed(1333.3).megaTransfers, 1333.3);
+    EXPECT_DOUBLE_EQ(m.withEfficiency(0.9).efficiency, 0.9);
+    EXPECT_DOUBLE_EQ(m.withCompulsoryNs(85).compulsoryNs, 85.0);
+    // Original unchanged.
+    EXPECT_EQ(m.channels, 4);
+}
+
+TEST(MemoryConfig, Validation)
+{
+    MemoryConfig m;
+    EXPECT_NO_THROW(m.validate());
+    EXPECT_THROW(m.withChannels(0).validate(), ConfigError);
+    EXPECT_THROW(m.withEfficiency(0.0).validate(), ConfigError);
+    EXPECT_THROW(m.withEfficiency(1.2).validate(), ConfigError);
+    EXPECT_THROW(m.withCompulsoryNs(0.0).validate(), ConfigError);
+}
+
+TEST(Platform, BaselineMatchesPaperSection6)
+{
+    Platform p = Platform::paperBaseline();
+    EXPECT_EQ(p.cores, 8);
+    EXPECT_DOUBLE_EQ(p.ghz, 2.7);
+    EXPECT_DOUBLE_EQ(p.memory.compulsoryNs, 75.0);
+    // ~5.25 GB/s per core (paper Sec. VI.C.2).
+    EXPECT_NEAR(p.bandwidthPerCore() / 1e9, 5.2, 0.1);
+}
+
+TEST(Platform, CycleConversions)
+{
+    Platform p = Platform::paperBaseline();
+    EXPECT_NEAR(p.nsToCycles(75.0), 202.5, 1e-9);
+    EXPECT_NEAR(p.cyclesToNs(270.0), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(p.cyclesPerSecond(), 2.7e9);
+}
+
+TEST(Platform, Validation)
+{
+    Platform p = Platform::paperBaseline();
+    EXPECT_NO_THROW(p.validate());
+    p.cores = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = Platform::paperBaseline();
+    p.ghz = 0.0;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for workload classification (Fig. 6 / Table 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/classify.hh"
+#include "model/paper_data.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+TEST(Classify, ScatterPointMapsAxes)
+{
+    WorkloadParams p = paper::classParams(WorkloadClass::Enterprise);
+    ScatterPoint sp = toScatterPoint(p);
+    EXPECT_DOUBLE_EQ(sp.bf, p.bf);
+    EXPECT_DOUBLE_EQ(sp.refsPerCycle, p.refsPerCycle());
+    EXPECT_FALSE(sp.coreBound);
+}
+
+TEST(Classify, ProximityLandsInCoreBoundCluster)
+{
+    // Paper: Proximity is omitted from the class means as it shows
+    // no sensitivity to latency or bandwidth.
+    for (const auto &p : paper::bigDataParams()) {
+        ScatterPoint sp = toScatterPoint(p);
+        EXPECT_EQ(sp.coreBound, p.name == "Proximity") << p.name;
+    }
+}
+
+TEST(Classify, PaperWorkloadsProduceThreeClassMeans)
+{
+    Classification c = classify(paper::allWorkloadParams());
+    ASSERT_EQ(c.means.size(), 3u);
+    EXPECT_EQ(c.points.size(), 12u);
+}
+
+TEST(Classify, ClassMeansMatchTable6Approximately)
+{
+    // Means over Tables 2/4/5 (excluding core-bound Proximity) should
+    // land near the published Table 6 values for CPI_cache / BF /
+    // MPKI. (The published big-data WBR mean of 92% is inconsistent
+    // with its own Table 2 inputs — see EXPERIMENTS.md — so WBR is
+    // not asserted here.)
+    Classification c = classify(paper::allWorkloadParams());
+    for (const auto &mean : c.means) {
+        WorkloadParams published = paper::classParams(mean.cls);
+        EXPECT_NEAR(mean.cpiCache, published.cpiCache, 0.10) << mean.name;
+        EXPECT_NEAR(mean.bf, published.bf, 0.05) << mean.name;
+        EXPECT_NEAR(mean.mpki, published.mpki, 1.0) << mean.name;
+    }
+}
+
+TEST(Classify, ClassOrderingMatchesPaper)
+{
+    // Enterprise most latency sensitive, HPC most bandwidth hungry,
+    // big data in between on both axes (paper Sec. VI.B).
+    Classification c = classify(paper::allWorkloadParams());
+    WorkloadParams ent;
+    WorkloadParams bd;
+    WorkloadParams hpc;
+    for (const auto &m : c.means) {
+        if (m.cls == WorkloadClass::Enterprise)
+            ent = m;
+        else if (m.cls == WorkloadClass::BigData)
+            bd = m;
+        else if (m.cls == WorkloadClass::Hpc)
+            hpc = m;
+    }
+    EXPECT_GT(ent.bf, bd.bf);
+    EXPECT_GT(bd.bf, hpc.bf);
+    EXPECT_GT(hpc.refsPerCycle(), bd.refsPerCycle());
+    EXPECT_GT(bd.refsPerCycle(), ent.refsPerCycle());
+}
+
+TEST(Classify, KMeansRecoversTheLabeledClusters)
+{
+    // Unsupervised clustering on the normalized Fig. 6 coordinates
+    // should agree with the class labels for most workloads — the
+    // paper's claim that "each workload class forms its own distinct
+    // cluster".
+    Classification c = classify(paper::allWorkloadParams());
+    EXPECT_GE(c.clusterAgreement, 0.8);
+}
+
+TEST(Classify, CoreBoundCriteriaAreConfigurable)
+{
+    CoreBoundCriteria strict;
+    strict.maxBf = 0.5;
+    strict.maxRefsPerCycle = 1.0;
+    // Everything becomes core bound under absurdly loose criteria.
+    Classification c = classify(paper::bigDataParams(), strict);
+    for (const auto &pt : c.points)
+        EXPECT_TRUE(pt.coreBound) << pt.name;
+    EXPECT_TRUE(c.means.empty());
+}
+
+TEST(Classify, RejectsEmptyInput)
+{
+    EXPECT_THROW(classify({}), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

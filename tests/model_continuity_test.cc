@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests on solver continuity and regime transitions: CPI
+ * must vary smoothly as a platform knob crosses the latency-limited /
+ * bandwidth-bound boundary, and the reported regime flag must change
+ * exactly where the two limiters cross.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/paper_data.hh"
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+/** Sweep a knob finely and bound the largest single-step CPI jump. */
+template <typename SetKnob>
+double
+largestRelativeJump(const WorkloadParams &p, SetKnob &&set_knob,
+                    double lo, double hi, int steps)
+{
+    Solver solver;
+    double worst = 0.0;
+    double prev = -1.0;
+    for (int i = 0; i <= steps; ++i) {
+        double x = lo + (hi - lo) * i / steps;
+        Platform plat = Platform::paperBaseline();
+        set_knob(plat, x);
+        double cpi = solver.solve(p, plat).cpiEff;
+        if (prev > 0.0)
+            worst = std::max(worst, std::abs(cpi - prev) / prev);
+        prev = cpi;
+    }
+    return worst;
+}
+
+class RegimeContinuity
+    : public ::testing::TestWithParam<WorkloadClass>
+{
+};
+
+TEST_P(RegimeContinuity, CpiContinuousAcrossEfficiencySweep)
+{
+    // Sweeping efficiency from 15% to 100% drags every class through
+    // its bandwidth knee. Deep in saturation CPI legitimately scales
+    // ~1/efficiency (a 1% step at 15% efficiency is a ~7% CPI move),
+    // so the bound is relative to the knob's own step size: no jump
+    // may exceed the 1/x scaling plus a small continuity margin.
+    WorkloadParams p = paper::classParams(GetParam());
+    double worst = largestRelativeJump(
+        p,
+        [](Platform &plat, double eff) {
+            plat.memory = plat.memory.withEfficiency(eff);
+        },
+        0.15, 1.0, 85);
+    const double step = (1.0 - 0.15) / 85.0;
+    const double knob_scaling = step / 0.15; // worst-case 1/x move
+    EXPECT_LT(worst, knob_scaling + 0.02) << className(GetParam());
+}
+
+TEST_P(RegimeContinuity, CpiContinuousAcrossLatencySweep)
+{
+    WorkloadParams p = paper::classParams(GetParam());
+    double worst = largestRelativeJump(
+        p,
+        [](Platform &plat, double ns) {
+            plat.memory = plat.memory.withCompulsoryNs(ns);
+        },
+        20.0, 300.0, 140);
+    EXPECT_LT(worst, 0.05) << className(GetParam());
+}
+
+TEST_P(RegimeContinuity, BoundFlagFlipsWhereLimitersCross)
+{
+    // Shrink supply until the workload reports bandwidth bound; at
+    // the flip the two limiters must be within a few percent of each
+    // other (the max() rule crosses continuously).
+    WorkloadParams p = paper::classParams(GetParam());
+    Solver solver;
+    double prev_cpi = -1.0;
+    bool prev_bound = false;
+    for (double eff = 1.0; eff >= 0.10; eff -= 0.01) {
+        Platform plat = Platform::paperBaseline();
+        plat.memory = plat.memory.withEfficiency(eff);
+        OperatingPoint op = solver.solve(p, plat);
+        if (prev_cpi > 0.0 && op.bandwidthBound && !prev_bound) {
+            EXPECT_NEAR(op.cpiEff, prev_cpi, prev_cpi * 0.08)
+                << className(GetParam()) << " at efficiency " << eff;
+        }
+        prev_cpi = op.cpiEff;
+        prev_bound = op.bandwidthBound;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, RegimeContinuity,
+                         ::testing::Values(WorkloadClass::Enterprise,
+                                           WorkloadClass::BigData,
+                                           WorkloadClass::Hpc),
+                         [](const auto &param_info) {
+                             return param_info.param == WorkloadClass::Hpc
+                                        ? std::string("Hpc")
+                                    : param_info.param ==
+                                              WorkloadClass::BigData
+                                        ? std::string("BigData")
+                                        : std::string("Enterprise");
+                         });
+
+TEST(RegimeTransition, HpcUnbindsOnlyAtExtremeLatency)
+{
+    // Raising compulsory latency eventually shrinks demand below the
+    // supply (the paper's "can eventually make a bandwidth-bound
+    // workload become memory bound") — but not within the paper's
+    // 75-135 ns range.
+    Solver solver;
+    WorkloadParams hpc = paper::classParams(WorkloadClass::Hpc);
+    bool bound_at_135 = false;
+    bool unbound_somewhere = false;
+    for (double ns = 75.0; ns <= 1000.0; ns += 5.0) {
+        Platform plat = Platform::paperBaseline();
+        plat.memory = plat.memory.withCompulsoryNs(ns);
+        OperatingPoint op = solver.solve(hpc, plat);
+        if (ns == 135.0)
+            bound_at_135 = op.bandwidthBound;
+        if (!op.bandwidthBound)
+            unbound_somewhere = true;
+    }
+    EXPECT_TRUE(bound_at_135);
+    EXPECT_TRUE(unbound_somewhere);
+}
+
+TEST(RegimeTransition, UtilizationCappedAtOne)
+{
+    Solver solver;
+    for (const auto &p : paper::classParams()) {
+        for (double eff : {0.2, 0.5, 0.7, 1.0}) {
+            Platform plat = Platform::paperBaseline();
+            plat.memory = plat.memory.withEfficiency(eff);
+            OperatingPoint op = solver.solve(p, plat);
+            EXPECT_LE(op.utilization, 1.0 + 1e-9) << p.name;
+            EXPECT_GE(op.utilization, 0.0) << p.name;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace memsense::model

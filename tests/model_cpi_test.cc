@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for Eq. 1-3: the CPI model and its relation to Chou's MLP
+ * formulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cpi_model.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+WorkloadParams
+structured()
+{
+    WorkloadParams p;
+    p.name = "Structured Data";
+    p.cpiCache = 0.89;
+    p.bf = 0.20;
+    p.mpki = 5.6;
+    p.wbr = 0.32;
+    return p;
+}
+
+TEST(Eq1, MatchesPaperTable3)
+{
+    // Paper Table 3, first column: MPI 0.0056, MP 402 cycles,
+    // computed CPI 1.33.
+    WorkloadParams p = structured();
+    p.mpki = 5.6;
+    EXPECT_NEAR(effectiveCpi(p, 402), 1.34, 0.02);
+    // 2.7 GHz column: MPI 0.0059, MP 543 -> 1.52.
+    p.mpki = 5.9;
+    EXPECT_NEAR(effectiveCpi(p, 543), 1.53, 0.02);
+}
+
+TEST(Eq1, ZeroPenaltyGivesCpiCache)
+{
+    WorkloadParams p = structured();
+    EXPECT_DOUBLE_EQ(effectiveCpi(p, 0.0), p.cpiCache);
+}
+
+TEST(Eq1, LinearInPenalty)
+{
+    WorkloadParams p = structured();
+    double a = effectiveCpi(p, 100);
+    double b = effectiveCpi(p, 200);
+    double c = effectiveCpi(p, 300);
+    EXPECT_NEAR(b - a, c - b, 1e-12);
+}
+
+TEST(Eq1, ZeroBlockingFactorIgnoresLatency)
+{
+    WorkloadParams p = structured();
+    p.bf = 0.0; // core bound
+    EXPECT_DOUBLE_EQ(effectiveCpi(p, 1000), p.cpiCache);
+}
+
+TEST(Eq1, RejectsNegativePenalty)
+{
+    EXPECT_THROW(effectiveCpi(structured(), -1.0), ConfigError);
+}
+
+TEST(Eq1Inverse, RoundTrips)
+{
+    WorkloadParams p = structured();
+    double cpi = effectiveCpi(p, 450);
+    EXPECT_NEAR(missPenaltyForCpi(p, cpi), 450, 1e-9);
+}
+
+TEST(Eq1Inverse, Validation)
+{
+    WorkloadParams p = structured();
+    EXPECT_THROW(missPenaltyForCpi(p, 0.5), ConfigError); // < CPI_cache
+    p.bf = 0.0;
+    EXPECT_THROW(missPenaltyForCpi(p, 1.5), ConfigError);
+}
+
+TEST(Eq2, ChouMatchesEq1ViaEq3)
+{
+    // Setting Eq. 1 == Eq. 2 and solving for BF (Eq. 3) must make the
+    // two models agree exactly.
+    ChouInputs in;
+    in.cpiCache = 0.9;
+    in.overlapCm = 0.3;
+    in.mlp = 4.0;
+    in.mpi = 0.006;
+    in.mpCycles = 400;
+
+    double bf = blockingFactorFromChou(in);
+    WorkloadParams p;
+    p.cpiCache = in.cpiCache;
+    p.bf = bf;
+    p.mpki = in.mpi * 1000.0;
+    EXPECT_NEAR(effectiveCpi(p, in.mpCycles), chouEffectiveCpi(in), 1e-12);
+}
+
+TEST(Eq3, TendsToInverseMlpForLargePenalty)
+{
+    // The second term vanishes as MP grows (paper Sec. IV.B).
+    ChouInputs in;
+    in.cpiCache = 1.0;
+    in.overlapCm = 0.5;
+    in.mlp = 5.0;
+    in.mpi = 0.005;
+    in.mpCycles = 1e9;
+    EXPECT_NEAR(blockingFactorFromChou(in), 1.0 / in.mlp, 1e-6);
+}
+
+TEST(Eq3, OffsetReducesBlockingFactor)
+{
+    ChouInputs in;
+    in.mlp = 4.0;
+    in.overlapCm = 0.0;
+    double no_overlap = blockingFactorFromChou(in);
+    in.overlapCm = 0.5;
+    double with_overlap = blockingFactorFromChou(in);
+    EXPECT_LT(with_overlap, no_overlap);
+    EXPECT_NEAR(no_overlap, 0.25, 1e-12);
+}
+
+TEST(Eq2, Validation)
+{
+    ChouInputs in;
+    in.mlp = 0.5;
+    EXPECT_THROW(chouEffectiveCpi(in), ConfigError);
+    in.mlp = 2.0;
+    in.overlapCm = 1.5;
+    EXPECT_THROW(chouEffectiveCpi(in), ConfigError);
+}
+
+TEST(ImpliedMlp, InverseOfBf)
+{
+    EXPECT_DOUBLE_EQ(impliedMlp(0.25), 4.0);
+    EXPECT_TRUE(std::isinf(impliedMlp(0.0)));
+    EXPECT_THROW(impliedMlp(-0.1), ConfigError);
+}
+
+TEST(Params, RefsPerCycleMatchesFig6Definition)
+{
+    // y-axis of Fig. 6: MPI*(1+WBR)/CPI_cache.
+    WorkloadParams p = structured();
+    EXPECT_NEAR(p.refsPerCycle(), 0.0056 * 1.32 / 0.89, 1e-12);
+}
+
+TEST(Params, BytesPerInstructionIncludesIo)
+{
+    WorkloadParams p = structured();
+    double without_io = p.bytesPerInstruction();
+    p.iopi = 1e-4;
+    p.ioBytes = 4096;
+    EXPECT_NEAR(p.bytesPerInstruction() - without_io, 0.4096, 1e-12);
+}
+
+TEST(Params, ValidationCatchesBadRanges)
+{
+    WorkloadParams p = structured();
+    p.cpiCache = 0.0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = structured();
+    p.bf = 1.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = structured();
+    p.wbr = 2.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Params, ClassMeanAverages)
+{
+    WorkloadParams a = structured();
+    WorkloadParams b = structured();
+    b.cpiCache = 1.09;
+    b.bf = 0.30;
+    WorkloadParams m = classMean("Big Data", WorkloadClass::BigData, {a, b});
+    EXPECT_NEAR(m.cpiCache, 0.99, 1e-12);
+    EXPECT_NEAR(m.bf, 0.25, 1e-12);
+    EXPECT_THROW(classMean("x", WorkloadClass::Hpc, {}), ConfigError);
+}
+
+TEST(Params, ClassNames)
+{
+    EXPECT_EQ(className(WorkloadClass::BigData), "Big Data");
+    EXPECT_EQ(className(WorkloadClass::Enterprise), "Enterprise");
+    EXPECT_EQ(className(WorkloadClass::Hpc), "HPC");
+    EXPECT_EQ(className(WorkloadClass::CoreBound), "Core Bound");
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the latency/bandwidth tradeoff equivalence (Table 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/equivalence.hh"
+#include "model/paper_data.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+EquivalenceAnalyzer
+makeAnalyzer()
+{
+    return EquivalenceAnalyzer(Solver(), Platform::paperBaseline());
+}
+
+TEST(Equivalence, HpcGainsBigFromBandwidthNothingFromLatency)
+{
+    // Paper Table 7: HPC ~24% per +1 GB/s/core, ~0% per -10 ns.
+    EquivalenceAnalyzer an = makeAnalyzer();
+    WorkloadParams hpc = paper::classParams(WorkloadClass::Hpc);
+    EXPECT_GT(an.perfGainFromBandwidth(hpc), 10.0);
+    EXPECT_NEAR(an.perfGainFromLatency(hpc), 0.0, 0.3);
+}
+
+TEST(Equivalence, LatencyLimitedClassesGainFromLatency)
+{
+    // Paper Table 7: enterprise/big data gain ~3%/10ns and <1% per
+    // +1 GB/s/core.
+    EquivalenceAnalyzer an = makeAnalyzer();
+    for (WorkloadClass cls :
+         {WorkloadClass::Enterprise, WorkloadClass::BigData}) {
+        WorkloadParams p = paper::classParams(cls);
+        double lat = an.perfGainFromLatency(p);
+        double bw = an.perfGainFromBandwidth(p);
+        EXPECT_GT(lat, 1.5) << className(cls);
+        EXPECT_LT(bw, 2.5) << className(cls);
+        EXPECT_LT(bw, lat) << className(cls);
+    }
+}
+
+TEST(Equivalence, BandwidthEquivalentOfLatencyIsFiniteForLatencyBound)
+{
+    // Paper: 10 ns == 39.7 GB/s (enterprise) / 27.1 GB/s (big data).
+    // Exact numbers depend on the queuing curve; the reproduction
+    // claim is a finite, tens-of-GB/s-scale equivalence with
+    // enterprise needing more than big data.
+    EquivalenceAnalyzer an = makeAnalyzer();
+    double ent = an.bandwidthEquivalentOfLatency(
+        paper::classParams(WorkloadClass::Enterprise));
+    double bd = an.bandwidthEquivalentOfLatency(
+        paper::classParams(WorkloadClass::BigData));
+    EXPECT_TRUE(std::isfinite(ent));
+    EXPECT_TRUE(std::isfinite(bd));
+    EXPECT_GT(ent, 5.0);
+    EXPECT_GT(bd, 3.0);
+    EXPECT_GT(ent, bd);
+}
+
+TEST(Equivalence, HpcLatencyGivesZeroBandwidthEquivalent)
+{
+    // No latency benefit -> nothing to match.
+    EquivalenceAnalyzer an = makeAnalyzer();
+    double hpc = an.bandwidthEquivalentOfLatency(
+        paper::classParams(WorkloadClass::Hpc));
+    EXPECT_DOUBLE_EQ(hpc, 0.0);
+}
+
+TEST(Equivalence, NoLatencyReductionMatchesBandwidthForHpc)
+{
+    // Paper Sec. VI.D: "no amount of latency reduction can compensate
+    // for bandwidth constraints for our HPC mix."
+    EquivalenceAnalyzer an = makeAnalyzer();
+    double ns = an.latencyEquivalentOfBandwidth(
+        paper::classParams(WorkloadClass::Hpc));
+    EXPECT_TRUE(std::isinf(ns));
+}
+
+TEST(Equivalence, LatencyEquivalentOfBandwidthSmallForLatencyBound)
+{
+    // Paper: +1 GB/s/core == ~2.0 ns (enterprise) / ~2.9 ns (big
+    // data); the claim reproduced is a small single-digit-ns
+    // equivalence, larger for big data than enterprise.
+    EquivalenceAnalyzer an = makeAnalyzer();
+    double ent = an.latencyEquivalentOfBandwidth(
+        paper::classParams(WorkloadClass::Enterprise));
+    double bd = an.latencyEquivalentOfBandwidth(
+        paper::classParams(WorkloadClass::BigData));
+    EXPECT_TRUE(std::isfinite(ent));
+    EXPECT_TRUE(std::isfinite(bd));
+    EXPECT_LT(ent, 10.0);
+    EXPECT_LT(bd, 12.0);
+    EXPECT_GT(bd, ent);
+}
+
+TEST(Equivalence, EquivalenceRoundTrips)
+{
+    // Granting the computed bandwidth equivalent must reproduce the
+    // 10 ns CPI within tolerance (definition of equivalence).
+    EquivalenceAnalyzer an = makeAnalyzer();
+    Platform base = Platform::paperBaseline();
+    Solver solver;
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+
+    double gbps = an.bandwidthEquivalentOfLatency(bd, 10.0);
+    Platform lat_plat = base;
+    lat_plat.memory = base.memory.withCompulsoryNs(65.0);
+    double target = solver.solve(bd, lat_plat).cpiEff;
+
+    Platform bw_plat = base;
+    double scale = (base.memory.effectiveBandwidth() + gbps * 1e9) /
+                   base.memory.effectiveBandwidth();
+    // Scale the channel rate; effective bandwidth grows by the same
+    // factor and, unlike efficiency, cannot leave its valid range.
+    bw_plat.memory =
+        base.memory.withSpeed(base.memory.megaTransfers * scale);
+    double via_bw = solver.solve(bd, bw_plat).cpiEff;
+    EXPECT_NEAR(via_bw, target, target * 0.01);
+}
+
+TEST(Equivalence, SummaryPopulatesAllFields)
+{
+    EquivalenceAnalyzer an = makeAnalyzer();
+    TradeoffSummary s =
+        an.summarize(paper::classParams(WorkloadClass::BigData));
+    EXPECT_EQ(s.name, "Big Data");
+    EXPECT_GT(s.baselineCpi, 0.9);
+    EXPECT_GT(s.perfGainLatencyPct, 0.0);
+    EXPECT_GT(s.bandwidthEquivalentGBps, 0.0);
+    EXPECT_GT(s.latencyEquivalentNs, 0.0);
+}
+
+TEST(Equivalence, ZeroDeltasGiveZeroGains)
+{
+    EquivalenceAnalyzer an = makeAnalyzer();
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    EXPECT_DOUBLE_EQ(an.perfGainFromBandwidth(bd, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(an.perfGainFromLatency(bd, 0.0), 0.0);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

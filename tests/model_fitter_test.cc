@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the Eq. 1 model fitter (Sec. V methodology), including
+ * fitting the paper's own Table 3 grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/fitter.hh"
+#include "model/paper_data.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+FitObservation
+makeObs(double mpi, double mp_cycles, double cpi)
+{
+    FitObservation o;
+    o.mpi = mpi;
+    o.mpki = mpi * 1000.0;
+    o.mpCycles = mp_cycles;
+    o.cpiEff = cpi;
+    o.wbr = 0.3;
+    o.instructions = 1e6;
+    return o;
+}
+
+TEST(Fitter, RecoversExactLine)
+{
+    std::vector<FitObservation> obs;
+    for (double mp : {300.0, 400.0, 500.0, 600.0})
+        obs.push_back(makeObs(0.006, mp, 0.9 + 0.006 * mp * 0.25));
+    FittedModel m = fitModel("synthetic", WorkloadClass::BigData, obs);
+    EXPECT_NEAR(m.params.cpiCache, 0.9, 1e-9);
+    EXPECT_NEAR(m.params.bf, 0.25, 1e-9);
+    EXPECT_NEAR(m.fit.r2, 1.0, 1e-9);
+    EXPECT_FALSE(m.coreBound);
+    EXPECT_EQ(m.params.cls, WorkloadClass::BigData);
+    EXPECT_NEAR(m.params.mpki, 6.0, 1e-9);
+    EXPECT_NEAR(m.params.wbr, 0.3, 1e-9);
+}
+
+TEST(Fitter, FitsPaperTable3Grid)
+{
+    // Fitting the paper's actual measured grid for Structured Data
+    // must recover approximately the published CPI_cache=0.89 and
+    // BF=0.20 with a high R^2 (the paper reports R^2 = 0.95).
+    auto obs = paper::table3StructuredDataRuns();
+    FittedModel m = fitModel("Structured Data", WorkloadClass::BigData, obs);
+    EXPECT_NEAR(m.params.cpiCache, 0.89, 0.06);
+    EXPECT_NEAR(m.params.bf, 0.20, 0.03);
+    EXPECT_GT(m.fit.r2, 0.93);
+}
+
+TEST(Fitter, Table3ValidationErrorsWithinTwoPercent)
+{
+    // Paper Sec. V.H: computed vs measured CPI errors within ~+/-3%.
+    auto obs = paper::table3StructuredDataRuns();
+    FittedModel m = fitModel("Structured Data", WorkloadClass::BigData, obs);
+    for (double err : validationErrors(m, obs))
+        EXPECT_LT(std::abs(err), 0.035);
+}
+
+TEST(Fitter, FlagsCoreBoundWorkloads)
+{
+    // Flat CPI vs MP: Proximity-like.
+    std::vector<FitObservation> obs;
+    Rng rng(4);
+    for (double mp : {300.0, 400.0, 500.0, 600.0})
+        obs.push_back(makeObs(0.0005, mp, 0.93 + rng.nextGaussian() * 0.002));
+    FittedModel m = fitModel("proximity", WorkloadClass::BigData, obs);
+    EXPECT_TRUE(m.coreBound);
+    EXPECT_LT(m.params.bf, 0.05);
+}
+
+TEST(Fitter, ClampsNegativeSlopes)
+{
+    std::vector<FitObservation> obs;
+    obs.push_back(makeObs(0.001, 300, 1.00));
+    obs.push_back(makeObs(0.001, 600, 0.98)); // noise-driven decline
+    FittedModel m = fitModel("noisy", WorkloadClass::BigData, obs);
+    EXPECT_DOUBLE_EQ(m.params.bf, 0.0);
+    EXPECT_NEAR(m.params.cpiCache, 0.99, 1e-9);
+}
+
+TEST(Fitter, UnclampedOptionKeepsNegativeSlope)
+{
+    std::vector<FitObservation> obs;
+    obs.push_back(makeObs(0.001, 300, 1.00));
+    obs.push_back(makeObs(0.001, 600, 0.98));
+    FitOptions opts;
+    opts.clampNegativeSlope = false;
+    FittedModel m = fitModel("noisy", WorkloadClass::BigData, obs, opts);
+    EXPECT_LT(m.params.bf, 0.0);
+}
+
+TEST(Fitter, WeightedByInstructions)
+{
+    // Phase weighting (Sec. IV.D): a heavier phase dominates the fit.
+    std::vector<FitObservation> obs;
+    FitObservation heavy = makeObs(0.006, 300, 2.0);
+    heavy.instructions = 1e9;
+    FitObservation light = makeObs(0.006, 600, 10.0); // outlier phase
+    light.instructions = 1.0;
+    FitObservation mid = makeObs(0.006, 450, 2.0);
+    mid.instructions = 1e9;
+    obs = {heavy, light, mid};
+    FitOptions opts;
+    opts.weightByInstructions = true;
+    FittedModel m = fitModel("phased", WorkloadClass::Enterprise, obs, opts);
+    EXPECT_LT(m.params.bf, 0.5); // the outlier barely moves the slope
+}
+
+TEST(Fitter, RequiresTwoObservations)
+{
+    std::vector<FitObservation> one{makeObs(0.005, 300, 1.0)};
+    EXPECT_THROW(fitModel("x", WorkloadClass::BigData, one), ConfigError);
+}
+
+TEST(Fitter, PredictsAtLatencyPerInstruction)
+{
+    std::vector<FitObservation> obs;
+    for (double mp : {300.0, 600.0})
+        obs.push_back(makeObs(0.005, mp, 1.0 + 0.005 * mp * 0.4));
+    FittedModel m = fitModel("x", WorkloadClass::Enterprise, obs);
+    EXPECT_NEAR(m.predictCpi(0.005 * 450), 1.0 + 0.005 * 450 * 0.4, 1e-9);
+}
+
+TEST(Fitter, ValidationErrorsRequirePositiveCpi)
+{
+    std::vector<FitObservation> obs;
+    for (double mp : {300.0, 600.0})
+        obs.push_back(makeObs(0.005, mp, 1.0));
+    FittedModel m = fitModel("x", WorkloadClass::Enterprise, obs);
+    obs[0].cpiEff = 0.0;
+    EXPECT_THROW(validationErrors(m, obs), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

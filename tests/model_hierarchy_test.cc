@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the tiered-memory extension (Eq. 5, Sec. VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/hierarchy.hh"
+#include "model/paper_data.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+TEST(Eq5, DegeneratesToEq1WithOneTier)
+{
+    // One tier carrying all misses must reproduce Eq. 1 exactly.
+    double cpi = hierarchicalCpi(0.91, 0.21, {{"DRAM", 0.0055, 210.0}});
+    EXPECT_NEAR(cpi, 0.91 + 0.0055 * 210.0 * 0.21, 1e-12);
+}
+
+TEST(Eq5, SplitsTrafficAcrossTiers)
+{
+    // 70% near at 200 cycles, 30% far at 900 cycles.
+    double near_mpi = 0.0055 * 0.7;
+    double far_mpi = 0.0055 * 0.3;
+    double cpi = hierarchicalCpi(0.91, 0.21,
+                                 {{"DRAM", near_mpi, 200.0},
+                                  {"NVM", far_mpi, 900.0}});
+    double expected =
+        0.91 + (near_mpi * 200.0 + far_mpi * 900.0) * 0.21;
+    EXPECT_NEAR(cpi, expected, 1e-12);
+}
+
+TEST(Eq5, EmptyTiersGiveCpiCache)
+{
+    EXPECT_DOUBLE_EQ(hierarchicalCpi(1.2, 0.4, {}), 1.2);
+}
+
+TEST(Eq5, Validation)
+{
+    EXPECT_THROW(hierarchicalCpi(0.0, 0.2, {}), ConfigError);
+    EXPECT_THROW(hierarchicalCpi(1.0, 1.5, {}), ConfigError);
+    EXPECT_THROW(hierarchicalCpi(1.0, 0.2, {{"x", -0.1, 100.0}}),
+                 ConfigError);
+}
+
+namespace
+{
+
+TieredMemoryModel
+makeTiered(double near_cap_gb)
+{
+    MemoryTier near{"DRAM-cache", 75.0, 40.0, near_cap_gb};
+    MemoryTier far{"NVM", 300.0, 12.0, 512.0};
+    return TieredMemoryModel(near, far, /*footprintGB=*/64.0,
+                             /*theta=*/0.5);
+}
+
+} // anonymous namespace
+
+TEST(TieredModel, HitFractionFollowsWorkingSetCurve)
+{
+    EXPECT_DOUBLE_EQ(makeTiered(64.0).hitFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(makeTiered(128.0).hitFraction(), 1.0);
+    EXPECT_NEAR(makeTiered(16.0).hitFraction(), 0.5, 1e-12);
+    EXPECT_NEAR(makeTiered(4.0).hitFraction(), 0.25, 1e-12);
+}
+
+TEST(TieredModel, MoreNearCapacityNeverHurts)
+{
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    double prev = 1e300;
+    for (double cap : {1.0, 4.0, 16.0, 32.0, 64.0}) {
+        TieredResult r = makeTiered(cap).evaluate(bd, 2.7, 8);
+        ASSERT_LE(r.cpiEff, prev + 1e-9) << cap << " GB";
+        prev = r.cpiEff;
+    }
+}
+
+TEST(TieredModel, FullHitMatchesAllNearLatency)
+{
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    TieredResult r = makeTiered(64.0).evaluate(bd, 2.7, 1);
+    // Single core, hit=1: far tier unused, CPI near the Eq. 1 value
+    // at the near tier's latency.
+    EXPECT_NEAR(r.hitFraction, 1.0, 1e-12);
+    EXPECT_NEAR(r.farUtilization, 0.0, 1e-9);
+    double eq1 = bd.cpiCache + bd.mpi() * (75.0 * 2.7) * bd.bf;
+    EXPECT_NEAR(r.cpiEff, eq1, eq1 * 0.05);
+}
+
+TEST(TieredModel, FarTierCanBecomeBandwidthBound)
+{
+    // A thin far tier with a miss-heavy workload saturates.
+    MemoryTier near{"DRAM", 75.0, 40.0, 1.0};
+    MemoryTier far{"NVM", 300.0, 2.0, 512.0};
+    TieredMemoryModel m(near, far, 64.0, 0.5);
+    WorkloadParams hpc = paper::classParams(WorkloadClass::Hpc);
+    TieredResult r = m.evaluate(hpc, 2.7, 8);
+    EXPECT_TRUE(r.farBandwidthBound);
+    EXPECT_GT(r.cpiEff, 5.0);
+}
+
+TEST(TieredModel, CapacitySweepIsOrdered)
+{
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    TieredMemoryModel m = makeTiered(8.0);
+    auto sweep = m.capacitySweep(bd, 2.7, 8, {2.0, 8.0, 32.0});
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_GT(sweep[0].cpiEff, sweep[2].cpiEff);
+    EXPECT_LT(sweep[0].hitFraction, sweep[2].hitFraction);
+}
+
+TEST(TieredModel, Validation)
+{
+    MemoryTier near{"DRAM", 75.0, 40.0, 16.0};
+    MemoryTier far{"NVM", 300.0, 12.0, 512.0};
+    EXPECT_THROW(TieredMemoryModel(near, far, 0.0, 0.5), ConfigError);
+    EXPECT_THROW(TieredMemoryModel(near, far, 64.0, 0.0), ConfigError);
+    EXPECT_THROW(TieredMemoryModel(near, far, 64.0, 1.5), ConfigError);
+    MemoryTier bad_far{"NVM", 0.0, 12.0, 512.0};
+    EXPECT_THROW(TieredMemoryModel(near, bad_far, 64.0, 0.5), ConfigError);
+    TieredMemoryModel m(near, far, 64.0, 0.5);
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    EXPECT_THROW(m.evaluate(bd, 0.0, 8), ConfigError);
+    EXPECT_THROW(m.evaluate(bd, 2.7, 0), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the multi-socket extension (paper Sec. VIII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/multisocket.hh"
+#include "model/paper_data.hh"
+#include "model/solver.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+MultiSocketPlatform
+twoSocket(double remote_fraction = 0.25)
+{
+    MultiSocketPlatform plat;
+    plat.socket = Platform::paperBaseline();
+    plat.sockets = 2;
+    plat.remoteFraction = remote_fraction;
+    return plat;
+}
+
+TEST(MultiSocket, ZeroRemoteMatchesSingleSocket)
+{
+    // Perfect NUMA pinning degenerates to the single-socket solver.
+    MultiSocketSolver ms;
+    Solver single;
+    for (const auto &p : paper::classParams()) {
+        MultiSocketPoint a = ms.solve(p, twoSocket(0.0));
+        OperatingPoint b = single.solve(p, Platform::paperBaseline());
+        EXPECT_NEAR(a.cpiEff, b.cpiEff, b.cpiEff * 0.02) << p.name;
+    }
+}
+
+TEST(MultiSocket, RemoteAccessesCostPerformance)
+{
+    MultiSocketSolver ms;
+    WorkloadParams ent = paper::classParams(WorkloadClass::Enterprise);
+    double pinned = ms.solve(ent, twoSocket(0.0)).cpiEff;
+    double interleaved = ms.solve(ent, twoSocket(0.5)).cpiEff;
+    EXPECT_GT(interleaved, pinned * 1.03);
+}
+
+TEST(MultiSocket, CpiMonotoneInRemoteFraction)
+{
+    MultiSocketSolver ms;
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    auto sweep = ms.remoteFractionSweep(
+        bd, twoSocket(), {0.0, 0.1, 0.25, 0.5, 0.75, 1.0});
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GE(sweep[i].cpiEff, sweep[i - 1].cpiEff - 1e-9);
+}
+
+TEST(MultiSocket, RemoteLatencyVisibleInMissPenalty)
+{
+    MultiSocketSolver ms;
+    MultiSocketPlatform plat = twoSocket(0.3);
+    plat.remoteExtraNs = 80.0;
+    MultiSocketPoint pt =
+        ms.solve(paper::classParams(WorkloadClass::Enterprise), plat);
+    EXPECT_GE(pt.remoteMpNs, pt.localMpNs + 80.0);
+}
+
+TEST(MultiSocket, ThinInterconnectBecomesTheBottleneck)
+{
+    MultiSocketPlatform plat = twoSocket(0.5);
+    plat.interconnectGBps = 2.0; // strangled link
+    MultiSocketSolver ms;
+    MultiSocketPoint pt =
+        ms.solve(paper::classParams(WorkloadClass::Hpc), plat);
+    EXPECT_TRUE(pt.interconnectBound);
+    // CPI far above the wide-link case.
+    plat.interconnectGBps = 64.0;
+    MultiSocketPoint wide =
+        ms.solve(paper::classParams(WorkloadClass::Hpc), plat);
+    EXPECT_GT(pt.cpiEff, 1.5 * wide.cpiEff);
+}
+
+TEST(MultiSocket, HpcStaysBandwidthBound)
+{
+    MultiSocketSolver ms;
+    MultiSocketPoint pt =
+        ms.solve(paper::classParams(WorkloadClass::Hpc), twoSocket(0.2));
+    EXPECT_TRUE(pt.bandwidthBound);
+}
+
+TEST(MultiSocket, InterleavedFractionHelper)
+{
+    MultiSocketPlatform plat = twoSocket();
+    EXPECT_DOUBLE_EQ(plat.interleavedRemoteFraction(), 0.5);
+    plat.sockets = 4;
+    EXPECT_DOUBLE_EQ(plat.interleavedRemoteFraction(), 0.75);
+}
+
+TEST(MultiSocket, Validation)
+{
+    MultiSocketPlatform plat = twoSocket();
+    plat.sockets = 0;
+    EXPECT_THROW(plat.validate(), ConfigError);
+    plat = twoSocket();
+    plat.remoteFraction = 1.5;
+    EXPECT_THROW(plat.validate(), ConfigError);
+    plat = twoSocket();
+    plat.interconnectGBps = 0.0;
+    EXPECT_THROW(plat.validate(), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Consistency tests for the transcribed paper data and the trend
+ * generator (Fig. 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/paper_data.hh"
+#include "model/trends.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+TEST(PaperData, TwelveWorkloadsInThreeClasses)
+{
+    auto all = paper::allWorkloadParams();
+    ASSERT_EQ(all.size(), 12u);
+    int counts[3] = {0, 0, 0};
+    for (const auto &p : all) {
+        if (p.cls == WorkloadClass::BigData)
+            ++counts[0];
+        else if (p.cls == WorkloadClass::Enterprise)
+            ++counts[1];
+        else if (p.cls == WorkloadClass::Hpc)
+            ++counts[2];
+    }
+    EXPECT_EQ(counts[0], 4);
+    EXPECT_EQ(counts[1], 4);
+    EXPECT_EQ(counts[2], 4);
+}
+
+TEST(PaperData, AllParamsValidate)
+{
+    for (const auto &p : paper::allWorkloadParams())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+    for (const auto &p : paper::classParams())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(PaperData, Table2ValuesAsPublished)
+{
+    auto bd = paper::bigDataParams();
+    ASSERT_EQ(bd.size(), 4u);
+    EXPECT_EQ(bd[0].name, "Structured Data");
+    EXPECT_DOUBLE_EQ(bd[0].cpiCache, 0.89);
+    EXPECT_DOUBLE_EQ(bd[0].bf, 0.20);
+    EXPECT_DOUBLE_EQ(bd[0].mpki, 5.6);
+    EXPECT_DOUBLE_EQ(bd[0].wbr, 0.32);
+    // NITS WBR exceeds 100% (non-temporal writes, Sec. V.G).
+    EXPECT_GT(bd[1].wbr, 1.0);
+    // Proximity is the core-bound outlier.
+    EXPECT_DOUBLE_EQ(bd[3].bf, 0.03);
+    EXPECT_DOUBLE_EQ(bd[3].mpki, 0.5);
+}
+
+TEST(PaperData, Table6ClassValues)
+{
+    WorkloadParams ent = paper::classParams(WorkloadClass::Enterprise);
+    EXPECT_DOUBLE_EQ(ent.cpiCache, 1.47);
+    EXPECT_DOUBLE_EQ(ent.bf, 0.41);
+    EXPECT_DOUBLE_EQ(ent.mpki, 6.7);
+    WorkloadParams hpc = paper::classParams(WorkloadClass::Hpc);
+    EXPECT_DOUBLE_EQ(hpc.cpiCache, 0.75);
+    EXPECT_DOUBLE_EQ(hpc.bf, 0.07);
+    EXPECT_DOUBLE_EQ(hpc.mpki, 26.7);
+    EXPECT_THROW(paper::classParams(WorkloadClass::CoreBound),
+                 ConfigError);
+}
+
+TEST(PaperData, InferredTablesMatchPublishedClassMeans)
+{
+    // The per-workload Table 4/5 values are inferred; their means must
+    // reproduce the published Table 6 means they were derived from.
+    auto check = [](const std::vector<WorkloadParams> &ps,
+                    WorkloadClass cls) {
+        WorkloadParams mean = classMean("mean", cls, ps);
+        WorkloadParams published = paper::classParams(cls);
+        EXPECT_NEAR(mean.cpiCache, published.cpiCache, 0.01);
+        EXPECT_NEAR(mean.bf, published.bf, 0.005);
+        EXPECT_NEAR(mean.mpki, published.mpki, 0.2);
+        EXPECT_NEAR(mean.wbr, published.wbr, 0.01);
+    };
+    check(paper::enterpriseParams(), WorkloadClass::Enterprise);
+    check(paper::hpcParams(), WorkloadClass::Hpc);
+}
+
+TEST(PaperData, Table3GridShape)
+{
+    auto runs = paper::table3StructuredDataRuns();
+    ASSERT_EQ(runs.size(), 8u);
+    // Two runs at each of four core speeds.
+    int at_27 = 0;
+    for (const auto &o : runs) {
+        EXPECT_GT(o.cpiEff, 1.0);
+        EXPECT_GT(o.mpCycles, 300.0);
+        if (o.coreGhz == 2.7)
+            ++at_27;
+    }
+    EXPECT_EQ(at_27, 2);
+}
+
+TEST(PaperData, Table7Shape)
+{
+    auto rows = paper::table7();
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto &r : rows) {
+        if (r.cls == WorkloadClass::Hpc) {
+            EXPECT_GT(r.perfGainBandwidthPct, 10.0);
+            EXPECT_TRUE(std::isinf(r.latencyEquivalentNs));
+        } else {
+            EXPECT_LT(r.perfGainBandwidthPct, 1.0);
+            EXPECT_GT(r.bandwidthEquivalentGBps, 10.0);
+        }
+    }
+}
+
+TEST(Trends, Fig1GapWidens)
+{
+    auto series = scalingTrends(2012, 9);
+    ASSERT_EQ(series.size(), 9u);
+    EXPECT_EQ(series.front().year, 2012);
+    EXPECT_DOUBLE_EQ(series.front().computeToCapacityGap, 1.0);
+    // The compute/capacity gap strictly widens (the paper's Fig. 1).
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        ASSERT_GT(series[i].computeToCapacityGap,
+                  series[i - 1].computeToCapacityGap);
+        ASSERT_GT(series[i].relativeCores, series[i].relativeChannelBw);
+    }
+    // Latency is nearly flat.
+    EXPECT_GT(series.back().relativeLatency, 0.9);
+}
+
+TEST(Trends, Validation)
+{
+    EXPECT_THROW(scalingTrends(2012, 0), ConfigError);
+    TrendRates bad;
+    bad.latencyImprovement = 1.5;
+    EXPECT_THROW(scalingTrends(2012, 5, bad), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the queuing-delay model (Fig. 7 composite).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/queuing.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+TEST(QueuingModel, AnalyticDefaultShape)
+{
+    QueuingModel q = QueuingModel::analyticDefault(20.0, 22.0, 0.95);
+    EXPECT_FALSE(q.isMeasured());
+    EXPECT_DOUBLE_EQ(q.delayNs(0.0), 0.0);
+    // linear + M/D/1: d(0.5) = 20*0.5 + 22*0.5/(2*0.5) = 21.
+    EXPECT_NEAR(q.delayNs(0.5), 21.0, 0.5);
+    EXPECT_GT(q.delayNs(0.9), q.delayNs(0.5));
+}
+
+TEST(QueuingModel, DelayIsMonotone)
+{
+    QueuingModel q = QueuingModel::analyticDefault();
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0; u += 0.01) {
+        double d = q.delayNs(u);
+        ASSERT_GE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(QueuingModel, ClampsAtMaxStableUtilization)
+{
+    QueuingModel q = QueuingModel::analyticDefault(20.0, 22.0, 0.95);
+    EXPECT_DOUBLE_EQ(q.delayNs(0.99), q.maxStableDelayNs());
+    EXPECT_DOUBLE_EQ(q.delayNs(2.0), q.maxStableDelayNs());
+    EXPECT_DOUBLE_EQ(q.maxStableUtilization(), 0.95);
+}
+
+TEST(QueuingModel, NegativeUtilizationClampsToZero)
+{
+    QueuingModel q = QueuingModel::analyticDefault();
+    EXPECT_DOUBLE_EQ(q.delayNs(-0.5), 0.0);
+}
+
+TEST(QueuingModel, FromMeasuredCurve)
+{
+    stats::PiecewiseCurve curve(
+        {{0.0, 0.0}, {0.5, 10.0}, {0.9, 80.0}, {0.95, 130.0}});
+    QueuingModel q = QueuingModel::fromCurve(curve, 0.95);
+    EXPECT_TRUE(q.isMeasured());
+    EXPECT_NEAR(q.delayNs(0.5), 10.0, 1e-9);
+    EXPECT_NEAR(q.delayNs(0.7), 45.0, 1e-9);
+    EXPECT_NEAR(q.maxStableDelayNs(), 130.0, 1e-9);
+}
+
+TEST(QueuingModel, RejectsNonMonotoneCurves)
+{
+    stats::PiecewiseCurve bad({{0.0, 5.0}, {0.5, 2.0}, {1.0, 10.0}});
+    EXPECT_THROW(QueuingModel::fromCurve(bad, 0.95), ConfigError);
+    // The documented remedy is monotoneEnvelope().
+    EXPECT_NO_THROW(QueuingModel::fromCurve(bad.monotoneEnvelope(), 0.95));
+}
+
+TEST(QueuingModel, Validation)
+{
+    EXPECT_THROW(QueuingModel::analyticDefault(-1.0), ConfigError);
+    EXPECT_THROW(QueuingModel::analyticDefault(20.0, 0.0), ConfigError);
+    EXPECT_THROW(QueuingModel::analyticDefault(20.0, 22.0, 0.0),
+                 ConfigError);
+    EXPECT_THROW(QueuingModel::analyticDefault(20.0, 22.0, 1.0),
+                 ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the one-call sensitivity report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/paper_data.hh"
+#include "model/report.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+SensitivityReport
+reportFor(WorkloadClass cls)
+{
+    return buildReport(Solver(), paper::classParams(cls),
+                       Platform::paperBaseline());
+}
+
+TEST(Report, PopulatesAllSections)
+{
+    SensitivityReport r = reportFor(WorkloadClass::BigData);
+    EXPECT_GT(r.baseline.cpiEff, 0.9);
+    EXPECT_EQ(r.latencySweep.size(), 7u);
+    EXPECT_GE(r.bandwidthSweep.size(), 12u);
+    EXPECT_FALSE(r.recommendation.empty());
+}
+
+TEST(Report, RecommendsBandwidthForHpc)
+{
+    SensitivityReport r = reportFor(WorkloadClass::Hpc);
+    EXPECT_TRUE(r.baseline.bandwidthBound);
+    EXPECT_NE(r.recommendation.find("BANDWIDTH BOUND"),
+              std::string::npos);
+}
+
+TEST(Report, RecommendsLatencyForEnterprise)
+{
+    SensitivityReport r = reportFor(WorkloadClass::Enterprise);
+    EXPECT_FALSE(r.baseline.bandwidthBound);
+    EXPECT_NE(r.recommendation.find("LATENCY LIMITED"),
+              std::string::npos);
+}
+
+TEST(Report, RecommendsCoresForCoreBoundWorkloads)
+{
+    WorkloadParams p = paper::bigDataParams()[3]; // Proximity
+    SensitivityReport r =
+        buildReport(Solver(), p, Platform::paperBaseline());
+    EXPECT_NE(r.recommendation.find("CORE BOUND"), std::string::npos);
+}
+
+TEST(Report, MarkdownContainsTheNumbers)
+{
+    SensitivityReport r = reportFor(WorkloadClass::Enterprise);
+    std::string md = r.toMarkdown();
+    EXPECT_NE(md.find("# Memory sensitivity report: Enterprise"),
+              std::string::npos);
+    EXPECT_NE(md.find("## Operating point"), std::string::npos);
+    EXPECT_NE(md.find("## Latency sensitivity"), std::string::npos);
+    EXPECT_NE(md.find("## Bandwidth sensitivity"), std::string::npos);
+    EXPECT_NE(md.find("## Design tradeoff"), std::string::npos);
+    EXPECT_NE(md.find("## Recommendation"), std::string::npos);
+    // The baseline CPI appears somewhere in the tables.
+    char cpi[16];
+    std::snprintf(cpi, sizeof(cpi), "%.3f", r.baseline.cpiEff);
+    EXPECT_NE(md.find(cpi), std::string::npos);
+}
+
+TEST(Report, HpcMarkdownFlagsUnboundedEquivalence)
+{
+    std::string md = reportFor(WorkloadClass::Hpc).toMarkdown();
+    EXPECT_NE(md.find("no latency reduction matches"),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the sensitivity sweeps behind Figs 8-11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/paper_data.hh"
+#include "model/sensitivity.hh"
+#include "util/error.hh"
+
+namespace memsense::model
+{
+namespace
+{
+
+SensitivityAnalyzer
+makeAnalyzer()
+{
+    return SensitivityAnalyzer(Solver(), Platform::paperBaseline());
+}
+
+TEST(BandwidthSweep, StandardVariantsSpanTheFig8Range)
+{
+    auto variants = SensitivityAnalyzer::standardBandwidthVariants(
+        Platform::paperBaseline().memory);
+    EXPECT_GE(variants.size(), 12u);
+    // Per-core availability spans roughly 0 to -4.3 GB/s/core
+    // (paper Fig. 8 x-axis).
+    double base_per_core =
+        Platform::paperBaseline().bandwidthPerCore() / 1e9;
+    double min_per_core = base_per_core;
+    for (const auto &m : variants) {
+        min_per_core =
+            std::min(min_per_core, m.effectiveBandwidth() / 8.0 / 1e9);
+    }
+    EXPECT_LT(min_per_core, 1.1);
+}
+
+TEST(BandwidthSweep, BaselineFirstAndCpiIncreasesDownward)
+{
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto variants = SensitivityAnalyzer::standardBandwidthVariants(
+        Platform::paperBaseline().memory);
+    auto sweep = an.bandwidthSweep(
+        paper::classParams(WorkloadClass::Hpc), variants);
+    ASSERT_FALSE(sweep.empty());
+    EXPECT_NEAR(sweep.front().bwDeltaPerCoreGBps, 0.0, 1e-9);
+    EXPECT_NEAR(sweep.front().cpiIncrease, 0.0, 1e-9);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        ASSERT_LE(sweep[i].bwPerCoreGBps, sweep[i - 1].bwPerCoreGBps);
+        ASSERT_GE(sweep[i].cpiIncrease, sweep[i - 1].cpiIncrease - 1e-9);
+    }
+}
+
+TEST(BandwidthSweep, HpcHurtsMostEnterpriseLeast)
+{
+    // Paper Fig. 8: "the HPC class shows the most impact, while the
+    // enterprise class shows the least."
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto variants = SensitivityAnalyzer::standardBandwidthVariants(
+        Platform::paperBaseline().memory);
+
+    auto worst_increase = [&](WorkloadClass cls) {
+        auto sweep = an.bandwidthSweep(paper::classParams(cls), variants);
+        return sweep.back().cpiIncrease;
+    };
+    double hpc = worst_increase(WorkloadClass::Hpc);
+    double bd = worst_increase(WorkloadClass::BigData);
+    double ent = worst_increase(WorkloadClass::Enterprise);
+    EXPECT_GT(hpc, bd);
+    EXPECT_GT(bd, ent);
+    EXPECT_GT(hpc, 1.0); // HPC suffers > 100% CPI increase at 1 channel
+    // Enterprise degrades far less than HPC even at the extreme end
+    // of the sweep (where even its small demand saturates 1 channel).
+    EXPECT_LT(ent, hpc / 2.0);
+}
+
+TEST(BandwidthSweep, BigDataToleratesModestReduction)
+{
+    // Paper: big data "can tolerate some bandwidth reduction" but
+    // degrades sharply past ~-2.5 GB/s/core.
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto variants = SensitivityAnalyzer::standardBandwidthVariants(
+        Platform::paperBaseline().memory);
+    auto sweep =
+        an.bandwidthSweep(paper::classParams(WorkloadClass::BigData),
+                          variants);
+    for (const auto &pt : sweep) {
+        if (pt.bwDeltaPerCoreGBps > -1.5) {
+            EXPECT_LT(pt.cpiIncrease, 0.10) << pt.memory.describe();
+        }
+        if (pt.bwDeltaPerCoreGBps < -4.0) {
+            EXPECT_GT(pt.cpiIncrease, 0.30) << pt.memory.describe();
+        }
+    }
+}
+
+TEST(LatencySweep, StepsAndNormalization)
+{
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto sweep = an.latencySweep(
+        paper::classParams(WorkloadClass::Enterprise), 60.0, 10.0);
+    ASSERT_EQ(sweep.size(), 7u);
+    EXPECT_DOUBLE_EQ(sweep.front().compulsoryNs, 75.0);
+    EXPECT_DOUBLE_EQ(sweep.back().compulsoryNs, 135.0);
+    EXPECT_NEAR(sweep.front().cpiIncrease, 0.0, 1e-12);
+}
+
+TEST(LatencySweep, ClassSensitivitiesMatchPaperFig10)
+{
+    // Enterprise ~3.5%/10ns, big data ~2.5%/10ns, HPC ~0 (Sec. VI.C.3).
+    SensitivityAnalyzer an = makeAnalyzer();
+
+    auto per_10ns = [&](WorkloadClass cls) {
+        auto sweep = an.latencySweep(paper::classParams(cls), 10.0, 10.0);
+        return sweep.back().cpiIncrease * 100.0;
+    };
+    EXPECT_NEAR(per_10ns(WorkloadClass::Enterprise), 3.5, 1.0);
+    EXPECT_NEAR(per_10ns(WorkloadClass::BigData), 2.5, 1.0);
+    EXPECT_NEAR(per_10ns(WorkloadClass::Hpc), 0.0, 0.3);
+}
+
+TEST(LatencyDerivative, NearlyConstantForLatencyLimitedClasses)
+{
+    // Paper Fig. 11: the per-10ns impact is nearly constant.
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto sweep = an.latencySweep(
+        paper::classParams(WorkloadClass::Enterprise), 60.0, 10.0);
+    auto deriv = SensitivityAnalyzer::latencyDerivative(sweep);
+    ASSERT_EQ(deriv.size(), 6u);
+    for (const auto &d : deriv)
+        EXPECT_NEAR(d.dCpiPct, deriv.front().dCpiPct, 0.7);
+}
+
+TEST(BandwidthDerivative, ImpactDependsOnStartingPoint)
+{
+    // Paper Fig. 9: the %/GB/s impact grows as available bandwidth
+    // shrinks — no single rule of thumb exists.
+    SensitivityAnalyzer an = makeAnalyzer();
+    auto variants = SensitivityAnalyzer::standardBandwidthVariants(
+        Platform::paperBaseline().memory);
+    auto sweep = an.bandwidthSweep(
+        paper::classParams(WorkloadClass::Hpc), variants);
+    auto deriv = SensitivityAnalyzer::bandwidthDerivative(sweep);
+    ASSERT_GE(deriv.size(), 3u);
+    // Impact at the lowest-bandwidth end far exceeds the high end.
+    EXPECT_GT(deriv.back().dCpiPct, deriv.front().dCpiPct * 2.0);
+}
+
+TEST(Sensitivity, SweepValidation)
+{
+    SensitivityAnalyzer an = makeAnalyzer();
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    EXPECT_THROW(an.bandwidthSweep(bd, {}), ConfigError);
+    EXPECT_THROW(an.latencySweep(bd, 60.0, 0.0), ConfigError);
+    EXPECT_THROW(an.latencySweep(bd, -5.0, 10.0), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::model

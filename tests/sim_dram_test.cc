@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the DDR channel model: row-buffer behavior, bus
+ * serialization, pipelined column accesses, and emergent queuing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.hh"
+
+namespace memsense::sim
+{
+namespace
+{
+
+DramConfig
+ddr1867()
+{
+    DramConfig cfg;
+    cfg.megaTransfers = 1866.7;
+    return cfg;
+}
+
+TEST(Dram, UnloadedRowMissLatency)
+{
+    DramChannel ch(ddr1867());
+    DramService s = ch.read(0, 0, 0);
+    // Closed bank: tRCD + tCAS + transfer.
+    Picos expected = nsToPicos(13.9) + nsToPicos(13.9) +
+                     nsToPicos(ddr1867().lineTransferNs());
+    EXPECT_EQ(s.complete, expected);
+    EXPECT_FALSE(s.rowHit);
+    EXPECT_EQ(ch.unloadedReadPs(), expected);
+}
+
+TEST(Dram, RowHitIsFasterThanRowConflict)
+{
+    DramChannel ch(ddr1867());
+    DramService first = ch.read(0, 7, 0);
+    Picos t1 = first.complete;
+    DramService hit = ch.read(0, 7, t1 + 100000);
+    DramService conflict = ch.read(0, 8, hit.complete + 100000);
+    Picos hit_latency = hit.complete - (t1 + 100000);
+    Picos conflict_latency =
+        conflict.complete - (hit.complete + 100000);
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_FALSE(conflict.rowHit);
+    // Conflict pays tRP + tRCD extra.
+    EXPECT_EQ(conflict_latency - hit_latency,
+              nsToPicos(13.9) + nsToPicos(13.9));
+}
+
+TEST(Dram, BusSerializesConcurrentBanks)
+{
+    DramChannel ch(ddr1867());
+    // Two simultaneous reads to different banks: row latency overlaps
+    // but the data bus transfers serialize.
+    DramService a = ch.read(0, 0, 0);
+    DramService b = ch.read(1, 0, 0);
+    EXPECT_GT(b.complete, a.complete);
+    Picos occupancy = nsToPicos(ddr1867().lineTransferNs() *
+                                ddr1867().busOverheadFactor);
+    EXPECT_EQ(b.complete - a.complete, occupancy);
+}
+
+TEST(Dram, RowHitsPipelineOnOneBank)
+{
+    // Back-to-back row hits to one bank stream at the bus rate, not
+    // at (tCAS + transfer) per access — the fix that keeps streaming
+    // workloads from spuriously saturating a single bank.
+    DramChannel ch(ddr1867());
+    ch.read(0, 0, 0); // open the row
+    Picos t0 = 1'000'000;
+    DramService s1 = ch.read(0, 0, t0);
+    DramService s2 = ch.read(0, 0, t0);
+    DramService s3 = ch.read(0, 0, t0);
+    Picos occupancy = nsToPicos(ddr1867().lineTransferNs() *
+                                ddr1867().busOverheadFactor);
+    EXPECT_EQ(s2.complete - s1.complete, occupancy);
+    EXPECT_EQ(s3.complete - s2.complete, occupancy);
+}
+
+TEST(Dram, QueueDelayEmergesUnderLoad)
+{
+    DramChannel ch(ddr1867());
+    // Pile 50 simultaneous requests onto one bank+row.
+    Picos last = 0;
+    for (int i = 0; i < 50; ++i)
+        last = ch.read(0, 0, 0).complete;
+    // The 50th request waits for 49 predecessors.
+    EXPECT_GT(picosToNs(last), 49 * ddr1867().lineTransferNs());
+    EXPECT_GT(ch.stats().queueDelay, 0u);
+}
+
+TEST(Dram, WritesOccupyResources)
+{
+    DramChannel ch(ddr1867());
+    ch.write(0, 0, 0);
+    DramService r = ch.read(0, 0, 0);
+    // The read queues behind the write's bank/bus occupancy.
+    EXPECT_GT(r.complete, ch.unloadedReadPs());
+    EXPECT_EQ(ch.stats().writes, 1u);
+    EXPECT_EQ(ch.stats().reads, 1u);
+}
+
+TEST(Dram, StatsTrackRowHitRatio)
+{
+    DramChannel ch(ddr1867());
+    Picos t = 0;
+    t = ch.read(0, 0, t).complete;
+    t = ch.read(0, 0, t).complete; // hit
+    t = ch.read(0, 0, t).complete; // hit
+    ch.read(0, 1, t);              // conflict
+    EXPECT_EQ(ch.stats().rowHits, 2u);
+    EXPECT_EQ(ch.stats().rowMisses, 2u);
+    EXPECT_NEAR(ch.stats().rowHitRatio(), 0.5, 1e-12);
+}
+
+TEST(Dram, SlowerSpeedLongerTransfer)
+{
+    DramConfig slow = ddr1867();
+    slow.megaTransfers = 1333.3;
+    EXPECT_GT(slow.lineTransferNs(), ddr1867().lineTransferNs());
+    EXPECT_LT(slow.peakBandwidth(), ddr1867().peakBandwidth());
+    // 1866.7 MT/s * 8 B = 14.93 GB/s per channel.
+    EXPECT_NEAR(ddr1867().peakBandwidth() / 4 / 1e9, 14.93, 0.01);
+}
+
+TEST(Dram, ClearStatsKeepsTimingState)
+{
+    DramChannel ch(ddr1867());
+    Picos t = ch.read(0, 3, 0).complete;
+    ch.clearStats();
+    EXPECT_EQ(ch.stats().reads, 0u);
+    // Row 3 is still open: next access is a hit.
+    DramService s = ch.read(0, 3, t);
+    EXPECT_TRUE(s.rowHit);
+}
+
+} // anonymous namespace
+} // namespace memsense::sim

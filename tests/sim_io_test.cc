@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the DMA I/O injector and parameterized address-decode
+ * properties of the memory controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/io.hh"
+#include "sim/memctrl.hh"
+#include "util/error.hh"
+
+namespace memsense::sim
+{
+namespace
+{
+
+IoConfig
+ioAt(double bytes_per_sec)
+{
+    IoConfig cfg;
+    cfg.bytesPerSecond = bytes_per_sec;
+    cfg.rangeBytes = 64ULL << 20;
+    return cfg;
+}
+
+TEST(IoInjector, DisabledAdvancesTimeOnly)
+{
+    MemoryController mem(DramConfig{});
+    IoInjector io(ioAt(0.0), mem);
+    EXPECT_FALSE(io.enabled());
+    io.runUntil(nsToPicos(1000.0));
+    EXPECT_EQ(io.now(), nsToPicos(1000.0));
+    EXPECT_EQ(io.counters().bursts, 0u);
+    EXPECT_EQ(mem.stats().reads, 0u);
+}
+
+TEST(IoInjector, HitsTheConfiguredRate)
+{
+    MemoryController mem(DramConfig{});
+    IoInjector io(ioAt(2.0e9), mem);
+    io.runUntil(nsToPicos(1'000'000.0)); // 1 ms at 2 GB/s = 2 MB
+    double moved =
+        io.counters().bytesRead + io.counters().bytesWritten;
+    EXPECT_NEAR(moved, 2.0e6, 2.0e5);
+}
+
+TEST(IoInjector, RespectsReadWriteMix)
+{
+    MemoryController mem(DramConfig{});
+    IoConfig cfg = ioAt(4.0e9);
+    cfg.readFraction = 0.8;
+    IoInjector io(cfg, mem);
+    io.runUntil(nsToPicos(2'000'000.0));
+    double total =
+        io.counters().bytesRead + io.counters().bytesWritten;
+    EXPECT_NEAR(io.counters().bytesRead / total, 0.8, 0.07);
+}
+
+TEST(IoInjector, TrafficReachesTheChannels)
+{
+    MemoryController mem(DramConfig{});
+    IoInjector io(ioAt(2.0e9), mem);
+    io.runUntil(nsToPicos(500'000.0));
+    mem.drainWrites(io.now());
+    std::uint64_t channel_ops = 0;
+    for (std::uint32_t ch = 0; ch < mem.channels(); ++ch) {
+        channel_ops += mem.channelStats(ch).reads +
+                       mem.channelStats(ch).writes;
+    }
+    EXPECT_GT(channel_ops, 1000u);
+}
+
+TEST(IoInjector, BurstsAreLineAligned)
+{
+    IoConfig bad = ioAt(1e9);
+    bad.burstBytes = 100; // not a multiple of the line size
+    MemoryController mem(DramConfig{});
+    EXPECT_THROW(IoInjector(bad, mem), ConfigError);
+
+    bad = ioAt(1e9);
+    bad.rangeBytes = 1024; // smaller than a burst
+    EXPECT_THROW(IoInjector(bad, mem), ConfigError);
+
+    bad = ioAt(1e9);
+    bad.readFraction = 1.5;
+    EXPECT_THROW(IoInjector(bad, mem), ConfigError);
+}
+
+TEST(IoInjector, DeterministicBySeed)
+{
+    auto run = [](std::uint64_t seed) {
+        MemoryController mem(DramConfig{});
+        IoConfig cfg = ioAt(2.0e9);
+        cfg.seed = seed;
+        IoInjector io(cfg, mem);
+        io.runUntil(nsToPicos(300'000.0));
+        return std::make_pair(io.counters().bytesRead,
+                              mem.stats().reads);
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5).second, 0u);
+}
+
+/** Parameterized decode properties across channel counts. */
+class DecodeProperties : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DecodeProperties, EveryChannelAndManyBanksUsed)
+{
+    DramConfig cfg;
+    cfg.channels = GetParam();
+    MemoryController mc(cfg);
+    std::set<std::uint32_t> channels;
+    std::set<std::uint32_t> banks;
+    for (Addr line = 0; line < 100'000; line += 7)
+        channels.insert(mc.decode(line).channel);
+    for (Addr line = 0; line < 1'000'000; line += 997)
+        banks.insert(mc.decode(line).bank);
+    EXPECT_EQ(channels.size(), static_cast<std::size_t>(GetParam()));
+    EXPECT_GE(banks.size(), cfg.banksPerChannel / 2);
+}
+
+TEST_P(DecodeProperties, DecodeIsAFunction)
+{
+    DramConfig cfg;
+    cfg.channels = GetParam();
+    MemoryController mc(cfg);
+    for (Addr line : {Addr{0}, Addr{12345}, Addr{1} << 30}) {
+        DramCoord a = mc.decode(line);
+        DramCoord b = mc.decode(line);
+        EXPECT_EQ(a.channel, b.channel);
+        EXPECT_EQ(a.bank, b.bank);
+        EXPECT_EQ(a.row, b.row);
+    }
+}
+
+TEST_P(DecodeProperties, BankSpreadIsBalanced)
+{
+    // The golden-ratio bank hash must not leave hot banks: over many
+    // random-ish lines, no bank should carry more than 3x its share.
+    DramConfig cfg;
+    cfg.channels = GetParam();
+    MemoryController mc(cfg);
+    std::map<std::uint32_t, int> histogram;
+    const int n = 64'000;
+    for (int i = 0; i < n; ++i) {
+        Addr line = static_cast<Addr>(i) * 131; // co-prime stride
+        ++histogram[mc.decode(line).bank];
+    }
+    const double share =
+        static_cast<double>(n) / cfg.banksPerChannel;
+    for (const auto &[bank, count] : histogram)
+        EXPECT_LT(count, share * 3.0) << "hot bank " << bank;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChannelCounts, DecodeProperties,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+} // anonymous namespace
+} // namespace memsense::sim

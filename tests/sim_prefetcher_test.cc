@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the stride prefetcher: training, firing, stream tracking,
+ * and throttling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/prefetcher.hh"
+
+namespace memsense::sim
+{
+namespace
+{
+
+PrefetcherConfig
+cfgWith(std::uint32_t degree = 2, std::uint32_t distance = 4,
+        std::uint32_t threshold = 2)
+{
+    PrefetcherConfig cfg;
+    cfg.degree = degree;
+    cfg.distance = distance;
+    cfg.trainThreshold = threshold;
+    cfg.tableEntries = 4;
+    return cfg;
+}
+
+TEST(Prefetcher, FiresAfterTrainingThreshold)
+{
+    StridePrefetcher pf(cfgWith());
+    std::vector<Addr> out;
+    pf.observeMiss(1, 100, out); // allocate
+    EXPECT_TRUE(out.empty());
+    pf.observeMiss(1, 101, out); // stride 1, confidence 1
+    EXPECT_TRUE(out.empty());
+    pf.observeMiss(1, 102, out); // confidence 2 >= threshold: fire
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 106u); // 102 + distance(4)
+    EXPECT_EQ(out[1], 107u);
+}
+
+TEST(Prefetcher, DetectsLargerStrides)
+{
+    StridePrefetcher pf(cfgWith(1, 2));
+    std::vector<Addr> out;
+    pf.observeMiss(1, 0, out);
+    pf.observeMiss(1, 8, out);
+    pf.observeMiss(1, 16, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 16u + 2u * 8u);
+}
+
+TEST(Prefetcher, DetectsNegativeStrides)
+{
+    StridePrefetcher pf(cfgWith(1, 2));
+    std::vector<Addr> out;
+    pf.observeMiss(1, 100, out);
+    pf.observeMiss(1, 99, out);
+    pf.observeMiss(1, 98, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 96u);
+}
+
+TEST(Prefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf(cfgWith());
+    std::vector<Addr> out;
+    pf.observeMiss(1, 0, out);
+    pf.observeMiss(1, 1, out);
+    pf.observeMiss(1, 2, out); // fires
+    out.clear();
+    pf.observeMiss(1, 10, out); // stride jumps to 8: retrain, no fire
+    EXPECT_TRUE(out.empty());
+    pf.observeMiss(1, 18, out); // second matching stride: fires again
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 18u + 4u * 8u);
+}
+
+TEST(Prefetcher, StreamsAreIndependent)
+{
+    StridePrefetcher pf(cfgWith(1, 1));
+    std::vector<Addr> out;
+    // Interleave two streams; each must train on its own stride.
+    pf.observeMiss(1, 0, out);
+    pf.observeMiss(2, 1000, out);
+    pf.observeMiss(1, 1, out);
+    pf.observeMiss(2, 1002, out);
+    pf.observeMiss(1, 2, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 3u);
+    out.clear();
+    pf.observeMiss(2, 1004, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 1006u);
+}
+
+TEST(Prefetcher, RandomStreamNeverFires)
+{
+    StridePrefetcher pf(cfgWith());
+    std::vector<Addr> out;
+    const Addr addrs[] = {5, 93, 12, 77, 4, 1001, 3};
+    for (Addr a : addrs)
+        pf.observeMiss(1, a, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.stats().issued, 0u);
+    EXPECT_EQ(pf.stats().trainings, 7u);
+}
+
+TEST(Prefetcher, DisabledDoesNothing)
+{
+    PrefetcherConfig cfg = cfgWith();
+    cfg.enabled = false;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    for (Addr a = 0; a < 10; ++a)
+        pf.observeMiss(1, a, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.stats().trainings, 0u);
+}
+
+TEST(Prefetcher, TableEvictsLeastRecentStream)
+{
+    PrefetcherConfig cfg = cfgWith(1, 1);
+    cfg.tableEntries = 2;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    // Train streams 1 and 2, then stream 3 evicts stream 1.
+    pf.observeMiss(1, 0, out);
+    pf.observeMiss(2, 100, out);
+    pf.observeMiss(3, 200, out); // evicts stream 1
+    pf.observeMiss(1, 1, out);   // stream 1 re-allocated, no stride yet
+    pf.observeMiss(1, 2, out);   // confidence 1
+    pf.observeMiss(1, 3, out);   // confidence 2: fires
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Prefetcher, ResetDropsTraining)
+{
+    StridePrefetcher pf(cfgWith());
+    std::vector<Addr> out;
+    pf.observeMiss(1, 0, out);
+    pf.observeMiss(1, 1, out);
+    pf.reset();
+    pf.observeMiss(1, 2, out); // would have fired without reset
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, ZeroStrideIgnored)
+{
+    StridePrefetcher pf(cfgWith(1, 1, 1));
+    std::vector<Addr> out;
+    pf.observeMiss(1, 5, out);
+    pf.observeMiss(1, 5, out);
+    pf.observeMiss(1, 5, out);
+    EXPECT_TRUE(out.empty());
+}
+
+} // anonymous namespace
+} // namespace memsense::sim

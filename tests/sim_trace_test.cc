@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for trace recording, serialization, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "util/error.hh"
+#include "workloads/factory.hh"
+
+namespace memsense::sim
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    MicroOp op;
+    op.kind = OpKind::Compute;
+    op.count = 42;
+    t.append(op);
+    op = MicroOp{};
+    op.kind = OpKind::Load;
+    op.addr = 0xdeadbeef00;
+    op.dependent = true;
+    op.stream = 7;
+    t.append(op);
+    op = MicroOp{};
+    op.kind = OpKind::Store;
+    op.addr = 0x1000;
+    op.stream = 2;
+    t.append(op);
+    op = MicroOp{};
+    op.kind = OpKind::NtStore;
+    op.addr = 0x2000;
+    t.append(op);
+    op = MicroOp{};
+    op.kind = OpKind::Bubble;
+    op.count = 9;
+    t.append(op);
+    op = MicroOp{};
+    op.kind = OpKind::Idle;
+    op.count = 100;
+    t.append(op);
+    return t;
+}
+
+TEST(Trace, SaveLoadRoundTrips)
+{
+    Trace t = sampleTrace();
+    std::stringstream ss;
+    t.save(ss);
+    Trace loaded = Trace::load(ss);
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(loaded.at(i).kind, t.at(i).kind) << i;
+        EXPECT_EQ(loaded.at(i).addr, t.at(i).addr) << i;
+        EXPECT_EQ(loaded.at(i).count, t.at(i).count) << i;
+        EXPECT_EQ(loaded.at(i).dependent, t.at(i).dependent) << i;
+        EXPECT_EQ(loaded.at(i).stream, t.at(i).stream) << i;
+    }
+}
+
+TEST(Trace, Counters)
+{
+    Trace t = sampleTrace();
+    // 42 compute + 3 memory ops; bubbles/idle retire nothing.
+    EXPECT_EQ(t.instructionCount(), 45u);
+    EXPECT_EQ(t.memOpCount(), 3u);
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# comment\n\nC 5\n# another\nL ff 1 3\n");
+    Trace t = Trace::load(ss);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.at(0).count, 5u);
+    EXPECT_EQ(t.at(1).addr, 0xffu);
+    EXPECT_TRUE(t.at(1).dependent);
+}
+
+TEST(Trace, LoadRejectsMalformedLines)
+{
+    std::stringstream bad_tag("X 5\n");
+    EXPECT_THROW(Trace::load(bad_tag), ConfigError);
+    std::stringstream missing_field("L ff\n");
+    EXPECT_THROW(Trace::load(missing_field), ConfigError);
+}
+
+TEST(RecordingStream, TeesOpsThrough)
+{
+    auto w = workloads::makeWorkload("proximity", 0, 3);
+    RecordingStream rec(*w, 100);
+    MicroOp op;
+    for (int i = 0; i < 250; ++i)
+        ASSERT_TRUE(rec.next(op));
+    // Capped at 100 records, but kept passing through.
+    EXPECT_EQ(rec.trace().size(), 100u);
+}
+
+TEST(RecordingStream, RecordsExactlyWhatFlowed)
+{
+    auto a = workloads::makeWorkload("oltp", 0, 5);
+    auto b = workloads::makeWorkload("oltp", 0, 5);
+    RecordingStream rec(*a, 0);
+    MicroOp ra;
+    MicroOp rb;
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(rec.next(ra));
+        ASSERT_TRUE(b->next(rb));
+        ASSERT_EQ(ra.addr, rb.addr);
+    }
+    EXPECT_EQ(rec.trace().size(), 500u);
+}
+
+TEST(ReplayStream, ReplaysAndEnds)
+{
+    Trace t = sampleTrace();
+    ReplayStream replay(t, /*loop=*/false);
+    MicroOp op;
+    std::size_t n = 0;
+    while (replay.next(op))
+        ++n;
+    EXPECT_EQ(n, t.size());
+}
+
+TEST(ReplayStream, LoopsWhenAsked)
+{
+    Trace t = sampleTrace();
+    ReplayStream replay(t, /*loop=*/true);
+    MicroOp op;
+    for (std::size_t i = 0; i < 5 * t.size(); ++i)
+        ASSERT_TRUE(replay.next(op));
+    // After exactly N loops we are at the first op again.
+    ASSERT_TRUE(replay.next(op));
+    EXPECT_EQ(op.kind, OpKind::Compute);
+    EXPECT_EQ(op.count, 42u);
+}
+
+TEST(ReplayStream, RejectsEmptyTrace)
+{
+    EXPECT_THROW(ReplayStream(Trace{}, false), ConfigError);
+}
+
+TEST(Trace, RecordReplayProducesIdenticalSimResults)
+{
+    // A trace is a faithful substitute for its generator.
+    auto live = workloads::makeWorkload("column_store", 0, 9);
+    RecordingStream rec(*live, 0);
+    MicroOp op;
+    for (int i = 0; i < 20'000; ++i)
+        rec.next(op);
+
+    ReplayStream replay(rec.trace(), false);
+    auto fresh = workloads::makeWorkload("column_store", 0, 9);
+    MicroOp a;
+    MicroOp b;
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_TRUE(replay.next(a));
+        ASSERT_TRUE(fresh->next(b));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.kind, b.kind);
+    }
+}
+
+TEST(Trace, ReplayOnMachineMatchesLiveRun)
+{
+    // Simulating a recorded trace produces the same counters as
+    // simulating the generator it was recorded from — traces are a
+    // drop-in workload substitute.
+    auto run = [](OpStream &stream) {
+        MachineConfig cfg;
+        cfg.cores = 1;
+        Machine m(cfg);
+        m.bind(0, stream);
+        m.runFor(nsToPicos(200'000.0));
+        MachineSnapshot s = m.snapshot();
+        return std::make_tuple(s.instructions, s.memoryFetches,
+                               s.busyTime);
+    };
+
+    auto live = workloads::makeWorkload("oltp", 0, 77);
+    RecordingStream rec(*live, 0);
+    {
+        // Record enough ops to cover the run.
+        MicroOp op;
+        for (int i = 0; i < 400'000; ++i)
+            rec.next(op);
+    }
+    ReplayStream replay(rec.trace(), /*loop=*/true);
+    auto fresh = workloads::makeWorkload("oltp", 0, 77);
+
+    EXPECT_EQ(run(replay), run(*fresh));
+}
+
+} // anonymous namespace
+} // namespace memsense::sim

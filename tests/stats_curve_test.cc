@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for piecewise curves (queuing model substrate) and the
+ * histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/curve.hh"
+#include "stats/histogram.hh"
+#include "util/error.hh"
+
+namespace memsense::stats
+{
+namespace
+{
+
+TEST(PiecewiseCurve, InterpolatesBetweenKnots)
+{
+    PiecewiseCurve c({{0.0, 0.0}, {1.0, 10.0}});
+    EXPECT_DOUBLE_EQ(c.at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(c.at(0.25), 2.5);
+}
+
+TEST(PiecewiseCurve, ClampsBelowDomain)
+{
+    PiecewiseCurve c({{0.2, 3.0}, {1.0, 10.0}});
+    EXPECT_DOUBLE_EQ(c.at(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(c.at(0.2), 3.0);
+}
+
+TEST(PiecewiseCurve, ExtrapolatesAboveDomain)
+{
+    // Queuing delay keeps growing past the last measured point.
+    PiecewiseCurve c({{0.0, 0.0}, {1.0, 10.0}});
+    EXPECT_DOUBLE_EQ(c.at(1.5), 15.0);
+}
+
+TEST(PiecewiseCurve, SortsAndAveragesDuplicates)
+{
+    PiecewiseCurve c({{2.0, 4.0}, {1.0, 1.0}, {2.0, 6.0}});
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.at(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.minX(), 1.0);
+    EXPECT_DOUBLE_EQ(c.maxX(), 2.0);
+}
+
+TEST(PiecewiseCurve, SingleKnotIsConstant)
+{
+    PiecewiseCurve c({{0.5, 7.0}});
+    EXPECT_DOUBLE_EQ(c.at(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(c.at(10.0), 7.0);
+}
+
+TEST(PiecewiseCurve, MonotonicityCheck)
+{
+    PiecewiseCurve up({{0, 0}, {1, 1}, {2, 1}, {3, 4}});
+    PiecewiseCurve down({{0, 0}, {1, 2}, {2, 1}});
+    EXPECT_TRUE(up.isMonotoneNonDecreasing());
+    EXPECT_FALSE(down.isMonotoneNonDecreasing());
+}
+
+TEST(PiecewiseCurve, MonotoneEnvelopeFixesDips)
+{
+    PiecewiseCurve noisy({{0, 0}, {1, 5}, {2, 3}, {3, 8}});
+    PiecewiseCurve fixed = noisy.monotoneEnvelope();
+    EXPECT_TRUE(fixed.isMonotoneNonDecreasing());
+    EXPECT_DOUBLE_EQ(fixed.at(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(fixed.at(3.0), 8.0);
+}
+
+TEST(PiecewiseCurve, FromSamplesBinsAndAverages)
+{
+    std::vector<CurvePoint> samples;
+    for (int i = 0; i < 100; ++i) {
+        double x = i / 100.0;
+        samples.push_back({x, 2.0 * x});
+    }
+    PiecewiseCurve c = PiecewiseCurve::fromSamples(samples, 10);
+    EXPECT_LE(c.size(), 10u);
+    EXPECT_NEAR(c.at(0.5), 1.0, 0.1);
+}
+
+TEST(PiecewiseCurve, CompositeAveragesCurves)
+{
+    PiecewiseCurve a({{0.0, 0.0}, {1.0, 10.0}});
+    PiecewiseCurve b({{0.0, 0.0}, {1.0, 20.0}});
+    PiecewiseCurve comp = PiecewiseCurve::composite({a, b}, 11);
+    EXPECT_NEAR(comp.at(1.0), 15.0, 1e-9);
+    EXPECT_NEAR(comp.at(0.5), 7.5, 1e-9);
+}
+
+TEST(PiecewiseCurve, CompositeUsesDomainIntersection)
+{
+    PiecewiseCurve a({{0.0, 1.0}, {0.8, 1.0}});
+    PiecewiseCurve b({{0.2, 3.0}, {1.0, 3.0}});
+    PiecewiseCurve comp = PiecewiseCurve::composite({a, b}, 5);
+    EXPECT_DOUBLE_EQ(comp.minX(), 0.2);
+    EXPECT_DOUBLE_EQ(comp.maxX(), 0.8);
+    EXPECT_NEAR(comp.at(0.5), 2.0, 1e-9);
+}
+
+TEST(PiecewiseCurve, CompositeValidation)
+{
+    PiecewiseCurve a({{0.0, 0.0}, {0.3, 1.0}});
+    PiecewiseCurve b({{0.7, 0.0}, {1.0, 1.0}});
+    EXPECT_THROW(PiecewiseCurve::composite({a, b}, 5), ConfigError);
+    EXPECT_THROW(PiecewiseCurve::composite({}, 5), ConfigError);
+}
+
+TEST(Histogram, CountsAndBounds)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.6);
+    h.add(-1.0);
+    h.add(11.0);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 2u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+}
+
+TEST(Histogram, Validation)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ConfigError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+    Histogram h(0, 1, 2);
+    EXPECT_THROW(h.quantile(0.5), ConfigError); // empty
+    h.add(0.5);
+    EXPECT_THROW(h.quantile(1.5), ConfigError);
+}
+
+TEST(Histogram, SketchShowsNonEmptyBins)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(2.5);
+    h.add(2.6);
+    std::string sketch = h.sketch(10);
+    EXPECT_NE(sketch.find('#'), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace memsense::stats

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for k-means clustering (used by the Fig. 6 classifier).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/kmeans.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace memsense::stats
+{
+namespace
+{
+
+TEST(KMeans, SquaredDistance)
+{
+    EXPECT_DOUBLE_EQ(squaredDistance({0, 0}, {3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(squaredDistance({1}, {1}), 0.0);
+}
+
+TEST(KMeans, SeparatesObviousClusters)
+{
+    std::vector<Point> pts;
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i) {
+        pts.push_back({0.0 + rng.nextGaussian() * 0.05,
+                       0.0 + rng.nextGaussian() * 0.05});
+        pts.push_back({1.0 + rng.nextGaussian() * 0.05,
+                       1.0 + rng.nextGaussian() * 0.05});
+    }
+    KMeansConfig cfg;
+    cfg.k = 2;
+    KMeansResult res = kMeans(pts, cfg);
+    EXPECT_TRUE(res.converged);
+
+    // All even-index points (cluster A) share an assignment distinct
+    // from odd-index points (cluster B).
+    std::size_t a = res.assignment[0];
+    std::size_t b = res.assignment[1];
+    EXPECT_NE(a, b);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        ASSERT_EQ(res.assignment[i], i % 2 ? b : a);
+}
+
+TEST(KMeans, KEqualsOneGivesCentroidAtMean)
+{
+    std::vector<Point> pts{{0.0}, {2.0}, {4.0}};
+    KMeansConfig cfg;
+    cfg.k = 1;
+    KMeansResult res = kMeans(pts, cfg);
+    ASSERT_EQ(res.centroids.size(), 1u);
+    EXPECT_NEAR(res.centroids[0][0], 2.0, 1e-12);
+    EXPECT_NEAR(res.inertia, 8.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia)
+{
+    std::vector<Point> pts{{0.0}, {5.0}, {9.0}};
+    KMeansConfig cfg;
+    cfg.k = 3;
+    KMeansResult res = kMeans(pts, cfg);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicForFixedSeed)
+{
+    std::vector<Point> pts;
+    Rng rng(8);
+    for (int i = 0; i < 40; ++i)
+        pts.push_back({rng.nextDouble(), rng.nextDouble()});
+    KMeansConfig cfg;
+    cfg.k = 3;
+    cfg.seed = 123;
+    KMeansResult a = kMeans(pts, cfg);
+    KMeansResult b = kMeans(pts, cfg);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, HandlesDuplicatePoints)
+{
+    std::vector<Point> pts(10, Point{1.0, 1.0});
+    KMeansConfig cfg;
+    cfg.k = 2;
+    KMeansResult res = kMeans(pts, cfg);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, Validation)
+{
+    EXPECT_THROW(kMeans({}, {}), ConfigError);
+    KMeansConfig cfg;
+    cfg.k = 5;
+    EXPECT_THROW(kMeans({{1.0}, {2.0}}, cfg), ConfigError);
+    cfg.k = 1;
+    EXPECT_THROW(kMeans({{1.0}, {2.0, 3.0}}, cfg), ConfigError);
+}
+
+} // anonymous namespace
+} // namespace memsense::stats

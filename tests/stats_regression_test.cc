@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for ordinary least squares — the core of the paper's Sec. V
+ * fitting methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/regression.hh"
+#include "util/error.hh"
+#include "util/rng.hh"
+
+namespace memsense::stats
+{
+namespace
+{
+
+TEST(LinearFit, ExactLineRecovered)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(0.89 + 0.20 * x); // the paper's structured data
+
+    LinearFit fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.intercept, 0.89, 1e-12);
+    EXPECT_NEAR(fit.slope, 0.20, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.residualStddev, 0.0, 1e-9);
+}
+
+TEST(LinearFit, PredictsThroughAt)
+{
+    LinearFit fit = linearFit({0, 1}, {1, 3});
+    EXPECT_DOUBLE_EQ(fit.at(2.0), 5.0);
+}
+
+TEST(LinearFit, NoisyDataGivesReasonableR2)
+{
+    Rng rng(99);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i) {
+        double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(2.0 + 0.5 * x + rng.nextGaussian() * 0.2);
+    }
+    LinearFit fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.intercept, 2.0, 0.1);
+    EXPECT_NEAR(fit.slope, 0.5, 0.02);
+    EXPECT_GT(fit.r2, 0.9);
+    EXPECT_GT(fit.slopeStderr, 0.0);
+    EXPECT_GT(fit.interceptStderr, 0.0);
+}
+
+TEST(LinearFit, Validation)
+{
+    EXPECT_THROW(linearFit({1}, {1}), ConfigError);
+    EXPECT_THROW(linearFit({1, 2}, {1}), ConfigError);
+    // Degenerate x spread: the paper's methodology explicitly varies
+    // core/memory speed to avoid this.
+    EXPECT_THROW(linearFit({2, 2, 2}, {1, 2, 3}), ConfigError);
+}
+
+TEST(WeightedFit, WeightsShiftTheFit)
+{
+    std::vector<double> xs{0, 1, 2};
+    std::vector<double> ys{0, 1, 10}; // outlier at x=2
+    LinearFit plain = linearFit(xs, ys);
+    LinearFit down = weightedLinearFit(xs, ys, {1.0, 1.0, 0.01});
+    EXPECT_LT(down.slope, plain.slope);
+    EXPECT_NEAR(down.slope, 1.0, 0.3);
+}
+
+TEST(WeightedFit, UniformWeightsMatchPlain)
+{
+    std::vector<double> xs{1, 2, 3, 5};
+    std::vector<double> ys{2, 2.5, 4, 5};
+    LinearFit a = linearFit(xs, ys);
+    LinearFit b = weightedLinearFit(xs, ys, {2, 2, 2, 2});
+    EXPECT_NEAR(a.slope, b.slope, 1e-12);
+    EXPECT_NEAR(a.intercept, b.intercept, 1e-12);
+    EXPECT_NEAR(a.r2, b.r2, 1e-12);
+}
+
+TEST(WeightedFit, RejectsNegativeWeights)
+{
+    EXPECT_THROW(weightedLinearFit({1, 2}, {1, 2}, {1, -1}), ConfigError);
+    EXPECT_THROW(weightedLinearFit({1, 2}, {1, 2}, {0, 0}), ConfigError);
+}
+
+TEST(NonNegativeSlopeFit, PassesThroughPositiveSlopes)
+{
+    LinearFit fit = nonNegativeSlopeFit({1, 2, 3}, {1, 2, 3});
+    EXPECT_NEAR(fit.slope, 1.0, 1e-12);
+}
+
+TEST(NonNegativeSlopeFit, ClampsNegativeSlopeToMeanLine)
+{
+    // Core-bound workload: CPI does not rise with miss penalty; noise
+    // can make the raw slope slightly negative (paper's Proximity).
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{0.95, 0.93, 0.94, 0.92};
+    LinearFit fit = nonNegativeSlopeFit(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_NEAR(fit.intercept, 0.935, 1e-12);
+    EXPECT_LE(fit.r2, 0.0 + 1e-12); // no explanatory power, as expected
+}
+
+} // anonymous namespace
+} // namespace memsense::stats

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for streaming and batch summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hh"
+#include "util/error.hh"
+
+namespace memsense::stats
+{
+namespace
+{
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance)
+{
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats whole;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.7 - 3.0;
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Summary, MeanAndStddev)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Summary, PercentileInterpolates)
+{
+    std::vector<double> xs{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Summary, PercentileValidation)
+{
+    EXPECT_THROW(percentile({}, 50), ConfigError);
+    EXPECT_THROW(percentile({1.0}, -1), ConfigError);
+    EXPECT_THROW(percentile({1.0}, 101), ConfigError);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+}
+
+TEST(Summary, CorrelationSigns)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y_pos{2, 4, 6, 8};
+    std::vector<double> y_neg{8, 6, 4, 2};
+    EXPECT_NEAR(correlation(x, y_pos), 1.0, 1e-12);
+    EXPECT_NEAR(correlation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Summary, CorrelationDegenerateCases)
+{
+    std::vector<double> x{1, 2, 3};
+    std::vector<double> flat{5, 5, 5};
+    EXPECT_DOUBLE_EQ(correlation(x, flat), 0.0);
+    EXPECT_THROW(correlation(x, {1.0}), ConfigError);
+    EXPECT_DOUBLE_EQ(correlation({1.0}, {2.0}), 0.0);
+}
+
+} // anonymous namespace
+} // namespace memsense::stats

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace memsense
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10'000; ++i)
+        ASSERT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng r(11);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80'000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.06);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10'000; ++i) {
+        double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(9);
+    int hits = 0;
+    constexpr int kDraws = 50'000;
+    for (int i = 0; i < kDraws; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.02);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10'000; ++i) {
+        auto v = r.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(17);
+    double sum = 0.0;
+    constexpr int kDraws = 100'000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += r.nextExponential(5.0);
+    EXPECT_NEAR(sum / kDraws, 5.0, 0.15);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(19);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kDraws = 100'000;
+    for (int i = 0; i < kDraws; ++i) {
+        double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+    EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform)
+{
+    Rng r(23);
+    constexpr std::uint64_t kN = 10;
+    std::vector<int> counts(kN, 0);
+    constexpr int kDraws = 50'000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.nextZipf(kN, 0.0)];
+    for (int c : counts)
+        EXPECT_NEAR(c, kDraws / kN, kDraws / kN * 0.1);
+}
+
+TEST(Rng, ZipfSkewFavorsLowRanks)
+{
+    Rng r(29);
+    constexpr std::uint64_t kN = 1000;
+    int rank0 = 0;
+    int mid = 0;
+    constexpr int kDraws = 100'000;
+    for (int i = 0; i < kDraws; ++i) {
+        auto v = r.nextZipf(kN, 1.0);
+        ASSERT_LT(v, kN);
+        if (v == 0)
+            ++rank0;
+        if (v == kN / 2)
+            ++mid;
+    }
+    // Under s=1 Zipf, rank 1 is ~500x more likely than rank 500.
+    EXPECT_GT(rank0, mid * 20);
+}
+
+TEST(Rng, ZipfHandlesInterleavedParameters)
+{
+    // The sampler caches (n, s); alternating parameters must not
+    // corrupt results.
+    Rng r(31);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_LT(r.nextZipf(10, 0.5), 10u);
+        ASSERT_LT(r.nextZipf(1000, 1.2), 1000u);
+    }
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng r(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+} // anonymous namespace
+} // namespace memsense

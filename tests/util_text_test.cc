@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for string helpers, table rendering, and CSV quoting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/error.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+namespace memsense
+{
+namespace
+{
+
+TEST(StringUtil, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StringUtil, FormatDoubleAndPercent)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatPercent(0.325), "32.5%");
+    EXPECT_EQ(formatPercent(1.17, 0), "117%");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, TrimAndLower)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(toLower("MiXeD"), "mixed");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "long_header"});
+    t.addRow({"xxxx", "1"});
+    std::string out = t.toString();
+    // Header and row share column positions.
+    auto hdr_pos = out.find("long_header");
+    auto row = out.find("xxxx");
+    ASSERT_NE(hdr_pos, std::string::npos);
+    ASSERT_NE(row, std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), ConfigError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), ConfigError);
+}
+
+TEST(Table, CellAccessor)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.cell(1, 0), "3");
+    EXPECT_THROW(t.cell(2, 0), LogicError);
+}
+
+TEST(Table, TitleAndFootnoteRendered)
+{
+    Table t({"c"});
+    t.setTitle("My Title");
+    t.setFootnote("note below");
+    t.addRow({"v"});
+    std::string out = t.toString();
+    EXPECT_LT(out.find("My Title"), out.find("c"));
+    EXPECT_GT(out.find("note below"), out.find("v"));
+}
+
+TEST(Csv, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.writeRow(std::vector<std::string>{"x", "y"});
+    w.writeRow(std::vector<double>{1.5, 2.0});
+    EXPECT_EQ(oss.str(), "x,y\n1.5,2\n");
+}
+
+} // anonymous namespace
+} // namespace memsense

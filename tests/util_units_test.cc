@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for time/frequency/bandwidth unit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace memsense
+{
+namespace
+{
+
+TEST(Units, NsToPicosRoundTrips)
+{
+    EXPECT_EQ(nsToPicos(1.0), 1000u);
+    EXPECT_EQ(nsToPicos(0.0), 0u);
+    EXPECT_EQ(nsToPicos(13.9), 13900u);
+    EXPECT_DOUBLE_EQ(picosToNs(nsToPicos(75.0)), 75.0);
+}
+
+TEST(Units, NsToPicosRoundsToNearest)
+{
+    EXPECT_EQ(nsToPicos(0.0004), 0u);
+    EXPECT_EQ(nsToPicos(0.0006), 1u);
+}
+
+TEST(Units, NegativeTimeRejected)
+{
+    EXPECT_THROW(nsToPicos(-1.0), ConfigError);
+}
+
+TEST(Clock, PeriodMatchesFrequency)
+{
+    Clock c(2.0);
+    EXPECT_EQ(c.periodPs(), 500u);
+    EXPECT_DOUBLE_EQ(c.ghz(), 2.0);
+    EXPECT_DOUBLE_EQ(c.hz(), 2e9);
+}
+
+TEST(Clock, PeriodRoundsForNonIntegerFrequencies)
+{
+    Clock c(2.7);
+    EXPECT_EQ(c.periodPs(), 370u); // 370.37 ps rounds to 370
+}
+
+TEST(Clock, CycleConversionIsConsistent)
+{
+    Clock c(1.0); // 1000 ps period
+    EXPECT_EQ(c.toPicos(100), 100'000u);
+    EXPECT_EQ(c.toCycles(100'000), 100u);
+    EXPECT_EQ(c.toCycles(100'999), 100u); // floor
+    EXPECT_DOUBLE_EQ(c.toCyclesExact(1500), 1.5);
+}
+
+TEST(Clock, RejectsOutOfRangeFrequencies)
+{
+    EXPECT_THROW(Clock(0.0), ConfigError);
+    EXPECT_THROW(Clock(-1.0), ConfigError);
+    EXPECT_THROW(Clock(500.0), ConfigError);
+}
+
+TEST(Units, FormatBytesPicksSuffix)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(1500), "1.50 KB");
+    EXPECT_EQ(formatBytes(2.5e9), "2.50 GB");
+}
+
+TEST(Units, FormatBandwidthInGBps)
+{
+    EXPECT_EQ(formatBandwidth(42.0e9), "42.00 GB/s");
+}
+
+TEST(Units, FormatNs)
+{
+    EXPECT_EQ(formatNs(nsToPicos(75.0)), "75.0 ns");
+}
+
+} // anonymous namespace
+} // namespace memsense

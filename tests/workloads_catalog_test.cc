@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the workload catalog and factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/paper_data.hh"
+#include "util/error.hh"
+#include "workloads/factory.hh"
+
+namespace memsense::workloads
+{
+namespace
+{
+
+TEST(Catalog, TwelveWorkloadsInPaperOrder)
+{
+    const auto &cat = workloadCatalog();
+    ASSERT_EQ(cat.size(), 12u);
+    EXPECT_EQ(cat[0].id, "column_store");
+    EXPECT_EQ(cat[3].id, "spark");
+    EXPECT_EQ(cat[4].id, "oltp");
+    EXPECT_EQ(cat[8].id, "bwaves");
+    EXPECT_EQ(cat[11].id, "wrf");
+}
+
+TEST(Catalog, ClassLabelsMatchPaperSections)
+{
+    for (const auto &info : workloadCatalog()) {
+        EXPECT_EQ(info.cls, info.paperTarget.cls) << info.id;
+    }
+    EXPECT_EQ(workloadInfo("spark").cls, model::WorkloadClass::BigData);
+    EXPECT_EQ(workloadInfo("jvm").cls, model::WorkloadClass::Enterprise);
+    EXPECT_EQ(workloadInfo("milc").cls, model::WorkloadClass::Hpc);
+}
+
+TEST(Catalog, PaperTargetsComeFromPublishedTables)
+{
+    const auto &info = workloadInfo("column_store");
+    EXPECT_EQ(info.display, "Structured Data");
+    EXPECT_DOUBLE_EQ(info.paperTarget.cpiCache, 0.89);
+    EXPECT_DOUBLE_EQ(info.paperTarget.bf, 0.20);
+}
+
+TEST(Catalog, NitsCarriesTheIoStream)
+{
+    // Paper Sec. V.D: >2 GB/s of SSD RAID traffic.
+    const auto &info = workloadInfo("nits");
+    EXPECT_GT(info.io.bytesPerSecond, 2e9);
+    // Most other workloads have none.
+    EXPECT_DOUBLE_EQ(workloadInfo("jvm").io.bytesPerSecond, 0.0);
+    EXPECT_DOUBLE_EQ(workloadInfo("bwaves").io.bytesPerSecond, 0.0);
+}
+
+TEST(Catalog, HpcUsesThreeCores)
+{
+    // Paper Sec. V.N: three cores per socket for the SPECfp runs.
+    for (const char *id : {"bwaves", "milc", "soplex", "wrf"})
+        EXPECT_EQ(workloadInfo(id).characterizationCores, 3) << id;
+    EXPECT_EQ(workloadInfo("oltp").characterizationCores, 4);
+}
+
+TEST(Catalog, UnknownIdThrows)
+{
+    EXPECT_THROW(workloadInfo("nope"), ConfigError);
+    EXPECT_THROW(makeWorkload("nope", 0, 1), ConfigError);
+    EXPECT_THROW(makeWorkload("spark", -1, 1), ConfigError);
+}
+
+TEST(Factory, EveryCatalogEntryConstructs)
+{
+    for (const auto &info : workloadCatalog()) {
+        auto w = makeWorkload(info.id, 0, 1);
+        ASSERT_NE(w, nullptr) << info.id;
+        EXPECT_FALSE(w->name().empty());
+        sim::MicroOp op;
+        EXPECT_TRUE(w->next(op)) << info.id;
+    }
+}
+
+} // anonymous namespace
+} // namespace memsense::workloads

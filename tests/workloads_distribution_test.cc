@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Statistical-distribution tests on the workload generators: the
+ * access-pattern properties that give each workload its paper
+ * signature (skewed probe popularity, phase structure, GC cadence,
+ * record/scan geometry), verified directly on the op streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workloads/factory.hh"
+
+namespace memsense::workloads
+{
+namespace
+{
+
+/** Collect the dependent-load addresses of the first N ops. */
+std::vector<sim::Addr>
+dependentLoadAddrs(sim::OpStream &s, std::size_t n_ops)
+{
+    std::vector<sim::Addr> out;
+    sim::MicroOp op;
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        if (!s.next(op))
+            break;
+        if (op.kind == sim::OpKind::Load && op.dependent)
+            out.push_back(op.addr);
+    }
+    return out;
+}
+
+TEST(Distribution, ColumnStoreDictionaryProbesAreSkewed)
+{
+    // The dictionary is accessed with zipf skew so hot entries stay
+    // LLC resident (that is what keeps MPKI near the paper's 5.6):
+    // the most popular line must be hit far more than the median.
+    auto w = makeWorkload("column_store", 0, 11);
+    auto addrs = dependentLoadAddrs(*w, 400'000);
+    ASSERT_GT(addrs.size(), 500u);
+    std::map<sim::Addr, int> counts;
+    for (auto a : addrs)
+        ++counts[a >> 6];
+    int max_count = 0;
+    for (const auto &[line, c] : counts)
+        max_count = std::max(max_count, c);
+    double mean_count =
+        static_cast<double>(addrs.size()) /
+        static_cast<double>(counts.size());
+    // Uniform sampling over the 1.5M-line dictionary would almost
+    // never repeat a line (max ~2); the zipf head is hit many times.
+    EXPECT_GE(max_count, 5);
+    EXPECT_GT(max_count, 4.0 * mean_count);
+}
+
+TEST(Distribution, WebCacheObjectsAreUniform)
+{
+    // Paper setup: "64B sized objects randomly distributed across the
+    // database" — object reads must NOT be skewed.
+    auto w = makeWorkload("web_caching", 0, 13);
+    sim::MicroOp op;
+    std::map<sim::Addr, int> counts;
+    int samples = 0;
+    for (int i = 0; i < 600'000 && samples < 4000; ++i) {
+        if (!w->next(op))
+            break;
+        // Object reads live in the (large) slab region, above buckets.
+        if (op.kind == sim::OpKind::Load && op.dependent) {
+            ++counts[op.addr >> 6];
+            ++samples;
+        }
+    }
+    ASSERT_GT(samples, 1000);
+    int max_count = 0;
+    for (const auto &[line, c] : counts)
+        max_count = std::max(max_count, c);
+    // Uniform over a multi-GB region: essentially no repeats. (The
+    // bucket chain probes are zipf but they are a minority.)
+    EXPECT_LT(max_count, 40);
+}
+
+TEST(Distribution, SparkAlternatesMapAndShufflePhases)
+{
+    // Shuffle phases are store-heavy; map phases are load-heavy. Over
+    // windows of ops the store share must visibly oscillate.
+    auto w = makeWorkload("spark", 0, 17);
+    sim::MicroOp op;
+    std::vector<double> store_share;
+    int loads = 0;
+    int stores = 0;
+    int seen = 0;
+    for (int i = 0; i < 2'000'000; ++i) {
+        if (!w->next(op))
+            break;
+        if (op.kind == sim::OpKind::Load)
+            ++loads;
+        else if (op.kind == sim::OpKind::Store)
+            ++stores;
+        else
+            continue;
+        if (++seen == 150) {
+            store_share.push_back(
+                static_cast<double>(stores) /
+                static_cast<double>(loads + stores));
+            loads = stores = seen = 0;
+        }
+    }
+    ASSERT_GT(store_share.size(), 30u);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double s : store_share) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    // Map windows are mostly loads; shuffle windows mostly stores.
+    EXPECT_LT(lo, 0.35);
+    EXPECT_GT(hi, 0.60);
+}
+
+TEST(Distribution, JvmGcFiresPeriodically)
+{
+    // GC phases emit runs of stream-tagged copy traffic; between GCs
+    // the nursery allocation stream dominates the tagged stores. The
+    // observable: store bursts into the heap (random addresses) recur
+    // with a long period.
+    // Heap stores (stream 0) only happen during GC evacuation; the
+    // request path allocates into the nursery (stream-tagged).
+    auto w = makeWorkload("jvm", 0, 19);
+    sim::MicroOp op;
+    int heap_stores = 0;
+    int heap_stores_in_first_window = 0;
+    for (int i = 0; i < 500'000; ++i) {
+        if (!w->next(op))
+            break;
+        if (op.kind == sim::OpKind::Store && op.stream == 0) {
+            ++heap_stores;
+            if (i < 4000)
+                ++heap_stores_in_first_window;
+        }
+    }
+    // Several GC cycles happened (each copies ~380 lines)...
+    EXPECT_GE(heap_stores, 2 * 380);
+    // ...but none before the first GC trigger.
+    EXPECT_EQ(heap_stores_in_first_window, 0);
+}
+
+TEST(Distribution, NitsScansSequentially)
+{
+    // The dataset scan walks line-by-line (that is what the stride
+    // prefetcher covers): consecutive stream-tagged loads must be
+    // adjacent lines.
+    auto w = makeWorkload("nits", 0, 23);
+    sim::MicroOp op;
+    sim::Addr prev = 0;
+    int sequential = 0;
+    int tagged = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        if (!w->next(op))
+            break;
+        if (op.kind == sim::OpKind::Load && op.stream != 0) {
+            if (prev != 0 && (op.addr >> 6) == (prev >> 6) + 1)
+                ++sequential;
+            prev = op.addr;
+            ++tagged;
+        }
+    }
+    ASSERT_GT(tagged, 1000);
+    EXPECT_GT(sequential, tagged * 9 / 10);
+}
+
+TEST(Distribution, VirtualizationRotatesGuests)
+{
+    // Slices rotate round-robin across disjoint guest footprints: the
+    // stream of memory ops must visit several distinct 768 MB regions
+    // in order.
+    auto w = makeWorkload("virtualization", 0, 29);
+    sim::MicroOp op;
+    std::vector<sim::Addr> region_sequence;
+    sim::Addr current = ~sim::Addr{0};
+    for (int i = 0; i < 400'000; ++i) {
+        if (!w->next(op))
+            break;
+        if (op.kind != sim::OpKind::Load &&
+            op.kind != sim::OpKind::Store)
+            continue;
+        sim::Addr region = op.addr / (768ULL << 20);
+        if (region != current) {
+            region_sequence.push_back(region);
+            current = region;
+        }
+    }
+    // Many slice switches across >= 4 distinct guests.
+    ASSERT_GT(region_sequence.size(), 8u);
+    std::map<sim::Addr, int> distinct;
+    for (auto r : region_sequence)
+        ++distinct[r];
+    EXPECT_GE(distinct.size(), 4u);
+}
+
+} // anonymous namespace
+} // namespace memsense::workloads

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Property tests over every workload generator: determinism, op-
+ * stream sanity, address-arena containment, and per-workload
+ * signature checks (op mixes that define each workload's character).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "workloads/factory.hh"
+#include "workloads/latency_checker.hh"
+#include "util/error.hh"
+#include "workloads/layout.hh"
+
+namespace memsense::workloads
+{
+namespace
+{
+
+/** Summary of the first N ops of a stream. */
+struct StreamProfile
+{
+    std::uint64_t computeInstr = 0;
+    std::uint64_t bubbleCycles = 0;
+    std::uint64_t idleCycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t dependentLoads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t ntStores = 0;
+    std::uint64_t streamTagged = 0; ///< ops carrying a stream id
+    sim::Addr minAddr = ~sim::Addr{0};
+    sim::Addr maxAddr = 0;
+
+    std::uint64_t
+    instructions() const
+    {
+        return computeInstr + loads + stores + ntStores;
+    }
+
+    std::uint64_t
+    memOps() const
+    {
+        return loads + stores + ntStores;
+    }
+};
+
+StreamProfile
+profileStream(sim::OpStream &stream, std::uint64_t n = 200'000)
+{
+    StreamProfile p;
+    sim::MicroOp op;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!stream.next(op))
+            break;
+        switch (op.kind) {
+          case sim::OpKind::Compute:
+            p.computeInstr += op.count;
+            break;
+          case sim::OpKind::Bubble:
+            p.bubbleCycles += op.count;
+            break;
+          case sim::OpKind::Idle:
+            p.idleCycles += op.count;
+            break;
+          case sim::OpKind::Load:
+            ++p.loads;
+            if (op.dependent)
+                ++p.dependentLoads;
+            break;
+          case sim::OpKind::Store:
+            ++p.stores;
+            break;
+          case sim::OpKind::NtStore:
+            ++p.ntStores;
+            break;
+        }
+        if (op.kind == sim::OpKind::Load ||
+            op.kind == sim::OpKind::Store ||
+            op.kind == sim::OpKind::NtStore) {
+            p.minAddr = std::min(p.minAddr, op.addr);
+            p.maxAddr = std::max(p.maxAddr, op.addr);
+            if (op.stream != 0)
+                ++p.streamTagged;
+        }
+    }
+    return p;
+}
+
+/** Parameterized over all twelve catalog workloads. */
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, DeterministicBySeed)
+{
+    auto a = makeWorkload(GetParam(), 0, 42);
+    auto b = makeWorkload(GetParam(), 0, 42);
+    sim::MicroOp oa;
+    sim::MicroOp ob;
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_TRUE(a->next(oa));
+        ASSERT_TRUE(b->next(ob));
+        ASSERT_EQ(oa.kind, ob.kind);
+        ASSERT_EQ(oa.addr, ob.addr);
+        ASSERT_EQ(oa.count, ob.count);
+        ASSERT_EQ(oa.dependent, ob.dependent);
+    }
+}
+
+TEST_P(EveryWorkload, DifferentSeedsDifferentStreams)
+{
+    auto a = makeWorkload(GetParam(), 0, 1);
+    auto b = makeWorkload(GetParam(), 0, 2);
+    sim::MicroOp oa;
+    sim::MicroOp ob;
+    int diff = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        a->next(oa);
+        b->next(ob);
+        if (oa.addr != ob.addr)
+            ++diff;
+    }
+    EXPECT_GT(diff, 100);
+}
+
+TEST_P(EveryWorkload, CoresHaveDisjointArenas)
+{
+    auto a = makeWorkload(GetParam(), 0, 1);
+    auto b = makeWorkload(GetParam(), 3, 1);
+    StreamProfile pa = profileStream(*a, 50'000);
+    StreamProfile pb = profileStream(*b, 50'000);
+    EXPECT_TRUE(pa.maxAddr < pb.minAddr || pb.maxAddr < pa.minAddr)
+        << GetParam();
+}
+
+TEST_P(EveryWorkload, ProducesAllInstructionActivity)
+{
+    auto w = makeWorkload(GetParam(), 0, 5);
+    StreamProfile p = profileStream(*w);
+    EXPECT_GT(p.instructions(), 10'000u) << GetParam();
+    EXPECT_GT(p.memOps(), 100u) << GetParam();
+    EXPECT_GT(p.computeInstr, 0u) << GetParam();
+}
+
+TEST_P(EveryWorkload, AddressesStayWithinTheCoreArena)
+{
+    auto w = makeWorkload(GetParam(), 2, 5);
+    StreamProfile p = profileStream(*w, 100'000);
+    const sim::Addr arena_base =
+        (sim::Addr{1} << 44) + 2 * (sim::Addr{1} << 42);
+    EXPECT_GE(p.minAddr, arena_base) << GetParam();
+    EXPECT_LT(p.maxAddr, arena_base + (sim::Addr{1} << 42))
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, EveryWorkload,
+    ::testing::Values("column_store", "nits", "proximity", "spark",
+                      "oltp", "jvm", "virtualization", "web_caching",
+                      "bwaves", "milc", "soplex", "wrf"),
+    [](const auto &p) { return p.param; });
+
+TEST(WorkloadSignatures, NitsWritesNonTemporally)
+{
+    auto w = makeWorkload("nits", 0, 1);
+    StreamProfile p = profileStream(*w);
+    EXPECT_GT(p.ntStores, p.loads) << "NITS WBR must exceed 100%";
+}
+
+TEST(WorkloadSignatures, ProximityIsComputeHeavy)
+{
+    auto w = makeWorkload("proximity", 0, 1);
+    StreamProfile p = profileStream(*w);
+    // An order of magnitude fewer memory ops per instruction than the
+    // scanning workloads.
+    double mem_per_instr =
+        static_cast<double>(p.memOps()) /
+        static_cast<double>(p.instructions());
+    EXPECT_LT(mem_per_instr, 0.05);
+    EXPECT_GT(p.bubbleCycles, 0u);
+}
+
+TEST(WorkloadSignatures, SparkHasIdleGapsAndPhases)
+{
+    auto w = makeWorkload("spark", 0, 1);
+    StreamProfile p = profileStream(*w);
+    EXPECT_GT(p.idleCycles, 0u); // task-scheduling gaps (util < 100%)
+    EXPECT_GT(p.dependentLoads, 0u);
+    EXPECT_GT(p.stores, 0u);
+}
+
+TEST(WorkloadSignatures, HpcKernelsAreStreamTagged)
+{
+    for (const char *id : {"bwaves", "milc", "soplex", "wrf"}) {
+        auto w = makeWorkload(id, 0, 1);
+        StreamProfile p = profileStream(*w, 50'000);
+        // Most accesses belong to prefetchable streams.
+        EXPECT_GT(p.streamTagged, p.memOps() / 2) << id;
+    }
+}
+
+TEST(WorkloadSignatures, EnterpriseIsDependentHeavy)
+{
+    for (const char *id : {"oltp", "web_caching", "virtualization"}) {
+        auto w = makeWorkload(id, 0, 1);
+        StreamProfile p = profileStream(*w);
+        double dep_frac = static_cast<double>(p.dependentLoads) /
+                          static_cast<double>(p.loads);
+        EXPECT_GT(dep_frac, 0.25) << id;
+    }
+}
+
+TEST(WorkloadSignatures, WebCachingIdlesHalfTheTime)
+{
+    auto w = makeWorkload("web_caching", 0, 1);
+    StreamProfile p = profileStream(*w);
+    EXPECT_GT(p.idleCycles, 0u);
+}
+
+TEST(LatencyChecker, ProbeChasesDependently)
+{
+    LatencyCheckerConfig cfg;
+    cfg.role = MlcRole::LatencyProbe;
+    LatencyCheckerWorkload w(cfg);
+    StreamProfile p = profileStream(w, 10'000);
+    EXPECT_EQ(p.dependentLoads, p.loads);
+    EXPECT_EQ(p.ntStores, 0u);
+}
+
+TEST(LatencyChecker, GeneratorHonorsMixAndDelay)
+{
+    LatencyCheckerConfig cfg;
+    cfg.role = MlcRole::BandwidthGen;
+    cfg.readFraction = 0.67;
+    cfg.delayCycles = 32;
+    LatencyCheckerWorkload w(cfg);
+    StreamProfile p = profileStream(w, 30'000);
+    double reads = static_cast<double>(p.loads);
+    double writes = static_cast<double>(p.ntStores);
+    EXPECT_NEAR(reads / (reads + writes), 0.67, 0.03);
+    EXPECT_EQ(p.dependentLoads, 0u);
+    EXPECT_GT(p.bubbleCycles, 0u);
+}
+
+TEST(Layout, RegionsAreDisjointAndAligned)
+{
+    AddressSpace arena(sim::Addr{1} << 40);
+    Region a = arena.allocate("a", 100);
+    Region b = arena.allocate("b", 5'000'000);
+    EXPECT_GE(b.base, a.base + a.bytes);
+    EXPECT_EQ(a.bytes % (2ULL << 20), 0u);
+    EXPECT_EQ(arena.regions().size(), 2u);
+    EXPECT_THROW(arena.allocate("bad", 0), ConfigError);
+    EXPECT_THROW(a.lineAddr(a.lines()), LogicError);
+}
+
+} // anonymous namespace
+} // namespace memsense::workloads
