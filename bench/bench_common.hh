@@ -13,6 +13,7 @@
 #define MEMSENSE_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -68,6 +69,26 @@ fastMode(int argc, char **argv)
         if (std::string(argv[i]) == "--fast")
             return true;
     return false;
+}
+
+/**
+ * Worker count from --jobs N / --jobs=N.
+ *
+ * Default 1 (the serial reference path); 0 means one worker per
+ * hardware thread. Sweep results are identical for any value — the
+ * engine collects results in input order (measure/parallel.hh).
+ */
+inline int
+jobsArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+        if (arg.rfind("--jobs=", 0) == 0)
+            return std::atoi(arg.c_str() + 7);
+    }
+    return 1;
 }
 
 } // namespace memsense::bench

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -58,12 +59,20 @@ main(int argc, char **argv)
     std::vector<std::string> ids;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            cfg.jobs = std::atoi(argv[++i]);
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            cfg.jobs = std::atoi(arg.c_str() + 7);
+            continue;
+        }
         if (!arg.empty() && arg[0] != '-')
             ids.push_back(arg); // flags (--quiet etc.) are not ids
     }
     if (!ids.empty()) {
-        for (const auto &id : ids)
-            printRow(t, measure::characterize(id, cfg));
+        for (const auto &c : measure::characterizeMany(ids, cfg))
+            printRow(t, c);
     } else {
         for (const auto &c : measure::characterizeAll(cfg))
             printRow(t, c);

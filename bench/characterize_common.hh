@@ -34,18 +34,21 @@ sweepConfig(bool fast)
     return cfg;
 }
 
-/** Characterize a list of workloads. */
+/** Sweep settings from the bench flags (--fast, --jobs N). */
+inline measure::FreqScalingConfig
+sweepConfig(int argc, char **argv)
+{
+    measure::FreqScalingConfig cfg = sweepConfig(fastMode(argc, argv));
+    cfg.jobs = jobsArg(argc, argv);
+    return cfg;
+}
+
+/** Characterize a list of workloads on the parallel engine. */
 inline std::vector<measure::Characterization>
 characterizeIds(const std::vector<std::string> &ids,
                 const measure::FreqScalingConfig &cfg)
 {
-    std::vector<measure::Characterization> out;
-    out.reserve(ids.size());
-    for (const auto &id : ids) {
-        inform("characterizing " + id + " ...");
-        out.push_back(measure::characterize(id, cfg));
-    }
-    return out;
+    return measure::characterizeMany(ids, cfg);
 }
 
 /** Print the fitted-parameter table with the paper's values beside. */

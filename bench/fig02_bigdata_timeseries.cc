@@ -22,6 +22,6 @@ main(int argc, char **argv)
            "data workloads (100 us virtual sampling interval)");
     runTimeSeries("fig02",
                   {"column_store", "nits", "proximity", "spark"},
-                  fastMode(argc, argv));
+                  fastMode(argc, argv), jobsArg(argc, argv));
     return 0;
 }

@@ -25,7 +25,7 @@ main(int argc, char **argv)
            "{1333,1867})");
     auto chars = characterizeIds(
         {"column_store", "nits", "proximity", "spark"},
-        sweepConfig(fastMode(argc, argv)));
+        sweepConfig(argc, argv));
     printFitScatter("fig03", chars);
     return 0;
 }

@@ -21,6 +21,6 @@ main(int argc, char **argv)
            "enterprise workloads (100 us virtual sampling interval)");
     runTimeSeries("fig04",
                   {"oltp", "jvm", "virtualization", "web_caching"},
-                  fastMode(argc, argv));
+                  fastMode(argc, argv), jobsArg(argc, argv));
     return 0;
 }

@@ -19,6 +19,6 @@ main(int argc, char **argv)
            "CPU utilization / CPI / memory bandwidth vs. time, HPC "
            "proxies (100 us virtual sampling interval, 3 cores)");
     runTimeSeries("fig05", {"bwaves", "milc", "soplex", "wrf"},
-                  fastMode(argc, argv));
+                  fastMode(argc, argv), jobsArg(argc, argv));
     return 0;
 }

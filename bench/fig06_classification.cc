@@ -46,7 +46,7 @@ main(int argc, char **argv)
         for (const auto &info : workloads::workloadCatalog())
             ids.push_back(info.id);
         for (const auto &c :
-             characterizeIds(ids, sweepConfig(fastMode(argc, argv))))
+             characterizeIds(ids, sweepConfig(argc, argv)))
             params.push_back(c.model.params);
     }
 

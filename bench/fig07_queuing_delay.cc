@@ -28,8 +28,9 @@ main(int argc, char **argv)
            "latency probe + 7 bandwidth generators)");
 
     auto setups = measure::paperFig7Setups();
-    if (fast) {
-        for (auto &s : setups) {
+    for (auto &s : setups) {
+        s.jobs = jobsArg(argc, argv);
+        if (fast) {
             s.delayCycles = {0, 8, 24, 48, 96, 256, 1024, 2048};
             s.measure = nsToPicos(200'000.0);
         }

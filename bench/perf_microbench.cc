@@ -8,9 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <future>
 #include <memory>
+#include <vector>
 
 #include "measure/runner.hh"
+#include "util/thread_pool.hh"
 #include "model/memsense.hh"
 #include "sim/machine.hh"
 #include "stats/regression.hh"
@@ -64,10 +67,15 @@ BENCHMARK(BM_LinearFit);
 void
 BM_CacheLookup(benchmark::State &state)
 {
+    // range(0) selects the geometry: a power-of-two set count takes
+    // the mask-index path, a non-power-of-two one (3 MB, as in the
+    // 3-core HPC LLC slice) falls back to modulo.
     sim::CacheConfig cfg;
-    cfg.sizeBytes = 2 * 1024 * 1024;
+    cfg.sizeBytes = static_cast<std::uint64_t>(state.range(0)) *
+                    1024 * 1024;
     cfg.ways = 16;
     sim::SetAssocCache cache("bench", cfg);
+    state.SetLabel(state.range(0) == 2 ? "pow2_sets" : "mod_sets");
     Rng rng(1);
     for (sim::Addr a = 0; a < 40'000; ++a)
         cache.insert(a, false, 0);
@@ -76,7 +84,28 @@ BM_CacheLookup(benchmark::State &state)
             cache.lookup(rng.nextBounded(80'000), false, 0));
     }
 }
-BENCHMARK(BM_CacheLookup);
+BENCHMARK(BM_CacheLookup)->Arg(2)->Arg(3);
+
+/** Dispatch overhead of the experiment engine's worker pool. */
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        std::vector<std::future<int>> futures;
+        futures.reserve(64);
+        for (int i = 0; i < 64; ++i)
+            futures.push_back(pool.submit([i]() { return i; }));
+        int sum = 0;
+        for (auto &f : futures)
+            sum += f.get();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["tasks_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 64.0,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_DramChannelRead(benchmark::State &state)

@@ -21,7 +21,7 @@ main(int argc, char **argv)
                       "(fitted on the simulator vs. published)");
     auto chars = characterizeIds(
         {"column_store", "nits", "proximity", "spark"},
-        sweepConfig(fastMode(argc, argv)));
+        sweepConfig(argc, argv));
     printParamTable("tab2", chars);
     return 0;
 }

@@ -74,7 +74,7 @@ main(int argc, char **argv)
     printValidation("paper_grid", paper_fit, paper_obs);
 
     // (b) The same exercise on the bundled simulator.
-    measure::FreqScalingConfig cfg = sweepConfig(fastMode(argc, argv));
+    measure::FreqScalingConfig cfg = sweepConfig(argc, argv);
     cfg.runsPerPoint = 2; // Table 3 used two runs per point
     measure::Characterization c =
         measure::characterize("column_store", cfg);

@@ -22,7 +22,7 @@ main(int argc, char **argv)
                       "(fitted on the simulator vs. inferred targets)");
     auto chars = characterizeIds(
         {"virtualization", "web_caching", "oltp", "jvm"},
-        sweepConfig(fastMode(argc, argv)));
+        sweepConfig(argc, argv));
     printParamTable("tab4", chars);
     return 0;
 }

@@ -20,7 +20,7 @@ main(int argc, char **argv)
     header("Table 5", "Workload parameters for HPC "
                       "(fitted on the simulator vs. inferred targets)");
     auto chars = characterizeIds({"bwaves", "milc", "soplex", "wrf"},
-                                 sweepConfig(fastMode(argc, argv)));
+                                 sweepConfig(argc, argv));
     printParamTable("tab5", chars);
     return 0;
 }

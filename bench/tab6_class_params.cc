@@ -63,7 +63,7 @@ main(int argc, char **argv)
         ids.push_back(info.id);
     std::vector<model::WorkloadParams> fitted;
     for (const auto &c :
-         characterizeIds(ids, sweepConfig(fastMode(argc, argv))))
+         characterizeIds(ids, sweepConfig(argc, argv)))
         fitted.push_back(c.model.params);
     printMeans("fitted_on_simulator", fitted);
     return 0;

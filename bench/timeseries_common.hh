@@ -19,11 +19,18 @@
 namespace memsense::bench
 {
 
-/** Run and print the time series of the given workloads. */
+/**
+ * Run and print the time series of the given workloads. Series run
+ * concurrently on @p jobs workers (each serially sampled on its own
+ * machine) and print in input order.
+ */
 inline void
 runTimeSeries(const std::string &exp_id,
-              const std::vector<std::string> &ids, bool fast)
+              const std::vector<std::string> &ids, bool fast,
+              int jobs = 1)
 {
+    std::vector<measure::TimeSeriesConfig> cfgs;
+    cfgs.reserve(ids.size());
     for (const auto &id : ids) {
         const auto &info = workloads::workloadInfo(id);
         measure::TimeSeriesConfig cfg;
@@ -33,8 +40,15 @@ runTimeSeries(const std::string &exp_id,
         cfg.run.adaptiveWarmup = !fast;
         cfg.interval = nsToPicos(100'000.0); // "100 ms" scaled down
         cfg.samples = fast ? 20 : 40;
+        cfgs.push_back(cfg);
+    }
 
-        measure::TimeSeries ts = measure::captureTimeSeries(cfg);
+    std::vector<measure::TimeSeries> series =
+        measure::captureTimeSeriesBatch(cfgs, jobs);
+
+    for (std::size_t w = 0; w < ids.size(); ++w) {
+        const auto &info = workloads::workloadInfo(ids[w]);
+        const measure::TimeSeries &ts = series[w];
 
         std::cout << "\n-- " << info.display << " ("
                   << info.characterizationCores << " cores) --\n";
@@ -58,7 +72,7 @@ runTimeSeries(const std::string &exp_id,
             ts.meanCpuUtilization() * 100.0, ts.meanCpi(), ts.cpiCv(),
             ts.meanBandwidthGBps()));
         t.print(std::cout);
-        csvBlock(exp_id + "_" + id,
+        csvBlock(exp_id + "_" + ids[w],
                  {"t_ms", "cpu_util", "cpi", "bw_gbps", "io_gbps",
                   "mpki", "mp_ns"},
                  csv);

@@ -1,5 +1,8 @@
 #include "measure/freq_scaling.hh"
 
+#include <cstddef>
+
+#include "measure/parallel.hh"
 #include "util/error.hh"
 #include "util/log.hh"
 #include "util/string_util.hh"
@@ -7,8 +10,39 @@
 namespace memsense::measure
 {
 
+namespace
+{
+
+/** Run one grid point under a log scope naming its workload. */
+model::FitObservation
+runGridPoint(const RunConfig &rc)
+{
+    LogScope scope(rc.workloadId);
+    return runObservation(rc);
+}
+
+/** Fit one workload's model from its measured observations. */
 Characterization
-characterize(const std::string &workload_id, const FreqScalingConfig &cfg)
+fitCharacterization(const std::string &workload_id,
+                    std::vector<model::FitObservation> observations)
+{
+    const workloads::WorkloadInfo &info =
+        workloads::workloadInfo(workload_id);
+    Characterization out;
+    out.workloadId = workload_id;
+    out.observations = std::move(observations);
+    out.model = model::fitModel(info.display, info.cls, out.observations);
+    debug(strformat("%s: CPI_cache=%.3f BF=%.3f R2=%.3f",
+                    workload_id.c_str(), out.model.params.cpiCache,
+                    out.model.params.bf, out.model.fit.r2));
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<RunConfig>
+characterizationGrid(const std::string &workload_id,
+                     const FreqScalingConfig &cfg)
 {
     requireConfig(!cfg.coreGhz.empty() && !cfg.memMtPerSec.empty(),
                   "frequency-scaling sweep needs a non-empty grid");
@@ -17,8 +51,9 @@ characterize(const std::string &workload_id, const FreqScalingConfig &cfg)
     const workloads::WorkloadInfo &info =
         workloads::workloadInfo(workload_id);
 
-    Characterization out;
-    out.workloadId = workload_id;
+    std::vector<RunConfig> grid;
+    grid.reserve(cfg.coreGhz.size() * cfg.memMtPerSec.size() *
+                 static_cast<std::size_t>(cfg.runsPerPoint));
     for (double ghz : cfg.coreGhz) {
         for (double mt : cfg.memMtPerSec) {
             for (int r = 0; r < cfg.runsPerPoint; ++r) {
@@ -36,27 +71,64 @@ characterize(const std::string &workload_id, const FreqScalingConfig &cfg)
                 rc.prefetcherEnabled = cfg.prefetcherEnabled;
                 rc.mshrs = cfg.mshrs;
                 rc.adaptiveWarmup = cfg.adaptiveWarmup;
-                out.observations.push_back(runObservation(rc));
+                grid.push_back(rc);
             }
         }
     }
+    return grid;
+}
 
-    out.model = model::fitModel(info.display, info.cls, out.observations);
-    debug(strformat("%s: CPI_cache=%.3f BF=%.3f R2=%.3f",
-                    workload_id.c_str(), out.model.params.cpiCache,
-                    out.model.params.bf, out.model.fit.r2));
+Characterization
+characterize(const std::string &workload_id, const FreqScalingConfig &cfg)
+{
+    const std::vector<RunConfig> grid =
+        characterizationGrid(workload_id, cfg);
+    ParallelExecutor exec(cfg.jobs);
+    return fitCharacterization(workload_id,
+                               exec.mapOrdered(grid, runGridPoint));
+}
+
+std::vector<Characterization>
+characterizeMany(const std::vector<std::string> &ids,
+                 const FreqScalingConfig &cfg)
+{
+    // Flatten every workload's grid into one job list so workers stay
+    // busy across workload boundaries, then slice the ordered results
+    // back per workload. All grids have the same size because the
+    // sweep settings are shared.
+    std::vector<RunConfig> all_jobs;
+    for (const auto &id : ids) {
+        inform("characterizing " + id + " ...");
+        std::vector<RunConfig> grid = characterizationGrid(id, cfg);
+        all_jobs.insert(all_jobs.end(), grid.begin(), grid.end());
+    }
+
+    ParallelExecutor exec(cfg.jobs);
+    std::vector<model::FitObservation> observations =
+        exec.mapOrdered(all_jobs, runGridPoint);
+
+    const std::size_t per_workload =
+        ids.empty() ? 0 : observations.size() / ids.size();
+    std::vector<Characterization> out;
+    out.reserve(ids.size());
+    for (std::size_t w = 0; w < ids.size(); ++w) {
+        auto first = observations.begin() +
+                     static_cast<std::ptrdiff_t>(w * per_workload);
+        out.push_back(fitCharacterization(
+            ids[w], std::vector<model::FitObservation>(
+                        first, first + static_cast<std::ptrdiff_t>(
+                                           per_workload))));
+    }
     return out;
 }
 
 std::vector<Characterization>
 characterizeAll(const FreqScalingConfig &cfg)
 {
-    std::vector<Characterization> out;
-    for (const auto &info : workloads::workloadCatalog()) {
-        inform("characterizing " + info.id + " ...");
-        out.push_back(characterize(info.id, cfg));
-    }
-    return out;
+    std::vector<std::string> ids;
+    for (const auto &info : workloads::workloadCatalog())
+        ids.push_back(info.id);
+    return characterizeMany(ids, cfg);
 }
 
 } // namespace memsense::measure

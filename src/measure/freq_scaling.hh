@@ -7,6 +7,12 @@
  * spread the MPI*MP product, measures (CPI_eff, MPI, MP) with the
  * simulator's counters at each point, and fits Eq. 1 to estimate
  * CPI_cache and the blocking factor.
+ *
+ * Every grid point is an independent, seed-deterministic simulation,
+ * so the sweep runs on the parallel experiment engine: the workload x
+ * GHz x MT/s x run grid is flattened into one job list and mapped over
+ * `jobs` workers, with results collected in input order — bit-identical
+ * to the serial path (see measure/parallel.hh).
  */
 
 #ifndef MEMSENSE_MEASURE_FREQ_SCALING_HH
@@ -41,6 +47,9 @@ struct FreqScalingConfig
     /** Override the catalog's characterization core count; <= 0 keeps
      *  the catalog value. */
     int coresOverride = 0;
+    /** Worker threads for the grid; 1 = serial reference path, <= 0 =
+     *  one per hardware thread. Results are identical for any value. */
+    int jobs = 1;
 };
 
 /** Result of characterizing one workload. */
@@ -52,6 +61,14 @@ struct Characterization
 };
 
 /**
+ * The flattened (GHz x MT/s x run) job list of one workload's sweep,
+ * in the canonical (serial) execution order.
+ */
+std::vector<RunConfig>
+characterizationGrid(const std::string &workload_id,
+                     const FreqScalingConfig &cfg);
+
+/**
  * Run the sweep for one workload and fit the model.
  *
  * @param workload_id catalog id
@@ -59,6 +76,15 @@ struct Characterization
  */
 Characterization characterize(const std::string &workload_id,
                               const FreqScalingConfig &cfg = {});
+
+/**
+ * Characterize several workloads, pooling every grid point of every
+ * workload into one job list so cfg.jobs workers stay busy across
+ * workload boundaries.
+ */
+std::vector<Characterization>
+characterizeMany(const std::vector<std::string> &ids,
+                 const FreqScalingConfig &cfg = {});
 
 /** Characterize every catalog workload (Tables 2 + 4 + 5 pipeline). */
 std::vector<Characterization>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "measure/parallel.hh"
 #include "sim/machine.hh"
 #include "util/error.hh"
 #include "util/log.hh"
@@ -95,14 +96,17 @@ sweepLoadedLatency(const LoadedLatencySetup &setup)
 
     LoadedLatencyCurve curve;
     curve.setup = setup;
-    for (std::uint32_t delay : setup.delayCycles) {
-        LoadedLatencyPoint pt = measurePoint(setup, delay);
-        debug(strformat("mlc %g MT/s rf=%.2f delay=%u: %.2f GB/s, "
-                        "%.1f ns",
-                        setup.memMtPerSec, setup.readFraction, delay,
-                        pt.bandwidthGBps, pt.latencyNs));
-        curve.points.push_back(pt);
-    }
+    ParallelExecutor exec(setup.jobs);
+    curve.points = exec.mapOrdered(
+        setup.delayCycles, [&setup](const std::uint32_t &delay) {
+            LogScope scope(strformat("mlc-%.0f", setup.memMtPerSec));
+            LoadedLatencyPoint pt = measurePoint(setup, delay);
+            debug(strformat("mlc %g MT/s rf=%.2f delay=%u: %.2f GB/s, "
+                            "%.1f ns",
+                            setup.memMtPerSec, setup.readFraction, delay,
+                            pt.bandwidthGBps, pt.latencyNs));
+            return pt;
+        });
 
     curve.unloadedNs = curve.points.front().latencyNs;
     curve.maxBandwidthGBps = 0.0;

@@ -48,6 +48,10 @@ struct LoadedLatencySetup
          48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048};
     Picos warmup = nsToPicos(150'000.0);
     Picos measure = nsToPicos(400'000.0);
+    /** Worker threads for the delay points; 1 = serial reference
+     *  path, <= 0 = one per hardware thread. Each point owns its
+     *  machine and seed, so results are identical for any value. */
+    int jobs = 1;
 };
 
 /** One measured curve. */

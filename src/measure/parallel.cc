@@ -1,0 +1,14 @@
+#include "measure/parallel.hh"
+
+namespace memsense::measure
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    return ThreadPool::hardwareWorkers();
+}
+
+} // namespace memsense::measure

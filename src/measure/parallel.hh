@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic parallel experiment engine.
+ *
+ * Every sweep in measure/ is a grid of independent, seed-deterministic
+ * simulations: each job constructs its own Machine from its own config
+ * and seed, so jobs share no mutable state and any execution order
+ * yields the same per-job result. ParallelExecutor::mapOrdered()
+ * exploits that: it fans the jobs out over a ThreadPool but writes
+ * result i to output slot i, so the collected vector is bit-identical
+ * to the serial loop regardless of completion order.
+ */
+
+#ifndef MEMSENSE_MEASURE_PARALLEL_HH
+#define MEMSENSE_MEASURE_PARALLEL_HH
+
+#include <exception>
+#include <future>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace memsense::measure
+{
+
+/**
+ * Resolve a user-facing jobs knob: positive counts pass through,
+ * 0 or negative means "one worker per hardware thread".
+ */
+int resolveJobs(int jobs);
+
+/** Maps job vectors to result vectors in deterministic input order. */
+class ParallelExecutor
+{
+  public:
+    /**
+     * @param jobs worker count; 1 runs jobs inline on the calling
+     *             thread (the serial reference path), <= 0 uses the
+     *             hardware concurrency.
+     */
+    explicit ParallelExecutor(int jobs = 1)
+        : jobCount(resolveJobs(jobs))
+    {}
+
+    /** Effective worker count. */
+    int jobs() const { return jobCount; }
+
+    /**
+     * Apply @p fn to every element of @p inputs and return the results
+     * in input order.
+     *
+     * fn must be invocable on each element concurrently — in practice,
+     * each call builds and owns its own Machine/RNG state. If any call
+     * throws, the exception of the lowest-indexed failing job is
+     * rethrown after all jobs finish (workers are never abandoned
+     * mid-simulation).
+     */
+    template <typename Job, typename Fn>
+    auto
+    mapOrdered(const std::vector<Job> &inputs, Fn fn) const
+        -> std::vector<std::invoke_result_t<Fn, const Job &>>
+    {
+        using Result = std::invoke_result_t<Fn, const Job &>;
+        if (jobCount <= 1 || inputs.size() <= 1) {
+            std::vector<Result> out;
+            out.reserve(inputs.size());
+            for (const auto &job : inputs)
+                out.push_back(fn(job));
+            return out;
+        }
+
+        int workers = jobCount;
+        if (static_cast<std::size_t>(workers) > inputs.size())
+            workers = static_cast<int>(inputs.size());
+        ThreadPool pool(workers);
+        std::vector<std::future<Result>> futures;
+        futures.reserve(inputs.size());
+        for (const auto &job : inputs) {
+            futures.push_back(
+                pool.submit([&fn, &job]() { return fn(job); }));
+        }
+
+        std::vector<std::optional<Result>> slots(inputs.size());
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            try {
+                slots[i].emplace(futures[i].get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+
+        std::vector<Result> out;
+        out.reserve(slots.size());
+        for (auto &slot : slots)
+            out.push_back(std::move(*slot));
+        return out;
+    }
+
+  private:
+    int jobCount;
+};
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_PARALLEL_HH

@@ -57,14 +57,20 @@ WorkloadRun::warmup()
     mach->runFor(probe);
     sim::MachineSnapshot s = mach->snapshot();
     Picos total = cfg.warmup;
-    if (s.memoryFetches > 0) {
+    if (probe > 0 && s.memoryFetches > 0) {
         const double llc_lines = static_cast<double>(
             mach->config().llcTotalBytes() / sim::kLineBytes);
         const double rate = static_cast<double>(s.memoryFetches) /
                             static_cast<double>(probe);
-        const auto needed =
-            static_cast<Picos>(1.3 * llc_lines / rate);
-        total = std::clamp(needed, cfg.warmup, cfg.maxWarmup);
+        // A long probe with few fetches makes rate vanishingly small
+        // and 1.3 * llc_lines / rate larger than Picos can hold, so
+        // cap in the double domain before the integer cast (the cast
+        // of an out-of-range double is undefined behaviour).
+        const double cap = static_cast<double>(cfg.maxWarmup);
+        const double needed_d =
+            std::min(cap, 1.3 * llc_lines / rate);
+        total = std::clamp(static_cast<Picos>(needed_d), cfg.warmup,
+                           cfg.maxWarmup);
     }
     mach->runFor(total - probe);
     last = mach->snapshot();

@@ -1,7 +1,9 @@
 #include "measure/timeseries.hh"
 
+#include "measure/parallel.hh"
 #include "stats/summary.hh"
 #include "util/error.hh"
+#include "util/log.hh"
 
 namespace memsense::measure
 {
@@ -72,4 +74,16 @@ captureTimeSeries(const TimeSeriesConfig &cfg)
     return ts;
 }
 
+std::vector<TimeSeries>
+captureTimeSeriesBatch(const std::vector<TimeSeriesConfig> &cfgs,
+                       int jobs)
+{
+    ParallelExecutor exec(jobs);
+    return exec.mapOrdered(cfgs, [](const TimeSeriesConfig &cfg) {
+        LogScope scope(cfg.run.workloadId);
+        return captureTimeSeries(cfg);
+    });
+}
+
 } // namespace memsense::measure
+

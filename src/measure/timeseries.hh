@@ -62,6 +62,20 @@ struct TimeSeries
 /** Run and sample one workload. */
 TimeSeries captureTimeSeries(const TimeSeriesConfig &cfg);
 
+/**
+ * Capture several series on the parallel experiment engine: workloads
+ * run concurrently on up to @p jobs workers, but each series is
+ * sampled serially on its own machine (interval deltas are inherently
+ * ordered). Results come back in input order, identical to running
+ * captureTimeSeries() in a loop.
+ *
+ * @param cfgs one entry per series
+ * @param jobs worker threads; 1 = serial, <= 0 = hardware threads
+ */
+std::vector<TimeSeries>
+captureTimeSeriesBatch(const std::vector<TimeSeriesConfig> &cfgs,
+                       int jobs = 1);
+
 } // namespace memsense::measure
 
 #endif // MEMSENSE_MEASURE_TIMESERIES_HH

@@ -13,6 +13,8 @@ SetAssocCache::SetAssocCache(std::string name_in, const CacheConfig &config,
     // way count, so a zero-way config must be rejected first.
     cfg.validate();
     numSets = cfg.sets();
+    if (numSets > 0 && (numSets & (numSets - 1)) == 0)
+        setMask = numSets - 1;
     ways.resize(static_cast<std::size_t>(numSets) * cfg.ways);
 }
 

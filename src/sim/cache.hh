@@ -156,10 +156,18 @@ class SetAssocCache
         Picos fillTime = 0;
     };
 
-    /** Set index for a line address. */
+    /** Set index for a line address.
+     *
+     * Every lookup/insert/invalidate runs through here, and every
+     * sweep worker hammers it, so the common power-of-two geometry
+     * uses a precomputed mask instead of the integer divide; the
+     * modulo fallback keeps non-power-of-two set counts working (the
+     * shared LLC scaled by e.g. 3 cores). Both forms produce the same
+     * index for power-of-two counts, so results are unchanged.
+     */
     std::uint64_t setIndex(Addr line_addr) const
     {
-        return line_addr % numSets;
+        return setMask ? (line_addr & setMask) : (line_addr % numSets);
     }
 
     /** First way of set @p s in the flat array. */
@@ -174,6 +182,8 @@ class SetAssocCache
     std::string _name;
     CacheConfig cfg;
     std::uint64_t numSets = 0;
+    /** numSets - 1 when numSets is a power of two, else 0 (use %). */
+    std::uint64_t setMask = 0;
     std::vector<Way> ways;
     std::uint64_t useCounter = 0;
     Rng rng;

@@ -186,6 +186,8 @@ class SimCore
     Picos timePs = 0;
     double carryPs = 0.0; ///< sub-picosecond accumulation
     double issueCostPs;   ///< per-instruction issue time
+    double issueCyclesPerOp = 0.0; ///< 1/issueWidth, hoisted from the
+                                   ///< per-access path in apply()
     Picos robWindowPs;    ///< run-ahead slack for independent loads
     std::vector<Picos> mshrBusy; ///< outstanding miss completion times
     std::vector<Picos> pfBusy;   ///< outstanding prefetch completions

@@ -1,46 +1,83 @@
 #include "util/log.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace memsense
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Info;
+
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+/** Serializes whole lines so concurrent workers never interleave. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread line label set by LogScope ("[workload] " when set). */
+thread_local std::string threadLabel;
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    if (threadLabel.empty()) {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: [%s] %s\n", tag, threadLabel.c_str(),
+                     msg.c_str());
+    }
+}
+
 } // anonymous namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Info)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        emit("info", msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warn)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        emit("warn", msg);
 }
 
 void
 debug(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Debug)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Debug)
+        emit("debug", msg);
+}
+
+LogScope::LogScope(std::string label)
+    : previous(std::exchange(threadLabel, std::move(label)))
+{}
+
+LogScope::~LogScope()
+{
+    threadLabel = std::exchange(previous, std::string());
 }
 
 } // namespace memsense

@@ -6,6 +6,12 @@
  * user may want, warn() flags behaviour that might be wrong but does not
  * stop the run. Verbosity is a process-global knob so that benchmarks
  * and tests can silence progress chatter.
+ *
+ * The sink is thread-safe: the level check is atomic and each line is
+ * written under a mutex, so concurrent sweep workers never interleave
+ * mid-line. Workers label their lines with LogScope (e.g. the workload
+ * id being characterized), which prefixes every message emitted by the
+ * current thread while the scope is alive.
  */
 
 #ifndef MEMSENSE_UTIL_LOG_HH
@@ -39,6 +45,27 @@ void warn(const std::string &msg);
 
 /** Developer diagnostics (LogLevel::Debug only). */
 void debug(const std::string &msg);
+
+/**
+ * RAII label for the current thread's log lines.
+ *
+ * While alive, every message this thread emits is prefixed with
+ * "[label] ". Scopes nest; the previous label is restored on
+ * destruction. Sweep workers use this to tag their output with the
+ * job (workload id) they are running.
+ */
+class LogScope
+{
+  public:
+    explicit LogScope(std::string label);
+    ~LogScope();
+
+    LogScope(const LogScope &) = delete;
+    LogScope &operator=(const LogScope &) = delete;
+
+  private:
+    std::string previous;
+};
 
 } // namespace memsense
 

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hh"
+
+#include "util/error.hh"
+
+namespace memsense
+{
+
+ThreadPool::ThreadPool(int workers)
+{
+    if (workers <= 0)
+        workers = hardwareWorkers();
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        threads.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+std::size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return queue.size();
+}
+
+int
+ThreadPool::hardwareWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<int>(n) : 1;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        requireInvariant(!stopping,
+                         "ThreadPool: submit after shutdown began");
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this]() { return stopping || !queue.empty(); });
+            // Drain the queue even when stopping, so accepted futures
+            // always complete.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task(); // exceptions land in the task's promise, not here
+    }
+}
+
+} // namespace memsense

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel experiment grids.
+ *
+ * The sweep drivers in measure/ submit independent (config -> counters)
+ * jobs; each job owns its Machine and seed, so the pool needs no shared
+ * simulation state — only a queue. submit() returns a std::future so
+ * exceptions thrown inside a job surface at the caller's get(), and the
+ * destructor drains every queued task before joining (graceful
+ * shutdown: accepted work is never dropped).
+ */
+
+#ifndef MEMSENSE_UTIL_THREAD_POOL_HH
+#define MEMSENSE_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace memsense
+{
+
+/** A fixed set of worker threads draining one FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers threads; a count <= 0 uses hardwareWorkers().
+     */
+    explicit ThreadPool(int workers = 0);
+
+    /** Drains all queued tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p fn for execution on a worker.
+     *
+     * @return a future delivering fn's result; an exception thrown by
+     *         fn is captured and rethrown from future::get().
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /** Number of worker threads. */
+    int workerCount() const
+    {
+        return static_cast<int>(threads.size());
+    }
+
+    /** Tasks accepted but not yet started (diagnostics/tests). */
+    std::size_t queuedTasks() const;
+
+    /** The host's hardware concurrency, never less than 1. */
+    static int hardwareWorkers();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> threads;
+};
+
+} // namespace memsense
+
+#endif // MEMSENSE_UTIL_THREAD_POOL_HH

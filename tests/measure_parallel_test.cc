@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Determinism tests for the parallel experiment engine: the sweep
+ * drivers must produce bit-identical results for any worker count,
+ * because each job owns its machine and seed and results are collected
+ * in input order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "measure/freq_scaling.hh"
+#include "measure/loaded_latency.hh"
+#include "measure/parallel.hh"
+#include "measure/timeseries.hh"
+#include "util/log.hh"
+
+namespace memsense::measure
+{
+namespace
+{
+
+class MeasureParallelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogLevel(LogLevel::Warn);
+    }
+
+    /** Small sweep grid: full catalog stays ctest-friendly. */
+    static FreqScalingConfig
+    quickSweep()
+    {
+        FreqScalingConfig cfg;
+        cfg.coreGhz = {2.1, 3.1};
+        cfg.memMtPerSec = {1866.7};
+        cfg.warmup = nsToPicos(300'000.0);
+        cfg.measure = nsToPicos(300'000.0);
+        cfg.adaptiveWarmup = false;
+        cfg.coresOverride = 2;
+        return cfg;
+    }
+};
+
+/** Bitwise comparison: EXPECT_EQ on doubles is exact, not approximate. */
+void
+expectObservationsIdentical(
+    const std::vector<model::FitObservation> &a,
+    const std::vector<model::FitObservation> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].coreGhz, b[i].coreGhz) << "observation " << i;
+        EXPECT_EQ(a[i].memMtPerSec, b[i].memMtPerSec);
+        EXPECT_EQ(a[i].cpiEff, b[i].cpiEff) << "observation " << i;
+        EXPECT_EQ(a[i].mpi, b[i].mpi) << "observation " << i;
+        EXPECT_EQ(a[i].mpCycles, b[i].mpCycles) << "observation " << i;
+        EXPECT_EQ(a[i].mpki, b[i].mpki) << "observation " << i;
+        EXPECT_EQ(a[i].wbr, b[i].wbr) << "observation " << i;
+        EXPECT_EQ(a[i].instructions, b[i].instructions)
+            << "observation " << i;
+    }
+}
+
+TEST_F(MeasureParallelTest, ResolveJobs)
+{
+    EXPECT_EQ(resolveJobs(1), 1);
+    EXPECT_EQ(resolveJobs(5), 5);
+    EXPECT_GE(resolveJobs(0), 1);
+    EXPECT_GE(resolveJobs(-3), 1);
+}
+
+TEST_F(MeasureParallelTest, MapOrderedPreservesInputOrder)
+{
+    ParallelExecutor exec(4);
+    std::vector<int> inputs;
+    for (int i = 0; i < 100; ++i)
+        inputs.push_back(i);
+    std::vector<int> out =
+        exec.mapOrdered(inputs, [](const int &x) { return 3 * x + 1; });
+    ASSERT_EQ(out.size(), inputs.size());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], 3 * i + 1);
+}
+
+TEST_F(MeasureParallelTest, MapOrderedRethrowsLowestIndexedFailure)
+{
+    ParallelExecutor exec(4);
+    std::vector<int> inputs = {0, 1, 2, 3, 4, 5, 6, 7};
+    try {
+        exec.mapOrdered(inputs, [](const int &x) -> int {
+            if (x == 3 || x == 6)
+                throw std::runtime_error("job " + std::to_string(x));
+            return x;
+        });
+        FAIL() << "expected the job exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 3");
+    }
+}
+
+TEST_F(MeasureParallelTest, CharacterizeParallelGridIsBitIdentical)
+{
+    FreqScalingConfig serial = quickSweep();
+    FreqScalingConfig parallel = quickSweep();
+    parallel.jobs = 4;
+    Characterization a = characterize("column_store", serial);
+    Characterization b = characterize("column_store", parallel);
+    expectObservationsIdentical(a.observations, b.observations);
+    EXPECT_EQ(a.model.params.cpiCache, b.model.params.cpiCache);
+    EXPECT_EQ(a.model.params.bf, b.model.params.bf);
+    EXPECT_EQ(a.model.fit.r2, b.model.fit.r2);
+}
+
+TEST_F(MeasureParallelTest, CharacterizeAllParallelIsBitIdentical)
+{
+    FreqScalingConfig serial = quickSweep();
+    FreqScalingConfig parallel = quickSweep();
+    parallel.jobs = 4;
+    std::vector<Characterization> a = characterizeAll(serial);
+    std::vector<Characterization> b = characterizeAll(parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t w = 0; w < a.size(); ++w) {
+        EXPECT_EQ(a[w].workloadId, b[w].workloadId);
+        expectObservationsIdentical(a[w].observations,
+                                    b[w].observations);
+        EXPECT_EQ(a[w].model.params.cpiCache,
+                  b[w].model.params.cpiCache);
+        EXPECT_EQ(a[w].model.params.bf, b[w].model.params.bf);
+        EXPECT_EQ(a[w].model.params.mpki, b[w].model.params.mpki);
+        EXPECT_EQ(a[w].model.params.wbr, b[w].model.params.wbr);
+        EXPECT_EQ(a[w].model.fit.r2, b[w].model.fit.r2);
+    }
+}
+
+TEST_F(MeasureParallelTest, LoadedLatencySweepParallelIsBitIdentical)
+{
+    LoadedLatencySetup serial;
+    serial.cores = 4;
+    serial.delayCycles = {0, 32, 128, 512, 2048};
+    serial.warmup = nsToPicos(60'000.0);
+    serial.measure = nsToPicos(120'000.0);
+    LoadedLatencySetup parallel = serial;
+    parallel.jobs = 3;
+
+    LoadedLatencyCurve a = sweepLoadedLatency(serial);
+    LoadedLatencyCurve b = sweepLoadedLatency(parallel);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].delayCycles, b.points[i].delayCycles);
+        EXPECT_EQ(a.points[i].bandwidthGBps, b.points[i].bandwidthGBps);
+        EXPECT_EQ(a.points[i].latencyNs, b.points[i].latencyNs);
+    }
+    EXPECT_EQ(a.unloadedNs, b.unloadedNs);
+    EXPECT_EQ(a.maxBandwidthGBps, b.maxBandwidthGBps);
+}
+
+TEST_F(MeasureParallelTest, TimeSeriesBatchMatchesSerialCapture)
+{
+    std::vector<TimeSeriesConfig> cfgs;
+    for (const char *id : {"column_store", "spark"}) {
+        TimeSeriesConfig cfg;
+        cfg.run.workloadId = id;
+        cfg.run.cores = 2;
+        cfg.run.warmup = nsToPicos(300'000.0);
+        cfg.run.adaptiveWarmup = false;
+        cfg.interval = nsToPicos(50'000.0);
+        cfg.samples = 6;
+        cfgs.push_back(cfg);
+    }
+
+    std::vector<TimeSeries> parallel = captureTimeSeriesBatch(cfgs, 2);
+    ASSERT_EQ(parallel.size(), cfgs.size());
+    for (std::size_t w = 0; w < cfgs.size(); ++w) {
+        TimeSeries serial = captureTimeSeries(cfgs[w]);
+        EXPECT_EQ(parallel[w].workloadId, serial.workloadId);
+        ASSERT_EQ(parallel[w].samples.size(), serial.samples.size());
+        for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+            EXPECT_EQ(parallel[w].samples[i].cpi,
+                      serial.samples[i].cpi);
+            EXPECT_EQ(parallel[w].samples[i].bandwidthGBps,
+                      serial.samples[i].bandwidthGBps);
+            EXPECT_EQ(parallel[w].samples[i].cpuUtilization,
+                      serial.samples[i].cpuUtilization);
+        }
+    }
+}
+
+TEST_F(MeasureParallelTest, AdaptiveWarmupSurvivesSparseFetchRates)
+{
+    // Regression: a large probe window with few fetches used to drive
+    // the estimated residence time past the integer range (UB on the
+    // cast). The clamp caps it at maxWarmup instead.
+    RunConfig rc;
+    rc.workloadId = "proximity"; // lowest-MPKI catalog workload
+    rc.cores = 1;
+    rc.warmup = nsToPicos(400'000.0);
+    rc.maxWarmup = nsToPicos(800'000.0);
+    rc.measure = nsToPicos(200'000.0);
+    rc.adaptiveWarmup = true;
+    model::FitObservation o = runObservation(rc);
+    EXPECT_GT(o.instructions, 0.0);
+}
+
+} // anonymous namespace
+} // namespace memsense::measure

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the worker pool behind the parallel experiment
+ * engine: result delivery through futures, exception propagation,
+ * queue drain on shutdown, and oversubscription (more jobs than
+ * workers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/thread_pool.hh"
+
+namespace memsense
+{
+namespace
+{
+
+TEST(ThreadPoolTest, HardwareWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultConstructionUsesHardwareWorkers)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+}
+
+TEST(ThreadPoolTest, SubmitDeliversResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ManyMoreJobsThanWorkersAllComplete)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&ran]() { ++ran; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_EQ(pool.queuedTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("job failed");
+    });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing job.
+    EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i) {
+            pool.submit([&ran]() {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++ran;
+            });
+        }
+        // Destructor must finish all accepted work, not drop it.
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAreSafe)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&pool, &ran]() {
+            std::vector<std::future<void>> futures;
+            for (int i = 0; i < 50; ++i)
+                futures.push_back(pool.submit([&ran]() { ++ran; }));
+            for (auto &f : futures)
+                f.get();
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(ran.load(), 200);
+}
+
+} // anonymous namespace
+} // namespace memsense

@@ -227,6 +227,9 @@ cmdCharacterize(int argc, char **argv)
                   "(positional: workload id)");
     cli.addBool("fast", "smaller simulation windows");
     cli.addInt("cores", 0, "override characterization core count");
+    cli.addInt("jobs", 1,
+               "sweep worker threads (0 = hardware threads); results "
+               "are identical for any value");
     if (!cli.parse(argc, argv))
         return 1;
     requireConfig(!cli.positional().empty(),
@@ -240,6 +243,7 @@ cmdCharacterize(int argc, char **argv)
         cfg.adaptiveWarmup = false;
     }
     cfg.coresOverride = cli.getInt("cores");
+    cfg.jobs = cli.getInt("jobs");
     auto c = measure::characterize(cli.positional()[0], cfg);
     std::cout << strformat(
         "%s: CPI = %.3f + %.3f * (MPI*MP), R^2 = %.3f\n"
@@ -290,12 +294,15 @@ cmdMlc(int argc, char **argv)
     cli.addDouble("speed", 1866.7, "DDR rate (MT/s)");
     cli.addDouble("read-fraction", 1.0, "generator read share");
     cli.addInt("cores", 8, "1 probe + N-1 generators");
+    cli.addInt("jobs", 1,
+               "sweep worker threads (0 = hardware threads)");
     if (!cli.parse(argc, argv))
         return 1;
     measure::LoadedLatencySetup setup;
     setup.memMtPerSec = cli.getDouble("speed");
     setup.readFraction = cli.getDouble("read-fraction");
     setup.cores = cli.getInt("cores");
+    setup.jobs = cli.getInt("jobs");
     auto c = measure::sweepLoadedLatency(setup);
     std::cout << strformat("unloaded %.1f ns, achievable %.1f GB/s\n",
                            c.unloadedNs, c.maxBandwidthGBps);
@@ -318,6 +325,9 @@ cmdClassify(int argc, char **argv)
     CliParser cli("memsense classify",
                   "characterize all workloads and print the Fig. 6 map");
     cli.addBool("paper", "use published values instead of fitting");
+    cli.addInt("jobs", 1,
+               "sweep worker threads (0 = hardware threads); results "
+               "are identical for any value");
     if (!cli.parse(argc, argv))
         return 1;
     std::vector<model::WorkloadParams> params;
@@ -329,6 +339,7 @@ cmdClassify(int argc, char **argv)
         cfg.measure = nsToPicos(600'000.0);
         cfg.warmup = nsToPicos(4'000'000.0);
         cfg.adaptiveWarmup = false;
+        cfg.jobs = cli.getInt("jobs");
         for (const auto &c : measure::characterizeAll(cfg))
             params.push_back(c.model.params);
     }
