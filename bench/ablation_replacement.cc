@@ -11,6 +11,7 @@
  */
 
 #include "characterize_common.hh"
+#include "measure/parallel.hh"
 
 using namespace memsense;
 using namespace memsense::bench;
@@ -42,42 +43,66 @@ main(int argc, char **argv)
            "Fitted MPKI / BF under LRU vs. random vs. SRRIP "
            "replacement");
 
-    measure::FreqScalingConfig base = sweepConfig(true);
+    // Always the fast sweep windows (this ablation needs relative MPKI
+    // movement, not paper-grade absolutes), but honor --jobs.
+    measure::FreqScalingConfig cfg = sweepConfig(true);
+    cfg.jobs = jobsArg(argc, argv);
+    cfg.coreGhz = {2.1, 3.1};
+
+    const std::vector<const char *> ids = {"column_store", "web_caching",
+                                           "bwaves"};
+    const std::vector<sim::ReplacementKind> policies = {
+        sim::ReplacementKind::Lru, sim::ReplacementKind::Random,
+        sim::ReplacementKind::Srrip};
+
+    // Flatten the full (workload, policy, ghz, MT/s) grid into one job
+    // list so the executor keeps every worker busy across cells; the
+    // ordered results slice back per (workload, policy) cell below.
+    // characterize() builds RunConfigs internally, so rebuild them here
+    // with the replacement policy threaded through.
+    std::vector<measure::RunConfig> grid;
+    for (const char *id : ids) {
+        const auto &info = workloads::workloadInfo(id);
+        for (auto policy : policies) {
+            for (double ghz : cfg.coreGhz) {
+                for (double mt : cfg.memMtPerSec) {
+                    measure::RunConfig rc;
+                    rc.workloadId = id;
+                    rc.cores = info.characterizationCores;
+                    rc.ghz = ghz;
+                    rc.memMtPerSec = mt;
+                    rc.warmup = cfg.warmup;
+                    rc.measure = cfg.measure;
+                    rc.adaptiveWarmup = cfg.adaptiveWarmup;
+                    rc.llcReplacement = policy;
+                    grid.push_back(rc);
+                }
+            }
+        }
+    }
+
+    measure::ParallelExecutor exec(cfg.jobs);
+    const std::vector<model::FitObservation> observations =
+        exec.mapOrdered(grid, measure::runObservation);
+
+    const std::size_t per_cell =
+        cfg.coreGhz.size() * cfg.memMtPerSec.size();
     Table t({"workload", "policy", "MPKI", "BF", "WBR"});
     std::vector<std::vector<double>> csv;
-    for (const char *id : {"column_store", "web_caching", "bwaves"}) {
-        for (auto policy :
-             {sim::ReplacementKind::Lru, sim::ReplacementKind::Random,
-              sim::ReplacementKind::Srrip}) {
-            // Thread the policy through a run-level copy.
-            measure::FreqScalingConfig cfg = base;
-            cfg.coreGhz = {2.1, 3.1};
+    std::size_t cell = 0;
+    for (const char *id : ids) {
+        const auto &info = workloads::workloadInfo(id);
+        for (auto policy : policies) {
             measure::Characterization c;
-            {
-                // characterize() uses RunConfig internally; rebuild the
-                // observations with the policy applied.
-                const auto &info = workloads::workloadInfo(id);
-                for (double ghz : cfg.coreGhz) {
-                    for (double mt : cfg.memMtPerSec) {
-                        measure::RunConfig rc;
-                        rc.workloadId = id;
-                        rc.cores = info.characterizationCores;
-                        rc.ghz = ghz;
-                        rc.memMtPerSec = mt;
-                        rc.warmup = cfg.warmup;
-                        rc.measure = cfg.measure;
-                        rc.adaptiveWarmup = cfg.adaptiveWarmup;
-                        rc.llcReplacement = policy;
-                        c.observations.push_back(
-                            measure::runObservation(rc));
-                    }
-                }
-                c.workloadId = id;
-                c.model = model::fitModel(info.display, info.cls,
-                                          c.observations);
-            }
-            t.addRow({workloads::workloadInfo(id).display,
-                      policyName(policy),
+            c.workloadId = id;
+            auto first = observations.begin() +
+                         static_cast<std::ptrdiff_t>(cell * per_cell);
+            c.observations.assign(
+                first, first + static_cast<std::ptrdiff_t>(per_cell));
+            ++cell;
+            c.model =
+                model::fitModel(info.display, info.cls, c.observations);
+            t.addRow({info.display, policyName(policy),
                       formatDouble(c.model.params.mpki, 2),
                       formatDouble(c.model.params.bf, 3),
                       formatPercent(c.model.params.wbr, 0)});

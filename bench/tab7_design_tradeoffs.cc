@@ -28,6 +28,7 @@ fmtOrNone(double v, const char *unit)
 {
     if (std::isinf(v))
         return "none possible";
+    // memsense-lint: allow(float-equal): exact 0.0 sentinel from the solver
     if (v == 0.0)
         return "0 (no benefit to match)";
     return strformat("%.1f %s", v, unit);

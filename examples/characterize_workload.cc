@@ -143,7 +143,7 @@ main(int argc, char **argv)
         solver.solve(fit.params, model::Platform::paperBaseline());
     std::printf("\nOn the paper baseline platform: CPI %.3f, "
                 "%.1f GB/s, %s\n",
-                op.cpiEff, op.bandwidthTotal / 1e9,
+                op.cpiEff, op.bandwidthTotalBps / 1e9,
                 op.bandwidthBound ? "bandwidth bound"
                                   : "latency limited");
     return 0;

@@ -47,7 +47,7 @@ main()
     std::printf("  loaded latency : %.1f ns (%.1f ns queuing)\n",
                 op.missPenaltyNs, op.queuingDelayNs);
     std::printf("  bandwidth      : %.1f GB/s (%.0f%% of available)\n",
-                op.bandwidthTotal / 1e9, op.utilization * 100.0);
+                op.bandwidthTotalBps / 1e9, op.utilization * 100.0);
     std::printf("  bandwidth bound: %s\n",
                 op.bandwidthBound ? "yes" : "no");
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Static analysis gate: build the project linter and run it over the
+# tree, then run clang-tidy if one is installed. Exits non-zero on any
+# finding, so CI and pre-commit hooks can use it directly.
+#
+# Usage: scripts/check_static.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+
+cmake --build "${build_dir}" -j --target memsense_lint
+
+"${build_dir}/tools/memsense_lint/memsense_lint" \
+    --json="${build_dir}/lint_report.json" \
+    "${repo_root}/src" "${repo_root}/bench" "${repo_root}/tests"
+echo "memsense-lint passed (report: ${build_dir}/lint_report.json)"
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+    clang-tidy -p "${build_dir}" --quiet "${sources[@]}"
+    echo "clang-tidy passed"
+else
+    echo "notice: clang-tidy not installed; skipping that pass"
+fi
+
+echo "Static analysis passed."

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build the whole tree with UndefinedBehaviorSanitizer and run the
+# full test suite. A clean exit means UBSan observed no undefined
+# behavior (overflow, bad shifts, bad casts, misaligned access, ...)
+# anywhere the tier-1 tests reach.
+#
+# Usage: scripts/check_ubsan.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-ubsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DMEMSENSE_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+cmake --build "${build_dir}" -j
+
+# The build already sets -fno-sanitize-recover=all, so any report is
+# fatal; print_stacktrace makes the report actionable.
+export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "UBSan check passed: no undefined behavior reached by the tests."

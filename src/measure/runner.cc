@@ -69,6 +69,8 @@ WorkloadRun::warmup()
         const double cap = static_cast<double>(cfg.maxWarmup);
         const double needed_d =
             std::min(cap, 1.3 * llc_lines / rate);
+        // memsense-lint: allow(unclamped-double-to-int): needed_d is
+        // capped to maxWarmup in the double domain two lines above
         total = std::clamp(static_cast<Picos>(needed_d), cfg.warmup,
                            cfg.maxWarmup);
     }

@@ -1,5 +1,6 @@
 #include "model/bandwidth_model.hh"
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -10,7 +11,9 @@ bandwidthDemandPerCore(const WorkloadParams &p, double cpi_eff, double cps)
 {
     requireConfig(cpi_eff > 0.0, "CPI must be positive");
     requireConfig(cps > 0.0, "core speed must be positive");
-    return p.bytesPerInstruction() * cps / cpi_eff;
+    double demand = p.bytesPerInstruction() * cps / cpi_eff;
+    MS_ENSURE(demand >= 0.0, "bandwidth demand ", demand, " is negative");
+    return demand;
 }
 
 double
@@ -27,7 +30,9 @@ bandwidthLimitedCpi(const WorkloadParams &p, double bw_per_core, double cps)
 {
     requireConfig(bw_per_core > 0.0, "available bandwidth must be positive");
     requireConfig(cps > 0.0, "core speed must be positive");
-    return p.bytesPerInstruction() * cps / bw_per_core;
+    double cpi = p.bytesPerInstruction() * cps / bw_per_core;
+    MS_ENSURE(cpi >= 0.0, "bandwidth-limited CPI ", cpi, " is negative");
+    return cpi;
 }
 
 } // namespace memsense::model

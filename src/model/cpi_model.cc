@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -11,7 +12,10 @@ double
 effectiveCpi(const WorkloadParams &p, double mp_cycles)
 {
     requireConfig(mp_cycles >= 0.0, "miss penalty must be non-negative");
-    return p.cpiCache + p.mpi() * mp_cycles * p.bf;
+    double cpi = p.cpiCache + p.mpi() * mp_cycles * p.bf;
+    MS_ENSURE(cpi >= p.cpiCache,
+              "Eq. 1 CPI ", cpi, " below CPI_cache ", p.cpiCache);
+    return cpi;
 }
 
 double
@@ -21,7 +25,9 @@ missPenaltyForCpi(const WorkloadParams &p, double cpi_eff)
                   "inverting Eq. 1 needs BF > 0 and MPI > 0");
     requireConfig(cpi_eff >= p.cpiCache,
                   "effective CPI below CPI_cache is not representable");
-    return (cpi_eff - p.cpiCache) / (p.mpi() * p.bf);
+    double mp = (cpi_eff - p.cpiCache) / (p.mpi() * p.bf);
+    MS_ENSURE(mp >= 0.0, "inverted miss penalty ", mp, " is negative");
+    return mp;
 }
 
 double
@@ -30,8 +36,10 @@ chouEffectiveCpi(const ChouInputs &in)
     requireConfig(in.mlp >= 1.0, "MLP must be at least 1");
     requireConfig(in.overlapCm >= 0.0 && in.overlapCm <= 1.0,
                   "Overlap_cm must be in [0, 1]");
-    return in.cpiCache * (1.0 - in.overlapCm) +
-           in.mpi * in.mpCycles / in.mlp;
+    double cpi = in.cpiCache * (1.0 - in.overlapCm) +
+                 in.mpi * in.mpCycles / in.mlp;
+    MS_ENSURE(cpi >= 0.0, "Chou CPI ", cpi, " is negative");
+    return cpi;
 }
 
 double
@@ -40,14 +48,17 @@ blockingFactorFromChou(const ChouInputs &in)
     requireConfig(in.mlp >= 1.0, "MLP must be at least 1");
     requireConfig(in.mpi > 0.0 && in.mpCycles > 0.0,
                   "Eq. 3 needs MPI > 0 and MP > 0");
-    return 1.0 / in.mlp -
-           in.cpiCache * in.overlapCm / (in.mpi * in.mpCycles);
+    double bf = 1.0 / in.mlp -
+                in.cpiCache * in.overlapCm / (in.mpi * in.mpCycles);
+    MS_ENSURE(bf <= 1.0, "blocking factor ", bf, " exceeds 1");
+    return bf;
 }
 
 double
 impliedMlp(double bf)
 {
     requireConfig(bf >= 0.0, "blocking factor must be non-negative");
+    // memsense-lint: allow(float-equal): exact zero means infinite MLP
     if (bf == 0.0)
         return std::numeric_limits<double>::infinity();
     return 1.0 / bf;

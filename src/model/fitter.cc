@@ -1,5 +1,8 @@
 #include "model/fitter.hh"
 
+#include <cmath>
+
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -47,6 +50,13 @@ fitModel(const std::string &name, WorkloadClass cls,
     model.params.mpki = mpki_sum / static_cast<double>(obs.size());
     model.params.wbr = wbr_sum / static_cast<double>(obs.size());
     model.coreBound = fit.slope < opts.coreBoundBfThreshold;
+    MS_ENSURE(std::isfinite(model.params.cpiCache) &&
+                  std::isfinite(model.params.bf),
+              name, ": fitted CPI_cache ", model.params.cpiCache,
+              " / BF ", model.params.bf, " not finite");
+    MS_ENSURE(!opts.clampNegativeSlope || model.params.bf >= 0.0,
+              name, ": clamped fit produced negative BF ",
+              model.params.bf);
     return model;
 }
 

@@ -14,13 +14,13 @@ hierarchicalCpi(double cpi_cache, double bf,
 {
     requireConfig(cpi_cache > 0.0, "CPI_cache must be positive");
     requireConfig(bf >= 0.0 && bf <= 1.0, "BF must be in [0, 1]");
-    double latency_per_inst = 0.0;
+    double latency_cycles_per_inst = 0.0;
     for (const auto &t : tiers) {
         requireConfig(t.mpi >= 0.0 && t.mpCycles >= 0.0,
                       t.name + ": negative tier term");
-        latency_per_inst += t.mpi * t.mpCycles;
+        latency_cycles_per_inst += t.mpi * t.mpCycles;
     }
-    return cpi_cache + latency_per_inst * bf;
+    return cpi_cache + latency_cycles_per_inst * bf;
 }
 
 TieredMemoryModel::TieredMemoryModel(MemoryTier near_tier,

@@ -29,11 +29,11 @@ PhasedWorkload::evaluate(const Solver &solver, const Platform &plat) const
         // each phase occupies (weight * CPI).
         out.cpiEff += ph.weight / totalWeight * op.cpiEff;
         double time_weight = ph.weight * op.cpiEff;
-        out.bandwidthTotal += time_weight * op.bandwidthTotal;
+        out.bandwidthTotalBps += time_weight * op.bandwidthTotalBps;
         time_weight_total += time_weight;
         out.perPhase.push_back(op);
     }
-    out.bandwidthTotal /= time_weight_total;
+    out.bandwidthTotalBps /= time_weight_total;
     return out;
 }
 

@@ -34,7 +34,7 @@ struct Phase
 struct PhasedPoint
 {
     double cpiEff = 0.0;            ///< instruction-weighted CPI
-    double bandwidthTotal = 0.0;    ///< time-weighted bandwidth
+    double bandwidthTotalBps = 0.0;    ///< time-weighted bandwidth
     std::vector<OperatingPoint> perPhase; ///< each phase's solution
 };
 

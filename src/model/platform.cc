@@ -7,7 +7,7 @@ namespace memsense::model
 {
 
 double
-Platform::bandwidthPerCore() const
+Platform::bandwidthPerCoreBps() const
 {
     return memory.effectiveBandwidth() / static_cast<double>(cores);
 }

@@ -34,7 +34,7 @@ struct Platform
     double cyclesPerSecond() const { return ghz * 1e9; }
 
     /** Effective memory bandwidth available per core, bytes/s. */
-    double bandwidthPerCore() const;
+    double bandwidthPerCoreBps() const;
 
     /** Convert a duration in ns into core cycles. */
     double nsToCycles(double ns) const { return ns * ghz; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -50,7 +51,10 @@ double
 QueuingModel::delayNs(double utilization) const
 {
     double u = std::clamp(utilization, 0.0, maxUtil);
-    return std::max(0.0, pw.at(u));
+    double delay_ns = std::max(0.0, pw.at(u));
+    MS_ENSURE(delay_ns >= 0.0,
+              "queuing delay ", delay_ns, " ns is negative");
+    return delay_ns;
 }
 
 double

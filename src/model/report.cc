@@ -88,7 +88,7 @@ SensitivityReport::toMarkdown() const
                     "%s |\n\n",
                     baseline.cpiEff, baseline.missPenaltyNs,
                     baseline.queuingDelayNs,
-                    baseline.bandwidthTotal / 1e9,
+                    baseline.bandwidthTotalBps / 1e9,
                     baseline.utilization * 100.0,
                     baseline.bandwidthBound ? "bandwidth bound"
                                             : "latency limited");

@@ -126,6 +126,7 @@ SensitivityAnalyzer::standardBandwidthVariants(const MemoryConfig &baseline)
     variants.push_back(baseline);
     for (int ch = baseline.channels; ch >= 1; --ch) {
         for (double sp : speeds) {
+            // memsense-lint: allow(float-equal): exact grid-point identity
             if (ch == baseline.channels && sp == baseline.megaTransfers)
                 continue;
             variants.push_back(

@@ -5,6 +5,7 @@
 
 #include "model/bandwidth_model.hh"
 #include "model/cpi_model.hh"
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -38,6 +39,7 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
     OperatingPoint op;
 
     // A workload with no memory traffic never touches the queue.
+    // memsense-lint: allow(float-equal): exact-zero traffic short-circuit
     if (p.bytesPerInstruction() == 0.0) {
         op.cpiEff = p.cpiCache;
         op.missPenaltyNs = plat.memory.compulsoryNs;
@@ -76,8 +78,8 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
     const double util = 0.5 * (lo + hi);
     op.iterations = iter;
 
-    const double qdelay = queuingModel.delayNs(util);
-    const double mp_ns = plat.memory.compulsoryNs + qdelay;
+    const double qdelay_ns = queuingModel.delayNs(util);
+    const double mp_ns = plat.memory.compulsoryNs + qdelay_ns;
     const double lat_cpi = effectiveCpi(p, plat.nsToCycles(mp_ns));
 
     // Bandwidth regime (paper Sec. VI.C.2): Eq. 4 inverted with the
@@ -92,15 +94,30 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
         p, avail / static_cast<double>(threads), cps);
     op.bandwidthBound = bw_cpi >= lat_cpi;
     op.cpiEff = std::max(lat_cpi, bw_cpi);
-    op.queuingDelayNs = qdelay;
+    op.queuingDelayNs = qdelay_ns;
     op.missPenaltyNs = mp_ns;
 
     const double demand =
         bandwidthDemandTotal(p, op.cpiEff, cps, threads);
-    op.bandwidthTotal = std::min(demand, avail);
-    op.bandwidthPerCore =
-        op.bandwidthTotal / static_cast<double>(plat.cores);
-    op.utilization = op.bandwidthTotal / avail;
+    op.bandwidthTotalBps = std::min(demand, avail);
+    op.bandwidthPerCoreBps =
+        op.bandwidthTotalBps / static_cast<double>(plat.cores);
+    op.utilization = op.bandwidthTotalBps / avail;
+
+    MS_ENSURE(op.cpiEff >= p.cpiCache,
+              "solved CPI ", op.cpiEff, " below CPI_cache ", p.cpiCache);
+    MS_ENSURE(op.iterations <= opts.maxIterations,
+              "bisection ran ", op.iterations, " iterations, cap ",
+              opts.maxIterations);
+    MS_ENSURE(op.missPenaltyNs >= plat.memory.compulsoryNs,
+              "miss penalty ", op.missPenaltyNs,
+              " ns below compulsory latency ", plat.memory.compulsoryNs);
+    MS_ENSURE(op.bandwidthTotalBps >= 0.0 &&
+                  op.bandwidthTotalBps <= avail,
+              "consumed bandwidth ", op.bandwidthTotalBps,
+              " outside [0, ", avail, "]");
+    MS_ENSURE(op.utilization >= 0.0 && op.utilization <= 1.0,
+              "utilization ", op.utilization, " outside [0, 1]");
     return op;
 }
 

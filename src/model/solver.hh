@@ -32,8 +32,8 @@ struct OperatingPoint
     double cpiEff = 0.0;        ///< effective CPI (Eq. 1 or BW-limited)
     double missPenaltyNs = 0.0; ///< loaded latency (compulsory + queuing)
     double queuingDelayNs = 0.0;///< queuing component of the above
-    double bandwidthPerCore = 0.0; ///< consumed bytes/s per core
-    double bandwidthTotal = 0.0;///< consumed bytes/s, all cores
+    double bandwidthPerCoreBps = 0.0; ///< consumed bytes/s per core
+    double bandwidthTotalBps = 0.0;///< consumed bytes/s, all cores
     double utilization = 0.0;   ///< consumed / effective available
     bool bandwidthBound = false;///< true when demand hit the supply cap
     int iterations = 0;         ///< fixed-point iterations used

@@ -13,7 +13,7 @@ scalingTrends(int base_year, int years, const TrendRates &rates)
     requireConfig(years >= 1, "need at least one year");
     requireConfig(rates.coreGrowth > -1.0 && rates.densityGrowth > -1.0 &&
                       rates.channelBwGrowth > -1.0 &&
-                      rates.latencyImprovement < 1.0,
+                      rates.latencyImprovementFrac < 1.0,
                   "growth rates out of domain");
 
     std::vector<TrendPoint> out;
@@ -24,7 +24,7 @@ scalingTrends(int base_year, int years, const TrendRates &rates)
         t.relativeCores = std::pow(1.0 + rates.coreGrowth, i);
         t.relativeDramDensity = std::pow(1.0 + rates.densityGrowth, i);
         t.relativeChannelBw = std::pow(1.0 + rates.channelBwGrowth, i);
-        t.relativeLatency = std::pow(1.0 - rates.latencyImprovement, i);
+        t.relativeLatency = std::pow(1.0 - rates.latencyImprovementFrac, i);
         t.computeToCapacityGap = t.relativeCores / t.relativeDramDensity;
         out.push_back(t);
     }

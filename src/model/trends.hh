@@ -34,7 +34,7 @@ struct TrendRates
     double coreGrowth = 0.40;      ///< paper: 33-50% per year
     double densityGrowth = 0.20;   ///< DRAM density lags badly
     double channelBwGrowth = 0.12; ///< DDR3->DDR4 cadence
-    double latencyImprovement = 0.01; ///< nearly flat
+    double latencyImprovementFrac = 0.01; ///< nearly flat
 };
 
 /** Generate the Fig. 1 series for @p years starting at @p base_year. */

@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::sim
@@ -16,6 +17,10 @@ SetAssocCache::SetAssocCache(std::string name_in, const CacheConfig &config,
     if (numSets > 0 && (numSets & (numSets - 1)) == 0)
         setMask = numSets - 1;
     ways.resize(static_cast<std::size_t>(numSets) * cfg.ways);
+    MS_ENSURE(numSets >= 1, _name, ": derived geometry has no sets");
+    MS_INVARIANT(ways.size() ==
+                     static_cast<std::size_t>(numSets) * cfg.ways,
+                 _name, ": way array does not match sets x ways");
 }
 
 LookupResult
@@ -111,6 +116,8 @@ SetAssocCache::insert(Addr line_addr, bool dirty, Picos fill_time,
     Victim victim;
     if (slot == base + cfg.ways) {
         slot = pickVictim(base);
+        MS_INVARIANT(slot < ways.size(),
+                     _name, ": victim slot ", slot, " out of range");
         Way &w = ways[slot];
         victim.valid = true;
         victim.dirty = w.dirty;

@@ -134,6 +134,7 @@ class SimCore
     const StridePrefetcher &prefetcher() const { return pf; }
 
     /** The core's clock. */
+    // memsense-lint: allow(no-nondeterminism): simulated Clock, not wall time
     const Clock &clock() const { return clk; }
 
   private:

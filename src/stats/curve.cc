@@ -19,6 +19,7 @@ PiecewiseCurve::PiecewiseCurve(std::vector<CurvePoint> pts)
     for (std::size_t i = 0; i < pts.size();) {
         std::size_t j = i;
         double sum = 0.0;
+        // memsense-lint: allow(float-equal): collapsing exact-duplicate knots
         while (j < pts.size() && pts[j].x == pts[i].x) {
             sum += pts[j].y;
             ++j;
@@ -62,16 +63,16 @@ PiecewiseCurve::at(double x) const
                                [](const CurvePoint &p, double v) {
                                    return p.x < v;
                                });
-    std::size_t hi;
+    std::size_t hi_idx;
     if (it == knots.end()) {
-        hi = knots.size() - 1; // extrapolate on the last segment
+        hi_idx = knots.size() - 1; // extrapolate on the last segment
     } else {
-        hi = static_cast<std::size_t>(it - knots.begin());
-        if (hi == 0)
+        hi_idx = static_cast<std::size_t>(it - knots.begin());
+        if (hi_idx == 0)
             return knots.front().y;
     }
-    const CurvePoint &a = knots[hi - 1];
-    const CurvePoint &b = knots[hi];
+    const CurvePoint &a = knots[hi_idx - 1];
+    const CurvePoint &b = knots[hi_idx];
     double t = (x - a.x) / (b.x - a.x);
     return a.y + t * (b.y - a.y);
 }
@@ -98,6 +99,7 @@ PiecewiseCurve::fromSamples(const std::vector<CurvePoint> &samples,
         lo = std::min(lo, s.x);
         hi = std::max(hi, s.x);
     }
+    // memsense-lint: allow(float-equal): degenerate all-equal-x input
     if (lo == hi)
         return PiecewiseCurve({{lo, 0.0}}); // degenerate; averaged below
 
@@ -106,9 +108,10 @@ PiecewiseCurve::fromSamples(const std::vector<CurvePoint> &samples,
     std::vector<std::size_t> count(bins, 0);
     double width = (hi - lo) / static_cast<double>(bins);
     for (const auto &s : samples) {
-        auto b = static_cast<std::size_t>((s.x - lo) / width);
-        if (b >= bins)
-            b = bins - 1;
+        // Cap in the double domain: s.x == hi lands exactly on `bins`,
+        // and an out-of-range double->integer cast is UB.
+        auto b = static_cast<std::size_t>(std::min(
+            (s.x - lo) / width, static_cast<double>(bins - 1)));
         ysum[b] += s.y;
         xsum[b] += s.x;
         ++count[b];

@@ -29,9 +29,12 @@ Histogram::add(double x)
         ++over;
         return;
     }
-    auto b = static_cast<std::size_t>((x - lo) / width);
-    if (b >= counts.size())
-        b = counts.size() - 1;
+    // Cap in the double domain: rounding can push (x - lo) / width to
+    // counts.size() even with x < hi, and an out-of-range
+    // double->integer cast is UB.
+    auto b = static_cast<std::size_t>(
+        std::min((x - lo) / width,
+                 static_cast<double>(counts.size() - 1)));
     ++counts[b];
 }
 
@@ -54,6 +57,8 @@ Histogram::quantile(double q) const
 {
     requireConfig(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
     requireConfig(n > 0, "quantile of empty histogram");
+    // memsense-lint: allow(unclamped-double-to-int): q in [0, 1] is
+    // enforced above, so q * n never exceeds the sample count
     auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(n));
     std::uint64_t seen = under;

@@ -69,17 +69,17 @@ lloyd(const std::vector<Point> &points, std::size_t k, std::size_t max_iters,
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         bool changed = false;
         for (std::size_t i = 0; i < points.size(); ++i) {
-            std::size_t best = 0;
+            std::size_t best_c = 0;
             double best_d = std::numeric_limits<double>::max();
             for (std::size_t c = 0; c < k; ++c) {
                 double d = squaredDistance(points[i], res.centroids[c]);
                 if (d < best_d) {
                     best_d = d;
-                    best = c;
+                    best_c = c;
                 }
             }
-            if (res.assignment[i] != best) {
-                res.assignment[i] = best;
+            if (res.assignment[i] != best_c) {
+                res.assignment[i] = best_c;
                 changed = true;
             }
         }

@@ -59,6 +59,7 @@ RunningStats::stddev() const
 double
 RunningStats::cv() const
 {
+    // memsense-lint: allow(float-equal): guard against exact-zero divisor
     if (mean() == 0.0)
         return 0.0;
     return stddev() / mean();
@@ -96,6 +97,8 @@ percentile(std::vector<double> xs, double p)
     if (xs.size() == 1)
         return xs[0];
     double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    // memsense-lint: allow(unclamped-double-to-int): p in [0, 100] is
+    // enforced above, so rank never exceeds size - 1
     auto lo = static_cast<std::size_t>(rank);
     double frac = rank - static_cast<double>(lo);
     if (lo + 1 >= xs.size())
@@ -128,6 +131,7 @@ correlation(const std::vector<double> &xs, const std::vector<double> &ys)
         sxx += dx * dx;
         syy += dy * dy;
     }
+    // memsense-lint: allow(float-equal): exact-zero variance guard
     if (sxx == 0.0 || syy == 0.0)
         return 0.0;
     return sxy / std::sqrt(sxx * syy);

@@ -1,0 +1,52 @@
+#include "util/contract.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memsense
+{
+
+namespace
+{
+
+// Process-global failure policy, like the log level: a deliberate
+// mutable knob, not experiment state (jobs never read it mid-run).
+// memsense-lint: allow(mutable-global-state): policy switch, set once at startup
+std::atomic<ContractPolicy> g_policy{ContractPolicy::Throw};
+
+} // anonymous namespace
+
+void
+setContractPolicy(ContractPolicy policy)
+{
+    g_policy.store(policy, std::memory_order_relaxed);
+}
+
+ContractPolicy
+contractPolicy()
+{
+    return g_policy.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+[[noreturn]] void
+contractFail(const char *kind, const char *expr, const char *file, int line,
+             const std::string &msg)
+{
+    std::string what = std::string(file) + ":" + std::to_string(line) +
+                       ": " + kind + " violated: `" + expr + "`";
+    if (!msg.empty())
+        what += " — " + msg;
+    if (contractPolicy() == ContractPolicy::Abort) {
+        std::fprintf(stderr, "memsense contract violation: %s\n",
+                     what.c_str());
+        std::abort();
+    }
+    throw ContractViolation(what);
+}
+
+} // namespace detail
+} // namespace memsense

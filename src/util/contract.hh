@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Runtime contract (invariant) layer for memsense.
+ *
+ * The model's credibility rests on invariants the compiler cannot see:
+ * Eq. 1-4 quantities must stay non-negative and unit-consistent, the
+ * fixed-point solver must converge within its iteration cap, and the
+ * simulator's cache geometry must stay internally consistent. The
+ * MS_REQUIRE / MS_ENSURE / MS_INVARIANT macros make those rules
+ * machine-checked at the API boundaries instead of tribal knowledge.
+ *
+ * Distinction from util/error.hh: requireConfig() rejects bad *user
+ * input* (a recoverable ConfigError); the contract macros guard what
+ * the *library itself* promises. A fired contract is always a bug in
+ * memsense, never in the caller's configuration, which is why
+ * ContractViolation derives from LogicError.
+ *
+ * Each macro takes the condition plus an optional stream-style message
+ * built from any number of trailing arguments:
+ *
+ *     MS_ENSURE(op.utilization <= 1.0,
+ *               "utilization ", op.utilization, " exceeds 1");
+ *
+ * The failure policy is a process-global switch: Throw (the default,
+ * so tests can observe violations) raises ContractViolation; Abort
+ * prints the diagnostic to stderr and calls std::abort(), which is
+ * what production batch sweeps want under a debugger or a sanitizer.
+ */
+
+#ifndef MEMSENSE_UTIL_CONTRACT_HH
+#define MEMSENSE_UTIL_CONTRACT_HH
+
+#include <sstream>
+#include <string>
+
+#include "util/error.hh"
+
+namespace memsense
+{
+
+/** What a violated contract does to the process. */
+enum class ContractPolicy
+{
+    Throw, ///< raise ContractViolation (default; test-observable)
+    Abort, ///< print to stderr and std::abort() (batch / debugger use)
+};
+
+/** Set the process-global contract failure policy. */
+void setContractPolicy(ContractPolicy policy);
+
+/** Current process-global contract failure policy. */
+ContractPolicy contractPolicy();
+
+/** Raised by a violated contract under ContractPolicy::Throw. */
+class ContractViolation : public LogicError
+{
+  public:
+    explicit ContractViolation(const std::string &what_arg)
+        : LogicError(what_arg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold any number of streamable arguments into one message string. */
+template <typename... Args>
+std::string
+contractMessage(Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string();
+    } else {
+        std::ostringstream oss;
+        (oss << ... << args);
+        return oss.str();
+    }
+}
+
+/**
+ * Report a violated contract according to the active policy.
+ *
+ * @param kind "precondition", "postcondition", or "invariant"
+ * @param expr stringified condition text
+ * @param file call-site file
+ * @param line call-site line
+ * @param msg  formatted user message (may be empty)
+ */
+[[noreturn]] void contractFail(const char *kind, const char *expr,
+                               const char *file, int line,
+                               const std::string &msg);
+
+} // namespace detail
+} // namespace memsense
+
+/** Internal: shared expansion of the three contract macros. */
+#define MS_CONTRACT_CHECK_(kind, cond, ...)                             \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::memsense::detail::contractFail(                           \
+                kind, #cond, __FILE__, __LINE__,                        \
+                ::memsense::detail::contractMessage(__VA_ARGS__));      \
+        }                                                               \
+    } while (false)
+
+/** Precondition: what the caller must guarantee on entry. */
+#define MS_REQUIRE(cond, ...) MS_CONTRACT_CHECK_("precondition", cond, __VA_ARGS__)
+
+/** Postcondition: what the callee guarantees on exit. */
+#define MS_ENSURE(cond, ...) MS_CONTRACT_CHECK_("postcondition", cond, __VA_ARGS__)
+
+/** Invariant: what must hold at every observable point in between. */
+#define MS_INVARIANT(cond, ...) MS_CONTRACT_CHECK_("invariant", cond, __VA_ARGS__)
+
+#endif // MEMSENSE_UTIL_CONTRACT_HH

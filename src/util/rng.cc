@@ -136,16 +136,19 @@ Rng::nextZipf(std::uint64_t n, double skew)
     // of the (shifted) Zipf density; Hinv its inverse.
     const double s_exp = skew;
     auto H = [s_exp](double x) {
+        // memsense-lint: allow(float-equal): exact limiting case s = 1
         if (s_exp == 1.0)
             return std::log(x);
         return (std::pow(x, 1.0 - s_exp) - 1.0) / (1.0 - s_exp);
     };
     auto Hinv = [s_exp](double x) {
+        // memsense-lint: allow(float-equal): exact limiting case s = 1
         if (s_exp == 1.0)
             return std::exp(x);
         return std::pow(1.0 + x * (1.0 - s_exp), 1.0 / (1.0 - s_exp));
     };
 
+    // memsense-lint: allow(float-equal): exact cache-key identity check
     if (zipfN != n || zipfS != skew) {
         zipfN = n;
         zipfS = skew;
@@ -157,6 +160,8 @@ Rng::nextZipf(std::uint64_t n, double skew)
     for (;;) {
         double u = zipfHx0 + nextDouble() * zipfDenom;
         double x = Hinv(u);
+        // memsense-lint: allow(unclamped-double-to-int): x = Hinv(u)
+        // with u in [H(0.5), H(n + 0.5)], so x + 0.5 stays within n + 1
         auto k = static_cast<std::uint64_t>(x + 0.5);
         if (k < 1)
             k = 1;

@@ -16,9 +16,10 @@ SparkWorkload::SparkWorkload(const SparkConfig &config)
 void
 SparkWorkload::mapVertex()
 {
-    // Degree varies; a skewed graph has a heavy tail.
-    std::uint32_t degree = 1 + static_cast<std::uint32_t>(rng.nextZipf(
-                                   2ULL * cfg.meanDegree, 0.4));
+    // Degree varies; a skewed graph has a heavy tail. The zipf rank is
+    // integral and bounded by 2 * meanDegree, so the narrowing is safe.
+    const std::uint64_t zipf_rank = rng.nextZipf(2ULL * cfg.meanDegree, 0.4);
+    std::uint32_t degree = 1 + static_cast<std::uint32_t>(zipf_rank);
     for (std::uint32_t e = 0; e < degree; ++e) {
         // Edge-list read: sequential CSR traversal; several 16 B edge
         // entries share one line.

@@ -193,6 +193,7 @@ TEST_F(MeasureTest, Fig7SetupsCoverSpeedAndMixGrid)
     for (const auto &s : setups) {
         if (s.memMtPerSec > 1800)
             ++fast;
+        // memsense-lint: allow(float-equal): exact literal from the config
         if (s.readFraction == 1.0)
             ++read_only;
     }

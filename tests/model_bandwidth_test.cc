@@ -119,7 +119,7 @@ TEST(Platform, BaselineMatchesPaperSection6)
     EXPECT_DOUBLE_EQ(p.ghz, 2.7);
     EXPECT_DOUBLE_EQ(p.memory.compulsoryNs, 75.0);
     // ~5.25 GB/s per core (paper Sec. VI.C.2).
-    EXPECT_NEAR(p.bandwidthPerCore() / 1e9, 5.2, 0.1);
+    EXPECT_NEAR(p.bandwidthPerCoreBps() / 1e9, 5.2, 0.1);
 }
 
 TEST(Platform, CycleConversions)

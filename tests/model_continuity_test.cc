@@ -124,6 +124,7 @@ TEST(RegimeTransition, HpcUnbindsOnlyAtExtremeLatency)
         Platform plat = Platform::paperBaseline();
         plat.memory = plat.memory.withCompulsoryNs(ns);
         OperatingPoint op = solver.solve(hpc, plat);
+        // memsense-lint: allow(float-equal): exact point on the 5 ns stride
         if (ns == 135.0)
             bound_at_135 = op.bandwidthBound;
         if (!op.bandwidthBound)

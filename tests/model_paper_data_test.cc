@@ -99,6 +99,7 @@ TEST(PaperData, Table3GridShape)
     for (const auto &o : runs) {
         EXPECT_GT(o.cpiEff, 1.0);
         EXPECT_GT(o.mpCycles, 300.0);
+        // memsense-lint: allow(float-equal): exact sweep grid point
         if (o.coreGhz == 2.7)
             ++at_27;
     }
@@ -140,7 +141,7 @@ TEST(Trends, Validation)
 {
     EXPECT_THROW(scalingTrends(2012, 0), ConfigError);
     TrendRates bad;
-    bad.latencyImprovement = 1.5;
+    bad.latencyImprovementFrac = 1.5;
     EXPECT_THROW(scalingTrends(2012, 5, bad), ConfigError);
 }
 

@@ -38,7 +38,7 @@ TEST(Phases, SinglePhaseMatchesPlainSolve)
     PhasedPoint pt = w.evaluate(solver, plat);
     OperatingPoint ref = solver.solve(ph.params, plat);
     EXPECT_DOUBLE_EQ(pt.cpiEff, ref.cpiEff);
-    EXPECT_DOUBLE_EQ(pt.bandwidthTotal, ref.bandwidthTotal);
+    EXPECT_DOUBLE_EQ(pt.bandwidthTotalBps, ref.bandwidthTotalBps);
     ASSERT_EQ(pt.perPhase.size(), 1u);
 }
 

@@ -28,7 +28,7 @@ TEST(BandwidthSweep, StandardVariantsSpanTheFig8Range)
     // Per-core availability spans roughly 0 to -4.3 GB/s/core
     // (paper Fig. 8 x-axis).
     double base_per_core =
-        Platform::paperBaseline().bandwidthPerCore() / 1e9;
+        Platform::paperBaseline().bandwidthPerCoreBps() / 1e9;
     double min_per_core = base_per_core;
     for (const auto &m : variants) {
         min_per_core =

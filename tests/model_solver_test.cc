@@ -80,7 +80,7 @@ TEST(Solver, ZeroTrafficWorkloadIsPureCpiCache)
     Solver solver;
     OperatingPoint op = solver.solve(p, Platform::paperBaseline());
     EXPECT_DOUBLE_EQ(op.cpiEff, 0.8);
-    EXPECT_DOUBLE_EQ(op.bandwidthTotal, 0.0);
+    EXPECT_DOUBLE_EQ(op.bandwidthTotalBps, 0.0);
     EXPECT_FALSE(op.bandwidthBound);
 }
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the contract layer (util/contract.hh): macro semantics,
+ * message formatting, policy switching, and the contracts installed at
+ * the model and simulator boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/cpi_model.hh"
+#include "model/paper_data.hh"
+#include "model/solver.hh"
+#include "sim/cache.hh"
+#include "util/contract.hh"
+#include "util/error.hh"
+
+namespace memsense
+{
+namespace
+{
+
+/** Restore the default Throw policy even if a test fails mid-way. */
+class ContractTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        setContractPolicy(ContractPolicy::Throw);
+    }
+};
+
+TEST_F(ContractTest, PassingContractsAreSilent)
+{
+    EXPECT_NO_THROW(MS_REQUIRE(1 + 1 == 2));
+    EXPECT_NO_THROW(MS_ENSURE(true, "never shown"));
+    EXPECT_NO_THROW(MS_INVARIANT(3 > 2, "value ", 3));
+}
+
+TEST_F(ContractTest, FailingRequireThrowsContractViolation)
+{
+    EXPECT_THROW(MS_REQUIRE(false), ContractViolation);
+}
+
+TEST_F(ContractTest, ViolationIsALogicErrorNotAConfigError)
+{
+    // Contracts flag library bugs: they must not be catchable as the
+    // user-input ConfigError but must be catchable as LogicError.
+    EXPECT_THROW(MS_ENSURE(false), LogicError);
+    try {
+        MS_INVARIANT(false);
+        FAIL() << "contract did not fire";
+    } catch (const ConfigError &) {
+        FAIL() << "contract fired as ConfigError";
+    } catch (const ContractViolation &) {
+        SUCCEED();
+    }
+}
+
+TEST_F(ContractTest, MessageNamesKindExpressionAndLocation)
+{
+    try {
+        int value = 7;
+        MS_ENSURE(value < 0, "value ", value, " should be negative");
+        FAIL() << "contract did not fire";
+    } catch (const ContractViolation &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+        EXPECT_NE(what.find("value < 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("util_contract_test.cc"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("value 7 should be negative"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST_F(ContractTest, KindsAreDistinguished)
+{
+    auto kind_of = [](auto &&fire) {
+        try {
+            fire();
+        } catch (const ContractViolation &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+    EXPECT_NE(kind_of([] { MS_REQUIRE(false); }).find("precondition"),
+              std::string::npos);
+    EXPECT_NE(kind_of([] { MS_ENSURE(false); }).find("postcondition"),
+              std::string::npos);
+    EXPECT_NE(kind_of([] { MS_INVARIANT(false); }).find("invariant"),
+              std::string::npos);
+}
+
+TEST_F(ContractTest, PolicyIsSwitchableAndReadable)
+{
+    EXPECT_EQ(contractPolicy(), ContractPolicy::Throw);
+    setContractPolicy(ContractPolicy::Abort);
+    EXPECT_EQ(contractPolicy(), ContractPolicy::Abort);
+    setContractPolicy(ContractPolicy::Throw);
+    EXPECT_EQ(contractPolicy(), ContractPolicy::Throw);
+}
+
+TEST_F(ContractTest, AbortPolicyAborts)
+{
+    EXPECT_DEATH(
+        {
+            setContractPolicy(ContractPolicy::Abort);
+            MS_INVARIANT(false, "death-test message");
+        },
+        "death-test message");
+}
+
+TEST_F(ContractTest, ModelBoundariesHoldOnPaperData)
+{
+    // The installed postconditions must be silent across the paper's
+    // whole operating envelope.
+    model::Solver solver;
+    for (const auto &p : model::paper::allWorkloadParams()) {
+        for (double eff : {0.2, 0.6, 1.0}) {
+            model::Platform plat = model::Platform::paperBaseline();
+            plat.memory = plat.memory.withEfficiency(eff);
+            model::OperatingPoint op;
+            EXPECT_NO_THROW(op = solver.solve(p, plat)) << p.name;
+            EXPECT_GE(op.cpiEff, p.cpiCache) << p.name;
+        }
+    }
+}
+
+TEST_F(ContractTest, CacheGeometryInvariantHolds)
+{
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = 1 << 20;
+    cfg.ways = 16;
+    EXPECT_NO_THROW(sim::SetAssocCache("llc", cfg, 1));
+}
+
+TEST_F(ContractTest, ChouBlockingFactorContractFires)
+{
+    // Degenerate Chou inputs drive Eq. 3 above BF = 1 only through a
+    // library bug; the inputs below stay legal, so the bound holds.
+    model::ChouInputs in;
+    in.cpiCache = 1.0;
+    in.mlp = 1.0;
+    in.overlapCm = 0.0;
+    in.mpi = 0.01;
+    in.mpCycles = 300.0;
+    EXPECT_NO_THROW({
+        double bf = model::blockingFactorFromChou(in);
+        EXPECT_LE(bf, 1.0);
+    });
+}
+
+} // anonymous namespace
+} // namespace memsense

@@ -143,7 +143,7 @@ cmdSolve(int argc, char **argv)
                            op.missPenaltyNs, op.queuingDelayNs);
     std::cout << strformat("bandwidth: %.1f GB/s (%.0f%% of "
                            "available)\n",
-                           op.bandwidthTotal / 1e9,
+                           op.bandwidthTotalBps / 1e9,
                            op.utilization * 100.0);
     return 0;
 }

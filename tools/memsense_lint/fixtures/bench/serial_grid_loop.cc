@@ -1,0 +1,35 @@
+// Fixture (bench/ context): grid loops that call the runner directly
+// must be flagged. NOT part of the build — linted by lint_selftest.
+
+namespace measure
+{
+struct RunConfig { double ghz = 2.7; };
+int runObservation(const RunConfig &rc);
+struct WorkloadRun
+{
+    explicit WorkloadRun(const RunConfig &rc);
+    int measure();
+};
+} // namespace measure
+
+int
+bad()
+{
+    int sum = 0;
+    for (double ghz : {2.1, 2.7, 3.1}) {
+        measure::RunConfig rc;
+        rc.ghz = ghz;
+        sum += measure::runObservation(rc);    // flagged: serial sweep
+        measure::WorkloadRun run(rc);          // flagged: serial sweep
+        sum += run.measure();
+    }
+    return sum;
+}
+
+int
+notFlagged()
+{
+    // Outside a loop a single direct run is fine (spot measurements).
+    measure::RunConfig rc;
+    return measure::runObservation(rc);
+}

@@ -1,0 +1,21 @@
+// Fixture: C-style casts between arithmetic types must be flagged.
+// NOT part of the build — linted by lint_selftest only.
+#include <cstdint>
+
+double
+bad(double x, std::uint64_t n)
+{
+    int a = (int)x;                    // flagged
+    double d = (double)n;              // flagged
+    std::uint64_t u = (std::uint64_t)x; // flagged
+    return a + d + (float)u;           // flagged: after an operator
+}
+
+int
+notFlagged(int n, double now)
+{
+    (void)now;                    // discard idiom is allowed
+    int b = static_cast<int>(n);  // the explicit form is the fix
+    int c = (n);                  // parenthesized expression, no cast
+    return b + c + sizeof(int);   // sizeof(type) is not a cast
+}

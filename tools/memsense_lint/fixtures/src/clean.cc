@@ -1,0 +1,47 @@
+// Fixture: idiomatic memsense code — zero findings expected.
+// Mentions of rand() or x == 0.0 in comments and "strings with
+// time(NULL) inside" must never trip a rule.
+// NOT part of the build — linted by lint_selftest only.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace memsense
+{
+
+struct Sample
+{
+    double latencyNs = 0.0;
+    double bandwidthGBps = 0.0;
+};
+
+double
+effectiveLatencyNs(const Sample &s, double queueDelayNs)
+{
+    const char *note = "rand() and time() belong in strings";
+    (void)note;
+    return s.latencyNs + queueDelayNs;
+}
+
+bool
+nearlyEqual(double a, double b, double tol)
+{
+    return std::fabs(a - b) <= tol;
+}
+
+long
+toTicks(double ns, double cap)
+{
+    return static_cast<long>(std::min(ns, cap));
+}
+
+int
+countDown(int n)
+{
+    int total = 0;
+    for (int i = n; i > 0; --i)
+        total += i;
+    return total;
+}
+
+} // namespace memsense

@@ -1,0 +1,19 @@
+// Fixture: floating-point equality comparisons must be flagged.
+// NOT part of the build — linted by lint_selftest only.
+
+bool
+bad(double x, double threshold)
+{
+    bool a = x == 0.0;          // flagged: literal on the right
+    bool b = 1.5 != x;          // flagged: literal on the left
+    bool c = x == threshold;    // flagged: both sides declared double
+    return a || b || c;
+}
+
+bool
+notFlagged(int n, int m)
+{
+    // Integer equality and pointer checks are fine.
+    const char *p = nullptr;
+    return n == m && p == nullptr && n != 7;
+}

@@ -1,0 +1,29 @@
+// Fixture: mutable globals / static locals must be flagged.
+// NOT part of the build — linted by lint_selftest only.
+#include <string>
+
+static int g_counter = 0;            // flagged: mutable global
+static std::string g_last_error;     // flagged: mutable global
+
+int
+bump()
+{
+    static int calls = 0;            // flagged: mutable static local
+    return ++calls + g_counter;
+}
+
+static const int kLimit = 8;         // not flagged: const
+static constexpr double kPi = 3.14;  // not flagged: constexpr
+
+static int
+helper(int x)                        // not flagged: internal function
+{
+    return x + kLimit + static_cast<int>(kPi);
+}
+
+int
+use()
+{
+    g_last_error = "x";
+    return helper(1);
+}

@@ -1,0 +1,28 @@
+// Fixture: every banned nondeterminism source must be flagged.
+// NOT part of the build — linted by lint_selftest only.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+pickSeed()
+{
+    std::random_device rd;           // flagged: entropy source
+    int a = rand();                  // flagged: rand()
+    srand(42);                       // flagged: srand()
+    long t = time(nullptr);          // flagged: wall clock
+    auto now =                       // flagged: wall clock by name
+        std::chrono::steady_clock::now();
+    (void)now;
+    return a + static_cast<int>(t) + static_cast<int>(rd());
+}
+
+int
+notFlagged(int randomish)
+{
+    // Identifiers merely *containing* banned words are fine, as are
+    // member accesses and mentions of rand() in comments.
+    int grand = randomish;
+    struct S { int time; } s{3};
+    return grand + s.time;
+}

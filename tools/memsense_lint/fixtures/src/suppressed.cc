@@ -1,0 +1,42 @@
+// Fixture: every violation here carries an allow() annotation, so the
+// linter must report nothing. NOT part of the build — lint_selftest.
+#include <cstdlib>
+
+bool
+sentinelCheck(double x)
+{
+    // memsense-lint: allow(float-equal): exact sentinel propagated unchanged
+    return x == 0.0;
+}
+
+bool
+sameLineSuppression(double x)
+{
+    return x == 1.0; // memsense-lint: allow(float-equal): exact sentinel
+}
+
+int
+seededElsewhere()
+{
+    // memsense-lint: allow(no-nondeterminism): fixture exercises suppression
+    return rand();
+}
+
+int
+multiRule(double x)
+{
+    // Comment block between the allow() line and the code line: the
+    // suppression still reaches the next code line.
+    // memsense-lint: allow(unclamped-double-to-int, float-equal): bounded by caller
+    // (second comment line)
+    return static_cast<int>(x);
+}
+
+// memsense-lint: allow(mutable-global-state): fixture exercises suppression
+static int g_suppressed = 0;
+
+int
+use()
+{
+    return g_suppressed;
+}

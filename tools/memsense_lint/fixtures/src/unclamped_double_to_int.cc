@@ -1,0 +1,24 @@
+// Fixture: double->integer static_cast without visible range control
+// must be flagged. NOT part of the build — linted by lint_selftest.
+#include <algorithm>
+#include <cstdint>
+
+std::int64_t
+bad(double rate, double scale)
+{
+    auto a = static_cast<std::int64_t>(rate * scale);   // flagged
+    auto b = static_cast<int>(1.3e9);                   // flagged
+    return a + b;
+}
+
+std::int64_t
+notFlagged(double rate, double cap, std::int64_t ticks)
+{
+    // Clamping in the double domain before the cast is the sanctioned
+    // pattern (the PR 1 adaptive-warmup fix).
+    auto a = static_cast<std::int64_t>(std::min(cap, rate));
+    auto b = static_cast<std::int64_t>(std::clamp(rate, 0.0, cap));
+    auto c = static_cast<std::int64_t>(std::lround(rate));
+    auto d = static_cast<int>(ticks); // integer source, no UB class
+    return a + b + c + d;
+}

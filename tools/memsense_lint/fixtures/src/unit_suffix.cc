@@ -1,0 +1,20 @@
+// Fixture: latency/bandwidth identifiers without a unit suffix must
+// be flagged. NOT part of the build — linted by lint_selftest only.
+
+struct Point
+{
+    double latency = 0.0;          // flagged: ns? cycles? unknown
+    double bandwidthTotal = 0.0;   // flagged: GB/s? bytes/s? unknown
+    double missPenaltyNs = 0.0;    // ok: ns
+    double bandwidthGBps = 0.0;    // ok: GB/s
+    double queueDelayCycles = 0.0; // ok: cycles
+    double latencyFactor = 1.0;    // ok: explicitly dimensionless
+};
+
+double
+use(double bandwidth, double delay_ns)
+{
+    double qdelay = delay_ns;      // flagged: no unit in the name
+    Point p;
+    return bandwidth + qdelay + p.missPenaltyNs; // flagged param above
+}

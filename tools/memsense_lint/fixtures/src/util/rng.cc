@@ -1,0 +1,12 @@
+// Fixture: util/rng.* is the sanctioned randomness source, so the
+// no-nondeterminism rule is exempt here (and only here).
+// NOT part of the build — linted by lint_selftest only.
+#include <cstdlib>
+#include <random>
+
+unsigned
+entropySeed()
+{
+    std::random_device rd; // exempt: this IS the sanctioned wrapper
+    return rd() ^ static_cast<unsigned>(rand());
+}

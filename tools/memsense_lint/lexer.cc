@@ -1,0 +1,214 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace memsense::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first so matching is greedy. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  "->",  "::",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",
+};
+
+} // anonymous namespace
+
+bool
+isFloatLiteral(const std::string &text)
+{
+    if (text.size() > 1 && (text[0] == '0') &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        // Hex floats carry a 'p' exponent; plain hex is integral.
+        return text.find('p') != std::string::npos ||
+               text.find('P') != std::string::npos;
+    }
+    for (char c : text) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return true;
+    }
+    return false;
+}
+
+LexResult
+tokenize(const std::string &source)
+{
+    LexResult out;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto addComment = [&out](int at_line, const std::string &text) {
+        std::string &slot = out.comments[at_line];
+        if (!slot.empty())
+            slot += ' ';
+        slot += text;
+    };
+
+    while (i < n) {
+        char c = source[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == '\\' && i + 1 < n && source[i + 1] == '\n') {
+            ++line;
+            i += 2;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment: capture text for suppression parsing.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t start = i + 2;
+            while (i < n && source[i] != '\n')
+                ++i;
+            addComment(line, source.substr(start, i - start));
+            continue;
+        }
+
+        // Block comment: attach the text to every line it spans.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            std::size_t start = i;
+            int comment_line = line;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n') {
+                    addComment(comment_line,
+                               source.substr(start, i - start));
+                    ++line;
+                    comment_line = line;
+                    start = i + 1;
+                }
+                ++i;
+            }
+            addComment(comment_line, source.substr(start, i - start));
+            i = (i + 1 < n) ? i + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t d = i + 2;
+            std::string delim;
+            while (d < n && source[d] != '(')
+                delim += source[d++];
+            std::string closer = ")" + delim + "\"";
+            std::size_t end = source.find(closer, d);
+            std::size_t stop = (end == std::string::npos)
+                                   ? n
+                                   : end + closer.size();
+            for (std::size_t j = i; j < stop; ++j) {
+                if (source[j] == '\n')
+                    ++line;
+            }
+            out.tokens.push_back({TokKind::Str, "\"\"", line});
+            i = stop;
+            continue;
+        }
+
+        // String / char literal (content dropped; escapes honored).
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            int start_line = line;
+            ++i;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i < n)
+                ++i; // closing quote
+            out.tokens.push_back({quote == '"' ? TokKind::Str : TokKind::Chr,
+                                  quote == '"' ? "\"\"" : "''", start_line});
+            continue;
+        }
+
+        // Identifier (string prefixes like u8"..." fall out naturally:
+        // the prefix lexes as an identifier, the literal as a string).
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            out.tokens.push_back(
+                {TokKind::Ident, source.substr(start, i - start), line});
+            continue;
+        }
+
+        // Number: integers, floats, hex, digit separators, exponents.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t start = i;
+            bool hex = (c == '0' && i + 1 < n &&
+                        (source[i + 1] == 'x' || source[i + 1] == 'X'));
+            while (i < n) {
+                char d = source[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    ++i;
+                    continue;
+                }
+                // Sign glued to an exponent stays part of the number.
+                if ((d == '+' || d == '-') && i > start) {
+                    char prev = source[i - 1];
+                    bool exp = hex ? (prev == 'p' || prev == 'P')
+                                   : (prev == 'e' || prev == 'E');
+                    if (exp) {
+                        ++i;
+                        continue;
+                    }
+                }
+                break;
+            }
+            std::string text = source.substr(start, i - start);
+            std::string clean;
+            for (char d : text) {
+                if (d != '\'')
+                    clean += d;
+            }
+            out.tokens.push_back({TokKind::Number, clean, line});
+            continue;
+        }
+
+        // Punctuator: longest match from the table, else single char.
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            std::size_t len = std::char_traits<char>::length(p);
+            if (source.compare(i, len, p) == 0) {
+                out.tokens.push_back({TokKind::Punct, p, line});
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+            ++i;
+        }
+    }
+    return out;
+}
+
+} // namespace memsense::lint

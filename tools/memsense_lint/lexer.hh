@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for memsense-lint.
+ *
+ * The linter works on a token stream, not an AST: no libclang, no
+ * preprocessor, no type system. The lexer's only jobs are to split
+ * source text into identifiers / numbers / literals / punctuators
+ * with line numbers attached, to drop comment and string *content*
+ * so rules never match inside it, and to record per-line comment
+ * text so suppressions (`// memsense-lint: allow(<rule>)`) can be
+ * resolved later.
+ */
+
+#ifndef MEMSENSE_LINT_LEXER_HH
+#define MEMSENSE_LINT_LEXER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memsense::lint
+{
+
+/** Lexical class of a token. */
+enum class TokKind
+{
+    Ident,  ///< identifier or keyword
+    Number, ///< numeric literal (integer or floating)
+    Str,    ///< string literal (content dropped, text is "\"\"")
+    Chr,    ///< character literal (content dropped)
+    Punct,  ///< operator or punctuator, longest-match (e.g. "==", "::")
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokKind kind;     ///< lexical class
+    std::string text; ///< token spelling (literals are blanked)
+    int line;         ///< 1-based source line
+};
+
+/** Tokenizer output: the stream plus per-line comment text. */
+struct LexResult
+{
+    std::vector<Token> tokens;          ///< comment/whitespace-free stream
+    std::map<int, std::string> comments; ///< line -> comment text on it
+};
+
+/**
+ * Tokenize C++ source text.
+ *
+ * Handles line/block comments, string/char literals (including raw
+ * strings and common prefixes/suffixes), digit separators, and line
+ * continuations. Unterminated constructs are closed at end of input
+ * rather than reported; the linter is not a compiler.
+ */
+LexResult tokenize(const std::string &source);
+
+/** True if a Number token spells a floating-point literal. */
+bool isFloatLiteral(const std::string &text);
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_LEXER_HH

@@ -1,0 +1,234 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace memsense::lint
+{
+
+namespace
+{
+
+/**
+ * Parse rule ids out of a "memsense-lint: allow(a, b)" comment.
+ * Returns empty when the comment carries no suppression.
+ */
+std::vector<std::string>
+parseAllows(const std::string &comment)
+{
+    std::vector<std::string> ids;
+    std::size_t tag = comment.find("memsense-lint:");
+    if (tag == std::string::npos)
+        return ids;
+    std::size_t open = comment.find("allow(", tag);
+    if (open == std::string::npos)
+        return ids;
+    std::size_t close = comment.find(')', open);
+    if (close == std::string::npos)
+        return ids;
+    std::string list = comment.substr(open + 6, close - open - 6);
+    std::string cur;
+    for (char c : list) {
+        if (c == ',') {
+            if (!cur.empty())
+                ids.push_back(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        ids.push_back(cur);
+    return ids;
+}
+
+/**
+ * True when @p f is covered by an allow() on its own line, or on an
+ * adjacent comment-only line above it (a comment line suppresses the
+ * code line it introduces, hopping over intervening comment lines).
+ */
+bool
+suppressed(const Finding &f, const FileContext &ctx)
+{
+    auto allows_on = [&ctx](int line) {
+        auto it = ctx.comments.find(line);
+        if (it == ctx.comments.end())
+            return std::vector<std::string>();
+        return parseAllows(it->second);
+    };
+    auto line_has_code = [&ctx](int line) {
+        return std::any_of(ctx.toks.begin(), ctx.toks.end(),
+                           [line](const Token &t) {
+                               return t.line == line;
+                           });
+    };
+    for (int line = f.line; line >= 1; --line) {
+        if (line != f.line && line_has_code(line))
+            break; // a code line above ends the comment block
+        for (const std::string &id : allows_on(line)) {
+            if (id == f.rule)
+                return true;
+        }
+        if (line != f.line && ctx.comments.find(line) == ctx.comments.end())
+            break; // blank line ends the comment block
+    }
+    return false;
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+bool
+lintableExtension(const std::filesystem::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".h" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+} // anonymous namespace
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &source,
+           const LintOptions &opts)
+{
+    FileContext ctx = makeContext(path, tokenize(source));
+    std::vector<Finding> raw;
+    for (const Rule &rule : allRules()) {
+        if (!opts.ruleFilter.empty() &&
+            std::find(opts.ruleFilter.begin(), opts.ruleFilter.end(),
+                      rule.id) == opts.ruleFilter.end())
+            continue;
+        rule.check(ctx, raw);
+    }
+    std::vector<Finding> out;
+    for (Finding &f : raw) {
+        if (!suppressed(f, ctx))
+            out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const LintOptions &opts)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("memsense-lint: cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lintSource(path, ss.str(), opts);
+}
+
+std::vector<Finding>
+lintPaths(const std::vector<std::string> &paths, const LintOptions &opts,
+          std::size_t *files_scanned)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        if (fs::is_directory(p)) {
+            for (const auto &entry : fs::recursive_directory_iterator(p)) {
+                if (entry.is_regular_file() &&
+                    lintableExtension(entry.path()))
+                    files.push_back(entry.path().generic_string());
+            }
+        } else {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> out;
+    for (const std::string &file : files) {
+        std::vector<Finding> per_file = lintFile(file, opts);
+        out.insert(out.end(), per_file.begin(), per_file.end());
+    }
+    if (files_scanned)
+        *files_scanned = files.size();
+    return out;
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message;
+}
+
+std::string
+jsonReport(const std::vector<Finding> &findings, std::size_t files_scanned)
+{
+    std::map<std::string, int> counts;
+    for (const Finding &f : findings)
+        ++counts[f.rule];
+
+    std::ostringstream os;
+    os << "{\n  \"filesScanned\": " << files_scanned << ",\n"
+       << "  \"findingCount\": " << findings.size() << ",\n"
+       << "  \"counts\": {";
+    bool first = true;
+    for (const auto &[rule, count] : counts) {
+        os << (first ? "" : ",") << "\n    \"";
+        jsonEscape(os, rule);
+        os << "\": " << count;
+        first = false;
+    }
+    os << (counts.empty() ? "" : "\n  ") << "},\n  \"findings\": [";
+    first = true;
+    for (const Finding &f : findings) {
+        os << (first ? "" : ",") << "\n    {\"file\": \"";
+        jsonEscape(os, f.file);
+        os << "\", \"line\": " << f.line << ", \"rule\": \"";
+        jsonEscape(os, f.rule);
+        os << "\", \"message\": \"";
+        jsonEscape(os, f.message);
+        os << "\"}";
+        first = false;
+    }
+    os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+} // namespace memsense::lint

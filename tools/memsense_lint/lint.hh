@@ -1,0 +1,52 @@
+/**
+ * @file
+ * memsense-lint driver: file discovery, suppression handling, and
+ * report formatting on top of the rule catalog in rules.hh.
+ */
+
+#ifndef MEMSENSE_LINT_LINT_HH
+#define MEMSENSE_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace memsense::lint
+{
+
+/** Driver options. */
+struct LintOptions
+{
+    /** When non-empty, only these rule ids run. */
+    std::vector<std::string> ruleFilter;
+};
+
+/** Lint one in-memory source (the selftest entry point). */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &source,
+                                const LintOptions &opts = {});
+
+/** Lint one file on disk. Throws std::runtime_error if unreadable. */
+std::vector<Finding> lintFile(const std::string &path,
+                              const LintOptions &opts = {});
+
+/**
+ * Lint files and directory trees (recursing into *.cc/.hh/.h/.cpp/.hpp,
+ * deterministic order). @p files_scanned, when non-null, receives the
+ * number of files visited.
+ */
+std::vector<Finding> lintPaths(const std::vector<std::string> &paths,
+                               const LintOptions &opts = {},
+                               std::size_t *files_scanned = nullptr);
+
+/** "file:line: rule: message" — the grep-able diagnostic line. */
+std::string formatFinding(const Finding &f);
+
+/** Machine-readable JSON report (findings, per-rule counts, file count). */
+std::string jsonReport(const std::vector<Finding> &findings,
+                       std::size_t files_scanned);
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_LINT_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * memsense-lint CLI.
+ *
+ * Usage:
+ *   memsense_lint [options] <file-or-dir>...
+ *
+ * Options:
+ *   --json[=PATH]   write a JSON report to PATH (default stdout)
+ *   --rules=a,b     run only the named rules
+ *   --list-rules    print the rule catalog and exit
+ *   --help          usage
+ *
+ * Exit status: 0 when no findings, 1 when findings were reported,
+ * 2 on usage or I/O errors. Diagnostics print one per line as
+ * "file:line: rule: message" so editors and grep can consume them.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: memsense_lint [--json[=PATH]] [--rules=a,b] "
+          "[--list-rules] <file-or-dir>...\n";
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace memsense::lint;
+
+    std::vector<std::string> paths;
+    LintOptions opts;
+    bool want_json = false;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--list-rules") {
+            for (const Rule &r : allRules())
+                std::cout << r.id << ": " << r.summary << "\n";
+            return 0;
+        } else if (arg == "--json") {
+            want_json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            want_json = true;
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            opts.ruleFilter = splitCsv(arg.substr(8));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "memsense-lint: unknown option " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    // Unknown rule names in --rules are a usage error, not a silent
+    // no-op pass.
+    for (const std::string &id : opts.ruleFilter) {
+        bool known = false;
+        for (const Rule &r : allRules())
+            known = known || r.id == id;
+        if (!known) {
+            std::cerr << "memsense-lint: unknown rule '" << id
+                      << "' (see --list-rules)\n";
+            return 2;
+        }
+    }
+
+    std::size_t files_scanned = 0;
+    std::vector<Finding> findings;
+    try {
+        findings = lintPaths(paths, opts, &files_scanned);
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    for (const Finding &f : findings)
+        std::cerr << formatFinding(f) << "\n";
+
+    if (want_json) {
+        std::string report = jsonReport(findings, files_scanned);
+        if (json_path.empty()) {
+            std::cout << report;
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << "memsense-lint: cannot write " << json_path
+                          << "\n";
+                return 2;
+            }
+            out << report;
+        }
+    }
+
+    std::cerr << "memsense-lint: " << files_scanned << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return findings.empty() ? 0 : 1;
+}

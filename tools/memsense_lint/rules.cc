@@ -1,0 +1,553 @@
+#include "rules.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace memsense::lint
+{
+
+namespace
+{
+
+const Token kNullTok{TokKind::Punct, "", 0};
+
+const Token &
+at(const std::vector<Token> &toks, std::size_t i)
+{
+    return i < toks.size() ? toks[i] : kNullTok;
+}
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Ident && t.text == text;
+}
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/** Split an identifier into lowercased camelCase / snake_case words. */
+std::vector<std::string>
+identWords(const std::string &name)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        if (c == '_') {
+            if (!cur.empty())
+                words.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+        if (upper && !cur.empty()) {
+            char prev = name[i - 1];
+            bool prev_lower =
+                std::islower(static_cast<unsigned char>(prev)) != 0 ||
+                std::isdigit(static_cast<unsigned char>(prev)) != 0;
+            bool next_lower =
+                i + 1 < name.size() &&
+                std::islower(static_cast<unsigned char>(name[i + 1])) != 0;
+            // New word at lower->Upper, and at the last upper of an
+            // acronym run ("GBps" -> "g", "bps").
+            if (prev_lower || (!prev_lower && next_lower)) {
+                words.push_back(cur);
+                cur.clear();
+            }
+        }
+        cur += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+std::string
+lowercase(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/** Find the index of the matching closer for the opener at @p open. */
+std::size_t
+matchDelim(const std::vector<Token> &toks, std::size_t open,
+           const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (isPunct(toks[i], opener))
+            ++depth;
+        else if (isPunct(toks[i], closer) && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+bool
+contains(const std::set<std::string> &set, const std::string &s)
+{
+    return set.count(s) != 0;
+}
+
+// ---------------------------------------------------------------------
+// no-nondeterminism
+// ---------------------------------------------------------------------
+
+void
+checkNondeterminism(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (ctx.rngExempt)
+        return;
+    // Banned when called: rand() and friends, wall-clock reads.
+    static const std::set<std::string> banned_calls = {
+        "rand",    "srand",   "rand_r",       "drand48", "lrand48",
+        "mrand48", "random",  "gettimeofday", "time",    "clock",
+        "getpid",
+    };
+    // Banned on sight: entropy / wall-clock sources by name.
+    static const std::set<std::string> banned_idents = {
+        "random_device", "system_clock", "steady_clock",
+        "high_resolution_clock",
+    };
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        const Token &prev = at(toks, i - 1);
+        // Member access (cfg.time, s.clock) is not the libc call.
+        if (isPunct(prev, ".") || isPunct(prev, "->"))
+            continue;
+        if (contains(banned_idents, t.text)) {
+            out.push_back({ctx.path, t.line, "no-nondeterminism",
+                           "'" + t.text +
+                               "' is a nondeterminism source; all "
+                               "randomness must flow through util/rng "
+                               "(memsense::Rng) so runs are "
+                               "seed-reproducible"});
+            continue;
+        }
+        if (contains(banned_calls, t.text) && isPunct(at(toks, i + 1), "(")) {
+            out.push_back({ctx.path, t.line, "no-nondeterminism",
+                           "call to '" + t.text +
+                               "()' is banned; derive all randomness "
+                               "and timing from the seeded util/rng / "
+                               "simulated clock so results are "
+                               "reproducible"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// float-equal
+// ---------------------------------------------------------------------
+
+bool
+isFloatish(const FileContext &ctx, const Token &t)
+{
+    if (t.kind == TokKind::Number)
+        return isFloatLiteral(t.text);
+    if (t.kind == TokKind::Ident)
+        return ctx.floatIdents.count(t.text) != 0;
+    return false;
+}
+
+void
+checkFloatEqual(const FileContext &ctx, std::vector<Finding> &out)
+{
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Punct || (t.text != "==" && t.text != "!="))
+            continue;
+        if (isFloatish(ctx, at(toks, i - 1)) ||
+            isFloatish(ctx, at(toks, i + 1))) {
+            out.push_back({ctx.path, t.line, "float-equal",
+                           "floating-point '" + t.text +
+                               "' comparison; use a tolerance, or "
+                               "annotate an exact-sentinel check with "
+                               "allow(float-equal) and a reason"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// c-style-cast
+// ---------------------------------------------------------------------
+
+const std::set<std::string> &
+arithTypeTokens()
+{
+    static const std::set<std::string> set = {
+        "int",      "long",     "short",    "unsigned",  "signed",
+        "float",    "double",   "char",     "size_t",    "ssize_t",
+        "ptrdiff_t", "int8_t",  "int16_t",  "int32_t",   "int64_t",
+        "uint8_t",  "uint16_t", "uint32_t", "uint64_t",  "uintptr_t",
+        "intptr_t", "Picos",    "Addr",
+    };
+    return set;
+}
+
+void
+checkCStyleCast(const FileContext &ctx, std::vector<Finding> &out)
+{
+    const auto &toks = ctx.toks;
+    // Prev-identifiers after which "(type)" really is a cast.
+    static const std::set<std::string> cast_prev_kw = {
+        "return", "throw", "else", "do", "co_return", "co_yield",
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isPunct(toks[i], "("))
+            continue;
+        const Token &prev = at(toks, i - 1);
+        // After a name, ')', ']', or '>' the paren is a call, a
+        // declarator, or a template instantiation — not a cast.
+        if (prev.kind == TokKind::Number ||
+            isPunct(prev, ")") || isPunct(prev, "]") || isPunct(prev, ">"))
+            continue;
+        if (prev.kind == TokKind::Ident && !contains(cast_prev_kw, prev.text))
+            continue;
+
+        // The parenthesized tokens must form a pure arithmetic type
+        // name: idents from the arith set plus std / ::.
+        std::size_t j = i + 1;
+        int arith = 0;
+        bool pure = true;
+        for (; j < toks.size() && !isPunct(toks[j], ")"); ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, "::") || isIdent(t, "std") || isIdent(t, "const"))
+                continue;
+            if (t.kind == TokKind::Ident &&
+                contains(arithTypeTokens(), t.text)) {
+                ++arith;
+                continue;
+            }
+            pure = false;
+            break;
+        }
+        if (!pure || arith == 0 || j >= toks.size() || j == i + 1)
+            continue;
+        const Token &next = at(toks, j + 1);
+        bool operand = next.kind == TokKind::Ident ||
+                       next.kind == TokKind::Number ||
+                       isPunct(next, "(") || isPunct(next, "-") ||
+                       isPunct(next, "+") || isPunct(next, "!") ||
+                       isPunct(next, "~") || isPunct(next, "*") ||
+                       isPunct(next, "&");
+        if (!operand)
+            continue;
+        out.push_back({ctx.path, toks[i].line, "c-style-cast",
+                       "C-style cast; narrowing must be explicit — use "
+                       "static_cast<...> (and clamp double->integer "
+                       "conversions)"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// unclamped-double-to-int
+// ---------------------------------------------------------------------
+
+void
+checkUnclampedCast(const FileContext &ctx, std::vector<Finding> &out)
+{
+    static const std::set<std::string> integral = {
+        "int",      "long",     "short",    "unsigned", "signed",
+        "char",     "size_t",   "ssize_t",  "ptrdiff_t", "int8_t",
+        "int16_t",  "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+        "uint32_t", "uint64_t", "uintptr_t", "intptr_t", "Picos",
+        "Addr",
+    };
+    // Visible range control inside the cast argument.
+    static const std::set<std::string> clampers = {
+        "clamp", "min",   "max",   "lround",    "llround", "lrint",
+        "llrint", "round", "floor", "ceil",     "trunc",   "nearbyint",
+        "rint",  "abs",   "fmod",
+    };
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "static_cast") || !isPunct(at(toks, i + 1), "<"))
+            continue;
+        std::size_t close = matchDelim(toks, i + 1, "<", ">");
+        if (close >= toks.size() || !isPunct(at(toks, close + 1), "("))
+            continue;
+
+        bool is_integral = false;
+        bool pure = true;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            const Token &t = toks[j];
+            if (isPunct(t, "::") || isIdent(t, "std") || isIdent(t, "const"))
+                continue;
+            if (t.kind == TokKind::Ident && contains(integral, t.text)) {
+                is_integral = true;
+                continue;
+            }
+            pure = false;
+            break;
+        }
+        if (!pure || !is_integral)
+            continue;
+
+        std::size_t arg_end = matchDelim(toks, close + 1, "(", ")");
+        bool floatish = false;
+        bool clamped = false;
+        for (std::size_t j = close + 2; j < arg_end; ++j) {
+            if (isFloatish(ctx, toks[j]))
+                floatish = true;
+            if (toks[j].kind == TokKind::Ident &&
+                contains(clampers, toks[j].text))
+                clamped = true;
+        }
+        if (floatish && !clamped) {
+            out.push_back(
+                {ctx.path, toks[i].line, "unclamped-double-to-int",
+                 "double->integer static_cast without visible range "
+                 "control; an out-of-range double is undefined "
+                 "behaviour — clamp in the double domain first "
+                 "(std::clamp/min/max/lround), or annotate with "
+                 "allow(unclamped-double-to-int) and the reason the "
+                 "value is already bounded"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// mutable-global-state
+// ---------------------------------------------------------------------
+
+void
+checkMutableGlobal(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (ctx.logExempt)
+        return;
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "static"))
+            continue;
+        // Walk the declaration: a '(' before ';'/'='/'{' means a
+        // function; const/constexpr/thread_local makes it safe.
+        bool safe = false;
+        bool function = false;
+        std::size_t limit = std::min(toks.size(), i + 48);
+        for (std::size_t j = i + 1; j < limit; ++j) {
+            const Token &t = toks[j];
+            if (isIdent(t, "const") || isIdent(t, "constexpr") ||
+                isIdent(t, "constinit") || isIdent(t, "thread_local")) {
+                safe = true;
+                break;
+            }
+            if (isPunct(t, "(")) {
+                function = true;
+                break;
+            }
+            if (isPunct(t, ";") || isPunct(t, "=") || isPunct(t, "{"))
+                break;
+        }
+        if (safe || function)
+            continue;
+        out.push_back(
+            {ctx.path, toks[i].line, "mutable-global-state",
+             "mutable static/global state; sweep jobs must share no "
+             "mutable state to stay seed-deterministic — make it "
+             "const/constexpr, pass it explicitly, or move it behind "
+             "util/log-style synchronized ownership"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// serial-grid-loop
+// ---------------------------------------------------------------------
+
+void
+checkSerialGridLoop(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (!ctx.inBench)
+        return;
+    // Runner-level entry points that a bench grid loop must not call
+    // directly; route the grid through ParallelExecutor::mapOrdered or
+    // the measure:: experiment drivers instead.
+    static const std::set<std::string> runner_calls = {
+        "runObservation", "WorkloadRun",
+    };
+    const auto &toks = ctx.toks;
+
+    // Collect the token ranges of all for-loop bodies.
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "for") || !isPunct(at(toks, i + 1), "("))
+            continue;
+        std::size_t head_end = matchDelim(toks, i + 1, "(", ")");
+        if (head_end >= toks.size())
+            continue;
+        std::size_t body_begin = head_end + 1;
+        std::size_t body_end;
+        if (isPunct(at(toks, body_begin), "{")) {
+            body_end = matchDelim(toks, body_begin, "{", "}");
+        } else {
+            body_end = body_begin;
+            while (body_end < toks.size() && !isPunct(toks[body_end], ";"))
+                ++body_end;
+        }
+        bodies.emplace_back(body_begin, body_end);
+    }
+
+    std::set<int> flagged_lines;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident || !contains(runner_calls, t.text))
+            continue;
+        bool in_loop = false;
+        for (const auto &[b, e] : bodies) {
+            if (i > b && i < e) {
+                in_loop = true;
+                break;
+            }
+        }
+        if (!in_loop || !flagged_lines.insert(t.line).second)
+            continue;
+        out.push_back(
+            {ctx.path, t.line, "serial-grid-loop",
+             "'" + t.text +
+                 "' called from a hand-rolled grid loop runs the "
+                 "sweep serially and ignores --jobs; build the grid "
+                 "as a job vector and run it through "
+                 "measure::ParallelExecutor::mapOrdered (or a "
+                 "measure:: experiment driver)"});
+    }
+}
+
+// ---------------------------------------------------------------------
+// unit-suffix
+// ---------------------------------------------------------------------
+
+void
+checkUnitSuffix(const FileContext &ctx, std::vector<Finding> &out)
+{
+    // Words that tie a quantity to its unit (or mark it dimensionless).
+    static const std::set<std::string> unit_words = {
+        "ns",    "us",      "ms",    "ps",     "picos",  "sec",
+        "secs",  "seconds", "cycle", "cycles", "cyc",    "ghz",
+        "mhz",   "khz",     "hz",    "gbps",   "mbps",   "kbps",
+        "bps",   "byte",    "bytes", "pct",    "percent", "ratio",
+        "frac",  "fraction", "factor", "norm", "rel",     "relative",
+        "cpi", // cycles/instruction is a unit of its own (Eq. 1)
+    };
+    static const char *const quantities[] = {"latency", "bandwidth",
+                                             "delay", "penalty"};
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "double") && !isIdent(toks[i], "float"))
+            continue;
+        std::size_t j = i + 1;
+        while (j < toks.size() &&
+               (isIdent(toks[j], "const") || isPunct(toks[j], "&") ||
+                isPunct(toks[j], "*")))
+            ++j;
+        const Token &name = at(toks, j);
+        if (name.kind != TokKind::Ident)
+            continue;
+        // Functions declare their unit in the return-value name too,
+        // but renaming call sites is out of scope: variables only.
+        if (isPunct(at(toks, j + 1), "("))
+            continue;
+        std::string lower = lowercase(name.text);
+        bool quantity = false;
+        for (const char *q : quantities) {
+            if (lower.find(q) != std::string::npos) {
+                quantity = true;
+                break;
+            }
+        }
+        if (!quantity)
+            continue;
+        bool suffixed = false;
+        for (const std::string &w : identWords(name.text)) {
+            if (contains(unit_words, w)) {
+                suffixed = true;
+                break;
+            }
+        }
+        if (suffixed)
+            continue;
+        out.push_back(
+            {ctx.path, name.line, "unit-suffix",
+             "'" + name.text +
+                 "' holds a latency/bandwidth quantity but names no "
+                 "unit; suffix it (Ns, Cycles, GBps, Bps, ...) or a "
+                 "dimensionless marker (Ratio, Frac, Factor) so "
+                 "cycles-vs-ns and GB/s-vs-bytes/s mixups stay "
+                 "visible in review"});
+    }
+}
+
+} // anonymous namespace
+
+FileContext
+makeContext(const std::string &path, const LexResult &lexed)
+{
+    FileContext ctx;
+    ctx.path = path;
+    ctx.toks = lexed.tokens;
+    ctx.comments = lexed.comments;
+
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    ctx.inBench = p.find("bench/") != std::string::npos;
+    ctx.rngExempt = p.find("util/rng.") != std::string::npos;
+    ctx.logExempt = p.find("util/log.") != std::string::npos;
+
+    // Per-file table of identifiers declared double/float; a cheap
+    // stand-in for a type system that serves float-equal and
+    // unclamped-double-to-int.
+    for (std::size_t i = 0; i + 1 < ctx.toks.size(); ++i) {
+        if (!isIdent(ctx.toks[i], "double") && !isIdent(ctx.toks[i], "float"))
+            continue;
+        std::size_t j = i + 1;
+        while (j < ctx.toks.size() &&
+               (isIdent(ctx.toks[j], "const") || isPunct(ctx.toks[j], "&") ||
+                isPunct(ctx.toks[j], "*")))
+            ++j;
+        if (j < ctx.toks.size() && ctx.toks[j].kind == TokKind::Ident)
+            ctx.floatIdents.insert(ctx.toks[j].text);
+    }
+    return ctx;
+}
+
+const std::vector<Rule> &
+allRules()
+{
+    static const std::vector<Rule> rules = {
+        {"no-nondeterminism",
+         "rand()/time()/random_device & friends outside util/rng",
+         checkNondeterminism},
+        {"float-equal",
+         "floating-point == / != comparisons",
+         checkFloatEqual},
+        {"c-style-cast",
+         "C-style casts between arithmetic types",
+         checkCStyleCast},
+        {"unclamped-double-to-int",
+         "double->integer static_cast without visible range control",
+         checkUnclampedCast},
+        {"mutable-global-state",
+         "mutable globals / static locals outside util/log",
+         checkMutableGlobal},
+        {"serial-grid-loop",
+         "bench/ grid loops that bypass measure::ParallelExecutor",
+         checkSerialGridLoop},
+        {"unit-suffix",
+         "latency/bandwidth identifiers without a unit suffix",
+         checkUnitSuffix},
+    };
+    return rules;
+}
+
+} // namespace memsense::lint

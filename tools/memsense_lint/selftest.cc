@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Rule-by-rule selftest for memsense-lint.
+ *
+ * Each rule has a fixture source asserting it fires at the expected
+ * sites, plus negative fixtures (suppressions, the util/rng
+ * exemption, and an idiomatic clean file) asserting it stays quiet.
+ * Fixtures are real files under fixtures/ — never compiled, only
+ * linted — so the corpus also documents what each rule means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+using memsense::lint::Finding;
+using memsense::lint::formatFinding;
+using memsense::lint::LintOptions;
+using memsense::lint::lintFile;
+
+std::string
+fixture(const std::string &rel)
+{
+    return std::string(MEMSENSE_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+/** Findings for one fixture with only @p rule enabled. */
+std::vector<Finding>
+runRule(const std::string &rel, const std::string &rule)
+{
+    LintOptions opts;
+    opts.ruleFilter = {rule};
+    return lintFile(fixture(rel), opts);
+}
+
+int
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(findings.begin(), findings.end(),
+                      [&rule](const Finding &f) { return f.rule == rule; }));
+}
+
+TEST(LintSelftest, NoNondeterminismFires)
+{
+    auto fs = runRule("src/no_nondeterminism.cc", "no-nondeterminism");
+    EXPECT_EQ(countRule(fs, "no-nondeterminism"), 5)
+        << "random_device, rand, srand, time, steady_clock";
+}
+
+TEST(LintSelftest, FloatEqualFires)
+{
+    auto fs = runRule("src/float_equal.cc", "float-equal");
+    EXPECT_EQ(countRule(fs, "float-equal"), 3);
+}
+
+TEST(LintSelftest, CStyleCastFires)
+{
+    auto fs = runRule("src/c_style_cast.cc", "c-style-cast");
+    EXPECT_EQ(countRule(fs, "c-style-cast"), 4);
+}
+
+TEST(LintSelftest, UnclampedDoubleToIntFires)
+{
+    auto fs =
+        runRule("src/unclamped_double_to_int.cc", "unclamped-double-to-int");
+    EXPECT_EQ(countRule(fs, "unclamped-double-to-int"), 2)
+        << "the clamped/lround/integer-source casts must not fire";
+}
+
+TEST(LintSelftest, MutableGlobalStateFires)
+{
+    auto fs = runRule("src/mutable_global.cc", "mutable-global-state");
+    EXPECT_EQ(countRule(fs, "mutable-global-state"), 3)
+        << "two globals and one static local; const/constexpr/functions "
+           "must not fire";
+}
+
+TEST(LintSelftest, SerialGridLoopFiresInBench)
+{
+    auto fs = runRule("bench/serial_grid_loop.cc", "serial-grid-loop");
+    EXPECT_EQ(countRule(fs, "serial-grid-loop"), 2)
+        << "runObservation and WorkloadRun inside the loop; the "
+           "straight-line call must not fire";
+}
+
+TEST(LintSelftest, UnitSuffixFires)
+{
+    auto fs = runRule("src/unit_suffix.cc", "unit-suffix");
+    EXPECT_EQ(countRule(fs, "unit-suffix"), 4)
+        << "latency, bandwidthTotal, bandwidth param, qdelay local";
+}
+
+TEST(LintSelftest, SuppressionsSilenceEveryFinding)
+{
+    auto fs = lintFile(fixture("src/suppressed.cc"));
+    EXPECT_TRUE(fs.empty()) << "first leak: "
+                            << (fs.empty() ? ""
+                                           : formatFinding(fs.front()));
+}
+
+TEST(LintSelftest, UtilRngIsExemptFromNondeterminism)
+{
+    auto fs = lintFile(fixture("src/util/rng.cc"));
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSelftest, CleanFileHasNoFindings)
+{
+    auto fs = lintFile(fixture("src/clean.cc"));
+    EXPECT_TRUE(fs.empty()) << "first finding: "
+                            << (fs.empty() ? ""
+                                           : formatFinding(fs.front()));
+}
+
+TEST(LintSelftest, FindingFormatIsGrepable)
+{
+    auto fs = runRule("src/float_equal.cc", "float-equal");
+    ASSERT_FALSE(fs.empty());
+    std::string line = memsense::lint::formatFinding(fs.front());
+    // file:line: rule: message
+    EXPECT_NE(line.find("float_equal.cc:"), std::string::npos);
+    EXPECT_NE(line.find(": float-equal: "), std::string::npos);
+}
+
+TEST(LintSelftest, JsonReportCarriesCountsAndEscapes)
+{
+    auto fs = runRule("src/float_equal.cc", "float-equal");
+    std::string json = memsense::lint::jsonReport(fs, 1);
+    EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"float-equal\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+}
+
+TEST(LintSelftest, RuleCatalogIsStable)
+{
+    // Every rule documented in docs/static_analysis.md exists, keyed
+    // by id; adding a rule must extend the fixtures and this list.
+    std::vector<std::string> ids;
+    for (const auto &r : memsense::lint::allRules())
+        ids.push_back(r.id);
+    std::vector<std::string> expected = {
+        "no-nondeterminism",    "float-equal",
+        "c-style-cast",         "unclamped-double-to-int",
+        "mutable-global-state", "serial-grid-loop",
+        "unit-suffix",
+    };
+    EXPECT_EQ(ids, expected);
+}
+
+} // anonymous namespace
