@@ -14,7 +14,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Ablation: MLP (MSHR count)",
            "Fitted blocking factor vs. the core's MSHR limit "
            "(Eq. 3: BF ~ 1/MLP)");

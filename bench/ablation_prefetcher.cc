@@ -19,7 +19,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Ablation: prefetcher",
            "Blocking factor with the stride prefetcher on vs. off");
 

@@ -36,7 +36,7 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Ablation: queuing model",
            "Class sensitivities under different queuing-delay curves");
 

@@ -38,7 +38,7 @@ policyName(sim::ReplacementKind k)
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Ablation: LLC replacement",
            "Fitted MPKI / BF under LRU vs. random vs. SRRIP "
            "replacement");

@@ -21,7 +21,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Ablation: SMT demand scaling",
            "Class behavior with Eq. 4 demand scaled by physical cores "
            "(smt=1) vs. hardware threads (smt=2, the paper's "

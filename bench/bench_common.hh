@@ -14,17 +14,58 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "measure/resilience.hh"
 #include "util/csv.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
 #include "util/log.hh"
 #include "util/string_util.hh"
 #include "util/table.hh"
 
 namespace memsense::bench
 {
+
+/**
+ * Atomically replace @p path with @p content: write `<path>.tmp` in
+ * the same directory, flush, then rename over the target. A crash (or
+ * injected fault) mid-write leaves either the old file or no file —
+ * never a torn one — so downstream extractors can trust whatever they
+ * find on disk.
+ */
+inline void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        requireConfig(out.good(), "cannot open " + tmp + " for writing");
+        out << content;
+        out.flush();
+        requireConfig(out.good(), "short write to " + tmp);
+    }
+    requireConfig(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename " + tmp + " over " + path);
+}
+
+/**
+ * The --out-dir destination for CSV/JSON artifacts ("" = stdout only).
+ * One slot per process, set once by benchInit().
+ */
+inline std::string &
+outDir()
+{
+    // memsense-lint: allow(mutable-global-state): process-wide output
+    // destination, written once during argv parsing in benchInit()
+    // before any worker thread exists.
+    static std::string dir;
+    return dir;
+}
 
 /** Print the standard header for a reproduction binary. */
 inline void
@@ -34,18 +75,25 @@ header(const std::string &exp_id, const std::string &what)
               << what << "\n\n";
 }
 
-/** Print a CSV block delimited for machine extraction. */
+/**
+ * Print a CSV block delimited for machine extraction; with --out-dir
+ * the same CSV is also written atomically to `<dir>/<name>.csv`.
+ */
 inline void
 csvBlock(const std::string &name,
          const std::vector<std::string> &columns,
          const std::vector<std::vector<double>> &rows)
 {
-    std::cout << "--- BEGIN CSV " << name << " ---\n";
-    CsvWriter w(std::cout);
+    std::ostringstream csv;
+    CsvWriter w(csv);
     w.writeRow(columns);
     for (const auto &r : rows)
         w.writeRow(r);
-    std::cout << "--- END CSV " << name << " ---\n";
+
+    std::cout << "--- BEGIN CSV " << name << " ---\n"
+              << csv.str() << "--- END CSV " << name << " ---\n";
+    if (!outDir().empty())
+        atomicWriteFile(outDir() + "/" + name + ".csv", csv.str());
 }
 
 /** Shorten noisy logging for bench runs unless asked otherwise. */
@@ -89,6 +137,79 @@ jobsArg(int argc, char **argv)
             return std::atoi(arg.c_str() + 7);
     }
     return 1;
+}
+
+/** One `--flag VALUE` / `--flag=VALUE` string argument, or "". */
+inline std::string
+stringArg(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind(flag + "=", 0) == 0)
+            return arg.substr(flag.size() + 1);
+    }
+    return "";
+}
+
+/**
+ * Fault-tolerance settings from the standard bench flags:
+ *
+ *   --max-retries N     retry each failing job up to N extra times
+ *   --job-timeout-ms N  per-job wall-clock budget across retries
+ *   --checkpoint PATH   append-only journal; rerun with the same PATH
+ *                       (and the same sweep settings) to resume
+ *
+ * All default off: resilienceArgs(...).enabled() is false when none
+ * of the flags were passed, and the drivers then keep the strict
+ * first-error-aborts behavior.
+ */
+inline measure::ResilienceConfig
+resilienceArgs(int argc, char **argv)
+{
+    measure::ResilienceConfig rc;
+    const std::string retries = stringArg(argc, argv, "--max-retries");
+    if (!retries.empty())
+        rc.maxRetries = std::atoi(retries.c_str());
+    const std::string timeout = stringArg(argc, argv, "--job-timeout-ms");
+    if (!timeout.empty())
+        rc.jobTimeoutMs = std::atof(timeout.c_str());
+    rc.checkpointPath = stringArg(argc, argv, "--checkpoint");
+    return rc;
+}
+
+/**
+ * Standard bench start-up: logging flags, --out-dir, and MEMSENSE_FAULTS
+ * (the deterministic fault-injection harness, util/fault_injection.hh).
+ */
+inline void
+benchInit(int argc, char **argv)
+{
+    quietLogs(argc, argv);
+    outDir() = stringArg(argc, argv, "--out-dir");
+    fault::configureFromEnv();
+}
+
+/**
+ * Report a sweep's failure manifest: a WARN summary plus a delimited
+ * JSON block, and with --out-dir an atomic `<dir>/<exp_id>.failures.json`
+ * for machine consumption. No output at all for a clean sweep.
+ */
+inline void
+reportFailures(const std::string &exp_id,
+               const measure::FailureManifest &manifest,
+               std::size_t total_jobs)
+{
+    if (manifest.empty())
+        return;
+    warn(exp_id + ": " + manifest.summary(total_jobs));
+    const std::string json = manifest.toJson();
+    std::cout << "--- BEGIN FAILURES " << exp_id << " ---\n"
+              << json << "\n--- END FAILURES " << exp_id << " ---\n";
+    if (!outDir().empty())
+        atomicWriteFile(outDir() + "/" + exp_id + ".failures.json",
+                        json + "\n");
 }
 
 } // namespace memsense::bench

@@ -34,21 +34,35 @@ sweepConfig(bool fast)
     return cfg;
 }
 
-/** Sweep settings from the bench flags (--fast, --jobs N). */
+/** Sweep settings from the bench flags (--fast, --jobs N, and the
+ *  fault-tolerance flags --max-retries / --job-timeout-ms /
+ *  --checkpoint). */
 inline measure::FreqScalingConfig
 sweepConfig(int argc, char **argv)
 {
     measure::FreqScalingConfig cfg = sweepConfig(fastMode(argc, argv));
     cfg.jobs = jobsArg(argc, argv);
+    cfg.resilience = resilienceArgs(argc, argv);
     return cfg;
 }
 
-/** Characterize a list of workloads on the parallel engine. */
+/**
+ * Characterize a list of workloads on the parallel engine. With any
+ * fault-tolerance flag set, grid-point failures are retried and
+ * quarantined (reported via reportFailures under @p exp_id) instead
+ * of aborting the sweep, and --checkpoint enables resume.
+ */
 inline std::vector<measure::Characterization>
 characterizeIds(const std::vector<std::string> &ids,
-                const measure::FreqScalingConfig &cfg)
+                const measure::FreqScalingConfig &cfg,
+                const std::string &exp_id = "characterize")
 {
-    return measure::characterizeMany(ids, cfg);
+    if (!cfg.resilience.enabled())
+        return measure::characterizeMany(ids, cfg);
+    measure::ResilientCharacterizations r =
+        measure::characterizeManyResilient(ids, cfg);
+    reportFailures(exp_id, r.manifest, r.totalJobs);
+    return std::move(r.results);
 }
 
 /** Print the fitted-parameter table with the paper's values beside. */

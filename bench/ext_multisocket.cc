@@ -19,7 +19,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Multi-socket extension (Sec. VIII)",
            "CPI vs. remote-access fraction on 2 sockets (65 ns remote "
            "hop, 32 GB/s interconnect per socket)");

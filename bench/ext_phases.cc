@@ -24,7 +24,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Phase-weighted model (Sec. IV.D)",
            "Phase-aware vs. averaged-parameter CPI across bandwidth "
            "configurations");

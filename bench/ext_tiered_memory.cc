@@ -20,7 +20,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Eq. 5 extension (Sec. VII)",
            "Two-tier memory: 75 ns / 40 GB/s DRAM cache in front of a "
            "300 ns / 12 GB/s capacity tier; 64 GB workload footprint");

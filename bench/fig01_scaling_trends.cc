@@ -17,7 +17,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Figure 1", "Trends in CPU and DRAM scaling (normalized to "
                        "the base year)");
 

@@ -26,7 +26,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     bool use_paper = false;
     for (int i = 1; i < argc; ++i)
         if (std::string(argv[i]) == "--paper")
@@ -46,7 +46,7 @@ main(int argc, char **argv)
         for (const auto &info : workloads::workloadCatalog())
             ids.push_back(info.id);
         for (const auto &c :
-             characterizeIds(ids, sweepConfig(argc, argv)))
+             characterizeIds(ids, sweepConfig(argc, argv), "fig06"))
             params.push_back(c.model.params);
     }
 

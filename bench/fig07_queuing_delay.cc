@@ -21,25 +21,42 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     bool fast = fastMode(argc, argv);
     header("Figure 7",
            "Queuing delay vs. bandwidth utilization (MLC clone: 1 "
            "latency probe + 7 bandwidth generators)");
 
+    const measure::ResilienceConfig resilience =
+        resilienceArgs(argc, argv);
     auto setups = measure::paperFig7Setups();
-    for (auto &s : setups) {
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+        auto &s = setups[i];
         s.jobs = jobsArg(argc, argv);
         if (fast) {
             s.delayCycles = {0, 8, 24, 48, 96, 256, 1024, 2048};
             s.measure = nsToPicos(200'000.0);
         }
+        s.resilience = resilience;
+        if (!resilience.checkpointPath.empty())
+            s.resilience.checkpointPath =
+                resilience.checkpointPath + ".mlc" + std::to_string(i);
     }
 
+    measure::FailureManifest manifest;
+    std::size_t total_points = 0;
     std::vector<stats::PiecewiseCurve> curves;
     for (const auto &setup : setups) {
-        measure::LoadedLatencyCurve c =
-            measure::sweepLoadedLatency(setup);
+        measure::LoadedLatencyCurve c;
+        if (resilience.enabled()) {
+            measure::ResilientLoadedLatency r =
+                measure::sweepLoadedLatencyResilient(setup);
+            manifest.merge(r.manifest);
+            total_points += r.totalJobs;
+            c = std::move(r.curve);
+        } else {
+            c = measure::sweepLoadedLatency(setup);
+        }
         std::cout << strformat(
             "\n-- DDR3-%.0f, %.0f%% reads: unloaded %.1f ns, "
             "achievable %.1f GB/s --\n",
@@ -89,5 +106,7 @@ main(int argc, char **argv)
                   "above at matched utilization.");
     t.print(std::cout);
     csvBlock("fig07_composite", {"util", "queuing_ns"}, csv);
+    if (resilience.enabled())
+        reportFailures("fig07", manifest, total_points);
     return 0;
 }

@@ -22,7 +22,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Figure 8",
            "CPI increase vs. per-core bandwidth reduction, by class");
 

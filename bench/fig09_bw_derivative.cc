@@ -18,7 +18,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Figure 9",
            "Performance impact per GB/s/core vs. available bandwidth "
            "per core (derivative of Fig. 8)");

@@ -20,7 +20,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Figure 10",
            "CPI increase vs. compulsory latency (+10 ns steps), by "
            "class");

@@ -17,7 +17,7 @@ using namespace memsense::bench;
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Figure 11",
            "CPI impact per +10 ns compulsory-latency step, by class");
 

@@ -19,7 +19,12 @@
 namespace memsense::bench
 {
 
-/** Build the solver; --measured derives the queuing curve via MLC. */
+/**
+ * Build the solver; --measured derives the queuing curve via MLC.
+ * With any fault-tolerance flag set, the MLC sweeps run through the
+ * resilient path: failing delay points are retried then dropped (and
+ * reported), and --checkpoint makes the sweep family resumable.
+ */
 inline model::Solver
 makeSolver(int argc, char **argv)
 {
@@ -32,7 +37,19 @@ makeSolver(int argc, char **argv)
                 s.delayCycles = {0, 8, 16, 32, 48, 96, 256, 1024};
                 s.measure = nsToPicos(250'000.0);
             }
-            return model::Solver(measure::measureQueuingModel(setups));
+            const measure::ResilienceConfig rc =
+                resilienceArgs(argc, argv);
+            if (!rc.enabled())
+                return model::Solver(
+                    measure::measureQueuingModel(setups));
+            measure::FailureManifest manifest;
+            model::Solver solver(measure::measureQueuingModelResilient(
+                setups, rc, &manifest));
+            std::size_t points = 0;
+            for (const auto &s : setups)
+                points += s.delayCycles.size();
+            reportFailures("mlc", manifest, points);
+            return solver;
         }
     }
     return model::Solver();

@@ -16,12 +16,12 @@ int
 main(int argc, char **argv)
 {
     using namespace memsense::bench;
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Table 2", "Workload parameters for big data "
                       "(fitted on the simulator vs. published)");
     auto chars = characterizeIds(
         {"column_store", "nits", "proximity", "spark"},
-        sweepConfig(argc, argv));
+        sweepConfig(argc, argv), "tab2");
     printParamTable("tab2", chars);
     return 0;
 }

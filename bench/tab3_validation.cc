@@ -62,7 +62,7 @@ printValidation(const std::string &title,
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Table 3",
            "Computed vs. measured CPI for Structured Data");
 

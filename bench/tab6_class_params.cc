@@ -51,7 +51,7 @@ printMeans(const std::string &title,
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Table 6", "Workload class parameters (core-bound members "
                       "excluded from the means, per the paper)");
 
@@ -63,7 +63,7 @@ main(int argc, char **argv)
         ids.push_back(info.id);
     std::vector<model::WorkloadParams> fitted;
     for (const auto &c :
-         characterizeIds(ids, sweepConfig(argc, argv)))
+         characterizeIds(ids, sweepConfig(argc, argv), "tab6"))
         fitted.push_back(c.model.params);
     printMeans("fitted_on_simulator", fitted);
     return 0;

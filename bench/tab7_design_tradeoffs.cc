@@ -39,7 +39,7 @@ fmtOrNone(double v, const char *unit)
 int
 main(int argc, char **argv)
 {
-    quietLogs(argc, argv);
+    benchInit(argc, argv);
     header("Table 7",
            "Design tradeoffs: +1 GB/s/core vs. -10 ns, and their "
            "equivalence, on the paper baseline");

@@ -22,12 +22,16 @@ namespace memsense::bench
 /**
  * Run and print the time series of the given workloads. Series run
  * concurrently on @p jobs workers (each serially sampled on its own
- * machine) and print in input order.
+ * machine) and print in input order. With any fault-tolerance flag
+ * set (@p resilience enabled), failed captures are retried and then
+ * quarantined — the surviving series still print, and the failures
+ * are reported via reportFailures().
  */
 inline void
 runTimeSeries(const std::string &exp_id,
               const std::vector<std::string> &ids, bool fast,
-              int jobs = 1)
+              int jobs = 1,
+              const measure::ResilienceConfig &resilience = {})
 {
     std::vector<measure::TimeSeriesConfig> cfgs;
     cfgs.reserve(ids.size());
@@ -43,12 +47,22 @@ runTimeSeries(const std::string &exp_id,
         cfgs.push_back(cfg);
     }
 
-    std::vector<measure::TimeSeries> series =
-        measure::captureTimeSeriesBatch(cfgs, jobs);
+    std::vector<measure::TimeSeries> series;
+    if (resilience.enabled()) {
+        measure::ResilientTimeSeriesBatch batch =
+            measure::captureTimeSeriesBatchResilient(cfgs, jobs,
+                                                     resilience);
+        reportFailures(exp_id, batch.manifest, batch.totalJobs);
+        series = std::move(batch.results);
+    } else {
+        series = measure::captureTimeSeriesBatch(cfgs, jobs);
+    }
 
-    for (std::size_t w = 0; w < ids.size(); ++w) {
-        const auto &info = workloads::workloadInfo(ids[w]);
+    // Index by the series' own workload id: with quarantined captures
+    // the surviving list can be shorter than ids.
+    for (std::size_t w = 0; w < series.size(); ++w) {
         const measure::TimeSeries &ts = series[w];
+        const auto &info = workloads::workloadInfo(ts.workloadId);
 
         std::cout << "\n-- " << info.display << " ("
                   << info.characterizationCores << " cores) --\n";
@@ -72,7 +86,7 @@ runTimeSeries(const std::string &exp_id,
             ts.meanCpuUtilization() * 100.0, ts.meanCpi(), ts.cpiCv(),
             ts.meanBandwidthGBps()));
         t.print(std::cout);
-        csvBlock(exp_id + "_" + ids[w],
+        csvBlock(exp_id + "_" + ts.workloadId,
                  {"t_ms", "cpu_util", "cpi", "bw_gbps", "io_gbps",
                   "mpki", "mp_ns"},
                  csv);

@@ -1,0 +1,198 @@
+#include "measure/checkpoint.hh"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hh"
+#include "util/fault_injection.hh"
+#include "util/string_util.hh"
+
+namespace memsense::measure
+{
+
+namespace
+{
+
+constexpr const char *kHeaderPrefix = "memsense-ckpt v1 key=";
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::optional<std::uint64_t>
+parseHex64(const std::string &word)
+{
+    if (word.size() != 16)
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : word) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    return v;
+}
+
+/** "R <index> <status> <payload>" — the checksummed record body. */
+std::string
+recordBody(std::size_t index, bool ok, const std::string &payload)
+{
+    return "R " + std::to_string(index) + (ok ? " ok " : " fail ") +
+           payload;
+}
+
+/** Parse one journal line into a Record; nullopt rejects the line. */
+std::optional<CheckpointJournal::Record>
+parseRecordLine(const std::string &line)
+{
+    const std::size_t hash_pos = line.rfind(" #");
+    if (hash_pos == std::string::npos || line.rfind("R ", 0) != 0)
+        return std::nullopt;
+    const std::string body = line.substr(0, hash_pos);
+    auto checksum = parseHex64(line.substr(hash_pos + 2));
+    if (!checksum || *checksum != fnv1a(body))
+        return std::nullopt; // torn or corrupt record
+
+    // body = "R <index> <status> <payload>"
+    std::istringstream is(body);
+    std::string tag, index_text, status;
+    is >> tag >> index_text >> status;
+    if (tag != "R" || (status != "ok" && status != "fail"))
+        return std::nullopt;
+    std::size_t index = 0;
+    try {
+        index = static_cast<std::size_t>(std::stoull(index_text));
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    CheckpointJournal::Record rec;
+    rec.index = index;
+    rec.ok = status == "ok";
+    const std::string prefix =
+        "R " + index_text + " " + status + " ";
+    rec.payload =
+        body.size() > prefix.size() ? body.substr(prefix.size()) : "";
+    return rec;
+}
+
+} // anonymous namespace
+
+std::string
+encodeDoubles(const std::vector<double> &values)
+{
+    std::string out;
+    out.reserve(values.size() * 17);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += hex64(std::bit_cast<std::uint64_t>(values[i]));
+    }
+    return out;
+}
+
+std::optional<std::vector<double>>
+decodeDoubles(const std::string &text)
+{
+    std::vector<double> out;
+    std::istringstream is(text);
+    std::string word;
+    while (is >> word) {
+        auto bits = parseHex64(word);
+        if (!bits)
+            return std::nullopt;
+        out.push_back(std::bit_cast<double>(*bits));
+    }
+    return out;
+}
+
+std::string
+checkpointRunKey(const std::string &descriptor)
+{
+    return hex64(fnv1a(descriptor));
+}
+
+CheckpointJournal::CheckpointJournal(const std::string &path,
+                                     const std::string &run_key)
+    : journalPath(path)
+{
+    requireConfig(!path.empty(), "checkpoint journal needs a path");
+    requireConfig(run_key.find('\n') == std::string::npos,
+                  "checkpoint run key must be single-line");
+
+    bool have_header = false;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::string line;
+            if (std::getline(in, line)) {
+                requireConfig(
+                    line.rfind(kHeaderPrefix, 0) == 0,
+                    "file '" + path +
+                        "' is not a memsense checkpoint journal");
+                const std::string found =
+                    line.substr(std::string(kHeaderPrefix).size());
+                requireConfig(
+                    found == run_key,
+                    "checkpoint journal '" + path +
+                        "' belongs to a different sweep (journal key " +
+                        found + ", this sweep " + run_key +
+                        "); delete it or pass a fresh --checkpoint path");
+                have_header = true;
+            }
+            while (std::getline(in, line)) {
+                auto rec = parseRecordLine(line);
+                if (rec)
+                    loaded[rec->index] = *rec; // last record wins
+            }
+        }
+    }
+
+    out.open(path, std::ios::binary | std::ios::app);
+    requireConfig(out.good(),
+                  "cannot open checkpoint journal '" + path +
+                      "' for appending");
+    if (!have_header) {
+        out << kHeaderPrefix << run_key << "\n";
+        out.flush();
+    }
+}
+
+void
+CheckpointJournal::append(std::size_t index, bool ok,
+                          const std::string &payload)
+{
+    MS_FAULT_POINT("checkpoint.append");
+    requireConfig(payload.find('\n') == std::string::npos &&
+                      payload.find('#') == std::string::npos,
+                  "checkpoint payload must be single-line and '#'-free");
+    const std::string body = recordBody(index, ok, payload);
+    std::lock_guard<std::mutex> lock(mtx);
+    out << body << " #" << hex64(fnv1a(body)) << "\n";
+    out.flush();
+    if (!out.good())
+        throw TransientError("checkpoint journal write failed ('" +
+                             journalPath + "')");
+}
+
+} // namespace memsense::measure

@@ -1,7 +1,9 @@
 #include "measure/freq_scaling.hh"
 
 #include <cstddef>
+#include <optional>
 
+#include "measure/checkpoint.hh"
 #include "measure/parallel.hh"
 #include "util/error.hh"
 #include "util/log.hh"
@@ -36,6 +38,60 @@ fitCharacterization(const std::string &workload_id,
                     workload_id.c_str(), out.model.params.cpiCache,
                     out.model.params.bf, out.model.fit.r2));
     return out;
+}
+
+/** Bit-exact checkpoint codec for a FitObservation (8 doubles). */
+CheckpointCodec<model::FitObservation>
+fitObservationCodec()
+{
+    CheckpointCodec<model::FitObservation> codec;
+    codec.encode = [](const model::FitObservation &o) {
+        return encodeDoubles({o.coreGhz, o.memMtPerSec, o.cpiEff, o.mpi,
+                              o.mpCycles, o.mpki, o.wbr, o.instructions});
+    };
+    codec.decode =
+        [](const std::string &payload) -> std::optional<model::FitObservation> {
+        std::optional<std::vector<double>> decoded = decodeDoubles(payload);
+        if (!decoded || decoded->size() != 8)
+            return std::nullopt;
+        const std::vector<double> &v = *decoded;
+        model::FitObservation o;
+        o.coreGhz = v[0];
+        o.memMtPerSec = v[1];
+        o.cpiEff = v[2];
+        o.mpi = v[3];
+        o.mpCycles = v[4];
+        o.mpki = v[5];
+        o.wbr = v[6];
+        o.instructions = v[7];
+        return o;
+    };
+    return codec;
+}
+
+/**
+ * A stable identity for one characterization sweep: any change to the
+ * workload list or grid shape produces a different key, so a stale
+ * checkpoint from a different sweep is rejected instead of replayed.
+ */
+std::string
+characterizationRunKey(const std::vector<std::string> &ids,
+                       const FreqScalingConfig &cfg)
+{
+    std::string desc = "characterize";
+    for (const auto &id : ids)
+        desc += " " + id;
+    desc += " ghz=" + encodeDoubles(cfg.coreGhz);
+    desc += " mt=" + encodeDoubles(cfg.memMtPerSec);
+    desc += strformat(" runs=%d ch=%d seed=%llu warm=%lld meas=%lld "
+                      "pf=%d mshrs=%u aw=%d cores=%d",
+                      cfg.runsPerPoint, cfg.channels,
+                      static_cast<unsigned long long>(cfg.seed),
+                      static_cast<long long>(cfg.warmup),
+                      static_cast<long long>(cfg.measure),
+                      cfg.prefetcherEnabled ? 1 : 0, cfg.mshrs,
+                      cfg.adaptiveWarmup ? 1 : 0, cfg.coresOverride);
+    return checkpointRunKey(desc);
 }
 
 } // anonymous namespace
@@ -118,6 +174,78 @@ characterizeMany(const std::vector<std::string> &ids,
             ids[w], std::vector<model::FitObservation>(
                         first, first + static_cast<std::ptrdiff_t>(
                                            per_workload))));
+    }
+    return out;
+}
+
+ResilientCharacterizations
+characterizeManyResilient(const std::vector<std::string> &ids,
+                          const FreqScalingConfig &cfg)
+{
+    std::vector<RunConfig> all_jobs;
+    for (const auto &id : ids) {
+        inform("characterizing " + id + " (fault-tolerant) ...");
+        std::vector<RunConfig> grid = characterizationGrid(id, cfg);
+        all_jobs.insert(all_jobs.end(), grid.begin(), grid.end());
+    }
+
+    ParallelExecutor exec(cfg.jobs);
+    std::vector<JobResult<model::FitObservation>> settled =
+        mapOrderedResilientCheckpointed(
+            exec, all_jobs, runGridPoint, cfg.resilience.toOptions(),
+            cfg.resilience.checkpointPath,
+            characterizationRunKey(ids, cfg), fitObservationCodec());
+
+    ResilientCharacterizations out;
+    out.totalJobs = settled.size();
+    for (std::size_t i = 0; i < settled.size(); ++i) {
+        if (settled[i].ok())
+            continue;
+        FailureRecord rec = *settled[i].failure;
+        const RunConfig &rc = all_jobs[i];
+        rec.context = strformat("%s ghz=%.4g mt=%.6g seed=%llu",
+                                rc.workloadId.c_str(), rc.ghz,
+                                rc.memMtPerSec,
+                                static_cast<unsigned long long>(rc.seed));
+        out.manifest.failures.push_back(std::move(rec));
+    }
+
+    // Slice the settled grid back per workload; a workload needs at
+    // least two surviving observations for the two-parameter fit,
+    // otherwise it is skipped and recorded in the manifest.
+    const std::size_t per_workload =
+        ids.empty() ? 0 : settled.size() / ids.size();
+    for (std::size_t w = 0; w < ids.size(); ++w) {
+        std::vector<model::FitObservation> survivors;
+        std::size_t lost = 0;
+        for (std::size_t j = 0; j < per_workload; ++j) {
+            const auto &r = settled[w * per_workload + j];
+            if (r.ok())
+                survivors.push_back(*r.value);
+            else
+                ++lost;
+        }
+        if (survivors.size() < 2) {
+            FailureRecord rec;
+            rec.jobIndex = w * per_workload;
+            rec.context = ids[w];
+            rec.errorType = "FitSkipped";
+            rec.message = strformat(
+                "%zu of %zu grid points quarantined; at least 2 "
+                "observations are needed to fit the model",
+                lost, per_workload);
+            rec.fatal = false;
+            warn(ids[w] + ": " + rec.message);
+            out.manifest.failures.push_back(std::move(rec));
+            continue;
+        }
+        if (lost > 0)
+            warn(strformat("%s: fitting from %zu of %zu grid points "
+                           "(%zu quarantined)",
+                           ids[w].c_str(), survivors.size(),
+                           per_workload, lost));
+        out.results.push_back(
+            fitCharacterization(ids[w], std::move(survivors)));
     }
     return out;
 }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "measure/resilience.hh"
 #include "measure/runner.hh"
 #include "model/fitter.hh"
 
@@ -50,6 +51,11 @@ struct FreqScalingConfig
     /** Worker threads for the grid; 1 = serial reference path, <= 0 =
      *  one per hardware thread. Results are identical for any value. */
     int jobs = 1;
+    /** Fault tolerance: retry budget, per-job deadline, checkpoint
+     *  journal (see docs/robustness.md). Only the resilient entry
+     *  points consult this; characterize()/characterizeMany() keep
+     *  the strict first-error-aborts contract. */
+    ResilienceConfig resilience;
 };
 
 /** Result of characterizing one workload. */
@@ -89,6 +95,30 @@ characterizeMany(const std::vector<std::string> &ids,
 /** Characterize every catalog workload (Tables 2 + 4 + 5 pipeline). */
 std::vector<Characterization>
 characterizeAll(const FreqScalingConfig &cfg = {});
+
+/** Outcome of a fault-tolerant characterization sweep. */
+struct ResilientCharacterizations
+{
+    /** Workloads whose surviving observations supported a fit. */
+    std::vector<Characterization> results;
+    /** Every quarantined grid point (and any workload whose fit had
+     *  to be skipped), machine-readable. Empty = clean sweep. */
+    FailureManifest manifest;
+    /** Grid points attempted (for manifest summaries). */
+    std::size_t totalJobs = 0;
+};
+
+/**
+ * Fault-tolerant characterizeMany(): grid points that fail are
+ * retried per cfg.resilience and then quarantined instead of aborting
+ * the sweep, completed points stream to cfg.resilience.checkpointPath
+ * (when set) for resume, and the fits are computed from the surviving
+ * observations. Identical results to characterizeMany() when nothing
+ * fails — for any worker count, interrupted or not.
+ */
+ResilientCharacterizations
+characterizeManyResilient(const std::vector<std::string> &ids,
+                          const FreqScalingConfig &cfg = {});
 
 } // namespace memsense::measure
 

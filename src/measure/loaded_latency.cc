@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
+#include "measure/checkpoint.hh"
 #include "measure/parallel.hh"
 #include "sim/machine.hh"
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 #include "util/log.hh"
 #include "util/string_util.hh"
 #include "workloads/latency_checker.hh"
@@ -20,6 +23,7 @@ namespace
 LoadedLatencyPoint
 measurePoint(const LoadedLatencySetup &setup, std::uint32_t delay)
 {
+    MS_FAULT_POINT("loaded_latency.point");
     sim::MachineConfig mc;
     mc.cores = setup.cores;
     mc.core.ghz = setup.ghz;
@@ -69,6 +73,74 @@ measurePoint(const LoadedLatencySetup &setup, std::uint32_t delay)
     return pt;
 }
 
+/** Measure one point under the sweep's log scope, with debug trace. */
+LoadedLatencyPoint
+measurePointLogged(const LoadedLatencySetup &setup, std::uint32_t delay)
+{
+    LogScope scope(strformat("mlc-%.0f", setup.memMtPerSec));
+    LoadedLatencyPoint pt = measurePoint(setup, delay);
+    debug(strformat("mlc %g MT/s rf=%.2f delay=%u: %.2f GB/s, %.1f ns",
+                    setup.memMtPerSec, setup.readFraction, delay,
+                    pt.bandwidthGBps, pt.latencyNs));
+    return pt;
+}
+
+/** Derive unloaded latency and achievable bandwidth from the points. */
+void
+finalizeCurve(LoadedLatencyCurve &curve)
+{
+    curve.unloadedNs = curve.points.front().latencyNs;
+    curve.maxBandwidthGBps = 0.0;
+    for (const auto &pt : curve.points) {
+        curve.unloadedNs = std::min(curve.unloadedNs, pt.latencyNs);
+        curve.maxBandwidthGBps =
+            std::max(curve.maxBandwidthGBps, pt.bandwidthGBps);
+    }
+}
+
+/** Bit-exact checkpoint codec for a LoadedLatencyPoint. */
+CheckpointCodec<LoadedLatencyPoint>
+loadedLatencyPointCodec()
+{
+    CheckpointCodec<LoadedLatencyPoint> codec;
+    codec.encode = [](const LoadedLatencyPoint &pt) {
+        return encodeDoubles({static_cast<double>(pt.delayCycles),
+                              pt.bandwidthGBps, pt.latencyNs});
+    };
+    codec.decode =
+        [](const std::string &payload) -> std::optional<LoadedLatencyPoint> {
+        std::optional<std::vector<double>> decoded = decodeDoubles(payload);
+        if (!decoded || decoded->size() != 3)
+            return std::nullopt;
+        const std::vector<double> &v = *decoded;
+        LoadedLatencyPoint pt;
+        pt.delayCycles = static_cast<std::uint32_t>(v[0]);
+        pt.bandwidthGBps = v[1];
+        pt.latencyNs = v[2];
+        return pt;
+    };
+    return codec;
+}
+
+/** Stable identity of one sweep for checkpoint-journal validation. */
+std::string
+loadedLatencyRunKey(const LoadedLatencySetup &setup)
+{
+    std::vector<double> delays;
+    delays.reserve(setup.delayCycles.size());
+    for (std::uint32_t d : setup.delayCycles)
+        delays.push_back(static_cast<double>(d));
+    return checkpointRunKey(strformat(
+        "mlc mt=%.6g rf=%.6g cores=%d ch=%d ghz=%.6g seed=%llu "
+        "warm=%lld meas=%lld delays=%s",
+        setup.memMtPerSec, setup.readFraction, setup.cores,
+        setup.channels, setup.ghz,
+        static_cast<unsigned long long>(setup.seed),
+        static_cast<long long>(setup.warmup),
+        static_cast<long long>(setup.measure),
+        encodeDoubles(delays).c_str()));
+}
+
 } // anonymous namespace
 
 std::vector<stats::CurvePoint>
@@ -99,23 +171,54 @@ sweepLoadedLatency(const LoadedLatencySetup &setup)
     ParallelExecutor exec(setup.jobs);
     curve.points = exec.mapOrdered(
         setup.delayCycles, [&setup](const std::uint32_t &delay) {
-            LogScope scope(strformat("mlc-%.0f", setup.memMtPerSec));
-            LoadedLatencyPoint pt = measurePoint(setup, delay);
-            debug(strformat("mlc %g MT/s rf=%.2f delay=%u: %.2f GB/s, "
-                            "%.1f ns",
-                            setup.memMtPerSec, setup.readFraction, delay,
-                            pt.bandwidthGBps, pt.latencyNs));
-            return pt;
+            return measurePointLogged(setup, delay);
         });
-
-    curve.unloadedNs = curve.points.front().latencyNs;
-    curve.maxBandwidthGBps = 0.0;
-    for (const auto &pt : curve.points) {
-        curve.unloadedNs = std::min(curve.unloadedNs, pt.latencyNs);
-        curve.maxBandwidthGBps =
-            std::max(curve.maxBandwidthGBps, pt.bandwidthGBps);
-    }
+    finalizeCurve(curve);
     return curve;
+}
+
+ResilientLoadedLatency
+sweepLoadedLatencyResilient(const LoadedLatencySetup &setup)
+{
+    requireConfig(setup.cores >= 2,
+                  "loaded-latency sweep needs a probe and at least one "
+                  "bandwidth generator");
+    requireConfig(!setup.delayCycles.empty(), "no delay points");
+
+    ParallelExecutor exec(setup.jobs);
+    std::vector<JobResult<LoadedLatencyPoint>> settled =
+        mapOrderedResilientCheckpointed(
+            exec, setup.delayCycles,
+            [&setup](const std::uint32_t &delay) {
+                return measurePointLogged(setup, delay);
+            },
+            setup.resilience.toOptions(), setup.resilience.checkpointPath,
+            loadedLatencyRunKey(setup), loadedLatencyPointCodec());
+
+    ResilientLoadedLatency out;
+    out.totalJobs = settled.size();
+    out.curve.setup = setup;
+    for (std::size_t i = 0; i < settled.size(); ++i) {
+        if (settled[i].ok()) {
+            out.curve.points.push_back(*settled[i].value);
+            continue;
+        }
+        FailureRecord rec = *settled[i].failure;
+        rec.context = strformat("mlc mt=%.6g rf=%.2f delay=%u",
+                                setup.memMtPerSec, setup.readFraction,
+                                setup.delayCycles[i]);
+        out.manifest.failures.push_back(std::move(rec));
+    }
+    requireConfig(out.curve.points.size() >= 2,
+                  strformat("loaded-latency sweep: only %zu of %zu delay "
+                            "points survived; need at least 2 for a curve",
+                            out.curve.points.size(), settled.size()));
+    if (!out.manifest.empty())
+        warn(strformat("loaded-latency sweep: %zu of %zu delay points "
+                       "quarantined",
+                       out.manifest.failures.size(), settled.size()));
+    finalizeCurve(out.curve);
+    return out;
 }
 
 std::vector<LoadedLatencySetup>
@@ -147,6 +250,56 @@ measureQueuingModel(const std::vector<LoadedLatencySetup> &setups,
                              c.toQueuingSamples(), bins)
                              .monotoneEnvelope());
     }
+    stats::PiecewiseCurve composite =
+        stats::PiecewiseCurve::composite(curves, bins).monotoneEnvelope();
+    return model::QueuingModel::fromCurve(std::move(composite),
+                                          max_stable_util);
+}
+
+model::QueuingModel
+measureQueuingModelResilient(const std::vector<LoadedLatencySetup> &setups,
+                             const ResilienceConfig &resilience,
+                             FailureManifest *manifest, std::size_t bins,
+                             double max_stable_util)
+{
+    requireConfig(!setups.empty(), "no sweep setups");
+    std::vector<stats::PiecewiseCurve> curves;
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+        LoadedLatencySetup setup = setups[i];
+        setup.resilience = resilience;
+        if (!resilience.checkpointPath.empty())
+            setup.resilience.checkpointPath =
+                resilience.checkpointPath + ".mlc" + std::to_string(i);
+        inform(strformat("loaded-latency sweep: DDR-%g, %.0f%% reads",
+                         setup.memMtPerSec, setup.readFraction * 100.0));
+        try {
+            ResilientLoadedLatency r = sweepLoadedLatencyResilient(setup);
+            if (manifest)
+                manifest->merge(r.manifest);
+            curves.push_back(stats::PiecewiseCurve::fromSamples(
+                                 r.curve.toQueuingSamples(), bins)
+                                 .monotoneEnvelope());
+        } catch (const ConfigError &e) {
+            // The whole curve failed (fewer than two surviving
+            // points). Quarantine the setup and keep sweeping.
+            warn(strformat("skipping DDR-%g rf=%.2f curve: %s",
+                           setup.memMtPerSec, setup.readFraction,
+                           e.what()));
+            if (manifest) {
+                FailureRecord rec;
+                rec.jobIndex = i;
+                rec.context =
+                    strformat("mlc setup mt=%.6g rf=%.2f",
+                              setup.memMtPerSec, setup.readFraction);
+                rec.errorType = "CurveSkipped";
+                rec.message = e.what();
+                manifest->failures.push_back(std::move(rec));
+            }
+        }
+    }
+    requireConfig(!curves.empty(),
+                  "every loaded-latency curve was quarantined; cannot "
+                  "build a queuing model");
     stats::PiecewiseCurve composite =
         stats::PiecewiseCurve::composite(curves, bins).monotoneEnvelope();
     return model::QueuingModel::fromCurve(std::move(composite),

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "measure/resilience.hh"
 #include "model/queuing.hh"
 #include "stats/curve.hh"
 #include "util/units.hh"
@@ -52,6 +53,9 @@ struct LoadedLatencySetup
      *  path, <= 0 = one per hardware thread. Each point owns its
      *  machine and seed, so results are identical for any value. */
     int jobs = 1;
+    /** Fault tolerance for the resilient entry points; ignored by
+     *  sweepLoadedLatency()/measureQueuingModel(). */
+    ResilienceConfig resilience;
 };
 
 /** One measured curve. */
@@ -86,6 +90,41 @@ std::vector<LoadedLatencySetup> paperFig7Setups();
 model::QueuingModel
 measureQueuingModel(const std::vector<LoadedLatencySetup> &setups,
                     std::size_t bins = 24, double max_stable_util = 0.95);
+
+/** Outcome of a fault-tolerant loaded-latency sweep. */
+struct ResilientLoadedLatency
+{
+    LoadedLatencyCurve curve; ///< surviving (non-quarantined) points
+    FailureManifest manifest; ///< quarantined delay points
+    std::size_t totalJobs = 0;///< delay points attempted
+};
+
+/**
+ * Fault-tolerant sweepLoadedLatency(): failing delay points are
+ * retried per setup.resilience, then dropped from the curve and
+ * quarantined in the manifest; completed points stream to
+ * setup.resilience.checkpointPath (when set) for resume. Throws
+ * ConfigError only when fewer than two points survive (no curve).
+ */
+ResilientLoadedLatency
+sweepLoadedLatencyResilient(const LoadedLatencySetup &setup);
+
+/**
+ * Fault-tolerant measureQueuingModel(): each setup sweeps through
+ * sweepLoadedLatencyResilient (checkpoint journals get a ".mlc<i>"
+ * suffix per setup so one --checkpoint path covers the whole family),
+ * curves with fewer than two surviving points are skipped and
+ * recorded, and the composite is built from the surviving curves.
+ *
+ * @param manifest  out-param collecting every quarantined point;
+ *                  may be null.
+ */
+model::QueuingModel
+measureQueuingModelResilient(const std::vector<LoadedLatencySetup> &setups,
+                             const ResilienceConfig &resilience,
+                             FailureManifest *manifest,
+                             std::size_t bins = 24,
+                             double max_stable_util = 0.95);
 
 } // namespace memsense::measure
 

@@ -8,7 +8,11 @@ resolveJobs(int jobs)
 {
     if (jobs > 0)
         return jobs;
-    return ThreadPool::hardwareWorkers();
+    // hardwareWorkers() clamps a zero hardware_concurrency() report to
+    // 1 itself, but this is the sweep engine's last line of defence on
+    // exotic platforms: never hand ThreadPool a non-positive count.
+    int workers = ThreadPool::hardwareWorkers();
+    return workers >= 1 ? workers : 1;
 }
 
 } // namespace memsense::measure

@@ -14,6 +14,7 @@
 #ifndef MEMSENSE_MEASURE_PARALLEL_HH
 #define MEMSENSE_MEASURE_PARALLEL_HH
 
+#include <cstddef>
 #include <exception>
 #include <future>
 #include <optional>
@@ -21,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "measure/resilience.hh"
 #include "util/thread_pool.hh"
 
 namespace memsense::measure
@@ -100,6 +102,86 @@ class ParallelExecutor
         out.reserve(slots.size());
         for (auto &slot : slots)
             out.push_back(std::move(*slot));
+        return out;
+    }
+
+    /**
+     * Fault-tolerant variant of mapOrdered(): apply @p fn to every
+     * input and return one JobResult per input, in input order.
+     *
+     * A job that throws is retried per @p opts (TransientErrors only,
+     * seeded backoff keyed by the job index) and, once fatal, timed
+     * out, or out of attempts, quarantined as a FailureRecord instead
+     * of aborting the sweep. The call itself never throws on job
+     * failure; collect the quarantine set with
+     * FailureManifest::collect().
+     */
+    template <typename Job, typename Fn>
+    auto
+    mapOrderedResilient(const std::vector<Job> &inputs, Fn fn,
+                        const ResilienceOptions &opts = {}) const
+        -> std::vector<JobResult<std::invoke_result_t<Fn, const Job &>>>
+    {
+        std::vector<std::size_t> indices(inputs.size());
+        for (std::size_t i = 0; i < indices.size(); ++i)
+            indices[i] = i;
+        auto by_index = [&inputs, &fn](std::size_t i) {
+            return fn(inputs[i]);
+        };
+        return mapIndicesResilient<decltype(by_index(std::size_t{}))>(
+            indices, by_index, opts, [](std::size_t, const auto &) {});
+    }
+
+    /**
+     * Resilient engine core: run @p fn(index) for each entry of
+     * @p indices, returning results ordered like @p indices.
+     *
+     * The index doubles as the retry-jitter stream, so a checkpoint
+     * resume that re-runs a job subset reproduces the uninterrupted
+     * run's behaviour exactly. @p on_result fires on the worker thread
+     * as soon as each job settles (value or quarantine) with the
+     * *original* index — the checkpoint layer streams journal records
+     * from it. on_result must be thread-safe for worker counts > 1 and
+     * must not throw.
+     */
+    template <typename Result, typename Fn, typename OnResult>
+    std::vector<JobResult<Result>>
+    mapIndicesResilient(const std::vector<std::size_t> &indices, Fn fn,
+                        const ResilienceOptions &opts,
+                        OnResult on_result) const
+    {
+        opts.retry.validate();
+        if (jobCount <= 1 || indices.size() <= 1) {
+            std::vector<JobResult<Result>> out;
+            out.reserve(indices.size());
+            for (std::size_t index : indices) {
+                out.push_back(
+                    detail::runResilientJob<Result>(fn, index, opts));
+                on_result(index, out.back());
+            }
+            return out;
+        }
+
+        int workers = jobCount;
+        if (static_cast<std::size_t>(workers) > indices.size())
+            workers = static_cast<int>(indices.size());
+        ThreadPool pool(workers);
+        std::vector<std::future<JobResult<Result>>> futures;
+        futures.reserve(indices.size());
+        for (std::size_t index : indices) {
+            futures.push_back(pool.submit([&fn, &opts, &on_result,
+                                           index]() {
+                JobResult<Result> r =
+                    detail::runResilientJob<Result>(fn, index, opts);
+                on_result(index, r);
+                return r;
+            }));
+        }
+
+        std::vector<JobResult<Result>> out;
+        out.reserve(indices.size());
+        for (auto &fut : futures)
+            out.push_back(fut.get());
         return out;
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace memsense::measure
 {
@@ -101,6 +102,7 @@ WorkloadRun::sampleInterval(Picos interval)
 model::FitObservation
 runObservation(const RunConfig &cfg)
 {
+    MS_FAULT_POINT("runner.observe");
     WorkloadRun run(cfg);
     run.warmup();
     sim::MachineSnapshot d = run.measure();

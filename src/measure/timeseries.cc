@@ -1,12 +1,86 @@
 #include "measure/timeseries.hh"
 
+#include <optional>
+
+#include "measure/checkpoint.hh"
 #include "measure/parallel.hh"
 #include "stats/summary.hh"
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 #include "util/log.hh"
+#include "util/string_util.hh"
 
 namespace memsense::measure
 {
+
+namespace
+{
+
+/**
+ * Bit-exact checkpoint codec for a TimeSeries: the workload id, then
+ * the flattened samples (7 doubles each).
+ */
+CheckpointCodec<TimeSeries>
+timeSeriesCodec()
+{
+    CheckpointCodec<TimeSeries> codec;
+    codec.encode = [](const TimeSeries &ts) {
+        std::vector<double> flat;
+        flat.reserve(ts.samples.size() * 7);
+        for (const auto &s : ts.samples) {
+            flat.push_back(s.timeMs);
+            flat.push_back(s.cpuUtilization);
+            flat.push_back(s.cpi);
+            flat.push_back(s.bandwidthGBps);
+            flat.push_back(s.ioGBps);
+            flat.push_back(s.mpki);
+            flat.push_back(s.missPenaltyNs);
+        }
+        return ts.workloadId + " " + encodeDoubles(flat);
+    };
+    codec.decode =
+        [](const std::string &payload) -> std::optional<TimeSeries> {
+        const std::size_t sep = payload.find(' ');
+        if (sep == std::string::npos || sep == 0)
+            return std::nullopt;
+        std::optional<std::vector<double>> decoded =
+            decodeDoubles(payload.substr(sep + 1));
+        if (!decoded || decoded->empty() || decoded->size() % 7 != 0)
+            return std::nullopt;
+        const std::vector<double> &flat = *decoded;
+        TimeSeries ts;
+        ts.workloadId = payload.substr(0, sep);
+        for (std::size_t i = 0; i < flat.size(); i += 7) {
+            IntervalSample s;
+            s.timeMs = flat[i];
+            s.cpuUtilization = flat[i + 1];
+            s.cpi = flat[i + 2];
+            s.bandwidthGBps = flat[i + 3];
+            s.ioGBps = flat[i + 4];
+            s.mpki = flat[i + 5];
+            s.missPenaltyNs = flat[i + 6];
+            ts.samples.push_back(s);
+        }
+        return ts;
+    };
+    return codec;
+}
+
+/** Stable identity of one batch for checkpoint-journal validation. */
+std::string
+timeSeriesRunKey(const std::vector<TimeSeriesConfig> &cfgs)
+{
+    std::string desc = "timeseries";
+    for (const auto &cfg : cfgs)
+        desc += strformat(
+            " %s:ghz=%.6g:mt=%.6g:cores=%d:seed=%llu:int=%lld:n=%d",
+            cfg.run.workloadId.c_str(), cfg.run.ghz, cfg.run.memMtPerSec,
+            cfg.run.cores, static_cast<unsigned long long>(cfg.run.seed),
+            static_cast<long long>(cfg.interval), cfg.samples);
+    return checkpointRunKey(desc);
+}
+
+} // anonymous namespace
 
 double
 TimeSeries::meanCpi() const
@@ -50,6 +124,7 @@ captureTimeSeries(const TimeSeriesConfig &cfg)
     requireConfig(cfg.samples >= 1, "need at least one sample");
     requireConfig(cfg.interval > 0, "interval must be positive");
 
+    MS_FAULT_POINT("timeseries.capture");
     WorkloadRun run(cfg.run);
     run.warmup();
 
@@ -83,6 +158,40 @@ captureTimeSeriesBatch(const std::vector<TimeSeriesConfig> &cfgs,
         LogScope scope(cfg.run.workloadId);
         return captureTimeSeries(cfg);
     });
+}
+
+ResilientTimeSeriesBatch
+captureTimeSeriesBatchResilient(const std::vector<TimeSeriesConfig> &cfgs,
+                                int jobs,
+                                const ResilienceConfig &resilience)
+{
+    ParallelExecutor exec(jobs);
+    std::vector<JobResult<TimeSeries>> settled =
+        mapOrderedResilientCheckpointed(
+            exec, cfgs,
+            [](const TimeSeriesConfig &cfg) {
+                LogScope scope(cfg.run.workloadId);
+                return captureTimeSeries(cfg);
+            },
+            resilience.toOptions(), resilience.checkpointPath,
+            timeSeriesRunKey(cfgs), timeSeriesCodec());
+
+    ResilientTimeSeriesBatch out;
+    out.totalJobs = settled.size();
+    for (std::size_t i = 0; i < settled.size(); ++i) {
+        if (settled[i].ok()) {
+            out.results.push_back(std::move(*settled[i].value));
+            continue;
+        }
+        FailureRecord rec = *settled[i].failure;
+        rec.context = strformat("%s ghz=%.4g mt=%.6g",
+                                cfgs[i].run.workloadId.c_str(),
+                                cfgs[i].run.ghz, cfgs[i].run.memMtPerSec);
+        out.manifest.failures.push_back(std::move(rec));
+    }
+    if (!out.manifest.empty())
+        warn(out.manifest.summary(out.totalJobs));
+    return out;
 }
 
 } // namespace memsense::measure

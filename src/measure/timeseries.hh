@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "measure/resilience.hh"
 #include "measure/runner.hh"
 
 namespace memsense::measure
@@ -75,6 +76,26 @@ TimeSeries captureTimeSeries(const TimeSeriesConfig &cfg);
 std::vector<TimeSeries>
 captureTimeSeriesBatch(const std::vector<TimeSeriesConfig> &cfgs,
                        int jobs = 1);
+
+/** Outcome of a fault-tolerant time-series batch. */
+struct ResilientTimeSeriesBatch
+{
+    /** Series that completed (possibly after retries), input order. */
+    std::vector<TimeSeries> results;
+    FailureManifest manifest; ///< quarantined captures
+    std::size_t totalJobs = 0;///< captures attempted
+};
+
+/**
+ * Fault-tolerant captureTimeSeriesBatch(): captures that fail are
+ * retried per @p resilience and then quarantined instead of aborting
+ * the batch; completed series stream to resilience.checkpointPath
+ * (when set) for resume. Surviving series keep input order.
+ */
+ResilientTimeSeriesBatch
+captureTimeSeriesBatchResilient(const std::vector<TimeSeriesConfig> &cfgs,
+                                int jobs,
+                                const ResilienceConfig &resilience);
 
 } // namespace memsense::measure
 

@@ -7,6 +7,7 @@
 #include "model/cpi_model.hh"
 #include "util/contract.hh"
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace memsense::model
 {
@@ -28,6 +29,7 @@ Solver::Solver(QueuingModel queuing_model, SolverOptions options)
 OperatingPoint
 Solver::solve(const WorkloadParams &p, const Platform &plat) const
 {
+    MS_FAULT_POINT("solver.solve");
     p.validate();
     plat.validate();
 
@@ -75,6 +77,12 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
             hi = mid;
         ++iter;
     }
+    // Report exhaustion as a structured, retryable error instead of
+    // silently using the widest bracket midpoint: the resilience layer
+    // quarantines the job with the diagnostics attached, and nothing
+    // downstream ever consumes a spuriously "converged" point.
+    if (hi - lo > opts.tolerance)
+        throw SolverConvergenceError(iter, hi - lo, opts.tolerance);
     const double util = 0.5 * (lo + hi);
     op.iterations = iter;
 

@@ -19,12 +19,50 @@
 #ifndef MEMSENSE_MODEL_SOLVER_HH
 #define MEMSENSE_MODEL_SOLVER_HH
 
+#include <string>
+
 #include "model/params.hh"
 #include "model/platform.hh"
 #include "model/queuing.hh"
+#include "util/error.hh"
 
 namespace memsense::model
 {
+
+/**
+ * Raised when the fixed-point iteration exhausts its budget before the
+ * bracket narrows to tolerance.
+ *
+ * This is a *retryable* error (TransientError): the sweep layer's
+ * quarantine/retry machinery handles it like any other transient job
+ * failure, and the carried diagnostics (iterations spent, residual
+ * bracket width, configured tolerance) tell the operator whether to
+ * raise the iteration cap or loosen the tolerance.
+ */
+class SolverConvergenceError : public TransientError
+{
+  public:
+    SolverConvergenceError(int iterations_used, double residual_width,
+                           double tolerance_cfg)
+        : TransientError(
+              "fixed-point solver failed to converge: " +
+              std::to_string(iterations_used) +
+              " iterations left residual " +
+              std::to_string(residual_width) + " above tolerance " +
+              std::to_string(tolerance_cfg)),
+          iterations(iterations_used), residual(residual_width),
+          tolerance(tolerance_cfg)
+    {}
+
+    const char *kind() const override
+    {
+        return "SolverConvergenceError";
+    }
+
+    int iterations;   ///< iterations spent before giving up
+    double residual;  ///< bracket width at the iteration cap
+    double tolerance; ///< the tolerance that was not reached
+};
 
 /** Converged operating point of a workload on a platform. */
 struct OperatingPoint

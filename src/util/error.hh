@@ -37,6 +37,28 @@ class LogicError : public std::logic_error
 };
 
 /**
+ * Raised for conditions that are expected to clear on a repeat attempt
+ * with the same inputs refreshed: an iterative calculation that ran out
+ * of budget, a filesystem hiccup, an injected fault. This is the
+ * *retryable* class of the failure taxonomy (docs/robustness.md): the
+ * retry layer in util/retry.hh re-runs TransientErrors under its
+ * backoff policy and treats everything else — ConfigError (the input
+ * is wrong; retrying cannot fix it) and LogicError/ContractViolation
+ * (the library is wrong) — as fatal.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string &what_arg)
+        : std::runtime_error("memsense transient error: " + what_arg)
+    {}
+
+    /** Stable subclass tag for failure manifests ("TransientError",
+     *  "SolverConvergenceError", "FaultInjected", ...). */
+    virtual const char *kind() const { return "TransientError"; }
+};
+
+/**
  * Throw a ConfigError unless @p cond holds.
  *
  * @param cond condition that must be true for the configuration to be valid

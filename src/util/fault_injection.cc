@@ -1,0 +1,316 @@
+#include "util/fault_injection.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/retry.hh"
+#include "util/rng.hh"
+#include "util/string_util.hh"
+
+namespace memsense::fault
+{
+
+namespace detail
+{
+
+// memsense-lint: allow(mutable-global-state): process-global injection
+// switch; written only by configure()/reset(), read via relaxed loads.
+std::atomic<bool> gActive{false};
+
+} // namespace detail
+
+namespace
+{
+
+enum class FaultKind
+{
+    Throw,
+    Fatal,
+    Delay,
+};
+
+/** One parsed `site:kind[:opt...]` entry. */
+struct SiteSpec
+{
+    FaultKind faultKind = FaultKind::Throw;
+    double delayMs = 0.0;
+    double probability = 1.0;
+    std::uint64_t nth = 0;   ///< 0 = every eligible hit
+    std::uint64_t skip = 0;  ///< ignore the first `skip` hits
+    std::int64_t maxFires = -1; ///< -1 = unbounded
+};
+
+/** Live per-site state: the spec plus counters and the jitter stream. */
+struct SiteState
+{
+    bool configured = false;
+    SiteSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    std::uint64_t rngState = 0; ///< per-site SplitMix64 walker for p=
+};
+
+/** Everything behind the mutex: specs, counters, the sleep handler. */
+struct Registry
+{
+    std::mutex mtx;
+    std::map<std::string, SiteState> sites;
+    std::uint64_t seed = 0;
+    std::function<void(double)> sleepHandler;
+};
+
+Registry &
+registry()
+{
+    // memsense-lint: allow(mutable-global-state): the fault registry is
+    // intentionally process-global (env-configured) and mutex-guarded.
+    static Registry r;
+    return r;
+}
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t x = state;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+double
+parseDoubleOpt(const std::string &entry, const std::string &text)
+{
+    try {
+        return std::stod(text);
+    } catch (const std::exception &) {
+        throw ConfigError("bad MEMSENSE_FAULTS number '" + text +
+                          "' in entry '" + entry + "'");
+    }
+}
+
+std::uint64_t
+parseCountOpt(const std::string &entry, const std::string &text)
+{
+    try {
+        long long v = std::stoll(text);
+        requireConfig(v >= 0, "fault option must be >= 0 in '" + entry +
+                                  "'");
+        return static_cast<std::uint64_t>(v);
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw ConfigError("bad MEMSENSE_FAULTS number '" + text +
+                          "' in entry '" + entry + "'");
+    }
+}
+
+/** Parse one `site:kind[:opt...]` entry into (site, spec). */
+std::pair<std::string, SiteSpec>
+parseEntry(const std::string &entry)
+{
+    std::vector<std::string> fields = split(entry, ':');
+    requireConfig(fields.size() >= 2,
+                  "MEMSENSE_FAULTS entry '" + entry +
+                      "' needs site:kind");
+    std::string site = trim(fields[0]);
+    requireConfig(!site.empty(),
+                  "MEMSENSE_FAULTS entry '" + entry + "' has no site");
+
+    SiteSpec spec;
+    const std::string kind = trim(fields[1]);
+    if (kind == "throw") {
+        spec.faultKind = FaultKind::Throw;
+    } else if (kind == "fatal") {
+        spec.faultKind = FaultKind::Fatal;
+    } else if (kind.rfind("delay=", 0) == 0) {
+        spec.faultKind = FaultKind::Delay;
+        spec.delayMs = parseDoubleOpt(entry, kind.substr(6));
+        requireConfig(spec.delayMs >= 0.0,
+                      "fault delay must be >= 0 in '" + entry + "'");
+    } else {
+        throw ConfigError("unknown fault kind '" + kind + "' in '" +
+                          entry + "' (throw | fatal | delay=<ms>)");
+    }
+
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+        const std::string opt = trim(fields[i]);
+        if (opt.rfind("p=", 0) == 0) {
+            spec.probability = parseDoubleOpt(entry, opt.substr(2));
+            requireConfig(spec.probability >= 0.0 &&
+                              spec.probability <= 1.0,
+                          "fault probability must be in [0, 1] in '" +
+                              entry + "'");
+        } else if (opt.rfind("nth=", 0) == 0) {
+            spec.nth = parseCountOpt(entry, opt.substr(4));
+            requireConfig(spec.nth >= 1,
+                          "nth must be >= 1 in '" + entry + "'");
+        } else if (opt.rfind("after=", 0) == 0) {
+            spec.skip = parseCountOpt(entry, opt.substr(6));
+        } else if (opt.rfind("count=", 0) == 0) {
+            spec.maxFires =
+                static_cast<std::int64_t>(parseCountOpt(entry,
+                                                        opt.substr(6)));
+        } else {
+            throw ConfigError("unknown fault option '" + opt + "' in '" +
+                              entry +
+                              "' (p= | nth= | after= | count=)");
+        }
+    }
+    return {site, spec};
+}
+
+} // anonymous namespace
+
+void
+configure(const std::string &spec)
+{
+    // Parse into a staging map first so a malformed spec cannot leave
+    // the registry half-updated.
+    std::uint64_t seed = 0;
+    std::map<std::string, SiteState> staged;
+    for (const std::string &raw : split(spec, ';')) {
+        const std::string entry = trim(raw);
+        if (entry.empty())
+            continue;
+        if (entry.rfind("seed=", 0) == 0) {
+            seed = parseCountOpt(entry, entry.substr(5));
+            continue;
+        }
+        auto [site, parsed] = parseEntry(entry);
+        SiteState state;
+        state.configured = true;
+        state.spec = parsed;
+        staged[site] = state;
+    }
+    for (auto &[site, state] : staged)
+        state.rngState = seed ^ fnv1a(site);
+
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    r.sites = std::move(staged);
+    r.seed = seed;
+    detail::gActive.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+void
+configureFromEnv()
+{
+    const char *spec = std::getenv("MEMSENSE_FAULTS");
+    configure(spec ? spec : "");
+}
+
+void
+reset()
+{
+    configure("");
+}
+
+void
+setSleepHandler(std::function<void(double)> handler)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    r.sleepHandler = std::move(handler);
+}
+
+std::uint64_t
+hitCount(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fireCount(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mtx);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+namespace detail
+{
+
+void
+hitSite(const char *site)
+{
+    Registry &r = registry();
+    FaultKind fault_kind = FaultKind::Throw;
+    double delay_ms = 0.0;
+    std::function<void(double)> sleep_handler;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(r.mtx);
+        auto it = r.sites.find(site);
+        if (it == r.sites.end()) {
+            // Unconfigured sites still count hits, so tests can assert
+            // a site was exercised without arming it.
+            SiteState &state = r.sites[site];
+            ++state.hits;
+            return;
+        }
+        SiteState &state = it->second;
+        ++state.hits;
+        if (!state.configured)
+            return;
+        const SiteSpec &spec = state.spec;
+        if (state.hits <= spec.skip)
+            return;
+        if (spec.maxFires >= 0 &&
+            state.fires >= static_cast<std::uint64_t>(spec.maxFires))
+            return;
+        const std::uint64_t eligible = state.hits - spec.skip;
+        if (spec.nth >= 1 && eligible % spec.nth != 0)
+            return;
+        if (spec.probability < 1.0) {
+            // 53-bit uniform draw from the per-site deterministic
+            // stream; advancing it counts as consuming this ordinal's
+            // decision whether or not it fires.
+            const double u =
+                static_cast<double>(splitMix64(state.rngState) >> 11) *
+                0x1.0p-53;
+            if (u >= spec.probability)
+                return;
+        }
+        ++state.fires;
+        fire = true;
+        fault_kind = spec.faultKind;
+        delay_ms = spec.delayMs;
+        sleep_handler = r.sleepHandler;
+    }
+    if (!fire)
+        return;
+    switch (fault_kind) {
+      case FaultKind::Throw:
+        throw FaultInjected(site);
+      case FaultKind::Fatal:
+        throw FaultInjectedFatal(site);
+      case FaultKind::Delay:
+        if (sleep_handler)
+            sleep_handler(delay_ms);
+        else
+            sleepForMs(delay_ms);
+        break;
+    }
+}
+
+} // namespace detail
+
+} // namespace memsense::fault

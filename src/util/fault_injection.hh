@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic, site-tagged fault injection.
+ *
+ * Code paths that a fault-tolerant sweep must survive declare named
+ * fault points:
+ *
+ *     MS_FAULT_POINT("solver.solve");
+ *
+ * In a normal run a fault point is a single relaxed atomic load. When
+ * a fault specification is active — from MEMSENSE_FAULTS in the
+ * environment or fault::configure() in tests — registered sites
+ * deterministically throw or delay according to the spec, so the
+ * resilience tests can prove that every injected fault is either
+ * retried to success or quarantined, never a mid-sweep abort.
+ *
+ * Spec syntax (semicolon-separated entries):
+ *
+ *     seed=42;runner.observe:throw:p=0.5;solver.solve:delay=25:nth=3
+ *
+ * Each site entry is `site:kind[:opt...]` with
+ *   kind   `throw` (FaultInjected, retryable), `fatal`
+ *          (FaultInjectedFatal, non-retryable), or `delay=<ms>`
+ *          (invokes the sleep handler; wall-clock deadline tests)
+ *   opts   `p=<0..1>`  fire with seeded per-site probability
+ *          `nth=<k>`   fire on every k-th eligible hit
+ *          `after=<n>` ignore the first n hits
+ *          `count=<n>` fire at most n times
+ *
+ * Determinism: firing decisions are a pure function of the spec seed,
+ * the site name, and the site's hit ordinal. With `--jobs 1` the hit
+ * ordinal sequence is the program's deterministic execution order, so
+ * a spec reproduces exactly; with parallel sweeps the *set* of decisions
+ * per ordinal is fixed even though jobs interleave.
+ *
+ * Compiling with -DMEMSENSE_NO_FAULT_INJECTION turns every
+ * MS_FAULT_POINT into nothing (zero code, zero cost) for production
+ * builds; the CMake option MEMSENSE_FAULT_INJECTION=OFF sets it
+ * tree-wide.
+ */
+
+#ifndef MEMSENSE_UTIL_FAULT_INJECTION_HH
+#define MEMSENSE_UTIL_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/error.hh"
+
+namespace memsense::fault
+{
+
+/** Thrown by a `throw`-kind fault point; retryable by design. */
+class FaultInjected : public TransientError
+{
+  public:
+    explicit FaultInjected(const std::string &site)
+        : TransientError("injected fault at " + site)
+    {}
+
+    const char *kind() const override { return "FaultInjected"; }
+};
+
+/** Thrown by a `fatal`-kind fault point; never retried. */
+class FaultInjectedFatal : public LogicError
+{
+  public:
+    explicit FaultInjectedFatal(const std::string &site)
+        : LogicError("injected fatal fault at " + site)
+    {}
+};
+
+/**
+ * Install a fault specification (see file header for the grammar).
+ * An empty spec deactivates injection. Throws ConfigError on a
+ * malformed spec, leaving the previous configuration untouched.
+ */
+void configure(const std::string &spec);
+
+/** configure() from the MEMSENSE_FAULTS environment variable. */
+void configureFromEnv();
+
+/** Deactivate injection and clear all counters and specs. */
+void reset();
+
+/**
+ * Replace the delay-fault sleep handler (tests install a virtual-clock
+ * recorder). Passing nullptr restores the default blocking sleep.
+ */
+void setSleepHandler(std::function<void(double)> handler);
+
+/** Times @p site was hit since the last configure()/reset(). */
+std::uint64_t hitCount(const std::string &site);
+
+/** Times @p site actually fired its fault. */
+std::uint64_t fireCount(const std::string &site);
+
+namespace detail
+{
+
+// memsense-lint: allow(mutable-global-state): process-global injection
+// switch; written only by configure()/reset(), read via relaxed loads.
+extern std::atomic<bool> gActive;
+
+/** Slow path behind MS_FAULT_POINT: count the hit, maybe fire. */
+void hitSite(const char *site);
+
+} // namespace detail
+
+/** True when a fault specification is active. */
+inline bool
+enabled()
+{
+    return detail::gActive.load(std::memory_order_relaxed);
+}
+
+} // namespace memsense::fault
+
+#ifdef MEMSENSE_NO_FAULT_INJECTION
+#define MS_FAULT_POINT(site)                                            \
+    do {                                                                \
+    } while (false)
+#else
+/** Declare a named fault-injection site (see file header). */
+#define MS_FAULT_POINT(site)                                            \
+    do {                                                                \
+        if (::memsense::fault::enabled())                               \
+            ::memsense::fault::detail::hitSite(site);                   \
+    } while (false)
+#endif
+
+#endif // MEMSENSE_UTIL_FAULT_INJECTION_HH

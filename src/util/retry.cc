@@ -1,0 +1,102 @@
+#include "util/retry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hh"
+
+namespace memsense
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: decorrelates (seed, stream, attempt) tuples. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+ErrorClass
+classifyException(const std::exception_ptr &ep)
+{
+    requireInvariant(ep != nullptr,
+                     "classifyException needs a captured exception");
+    try {
+        std::rethrow_exception(ep);
+    } catch (const TransientError &) {
+        return ErrorClass::Retryable;
+    } catch (...) {
+        return ErrorClass::Fatal;
+    }
+}
+
+ExceptionInfo
+describeException(const std::exception_ptr &ep)
+{
+    requireInvariant(ep != nullptr,
+                     "describeException needs a captured exception");
+    try {
+        std::rethrow_exception(ep);
+    } catch (const TransientError &e) {
+        return {e.kind(), e.what()};
+    } catch (const ConfigError &e) {
+        return {"ConfigError", e.what()};
+    } catch (const LogicError &e) {
+        // ContractViolation derives from LogicError; the what() text
+        // already carries the contract kind and call site.
+        return {"LogicError", e.what()};
+    } catch (const std::exception &e) {
+        return {"std::exception", e.what()};
+    } catch (...) {
+        return {"unknown", ""};
+    }
+}
+
+void
+RetryPolicy::validate() const
+{
+    requireConfig(maxAttempts >= 1, "retry needs at least one attempt");
+    requireConfig(baseDelayMs >= 0.0, "base delay must be >= 0");
+    requireConfig(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    requireConfig(maxDelayMs >= 0.0, "max delay must be >= 0");
+    requireConfig(jitterFrac >= 0.0 && jitterFrac <= 1.0,
+                  "jitter fraction must be in [0, 1]");
+}
+
+double
+RetryPolicy::delayMs(int attempt, std::uint64_t stream) const
+{
+    requireConfig(attempt >= 2, "the first attempt never waits");
+    double delay_ms = baseDelayMs;
+    for (int k = 2; k < attempt; ++k) {
+        delay_ms *= multiplier;
+        if (delay_ms >= maxDelayMs)
+            break;
+    }
+    delay_ms = std::min(delay_ms, maxDelayMs);
+    if (jitterFrac > 0.0) {
+        Rng rng(mix64(seed ^ mix64(stream)) ^
+                static_cast<std::uint64_t>(attempt));
+        delay_ms *= 1.0 + jitterFrac * (2.0 * rng.nextDouble() - 1.0);
+    }
+    return delay_ms;
+}
+
+void
+sleepForMs(double delay_ms)
+{
+    if (delay_ms <= 0.0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+} // namespace memsense

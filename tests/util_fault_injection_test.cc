@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness: spec parsing,
+ * site arming, firing schedules (nth/after/count/p=), determinism of
+ * the probabilistic stream, and the disabled fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/fault_injection.hh"
+
+namespace memsense::fault
+{
+namespace
+{
+
+class FaultInjectionTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { reset(); }
+
+    void
+    TearDown() override
+    {
+        setSleepHandler(nullptr);
+        reset();
+    }
+
+    /** Hit @p site @p n times, counting how many hits threw. */
+    static int
+    countThrows(const char *site, int n)
+    {
+        int thrown = 0;
+        for (int i = 0; i < n; ++i) {
+            try {
+                detail::hitSite(site);
+            } catch (const TransientError &) {
+                ++thrown;
+            }
+        }
+        return thrown;
+    }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault)
+{
+    EXPECT_FALSE(enabled());
+    // MS_FAULT_POINT is the enabled() check + hitSite; with no spec it
+    // must never throw.
+    EXPECT_NO_THROW(MS_FAULT_POINT("test.nowhere"));
+}
+
+TEST_F(FaultInjectionTest, ThrowKindFiresOnEveryHit)
+{
+    configure("test.site:throw");
+    EXPECT_TRUE(enabled());
+    EXPECT_THROW(detail::hitSite("test.site"), FaultInjected);
+    EXPECT_THROW(detail::hitSite("test.site"), FaultInjected);
+    EXPECT_EQ(hitCount("test.site"), 2u);
+    EXPECT_EQ(fireCount("test.site"), 2u);
+}
+
+TEST_F(FaultInjectionTest, FatalKindThrowsNonRetryable)
+{
+    configure("test.site:fatal");
+    EXPECT_THROW(detail::hitSite("test.site"), FaultInjectedFatal);
+    EXPECT_THROW(detail::hitSite("test.site"), LogicError);
+}
+
+TEST_F(FaultInjectionTest, UnarmedSitesOnlyCountHits)
+{
+    configure("test.other:throw");
+    EXPECT_NO_THROW(detail::hitSite("test.site"));
+    EXPECT_EQ(hitCount("test.site"), 1u);
+    EXPECT_EQ(fireCount("test.site"), 0u);
+}
+
+TEST_F(FaultInjectionTest, NthFiresEveryKthHit)
+{
+    configure("test.site:throw:nth=3");
+    EXPECT_EQ(countThrows("test.site", 9), 3);
+    EXPECT_EQ(fireCount("test.site"), 3u);
+}
+
+TEST_F(FaultInjectionTest, AfterSkipsLeadingHits)
+{
+    configure("test.site:throw:after=4");
+    EXPECT_EQ(countThrows("test.site", 4), 0);
+    EXPECT_EQ(countThrows("test.site", 3), 3);
+}
+
+TEST_F(FaultInjectionTest, CountBoundsTotalFires)
+{
+    configure("test.site:throw:count=2");
+    EXPECT_EQ(countThrows("test.site", 10), 2);
+    EXPECT_EQ(fireCount("test.site"), 2u);
+    EXPECT_EQ(hitCount("test.site"), 10u);
+}
+
+TEST_F(FaultInjectionTest, OptionsCompose)
+{
+    // Skip 2, then every 2nd eligible hit, at most 2 fires: hits
+    // 4, 6 fire; 8, 10, ... do not.
+    configure("test.site:throw:after=2:nth=2:count=2");
+    std::vector<bool> fired;
+    for (int i = 0; i < 10; ++i) {
+        try {
+            detail::hitSite("test.site");
+            fired.push_back(false);
+        } catch (const TransientError &) {
+            fired.push_back(true);
+        }
+    }
+    const std::vector<bool> expect = {false, false, false, true, false,
+                                      true,  false, false, false, false};
+    EXPECT_EQ(fired, expect);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityStreamIsDeterministic)
+{
+    auto run = [this]() {
+        configure("seed=42;test.site:throw:p=0.5");
+        std::vector<bool> fired;
+        for (int i = 0; i < 64; ++i) {
+            try {
+                detail::hitSite("test.site");
+                fired.push_back(false);
+            } catch (const TransientError &) {
+                fired.push_back(true);
+            }
+        }
+        return fired;
+    };
+    const std::vector<bool> a = run();
+    const std::vector<bool> b = run();
+    EXPECT_EQ(a, b);
+    int fires = 0;
+    for (bool f : a)
+        fires += f ? 1 : 0;
+    // p=0.5 over 64 draws: not all, not none (deterministic stream,
+    // so this is a fixed fact, not a flaky expectation).
+    EXPECT_GT(fires, 0);
+    EXPECT_LT(fires, 64);
+
+    configure("seed=43;test.site:throw:p=0.5");
+    std::vector<bool> c;
+    for (int i = 0; i < 64; ++i) {
+        try {
+            detail::hitSite("test.site");
+            c.push_back(false);
+        } catch (const TransientError &) {
+            c.push_back(true);
+        }
+    }
+    EXPECT_NE(a, c) << "different seeds should change the decisions";
+}
+
+TEST_F(FaultInjectionTest, DelayKindUsesSleepHandler)
+{
+    std::vector<double> slept;
+    setSleepHandler([&slept](double ms) { slept.push_back(ms); });
+    configure("test.site:delay=25");
+    EXPECT_NO_THROW(detail::hitSite("test.site"));
+    EXPECT_NO_THROW(detail::hitSite("test.site"));
+    ASSERT_EQ(slept.size(), 2u);
+    EXPECT_EQ(slept[0], 25.0);
+    EXPECT_EQ(slept[1], 25.0);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecThrowsAndKeepsOldConfig)
+{
+    configure("test.site:throw");
+    EXPECT_THROW(configure("test.site:explode"), ConfigError);
+    EXPECT_THROW(configure("test.site"), ConfigError);
+    EXPECT_THROW(configure("test.site:throw:p=1.5"), ConfigError);
+    EXPECT_THROW(configure("test.site:throw:nth=0"), ConfigError);
+    EXPECT_THROW(configure("test.site:delay=-5"), ConfigError);
+    // The original spec must still be armed.
+    EXPECT_TRUE(enabled());
+    EXPECT_THROW(detail::hitSite("test.site"), FaultInjected);
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisables)
+{
+    configure("test.site:throw");
+    EXPECT_TRUE(enabled());
+    configure("");
+    EXPECT_FALSE(enabled());
+    EXPECT_NO_THROW(detail::hitSite("test.site"));
+}
+
+TEST_F(FaultInjectionTest, MultiSiteSpecsAreIndependent)
+{
+    configure("seed=7;a.site:throw:nth=2;b.site:delay=5");
+    std::vector<double> slept;
+    setSleepHandler([&slept](double ms) { slept.push_back(ms); });
+    EXPECT_NO_THROW(detail::hitSite("a.site")); // hit 1: not nth
+    EXPECT_THROW(detail::hitSite("a.site"), FaultInjected);
+    EXPECT_NO_THROW(detail::hitSite("b.site"));
+    EXPECT_EQ(slept.size(), 1u);
+    EXPECT_EQ(fireCount("a.site"), 1u);
+    EXPECT_EQ(fireCount("b.site"), 1u);
+}
+
+} // anonymous namespace
+} // namespace memsense::fault

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the deterministic retry policy: the exception taxonomy,
+ * the seeded backoff schedule, and retryCall()'s budget accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/retry.hh"
+
+namespace memsense
+{
+namespace
+{
+
+template <typename E>
+std::exception_ptr
+capture(const E &e)
+{
+    // Templated on the concrete type: taking `const std::exception &`
+    // would slice and capture only the base.
+    return std::make_exception_ptr(e);
+}
+
+TEST(RetryClassifyTest, TransientErrorsAreRetryable)
+{
+    EXPECT_EQ(classifyException(capture(TransientError("hiccup"))),
+              ErrorClass::Retryable);
+}
+
+TEST(RetryClassifyTest, ConfigAndLogicErrorsAreFatal)
+{
+    EXPECT_EQ(classifyException(capture(ConfigError("bad input"))),
+              ErrorClass::Fatal);
+    EXPECT_EQ(classifyException(capture(LogicError("library bug"))),
+              ErrorClass::Fatal);
+}
+
+TEST(RetryClassifyTest, UnknownExceptionsAreFatal)
+{
+    EXPECT_EQ(classifyException(capture(std::runtime_error("???"))),
+              ErrorClass::Fatal);
+    EXPECT_EQ(classifyException(std::make_exception_ptr(42)),
+              ErrorClass::Fatal);
+}
+
+TEST(RetryDescribeTest, UsesTransientKindTag)
+{
+    class Custom : public TransientError
+    {
+      public:
+        Custom() : TransientError("custom says hi") {}
+        const char *kind() const override { return "CustomTransient"; }
+    };
+    const ExceptionInfo info = describeException(capture(Custom()));
+    EXPECT_EQ(info.type, "CustomTransient");
+    EXPECT_NE(info.message.find("custom says hi"), std::string::npos)
+        << info.message;
+}
+
+TEST(RetryDescribeTest, NamesTheFatalFamilies)
+{
+    EXPECT_EQ(describeException(capture(ConfigError("x"))).type,
+              "ConfigError");
+    EXPECT_EQ(describeException(capture(LogicError("x"))).type,
+              "LogicError");
+    EXPECT_EQ(describeException(capture(std::runtime_error("x"))).type,
+              "std::exception");
+}
+
+TEST(RetryPolicyTest, ValidateRejectsNonsense)
+{
+    RetryPolicy p;
+    p.maxAttempts = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.baseDelayMs = -1.0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.jitterFrac = 1.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+    EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(RetryPolicyTest, DelayIsDeterministicPerStream)
+{
+    RetryPolicy p;
+    p.seed = 7;
+    for (int attempt = 2; attempt <= 5; ++attempt) {
+        EXPECT_EQ(p.delayMs(attempt, 3), p.delayMs(attempt, 3));
+    }
+    // Different streams decorrelate (jitter differs somewhere).
+    bool any_diff = false;
+    for (int attempt = 2; attempt <= 5; ++attempt)
+        any_diff |= p.delayMs(attempt, 0) != p.delayMs(attempt, 1);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RetryPolicyTest, DelayGrowsExponentiallyWithinJitterBounds)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 10.0;
+    p.multiplier = 2.0;
+    p.maxDelayMs = 2000.0;
+    p.jitterFrac = 0.25;
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+        const double nominal =
+            std::min(10.0 * std::pow(2.0, attempt - 2), 2000.0);
+        const double d = p.delayMs(attempt, 11);
+        EXPECT_GE(d, nominal * 0.75) << "attempt " << attempt;
+        EXPECT_LE(d, nominal * 1.25) << "attempt " << attempt;
+    }
+}
+
+TEST(RetryPolicyTest, DelayRespectsCeiling)
+{
+    RetryPolicy p;
+    p.baseDelayMs = 100.0;
+    p.multiplier = 10.0;
+    p.maxDelayMs = 500.0;
+    p.jitterFrac = 0.0;
+    EXPECT_EQ(p.delayMs(5, 0), 500.0);
+}
+
+TEST(RetryCallTest, RetriesTransientThenSucceeds)
+{
+    RetryPolicy p;
+    p.maxAttempts = 4;
+    int calls = 0;
+    std::vector<double> waits;
+    RetryDiagnostics diag;
+    const int got = retryCall(
+        p, 0,
+        [&calls]() {
+            if (++calls < 3)
+                throw TransientError("not yet");
+            return 99;
+        },
+        [&waits](double ms) { waits.push_back(ms); }, &diag);
+    EXPECT_EQ(got, 99);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(diag.attempts, 3);
+    EXPECT_EQ(waits.size(), 2u);
+    EXPECT_GT(diag.totalBackoffMs, 0.0);
+}
+
+TEST(RetryCallTest, FatalErrorsPropagateImmediately)
+{
+    RetryPolicy p;
+    p.maxAttempts = 5;
+    int calls = 0;
+    EXPECT_THROW(retryCall(p, 0,
+                           [&calls]() -> int {
+                               ++calls;
+                               throw ConfigError("wrong input");
+                           }),
+                 ConfigError);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCallTest, ExhaustedBudgetRethrowsLastError)
+{
+    RetryPolicy p;
+    p.maxAttempts = 3;
+    int calls = 0;
+    RetryDiagnostics diag;
+    std::vector<double> waits;
+    EXPECT_THROW(retryCall(
+                     p, 5,
+                     [&calls]() -> int {
+                         ++calls;
+                         throw TransientError("always");
+                     },
+                     [&waits](double ms) { waits.push_back(ms); }, &diag),
+                 TransientError);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(diag.attempts, 3);
+    EXPECT_EQ(waits.size(), 2u); // no wait after the final attempt
+}
+
+TEST(RetryCallTest, BackoffSequenceMatchesPolicySchedule)
+{
+    RetryPolicy p;
+    p.maxAttempts = 4;
+    p.seed = 21;
+    std::vector<double> waits;
+    EXPECT_THROW(retryCall(
+                     p, 9,
+                     []() -> int { throw TransientError("x"); },
+                     [&waits](double ms) { waits.push_back(ms); }),
+                 TransientError);
+    ASSERT_EQ(waits.size(), 3u);
+    EXPECT_EQ(waits[0], p.delayMs(2, 9));
+    EXPECT_EQ(waits[1], p.delayMs(3, 9));
+    EXPECT_EQ(waits[2], p.delayMs(4, 9));
+}
+
+} // anonymous namespace
+} // namespace memsense

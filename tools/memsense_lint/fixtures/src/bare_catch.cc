@@ -1,0 +1,54 @@
+// Fixture: catch (...) that swallows without rethrow/record must be
+// flagged (2 findings). NOT part of the build — linted by
+// lint_selftest only.
+#include <exception>
+
+int
+swallowAndDefault()
+{
+    try {
+        return 1;
+    } catch (...) {      // flagged: error vanishes silently
+        return -1;
+    }
+}
+
+void
+swallowEmpty()
+{
+    try {
+        swallowAndDefault();
+    } catch (...) {      // flagged: empty handler
+    }
+}
+
+void
+rethrows()
+{
+    try {
+        swallowEmpty();
+    } catch (...) {      // not flagged: rethrow
+        throw;
+    }
+}
+
+std::exception_ptr
+records()
+{
+    try {
+        swallowEmpty();
+    } catch (...) {      // not flagged: captured for the manifest
+        return std::current_exception();
+    }
+    return nullptr;
+}
+
+int
+typedHandler()
+{
+    try {
+        return swallowAndDefault();
+    } catch (const std::exception &) { // not flagged: typed catch
+        return 0;
+    }
+}

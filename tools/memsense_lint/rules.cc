@@ -488,6 +488,50 @@ checkUnitSuffix(const FileContext &ctx, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------------
+// no-bare-catch
+// ---------------------------------------------------------------------
+
+void
+checkBareCatch(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (ctx.quarantineExempt)
+        return;
+    // Idents proving the handler rethrows or records the error; the
+    // lexer never drops these into strings, so a mention is a use.
+    static const std::set<std::string> rethrow_or_record = {
+        "throw", "rethrow_exception", "current_exception",
+    };
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "catch") || !isPunct(at(toks, i + 1), "(") ||
+            !isPunct(at(toks, i + 2), "...") ||
+            !isPunct(at(toks, i + 3), ")"))
+            continue;
+        std::size_t body_begin = i + 4;
+        if (!isPunct(at(toks, body_begin), "{"))
+            continue;
+        std::size_t body_end = matchDelim(toks, body_begin, "{", "}");
+        bool handled = false;
+        for (std::size_t j = body_begin + 1; j < body_end; ++j) {
+            if (toks[j].kind == TokKind::Ident &&
+                contains(rethrow_or_record, toks[j].text)) {
+                handled = true;
+                break;
+            }
+        }
+        if (handled)
+            continue;
+        out.push_back(
+            {ctx.path, toks[i].line, "no-bare-catch",
+             "'catch (...)' swallows the error; rethrow ('throw;' / "
+             "std::rethrow_exception) or capture it with "
+             "std::current_exception() for the failure manifest — "
+             "silent quarantine belongs only to the resilient "
+             "executor (util/retry, measure/resilience)"});
+    }
+}
+
 } // anonymous namespace
 
 FileContext
@@ -503,6 +547,11 @@ makeContext(const std::string &path, const LexResult &lexed)
     ctx.inBench = p.find("bench/") != std::string::npos;
     ctx.rngExempt = p.find("util/rng.") != std::string::npos;
     ctx.logExempt = p.find("util/log.") != std::string::npos;
+    // The retry/quarantine layer is where errors get classified and
+    // recorded; its own classification switches end in catch (...).
+    ctx.quarantineExempt =
+        p.find("util/retry.") != std::string::npos ||
+        p.find("measure/resilience.") != std::string::npos;
 
     // Per-file table of identifiers declared double/float; a cheap
     // stand-in for a type system that serves float-equal and
@@ -546,6 +595,9 @@ allRules()
         {"unit-suffix",
          "latency/bandwidth identifiers without a unit suffix",
          checkUnitSuffix},
+        {"no-bare-catch",
+         "catch (...) that swallows without rethrow or record",
+         checkBareCatch},
     };
     return rules;
 }

@@ -45,6 +45,7 @@ struct FileContext
     bool inBench = false;   ///< file lives under bench/
     bool rngExempt = false; ///< util/rng.* (sanctioned randomness)
     bool logExempt = false; ///< util/log.* (sanctioned global state)
+    bool quarantineExempt = false; ///< util/retry.* / measure/resilience.*
 };
 
 /** A project rule: id, one-line summary, and the check itself. */

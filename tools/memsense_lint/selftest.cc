@@ -98,6 +98,14 @@ TEST(LintSelftest, UnitSuffixFires)
         << "latency, bandwidthTotal, bandwidth param, qdelay local";
 }
 
+TEST(LintSelftest, NoBareCatchFires)
+{
+    auto fs = runRule("src/bare_catch.cc", "no-bare-catch");
+    EXPECT_EQ(countRule(fs, "no-bare-catch"), 2)
+        << "the swallowing handlers; rethrow / current_exception / "
+           "typed catch must not fire";
+}
+
 TEST(LintSelftest, SuppressionsSilenceEveryFinding)
 {
     auto fs = lintFile(fixture("src/suppressed.cc"));
@@ -150,7 +158,7 @@ TEST(LintSelftest, RuleCatalogIsStable)
         "no-nondeterminism",    "float-equal",
         "c-style-cast",         "unclamped-double-to-int",
         "mutable-global-state", "serial-grid-loop",
-        "unit-suffix",
+        "unit-suffix",          "no-bare-catch",
     };
     EXPECT_EQ(ids, expected);
 }
