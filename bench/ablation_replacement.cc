@@ -82,8 +82,11 @@ main(int argc, char **argv)
     }
 
     measure::ParallelExecutor exec(cfg.jobs);
-    const std::vector<model::FitObservation> observations =
-        exec.mapOrdered(grid, measure::runObservation);
+    std::vector<model::FitObservation> observations;
+    {
+        measure::PhaseTimer phase("sweep");
+        observations = exec.mapOrdered(grid, measure::runObservation);
+    }
 
     const std::size_t per_cell =
         cfg.coreGhz.size() * cfg.memMtPerSec.size();

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "measure/metrics.hh"
 #include "measure/resilience.hh"
 #include "util/csv.hh"
 #include "util/error.hh"
@@ -27,6 +28,7 @@
 #include "util/log.hh"
 #include "util/string_util.hh"
 #include "util/table.hh"
+#include "util/trace.hh"
 
 namespace memsense::bench
 {
@@ -65,6 +67,48 @@ outDir()
     // before any worker thread exists.
     static std::string dir;
     return dir;
+}
+
+/**
+ * The experiment id naming this process's observability artifacts
+ * (basename of argv[0], e.g. "fig03_cpi_fits"). Set by benchInit().
+ */
+inline std::string &
+experimentId()
+{
+    // memsense-lint: allow(mutable-global-state): process-wide
+    // experiment name, written once during argv parsing in benchInit()
+    // before any worker thread exists.
+    static std::string id = "bench";
+    return id;
+}
+
+/**
+ * Flush observability artifacts: with --metrics, write
+ * `<out-dir>/<exp>.metrics.json` (schema memsense.metrics.v1); with
+ * --trace PATH, finalize the Chrome trace file. Registered via
+ * std::atexit by benchInit() so every exit path of every driver
+ * flushes; safe to also call explicitly (flushing twice just rewrites
+ * the same snapshot).
+ */
+inline void
+flushObservability()
+{
+    try {
+        if (trace::statsEnabled()) {
+            const std::string dir =
+                outDir().empty() ? std::string(".") : outDir();
+            measure::MetricsRegistry::instance().flushToFile(
+                dir + "/" + experimentId() + ".metrics.json",
+                experimentId());
+        }
+        trace::stopTracing();
+    } catch (const std::exception &e) {
+        // atexit context: report, never propagate (that would terminate
+        // with the real artifacts already on disk).
+        std::fprintf(stderr, "observability flush failed: %s\n",
+                     e.what());
+    }
 }
 
 /** Print the standard header for a reproduction binary. */
@@ -180,14 +224,40 @@ resilienceArgs(int argc, char **argv)
 }
 
 /**
- * Standard bench start-up: logging flags, --out-dir, and MEMSENSE_FAULTS
- * (the deterministic fault-injection harness, util/fault_injection.hh).
+ * Standard bench start-up: logging flags, --out-dir, MEMSENSE_FAULTS
+ * (the deterministic fault-injection harness, util/fault_injection.hh),
+ * and the observability switches (docs/observability.md):
+ *
+ *   --trace PATH  record a Chrome trace_event JSON of every sweep
+ *                 span to PATH (open in chrome://tracing or Perfetto)
+ *   --metrics     write `<out-dir>/<exp>.metrics.json` with counters,
+ *                 gauges, span stats, and value distributions
  */
 inline void
 benchInit(int argc, char **argv)
 {
     quietLogs(argc, argv);
     outDir() = stringArg(argc, argv, "--out-dir");
+    if (argc > 0 && argv[0] && argv[0][0]) {
+        std::string exe = argv[0];
+        std::size_t slash = exe.find_last_of('/');
+        experimentId() =
+            slash == std::string::npos ? exe : exe.substr(slash + 1);
+    }
+    bool observing = false;
+    const std::string trace_path = stringArg(argc, argv, "--trace");
+    if (!trace_path.empty()) {
+        trace::startTracing(trace_path);
+        observing = true;
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--metrics") {
+            trace::setStatsEnabled(true);
+            observing = true;
+        }
+    }
+    if (observing)
+        std::atexit(flushObservability);
     fault::configureFromEnv();
 }
 

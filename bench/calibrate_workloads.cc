@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "measure/freq_scaling.hh"
 #include "util/log.hh"
 #include "util/string_util.hh"
@@ -49,7 +50,8 @@ printRow(Table &t, const measure::Characterization &c)
 int
 main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Warn);
+    bench::benchInit(argc, argv);
+    setLogLevel(LogLevel::Warn); // diagnostic tool: quiet by default
     measure::FreqScalingConfig cfg;
 
     Table t({"workload", "CPI_cache (got/target)", "BF (got/target)",
@@ -70,12 +72,15 @@ main(int argc, char **argv)
         if (!arg.empty() && arg[0] != '-')
             ids.push_back(arg); // flags (--quiet etc.) are not ids
     }
-    if (!ids.empty()) {
-        for (const auto &c : measure::characterizeMany(ids, cfg))
-            printRow(t, c);
-    } else {
-        for (const auto &c : measure::characterizeAll(cfg))
-            printRow(t, c);
+    {
+        measure::PhaseTimer phase("sweep");
+        if (!ids.empty()) {
+            for (const auto &c : measure::characterizeMany(ids, cfg))
+                printRow(t, c);
+        } else {
+            for (const auto &c : measure::characterizeAll(cfg))
+                printRow(t, c);
+        }
     }
     t.print(std::cout);
     return 0;

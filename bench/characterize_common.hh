@@ -57,6 +57,7 @@ characterizeIds(const std::vector<std::string> &ids,
                 const measure::FreqScalingConfig &cfg,
                 const std::string &exp_id = "characterize")
 {
+    measure::PhaseTimer phase("sweep");
     if (!cfg.resilience.enabled())
         return measure::characterizeMany(ids, cfg);
     measure::ResilientCharacterizations r =
@@ -98,6 +99,7 @@ inline void
 printFitScatter(const std::string &exp_id,
                 const std::vector<measure::Characterization> &chars)
 {
+    measure::PhaseTimer phase("report");
     for (const auto &c : chars) {
         const auto &info = workloads::workloadInfo(c.workloadId);
         std::cout << "\n-- " << info.display

@@ -46,6 +46,7 @@ main(int argc, char **argv)
     measure::FailureManifest manifest;
     std::size_t total_points = 0;
     std::vector<stats::PiecewiseCurve> curves;
+    measure::PhaseTimer phase("sweep");
     for (const auto &setup : setups) {
         measure::LoadedLatencyCurve c;
         if (resilience.enabled()) {

@@ -48,6 +48,7 @@ runTimeSeries(const std::string &exp_id,
     }
 
     std::vector<measure::TimeSeries> series;
+    measure::PhaseTimer phase("sweep");
     if (resilience.enabled()) {
         measure::ResilientTimeSeriesBatch batch =
             measure::captureTimeSeriesBatchResilient(cfgs, jobs,

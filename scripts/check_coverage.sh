@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Build the tree with gcov instrumentation (MEMSENSE_COVERAGE=ON),
+# run the full test suite, and report line coverage aggregated per
+# top-level source directory. The model layer is the paper's analytic
+# core — Eq. 1/Eq. 4, the queuing curve, the fixed-point solver — so
+# it carries a hard floor: the script fails when src/model line
+# coverage drops below MEMSENSE_COVERAGE_FLOOR (default 80%).
+#
+# Usage: scripts/check_coverage.sh [build_dir]
+#
+# Environment:
+#   MEMSENSE_COVERAGE_FLOOR   minimum src/model line % (default 80)
+#   MEMSENSE_COVERAGE_JOBS    ctest parallelism (default: nproc)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-coverage}"
+floor_pct="${MEMSENSE_COVERAGE_FLOOR:-80}"
+jobs="${MEMSENSE_COVERAGE_JOBS:-$(nproc)}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DMEMSENSE_COVERAGE=ON \
+    -DCMAKE_BUILD_TYPE=Debug
+
+cmake --build "${build_dir}" -j
+
+# Fresh counters: .gcda files accumulate across runs, so a stale set
+# would hide coverage lost since the last invocation.
+find "${build_dir}" -name '*.gcda' -delete
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+# gcov -n prints, for every source a .gcda touches:
+#   File '/abs/path/to/file.cc'
+#   Lines executed:NN.NN% of M
+# The same header appears once per including TU with per-TU counts, so
+# aggregate per *file* first (keeping the best-covered instance), then
+# per top-level directory.
+gcda_list="$(find "${build_dir}" -name '*.gcda')"
+if [ -z "${gcda_list}" ]; then
+    echo "check_coverage: no .gcda files produced — did ctest run?" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2086
+gcov -n ${gcda_list} 2>/dev/null |
+    awk -v root="${repo_root}/" -v floor="${floor_pct}" '
+    /^File / {
+        file = $0
+        sub(/^File /, "", file)
+        gsub(/\047/, "", file)           # strip the quotes
+        next
+    }
+    /^Lines executed:/ {
+        if (file == "" || index(file, root) != 1) { file = ""; next }
+        rel = substr(file, length(root) + 1)
+        if (rel !~ /^(src|bench|tools)\//) { file = ""; next }
+        pct = $0
+        sub(/^Lines executed:/, "", pct)
+        sub(/% of .*/, "", pct)
+        n = $0
+        sub(/.*% of /, "", n)
+        hit = pct / 100.0 * n
+        # Keep the best-covered instance of each file.
+        if (!(rel in file_lines) || hit > file_hit[rel]) {
+            file_hit[rel] = hit
+            file_lines[rel] = n
+        }
+        file = ""
+        next
+    }
+    END {
+        for (rel in file_lines) {
+            n = split(rel, parts, "/")
+            # src/model/solver.cc -> src/model; bench/foo.cc -> bench
+            dir = (n >= 3) ? parts[1] "/" parts[2] : parts[1]
+            dir_hit[dir] += file_hit[rel]
+            dir_lines[dir] += file_lines[rel]
+        }
+        printf "%-18s %10s %10s %8s\n", "directory", "lines", "covered", "pct"
+        fail = 0
+        for (dir in dir_lines) {
+            pct = 100.0 * dir_hit[dir] / dir_lines[dir]
+            printf "%-18s %10d %10d %7.2f%%\n", dir, dir_lines[dir],
+                   dir_hit[dir], pct
+            if (dir == "src/model" && pct < floor) {
+                model_pct = pct
+                fail = 1
+            }
+        }
+        if (fail) {
+            printf "check_coverage: src/model line coverage %.2f%% is " \
+                   "below the %.0f%% floor\n", model_pct, floor > "/dev/stderr"
+            exit 1
+        }
+    }'
+
+echo "Coverage check passed: src/model is at or above ${floor_pct}% line coverage."

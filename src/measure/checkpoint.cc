@@ -7,6 +7,7 @@
 #include "util/error.hh"
 #include "util/fault_injection.hh"
 #include "util/string_util.hh"
+#include "util/trace.hh"
 
 namespace memsense::measure
 {
@@ -183,6 +184,8 @@ CheckpointJournal::append(std::size_t index, bool ok,
                           const std::string &payload)
 {
     MS_FAULT_POINT("checkpoint.append");
+    MS_TRACE_SPAN("checkpoint.append");
+    MS_METRIC_COUNT("checkpoint.records_appended");
     requireConfig(payload.find('\n') == std::string::npos &&
                       payload.find('#') == std::string::npos,
                   "checkpoint payload must be single-line and '#'-free");

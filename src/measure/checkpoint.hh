@@ -131,15 +131,19 @@ mapOrderedResilientCheckpointed(
 
     std::vector<JobResult<Result>> results(inputs.size());
     std::vector<bool> restored(inputs.size(), false);
-    for (const auto &[index, record] : journal.restored()) {
-        if (index >= inputs.size() || !record.ok)
-            continue;
-        std::optional<Result> value = codec.decode(record.payload);
-        if (!value)
-            continue; // undecodable record: treat as missing, re-run
-        results[index].value = std::move(value);
-        results[index].attempts = 0;
-        restored[index] = true;
+    {
+        MS_TRACE_SPAN("checkpoint.replay");
+        for (const auto &[index, record] : journal.restored()) {
+            if (index >= inputs.size() || !record.ok)
+                continue;
+            std::optional<Result> value = codec.decode(record.payload);
+            if (!value)
+                continue; // undecodable record: treat as missing, re-run
+            results[index].value = std::move(value);
+            results[index].attempts = 0;
+            restored[index] = true;
+            MS_METRIC_COUNT("checkpoint.jobs_restored");
+        }
     }
 
     std::vector<std::size_t> pending;

@@ -24,6 +24,8 @@ LoadedLatencyPoint
 measurePoint(const LoadedLatencySetup &setup, std::uint32_t delay)
 {
     MS_FAULT_POINT("loaded_latency.point");
+    MS_TRACE_SPAN("loaded_latency.point");
+    MS_METRIC_COUNT("loaded_latency.points");
     sim::MachineConfig mc;
     mc.cores = setup.cores;
     mc.core.ghz = setup.ghz;

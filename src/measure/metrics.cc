@@ -1,0 +1,250 @@
+/**
+ * @file
+ * MetricsRegistry: gauges, snapshot assembly, JSON serialization.
+ */
+
+#include "metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.hh"
+
+namespace memsense::measure
+{
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, double> gauges;
+};
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // memsense-lint: allow(mutable-global-state): the metrics registry
+    // is intentionally process-global and mutex-guarded; leaked so
+    // atexit flush handlers may use it during teardown.
+    static MetricsRegistry *r = new MetricsRegistry;
+    return *r;
+}
+
+MetricsRegistry::Impl &
+MetricsRegistry::impl() const
+{
+    // memsense-lint: allow(mutable-global-state): see instance()
+    static Impl *i = new Impl;
+    return *i;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    if (!trace::statsEnabled())
+        return;
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.gauges[name] = value;
+}
+
+void
+MetricsRegistry::addGauge(const std::string &name, double delta)
+{
+    if (!trace::statsEnabled())
+        return;
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.gauges[name] += delta;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.counters = trace::counterTotals();
+    snap.distributions = trace::valueStats();
+    snap.spans = trace::spanStats();
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    snap.gauges = i.gauges;
+    return snap;
+}
+
+namespace
+{
+
+/** %.17g round-trips every double; JSON has no Inf/NaN literals. */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    if (std::isnan(v)) {
+        std::snprintf(buf, sizeof buf, "\"nan\"");
+    } else if (std::isinf(v)) {
+        std::snprintf(buf, sizeof buf, v > 0 ? "\"inf\"" : "\"-inf\"");
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+appendCounters(std::ostringstream &out, const MetricsSnapshot &snap)
+{
+    out << "  \"counters\": {";
+    bool first = true;
+    for (const auto &kv : snap.counters) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << jsonEscape(kv.first) << "\": " << kv.second;
+    }
+    out << (first ? "" : "\n  ") << "}";
+}
+
+} // anonymous namespace
+
+std::string
+MetricsRegistry::countersJson(const MetricsSnapshot &snap)
+{
+    std::ostringstream out;
+    appendCounters(out, snap);
+    return out.str();
+}
+
+std::string
+MetricsRegistry::toJson(const MetricsSnapshot &snap,
+                        const std::string &experiment)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"memsense.metrics.v1\",\n";
+    out << "  \"experiment\": \"" << jsonEscape(experiment) << "\",\n";
+    appendCounters(out, snap);
+    out << ",\n  \"gauges\": {";
+    bool first = true;
+    for (const auto &kv : snap.gauges) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    \"" << jsonEscape(kv.first)
+            << "\": " << jsonNumber(kv.second);
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+
+    out << "  \"distributions\": {";
+    first = true;
+    for (const auto &kv : snap.distributions) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        const trace::ValueStat &v = kv.second;
+        out << "    \"" << jsonEscape(kv.first) << "\": {"
+            << "\"count\": " << v.count << ", \"finite\": " << v.finite
+            << ", \"non_bucketed\": " << v.nonBucketed
+            << ", \"sum\": " << jsonNumber(v.sum)
+            << ", \"min\": " << jsonNumber(v.min)
+            << ", \"max\": " << jsonNumber(v.max)
+            << ", \"log2_buckets\": {";
+        bool firstb = true;
+        for (int b = 0; b < trace::kValueBuckets; ++b) {
+            if (v.buckets[b] == 0)
+                continue;
+            if (!firstb)
+                out << ", ";
+            firstb = false;
+            out << "\"" << (b + trace::kValueBucketMinLog2)
+                << "\": " << v.buckets[b];
+        }
+        out << "}}";
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+
+    out << "  \"spans\": {";
+    first = true;
+    for (const auto &kv : snap.spans) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        const trace::SpanStat &s = kv.second;
+        out << "    \"" << jsonEscape(kv.first) << "\": {"
+            << "\"count\": " << s.count
+            << ", \"total_ns\": " << s.totalNs
+            << ", \"min_ns\": " << s.minNs
+            << ", \"max_ns\": " << s.maxNs << "}";
+    }
+    out << (first ? "" : "\n  ") << "}\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+MetricsRegistry::flushToFile(const std::string &path,
+                             const std::string &experiment) const
+{
+    std::string doc = toJson(snapshot(), experiment);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            throw ConfigError("cannot open metrics file for writing: " +
+                              tmp);
+        out << doc;
+        if (!out.flush())
+            throw ConfigError("failed writing metrics file: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw ConfigError("failed to move metrics file into place: " +
+                          path);
+    return doc;
+}
+
+void
+MetricsRegistry::resetForTest()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.gauges.clear();
+}
+
+PhaseTimer::PhaseTimer(const std::string &name)
+    : gaugeName("phase." + name + ".wall_ms"),
+      span(std::string("phase." + name))
+{
+    if (trace::statsEnabled()) {
+        live = true;
+        startNs = trace::detail::nowNs();
+    }
+}
+
+PhaseTimer::~PhaseTimer()
+{
+    if (!live)
+        return;
+    std::uint64_t end = trace::detail::nowNs();
+    double ms = static_cast<double>(end - startNs) / 1e6;
+    MetricsRegistry::instance().setGauge(gaugeName, ms);
+}
+
+} // namespace memsense::measure

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Run-metrics registry: the JSON artifact over the trace core.
+ *
+ * util/trace.hh collects the raw material (counters, span aggregates,
+ * value distributions) from the instrumented sweep stack. This layer
+ * adds named gauges (point-in-time doubles such as per-phase wall
+ * time), snapshots everything into one structure, and serializes the
+ * `memsense.metrics.v1` JSON document written atomically to
+ * `<exp>.metrics.json` beside the experiment's CSV artifacts:
+ *
+ *     {
+ *       "schema": "memsense.metrics.v1",
+ *       "experiment": "fig03_cpi_fits",
+ *       "counters":      { "measure.jobs_run": 24, ... },
+ *       "gauges":        { "phase.characterize.wall_ms": 812.4, ... },
+ *       "distributions": { "solver.iterations_per_solve": {...}, ... },
+ *       "spans":         { "solver.solve": {...}, ... }
+ *     }
+ *
+ * Section contract (tested by observability_test): "counters" holds
+ * only order-independent integer totals, so for a deterministic sweep
+ * the section is byte-identical across any `--jobs` value; "gauges"
+ * and "spans" carry wall-clock measurements and vary run to run;
+ * "distributions" bucket counts are deterministic, their sums exact
+ * for integer-valued metrics. Keys in every section are sorted.
+ *
+ * Arm collection with trace::setStatsEnabled(true) (the `--metrics`
+ * bench flag does this); with it off, gauges and snapshots stay empty
+ * and the instrumented sites cost one relaxed load each.
+ */
+
+#ifndef MEMSENSE_MEASURE_METRICS_HH
+#define MEMSENSE_MEASURE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/trace.hh"
+
+namespace memsense::measure
+{
+
+/** One consistent view of every metric store. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, trace::ValueStat> distributions;
+    std::map<std::string, trace::SpanStat> spans;
+};
+
+/**
+ * Process-global metrics facade. All methods are thread-safe; take
+ * snapshots only while no instrumented sweep is in flight (sweeps
+ * join their workers before returning, so bench/test call sites are
+ * naturally safe).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-global registry. */
+    static MetricsRegistry &instance();
+
+    /** Set a named gauge (last write wins). No-op when stats are off. */
+    void setGauge(const std::string &name, double value);
+
+    /** Add to a named gauge, creating it at 0. No-op when stats off. */
+    void addGauge(const std::string &name, double delta);
+
+    /** A consistent snapshot of counters, gauges, spans, values. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Serialize @p snap as a memsense.metrics.v1 document for
+     * @p experiment. Deterministic for deterministic inputs: sorted
+     * keys, fixed number formatting (%.17g doubles round-trip).
+     */
+    static std::string toJson(const MetricsSnapshot &snap,
+                              const std::string &experiment);
+
+    /**
+     * Only the "counters" section of @p snap — the byte-comparable
+     * slice for determinism tests.
+     */
+    static std::string countersJson(const MetricsSnapshot &snap);
+
+    /**
+     * Snapshot and write `<path>` atomically (temp + rename).
+     * Returns the serialized document.
+     */
+    std::string flushToFile(const std::string &path,
+                            const std::string &experiment) const;
+
+    /** Drop gauges (counters/spans live in trace::resetForTest()). */
+    void resetForTest();
+
+  private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/**
+ * RAII phase marker: emits a `phase.<name>` span (visible in the
+ * trace file) and on destruction records the phase's wall time in the
+ * `phase.<name>.wall_ms` gauge. Costs nothing when observability is
+ * off. Use it around the coarse stages of a bench driver (sweep, fit,
+ * report) so `<exp>.metrics.json` answers "where did the time go?".
+ */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(const std::string &name);
+    ~PhaseTimer();
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+    std::string gaugeName;
+    std::uint64_t startNs = 0;
+    bool live = false;
+    trace::Span span;
+};
+
+} // namespace memsense::measure
+
+#endif // MEMSENSE_MEASURE_METRICS_HH

@@ -24,6 +24,7 @@
 
 #include "measure/resilience.hh"
 #include "util/thread_pool.hh"
+#include "util/trace.hh"
 
 namespace memsense::measure
 {
@@ -69,8 +70,11 @@ class ParallelExecutor
         if (jobCount <= 1 || inputs.size() <= 1) {
             std::vector<Result> out;
             out.reserve(inputs.size());
-            for (const auto &job : inputs)
+            for (const auto &job : inputs) {
+                MS_TRACE_SPAN("measure.job");
+                MS_METRIC_COUNT("measure.jobs_run");
                 out.push_back(fn(job));
+            }
             return out;
         }
 
@@ -81,8 +85,11 @@ class ParallelExecutor
         std::vector<std::future<Result>> futures;
         futures.reserve(inputs.size());
         for (const auto &job : inputs) {
-            futures.push_back(
-                pool.submit([&fn, &job]() { return fn(job); }));
+            futures.push_back(pool.submit([&fn, &job]() {
+                MS_TRACE_SPAN("measure.job");
+                MS_METRIC_COUNT("measure.jobs_run");
+                return fn(job);
+            }));
         }
 
         std::vector<std::optional<Result>> slots(inputs.size());

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "util/retry.hh"
+#include "util/trace.hh"
 
 namespace memsense::measure
 {
@@ -152,13 +153,17 @@ runResilientJob(Fn &fn, std::size_t stream, const ResilienceOptions &opts)
         return opts.nowMs ? opts.nowMs() : steadyNowMs();
     };
     JobResult<T> out;
+    MS_METRIC_COUNT("measure.jobs_run");
     const double start_ms = now_ms();
     std::exception_ptr last_error;
     bool timed_out = false;
     bool fatal = false;
     for (;;) {
         ++out.attempts;
+        if (out.attempts > 1)
+            MS_METRIC_COUNT("measure.job_retries");
         try {
+            MS_TRACE_SPAN("measure.job_attempt");
             out.value.emplace(fn(stream));
             return out;
         } catch (...) {
@@ -182,6 +187,9 @@ runResilientJob(Fn &fn, std::size_t stream, const ResilienceOptions &opts)
         else
             sleepForMs(wait_ms);
     }
+    MS_METRIC_COUNT("measure.jobs_quarantined");
+    if (timed_out)
+        MS_METRIC_COUNT("measure.jobs_timed_out");
     const ExceptionInfo info = describeException(last_error);
     FailureRecord rec;
     rec.jobIndex = stream;

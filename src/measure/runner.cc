@@ -4,6 +4,7 @@
 
 #include "util/error.hh"
 #include "util/fault_injection.hh"
+#include "util/trace.hh"
 
 namespace memsense::measure
 {
@@ -46,6 +47,7 @@ WorkloadRun::WorkloadRun(const RunConfig &config)
 void
 WorkloadRun::warmup()
 {
+    MS_TRACE_SPAN("runner.warmup");
     if (!cfg.adaptiveWarmup) {
         mach->runFor(cfg.warmup);
         last = mach->snapshot();
@@ -82,6 +84,7 @@ WorkloadRun::warmup()
 sim::MachineSnapshot
 WorkloadRun::measure()
 {
+    MS_TRACE_SPAN("runner.measure");
     mach->runFor(cfg.measure);
     sim::MachineSnapshot now = mach->snapshot();
     sim::MachineSnapshot delta = now - last;
@@ -103,6 +106,8 @@ model::FitObservation
 runObservation(const RunConfig &cfg)
 {
     MS_FAULT_POINT("runner.observe");
+    MS_TRACE_SPAN("runner.observation");
+    MS_METRIC_COUNT("runner.observations");
     WorkloadRun run(cfg);
     run.warmup();
     sim::MachineSnapshot d = run.measure();

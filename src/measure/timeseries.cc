@@ -125,6 +125,8 @@ captureTimeSeries(const TimeSeriesConfig &cfg)
     requireConfig(cfg.interval > 0, "interval must be positive");
 
     MS_FAULT_POINT("timeseries.capture");
+    MS_TRACE_SPAN("timeseries.capture");
+    MS_METRIC_COUNT("timeseries.captures");
     WorkloadRun run(cfg.run);
     run.warmup();
 

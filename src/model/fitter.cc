@@ -4,6 +4,7 @@
 
 #include "util/contract.hh"
 #include "util/error.hh"
+#include "util/trace.hh"
 
 namespace memsense::model
 {
@@ -12,6 +13,8 @@ FittedModel
 fitModel(const std::string &name, WorkloadClass cls,
          const std::vector<FitObservation> &obs, const FitOptions &opts)
 {
+    MS_TRACE_SPAN("fitter.fit");
+    MS_METRIC_COUNT("fitter.fits");
     requireConfig(obs.size() >= 2,
                   name + ": need at least two observations to fit");
 

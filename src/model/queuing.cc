@@ -4,6 +4,7 @@
 
 #include "util/contract.hh"
 #include "util/error.hh"
+#include "util/trace.hh"
 
 namespace memsense::model
 {
@@ -50,6 +51,7 @@ QueuingModel::fromCurve(stats::PiecewiseCurve curve, double max_stable_util)
 double
 QueuingModel::delayNs(double utilization) const
 {
+    MS_METRIC_COUNT("queuing.delay_lookups");
     double u = std::clamp(utilization, 0.0, maxUtil);
     double delay_ns = std::max(0.0, pw.at(u));
     MS_ENSURE(delay_ns >= 0.0,

@@ -8,6 +8,7 @@
 #include "util/contract.hh"
 #include "util/error.hh"
 #include "util/fault_injection.hh"
+#include "util/trace.hh"
 
 namespace memsense::model
 {
@@ -30,6 +31,8 @@ OperatingPoint
 Solver::solve(const WorkloadParams &p, const Platform &plat) const
 {
     MS_FAULT_POINT("solver.solve");
+    MS_TRACE_SPAN("solver.solve");
+    MS_METRIC_COUNT("solver.solves");
     p.validate();
     plat.validate();
 
@@ -81,8 +84,12 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
     // silently using the widest bracket midpoint: the resilience layer
     // quarantines the job with the diagnostics attached, and nothing
     // downstream ever consumes a spuriously "converged" point.
-    if (hi - lo > opts.tolerance)
+    MS_METRIC_COUNT_N("solver.iterations", iter);
+    MS_METRIC_OBSERVE("solver.iterations_per_solve", iter);
+    if (hi - lo > opts.tolerance) {
+        MS_METRIC_COUNT("solver.convergence_failures");
         throw SolverConvergenceError(iter, hi - lo, opts.tolerance);
+    }
     const double util = 0.5 * (lo + hi);
     op.iterations = iter;
 

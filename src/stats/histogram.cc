@@ -1,6 +1,7 @@
 #include "stats/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hh"
 #include "util/string_util.hh"
@@ -21,6 +22,13 @@ void
 Histogram::add(double x)
 {
     ++n;
+    // NaN compares false against both range bounds and would fall
+    // through to the double->index cast below (undefined for NaN);
+    // quarantine it in its own bucket instead.
+    if (std::isnan(x)) {
+        ++nan;
+        return;
+    }
     if (x < lo) {
         ++under;
         return;

@@ -41,8 +41,11 @@ class Histogram
     /** Observations below the range. */
     std::uint64_t underflow() const { return under; }
 
-    /** Observations at or above the range. */
+    /** Observations at or above the range (+inf lands here). */
     std::uint64_t overflow() const { return over; }
+
+    /** NaN observations (counted in total(), in no range bucket). */
+    std::uint64_t nanCount() const { return nan; }
 
     /** Total observations including under/overflow. */
     std::uint64_t total() const { return n; }
@@ -60,6 +63,7 @@ class Histogram
     std::vector<std::uint64_t> counts;
     std::uint64_t under = 0;
     std::uint64_t over = 0;
+    std::uint64_t nan = 0;
     std::uint64_t n = 0;
 };
 

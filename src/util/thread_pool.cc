@@ -1,6 +1,9 @@
 #include "util/thread_pool.hh"
 
+#include <string>
+
 #include "util/error.hh"
+#include "util/trace.hh"
 
 namespace memsense
 {
@@ -10,8 +13,16 @@ ThreadPool::ThreadPool(int workers)
     if (workers <= 0)
         workers = hardwareWorkers();
     threads.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i)
-        threads.emplace_back([this]() { workerLoop(); });
+    for (int i = 0; i < workers; ++i) {
+        threads.emplace_back([this, i]() {
+            // Worker slot i owns trace track i + 1 (track 0 is the
+            // main thread); sequential pools reuse the same tracks.
+            if (trace::active())
+                trace::setCurrentThreadTrack(
+                    i + 1, "worker-" + std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Structured observability core: RAII span tracing + metric stores.
+ *
+ * The sweep stack declares named spans and counters at its interesting
+ * sites:
+ *
+ *     MS_TRACE_SPAN("solver.solve");           // RAII scope timing
+ *     MS_METRIC_COUNT("queuing.delay_lookups");// monotone counter
+ *     MS_METRIC_COUNT_N("solver.iterations", n);
+ *     MS_METRIC_OBSERVE("solver.iterations_per_solve", n);
+ *
+ * Two independent switches arm the sites:
+ *
+ *  - startTracing(path): every span becomes one Chrome `trace_event`
+ *    complete event ("ph":"X"), buffered per thread and written as a
+ *    `{"traceEvents": [...]}` document by stopTracing(). Load the file
+ *    in chrome://tracing or https://ui.perfetto.dev. Every ThreadPool
+ *    worker owns a thread track (tid = worker index + 1, named
+ *    "worker-<i>"); the main thread is track 0.
+ *
+ *  - setStatsEnabled(true): spans aggregate per-site {count, total,
+ *    min, max} durations, counters accumulate, and value observations
+ *    build deterministic log2-bucket distributions. Snapshots feed the
+ *    measure::MetricsRegistry JSON artifact.
+ *
+ * When both switches are off a site costs one relaxed atomic load and
+ * a predictable branch — the PR-1 hot path is untouched. Compiling
+ * with -DMEMSENSE_NO_TRACING removes the sites entirely (zero code),
+ * mirroring MS_FAULT_POINT; the CMake option MEMSENSE_TRACING=OFF
+ * sets it tree-wide.
+ *
+ * Determinism: counter totals and value-stat bucket counts are sums of
+ * per-thread contributions, so for a deterministic sweep they are
+ * identical for any worker count. Span durations and wall-clock gauges
+ * are inherently nondeterministic and live in separate sections of the
+ * metrics artifact (see docs/observability.md).
+ *
+ * Thread-safety: sites write thread-local state registered with a
+ * process-global registry; snapshots and stopTracing() merge under the
+ * registry lock. Take snapshots only while no instrumented sweep is in
+ * flight (ThreadPool joins its workers before a sweep call returns, so
+ * the bench/test call sites satisfy this naturally).
+ */
+
+#ifndef MEMSENSE_UTIL_TRACE_HH
+#define MEMSENSE_UTIL_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace memsense::trace
+{
+
+/** Aggregate duration statistics of one span site (ns). */
+struct SpanStat
+{
+    std::uint64_t count = 0;   ///< completed spans at the site
+    std::uint64_t totalNs = 0; ///< summed duration
+    std::uint64_t minNs = 0;   ///< shortest span (0 when count == 0)
+    std::uint64_t maxNs = 0;   ///< longest span
+
+    /** Fold another site aggregate into this one. */
+    void merge(const SpanStat &other);
+};
+
+/** Number of log2 buckets a ValueStat distribution tracks. */
+constexpr int kValueBuckets = 64;
+
+/**
+ * Deterministic distribution summary of one observed metric.
+ *
+ * Buckets are indexed by floor(log2(v)) clamped to
+ * [kValueBucketMinLog2, kValueBucketMinLog2 + kValueBuckets - 1];
+ * non-positive and non-finite observations are counted but not
+ * bucketed (nonBucketed). Bucket counts are order-independent, so a
+ * deterministic sweep produces identical distributions for any worker
+ * count; `sum` is exact for integer-valued metrics below 2^53.
+ */
+struct ValueStat
+{
+    std::uint64_t count = 0;       ///< total observations
+    std::uint64_t finite = 0;      ///< finite observations (min/max/sum)
+    std::uint64_t nonBucketed = 0; ///< non-positive or non-finite
+    double sum = 0.0;              ///< summed finite observations
+    double min = 0.0;              ///< smallest finite observation
+    double max = 0.0;              ///< largest finite observation
+    std::uint64_t buckets[kValueBuckets] = {};
+
+    /** Fold another distribution into this one. */
+    void merge(const ValueStat &other);
+};
+
+/** Lowest log2 a ValueStat bucket resolves (values below clamp here). */
+constexpr int kValueBucketMinLog2 = -16;
+
+/** The log2 bucket index for @p v, or -1 when it is not bucketable. */
+int valueBucketIndex(double v);
+
+namespace detail
+{
+
+// memsense-lint: allow(mutable-global-state): process-global
+// observability switches; written by start/stop/setStatsEnabled, read
+// via relaxed loads on the instrumented hot paths.
+extern std::atomic<unsigned> gArmed;
+
+constexpr unsigned kTracingBit = 1u;
+constexpr unsigned kStatsBit = 2u;
+
+/** Monotonic timestamp in ns since an arbitrary process epoch. */
+std::uint64_t nowNs();
+
+/** Slow-path begin/end of one span on the current thread. */
+void spanBegin();
+void spanEnd(const char *site_literal, const std::string *site_owned,
+             std::uint64_t start_ns);
+
+/** Slow-path counter / observation hits on the current thread. */
+void counterHit(const char *name, std::uint64_t delta);
+void observeHit(const char *name, double value);
+
+} // namespace detail
+
+/** True when a trace file is being recorded. */
+inline bool
+tracingEnabled()
+{
+    return (detail::gArmed.load(std::memory_order_relaxed) &
+            detail::kTracingBit) != 0;
+}
+
+/** True when metric aggregation (counters/spans/values) is armed. */
+inline bool
+statsEnabled()
+{
+    return (detail::gArmed.load(std::memory_order_relaxed) &
+            detail::kStatsBit) != 0;
+}
+
+/** True when any observability switch is armed. */
+inline bool
+active()
+{
+    return detail::gArmed.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Start recording spans to an in-memory event buffer destined for
+ * @p path (written by stopTracing()). The current thread becomes
+ * track 0 ("main"). Throws ConfigError when tracing is already
+ * started or the path is empty.
+ */
+void startTracing(const std::string &path);
+
+/**
+ * Stop recording and write the Chrome trace_event JSON document to
+ * the path given at startTracing(). Returns the path written. No-op
+ * returning "" when tracing was not started.
+ */
+std::string stopTracing();
+
+/** Arm/disarm metric aggregation (counters, span stats, values). */
+void setStatsEnabled(bool on);
+
+/**
+ * Assign the calling thread a stable trace track. ThreadPool workers
+ * call this with their worker slot index + 1 so that every worker
+ * slot owns one named track ("worker-<index>") regardless of how many
+ * pools a process creates; sequential pools reuse the same tracks.
+ */
+void setCurrentThreadTrack(int track, const std::string &name);
+
+/** Counter totals across all threads (live and retired). */
+std::map<std::string, std::uint64_t> counterTotals();
+
+/** Per-site span aggregates across all threads. */
+std::map<std::string, SpanStat> spanStats();
+
+/** Per-metric value distributions across all threads. */
+std::map<std::string, ValueStat> valueStats();
+
+/**
+ * Thread names that registered a trace track (track -> name), for the
+ * current tracing session. Includes workers that recorded no events.
+ */
+std::map<int, std::string> threadTracks();
+
+/**
+ * Drop all collected state and disarm both switches. Test-only: the
+ * caller must guarantee no instrumented code runs concurrently.
+ */
+void resetForTest();
+
+/**
+ * RAII span. The literal constructor is for MS_TRACE_SPAN sites and
+ * costs one relaxed load when observability is off; the string
+ * constructor is for cold, dynamically named scopes (bench phases).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *site_literal)
+        : lit(site_literal)
+    {
+        if (active()) {
+            live = true;
+            startNs = detail::nowNs();
+            detail::spanBegin();
+        }
+    }
+
+    explicit Span(std::string site_name)
+        : owned(std::move(site_name))
+    {
+        if (active()) {
+            live = true;
+            startNs = detail::nowNs();
+            detail::spanBegin();
+        }
+    }
+
+    ~Span()
+    {
+        if (live)
+            detail::spanEnd(lit, lit ? nullptr : &owned, startNs);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *lit = nullptr;
+    std::string owned;
+    std::uint64_t startNs = 0;
+    bool live = false;
+};
+
+} // namespace memsense::trace
+
+#ifdef MEMSENSE_NO_TRACING
+#define MS_TRACE_SPAN(site)                                             \
+    do {                                                                \
+    } while (false)
+#define MS_METRIC_COUNT_N(name, delta)                                  \
+    do {                                                                \
+    } while (false)
+#define MS_METRIC_OBSERVE(name, value)                                  \
+    do {                                                                \
+    } while (false)
+#else
+#define MS_TRACE_SPAN_CONCAT2(a, b) a##b
+#define MS_TRACE_SPAN_CONCAT(a, b) MS_TRACE_SPAN_CONCAT2(a, b)
+/** Time the enclosing scope as a named span (see file header). */
+#define MS_TRACE_SPAN(site)                                             \
+    ::memsense::trace::Span MS_TRACE_SPAN_CONCAT(ms_trace_span_,        \
+                                                 __LINE__)(site)
+/** Add @p delta to the named monotone counter. */
+#define MS_METRIC_COUNT_N(name, delta)                                  \
+    do {                                                                \
+        if (::memsense::trace::statsEnabled())                          \
+            ::memsense::trace::detail::counterHit(                      \
+                name, static_cast<std::uint64_t>(delta));               \
+    } while (false)
+/** Record one observation of the named value distribution. */
+#define MS_METRIC_OBSERVE(name, value)                                  \
+    do {                                                                \
+        if (::memsense::trace::statsEnabled())                          \
+            ::memsense::trace::detail::observeHit(                      \
+                name, static_cast<double>(value));                      \
+    } while (false)
+#endif
+
+/** Increment the named monotone counter by one. */
+#define MS_METRIC_COUNT(name) MS_METRIC_COUNT_N(name, 1)
+
+#endif // MEMSENSE_UTIL_TRACE_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Golden-regression tests for the figure pipelines.
+ *
+ * The property suite (model_property_test) checks invariants; this
+ * suite checks *values*: it runs the fig03 and fig07 drivers end to
+ * end (--fast --quiet --jobs 2) and compares every emitted CSV cell
+ * against a checked-in golden produced by the same configuration. The
+ * sweeps are deterministic by contract (identical output for any
+ * worker count), so the tolerances below are drift guards for
+ * compiler/libm variation, not slack for nondeterminism — a real
+ * model or simulator change moves these numbers far beyond them and
+ * must regenerate the goldens (see docs/observability.md).
+ *
+ * Driver and golden locations arrive as compile definitions from
+ * tests/CMakeLists.txt: MEMSENSE_FIG03_BIN, MEMSENSE_FIG07_BIN,
+ * MEMSENSE_GOLDEN_DIR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** One parsed CSV: a header row plus numeric data rows. */
+struct Csv
+{
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+};
+
+/** Per-column match rule: |a - b| <= abs + rel * max(|a|, |b|). */
+struct Tolerance
+{
+    double rel = 0.0;
+    double abs = 0.0;
+};
+
+Csv
+readCsv(const std::string &path)
+{
+    Csv out;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::string line;
+    bool header = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::stringstream row(line);
+        std::string cell;
+        while (std::getline(row, cell, ','))
+            cells.push_back(cell);
+        if (header) {
+            out.columns = cells;
+            header = false;
+            continue;
+        }
+        std::vector<double> vals;
+        vals.reserve(cells.size());
+        for (const std::string &c : cells) {
+            std::size_t used = 0;
+            vals.push_back(std::stod(c, &used));
+            EXPECT_EQ(used, c.size()) << "non-numeric cell '" << c
+                                      << "' in " << path;
+        }
+        out.rows.push_back(std::move(vals));
+    }
+    return out;
+}
+
+/**
+ * Compare @p actual against @p golden cell by cell. Grid-input
+ * columns (the sweep coordinates) must match exactly; measured
+ * columns match under @p measured. A shape mismatch (columns, row
+ * count) fails immediately — it means the sweep grid itself changed.
+ */
+void
+expectCsvNear(const std::string &name, const Csv &golden,
+              const Csv &actual,
+              const std::vector<std::string> &exact_columns,
+              Tolerance measured)
+{
+    ASSERT_EQ(golden.columns, actual.columns) << name;
+    ASSERT_EQ(golden.rows.size(), actual.rows.size()) << name;
+    for (std::size_t r = 0; r < golden.rows.size(); ++r) {
+        ASSERT_EQ(golden.rows[r].size(), golden.columns.size()) << name;
+        ASSERT_EQ(actual.rows[r].size(), golden.columns.size()) << name;
+        for (std::size_t c = 0; c < golden.columns.size(); ++c) {
+            const double g = golden.rows[r][c];
+            const double a = actual.rows[r][c];
+            const bool exact =
+                std::find(exact_columns.begin(), exact_columns.end(),
+                          golden.columns[c]) != exact_columns.end();
+            const Tolerance tol = exact ? Tolerance{} : measured;
+            const double scale =
+                std::max(std::fabs(g), std::fabs(a));
+            EXPECT_LE(std::fabs(a - g), tol.abs + tol.rel * scale)
+                << name << " row " << r << " column '"
+                << golden.columns[c] << "': golden " << g << " vs "
+                << a;
+        }
+    }
+}
+
+/** Run @p bin with the golden configuration, outputs into @p dir. */
+void
+runDriver(const std::string &bin, const std::string &dir)
+{
+    const std::string cmd = bin + " --fast --quiet --jobs 2 --out-dir " +
+                            dir + " > " + dir + "/stdout.log 2>&1";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_EQ(rc, 0) << "driver failed: " << cmd;
+}
+
+void
+compareAgainstGolden(const std::string &dir, const std::string &file,
+                     const std::vector<std::string> &exact_columns,
+                     Tolerance measured)
+{
+    SCOPED_TRACE(file);
+    const Csv golden =
+        readCsv(std::string(MEMSENSE_GOLDEN_DIR) + "/" + file);
+    const Csv actual = readCsv(dir + "/" + file);
+    expectCsvNear(file, golden, actual, exact_columns, measured);
+}
+
+TEST(GoldenRegression, Fig03CpiFitsMatchGolden)
+{
+    const std::string dir = ::testing::TempDir() + "golden_fig03";
+    const std::string mk = "mkdir -p " + dir;
+    ASSERT_EQ(std::system(mk.c_str()), 0);
+    runDriver(MEMSENSE_FIG03_BIN, dir);
+
+    // The frequency/memory grid is exact input data; the measured and
+    // fitted CPI columns get the drift tolerance.
+    const std::vector<std::string> exact = {"ghz", "mt"};
+    const Tolerance tol{1e-4, 1e-6};
+    for (const char *w :
+         {"fig03_column_store.csv", "fig03_nits.csv",
+          "fig03_proximity.csv", "fig03_spark.csv"})
+        compareAgainstGolden(dir, w, exact, tol);
+}
+
+TEST(GoldenRegression, Fig07QueuingDelayMatchesGolden)
+{
+    const std::string dir = ::testing::TempDir() + "golden_fig07";
+    const std::string mk = "mkdir -p " + dir;
+    ASSERT_EQ(std::system(mk.c_str()), 0);
+    runDriver(MEMSENSE_FIG07_BIN, dir);
+
+    // delay_cyc is the injected-delay grid; bandwidth, utilization and
+    // latency are measured on the simulator. The latency columns sit
+    // in the hundreds of ns, so the absolute term covers rounding of
+    // near-zero queuing delays.
+    const std::vector<std::string> exact = {"delay_cyc"};
+    const Tolerance tol{1e-4, 1e-3};
+    for (const char *f :
+         {"fig07_ddr1333_r100.csv", "fig07_ddr1333_r67.csv",
+          "fig07_ddr1867_r100.csv", "fig07_ddr1867_r67.csv"})
+        compareAgainstGolden(dir, f, exact, tol);
+}
+
+} // anonymous namespace

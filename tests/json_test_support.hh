@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for schema tests.
+ *
+ * The repo is zero-dependency by design, so the tests that validate
+ * emitted JSON artifacts (trace files, metrics documents, failure
+ * manifests) parse them with this ~150-line subset parser instead of
+ * a library. Supports the full JSON grammar the emitters use:
+ * objects, arrays, strings with escapes, numbers, true/false/null.
+ * Throws std::runtime_error with an offset on malformed input — a
+ * test that feeds it a torn document fails loudly, not silently.
+ */
+
+#ifndef MEMSENSE_TESTS_JSON_TEST_SUPPORT_HH
+#define MEMSENSE_TESTS_JSON_TEST_SUPPORT_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace memsense::testjson
+{
+
+/** One parsed JSON value (tagged union over the JSON types). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    bool has(const std::string &key) const
+    {
+        return type == Type::Object && object.count(key) > 0;
+    }
+
+    /** Member access; throws when absent or not an object. */
+    const JsonValue &at(const std::string &key) const
+    {
+        if (type != Type::Object)
+            throw std::runtime_error("JSON: not an object");
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("JSON: missing key '" + key + "'");
+        return it->second;
+    }
+};
+
+namespace detail
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    fail("short \\u escape");
+                unsigned long cp =
+                    std::strtoul(text.substr(pos, 4).c_str(), nullptr,
+                                 16);
+                pos += 4;
+                // The emitters only escape control chars; represent
+                // the code point as a raw byte (enough for the tests).
+                out += static_cast<char>(cp & 0xffu);
+                break;
+            }
+            default:
+                fail(std::string("bad escape '\\") + e + "'");
+            }
+        }
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return v;
+            for (;;) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.object[key] = parseValue();
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return v;
+            for (;;) {
+                v.array.push_back(parseValue());
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            v.str = parseString();
+            return v;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            v.type = JsonValue::Type::Bool;
+            return v;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return v;
+        }
+        // Number: delegate to strtod and verify progress.
+        char *end = nullptr;
+        v.type = JsonValue::Type::Number;
+        v.number = std::strtod(text.c_str() + pos, &end);
+        if (end == text.c_str() + pos)
+            fail("not a JSON value");
+        pos = static_cast<std::size_t>(end - text.c_str());
+        return v;
+    }
+};
+
+} // namespace detail
+
+/** Parse @p text as one JSON document (throws on any error). */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    detail::Parser p{text};
+    JsonValue v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing garbage after document");
+    return v;
+}
+
+} // namespace memsense::testjson
+
+#endif // MEMSENSE_TESTS_JSON_TEST_SUPPORT_HH

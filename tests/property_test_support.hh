@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Seeded generative-testing support for the model invariant suites.
+ *
+ * forAll() drives a property over many randomly generated cases from
+ * the repo's own deterministic Rng (util/rng.hh), so a failure
+ * reproduces exactly from the seed/iteration pair printed in the
+ * gtest trace. Generators draw only inputs that satisfy the model's
+ * validate() contracts (params.hh / platform.hh), so every generated
+ * case is a legal call — properties test behaviour, not validation.
+ */
+
+#ifndef MEMSENSE_TESTS_PROPERTY_TEST_SUPPORT_HH
+#define MEMSENSE_TESTS_PROPERTY_TEST_SUPPORT_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "model/memory_config.hh"
+#include "model/params.hh"
+#include "model/platform.hh"
+#include "util/rng.hh"
+
+namespace memsense::proptest
+{
+
+/**
+ * Run @p property(rng) for @p iterations independent cases derived
+ * from @p seed. Each case gets its own Rng stream (seed + iteration
+ * index hashed apart) and a SCOPED_TRACE naming the reproducer.
+ */
+template <typename Property>
+void
+forAll(std::uint64_t seed, int iterations, Property property)
+{
+    for (int i = 0; i < iterations; ++i) {
+        SCOPED_TRACE("forAll seed=" +
+                     std::to_string(
+                         static_cast<unsigned long long>(seed)) +
+                     " iteration=" + std::to_string(i));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(i));
+        property(rng);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/** Uniform double in [lo, hi). */
+inline double
+uniform(Rng &rng, double lo, double hi)
+{
+    return lo + rng.nextDouble() * (hi - lo);
+}
+
+/** Uniform int in [lo_i, hi_i]. */
+inline int
+uniformInt(Rng &rng, int lo_i, int hi_i)
+{
+    return lo_i + static_cast<int>(rng.nextBounded(
+                      static_cast<std::uint64_t>(hi_i - lo_i + 1)));
+}
+
+/**
+ * A random workload inside the validate() envelope, spanning the
+ * paper's Table 3 neighbourhood plus a wide margin: cache-friendly
+ * through memory-bound, with and without I/O traffic.
+ */
+inline model::WorkloadParams
+genWorkloadParams(Rng &rng)
+{
+    model::WorkloadParams p;
+    p.cpiCache = uniform(rng, 0.3, 5.0);
+    p.bf = uniform(rng, 0.01, 1.0);
+    p.mpki = uniform(rng, 0.01, 50.0);
+    p.wbr = uniform(rng, 0.0, 1.0);
+    if (rng.chance(0.25)) {
+        p.iopi = uniform(rng, 0.0, 1e-3);
+        p.ioBytes = uniform(rng, 0.0, 1e5);
+    }
+    p.validate();
+    return p;
+}
+
+/** A random memory configuration inside the validate() envelope. */
+inline model::MemoryConfig
+genMemoryConfig(Rng &rng)
+{
+    model::MemoryConfig m;
+    m.channels = uniformInt(rng, 1, 8);
+    const double speeds[] = {1333.3, 1600.0, 1866.7, 2133.3};
+    m.megaTransfers = speeds[rng.nextBounded(4)];
+    m.efficiency = uniform(rng, 0.5, 0.9);
+    m.compulsoryNs = uniform(rng, 50.0, 120.0);
+    return m;
+}
+
+/** A random platform inside the validate() envelope. */
+inline model::Platform
+genPlatform(Rng &rng)
+{
+    model::Platform plat;
+    plat.cores = uniformInt(rng, 1, 32);
+    plat.smt = uniformInt(rng, 1, 2);
+    plat.ghz = uniform(rng, 1.0, 4.0);
+    plat.memory = genMemoryConfig(rng);
+    plat.validate();
+    return plat;
+}
+
+} // namespace memsense::proptest
+
+#endif // MEMSENSE_TESTS_PROPERTY_TEST_SUPPORT_HH

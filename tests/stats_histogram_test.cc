@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Boundary-value tests for stats::Histogram: the exact edges of the
+ * [lo, hi) contract, the rounding cap at the top bin, and non-finite
+ * inputs (NaN used to fall through both range checks into an
+ * undefined double->index cast).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using memsense::stats::Histogram;
+
+TEST(HistogramBoundary, LowerBoundIsInclusive)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(HistogramBoundary, JustBelowLowerBoundUnderflows)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::nextafter(0.0, -1.0));
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 0u);
+}
+
+TEST(HistogramBoundary, UpperBoundIsExclusive)
+{
+    // x == hi is documented as overflow ([lo, hi)), never bin N-1.
+    Histogram h(0.0, 10.0, 10);
+    h.add(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(9), 0u);
+}
+
+TEST(HistogramBoundary, JustBelowUpperBoundLandsInLastBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::nextafter(10.0, 0.0));
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramBoundary, RoundingNearTopEdgeNeverEscapesLastBin)
+{
+    // Widths that are not exactly representable make
+    // (x - lo) / width round to bin_count for x just under hi; the
+    // cap must keep the index in range instead of invoking UB.
+    Histogram h(0.0, 0.3, 3);
+    double x = 0.3;
+    for (int i = 0; i < 100; ++i) {
+        x = std::nextafter(x, 0.0);
+        h.add(x);
+    }
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.total(),
+              h.binCount(0) + h.binCount(1) + h.binCount(2));
+}
+
+TEST(HistogramBoundary, ExactBinEdgesGoToUpperBin)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(HistogramBoundary, PositiveInfinityOverflows)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramBoundary, NegativeInfinityUnderflows)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramBoundary, NanIsCountedWithoutTouchingAnyBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.nanCount(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.total(), 1u);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_EQ(h.binCount(i), 0u) << "bin " << i;
+}
+
+TEST(HistogramBoundary, MixedStreamKeepsTotalConsistent)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(-1.0);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(1.0);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.nanCount() + h.underflow() + h.overflow() +
+                  h.binCount(0) + h.binCount(1),
+              h.total());
+}
+
+TEST(HistogramBoundary, QuantileSpansTheBinRange)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(h.quantile(0.5), 50.5, 1e-12);
+    EXPECT_NEAR(h.quantile(0.99), 99.5, 1e-12);
+}
+
+TEST(HistogramBoundary, SingleBinDegenerateRange)
+{
+    Histogram h(5.0, std::nextafter(5.0, 6.0), 1);
+    h.add(5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,24 @@
+// Fixture (bench/ context): the same sweep wrapped in a PhaseTimer
+// scope must stay quiet. NOT part of the build — linted by
+// lint_selftest.
+
+#include <vector>
+
+namespace measure
+{
+template <typename Job, typename Fn>
+std::vector<int> mapOrdered(const std::vector<Job> &inputs, Fn fn);
+struct PhaseTimer
+{
+    explicit PhaseTimer(const char *name);
+};
+} // namespace measure
+
+int
+timedSweep()
+{
+    std::vector<int> grid = {1, 2, 3};
+    measure::PhaseTimer phase("sweep");
+    auto results = measure::mapOrdered(grid, [](int x) { return x; });
+    return static_cast<int>(results.size());
+}

@@ -1,0 +1,30 @@
+// Fixture (bench/ context): a driver that hands a grid to the sweep
+// engine without declaring any observability scope must be flagged —
+// once per file, at the first sweep call. NOT part of the build —
+// linted by lint_selftest.
+
+#include <vector>
+
+namespace measure
+{
+template <typename Job, typename Fn>
+std::vector<int> mapOrdered(const std::vector<Job> &inputs, Fn fn);
+struct FreqScalingConfig
+{
+    int jobs = 1;
+};
+int characterizeMany(const std::vector<int> &ids,
+                     const FreqScalingConfig &cfg);
+} // namespace measure
+
+int
+untimedSweep()
+{
+    std::vector<int> grid = {1, 2, 3};
+    // flagged: the dominant phase of the run is invisible to --metrics
+    auto results = measure::mapOrdered(grid, [](int x) { return x; });
+    measure::FreqScalingConfig cfg;
+    // NOT flagged again: the rule reports once per file
+    return measure::characterizeMany(grid, cfg) +
+           static_cast<int>(results.size());
+}

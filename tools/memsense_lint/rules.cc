@@ -425,6 +425,58 @@ checkSerialGridLoop(const FileContext &ctx, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------------
+// no-untraced-sweep-loop
+// ---------------------------------------------------------------------
+
+void
+checkUntracedSweepLoop(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (!ctx.inBench)
+        return;
+    // Sweep-engine entry points a bench driver can hand a grid to.
+    // Each runs many jobs, so an untimed call leaves the dominant
+    // phase of the run invisible to the metrics artifact.
+    static const std::set<std::string> sweep_calls = {
+        "mapOrdered",
+        "mapOrderedResilient",
+        "mapIndicesResilient",
+        "mapOrderedResilientCheckpointed",
+        "characterizeMany",
+        "characterizeManyResilient",
+        "characterizeAll",
+        "sweepLoadedLatency",
+        "sweepLoadedLatencyResilient",
+        "captureTimeSeriesBatch",
+        "captureTimeSeriesBatchResilient",
+    };
+    const auto &toks = ctx.toks;
+    bool observed = false;
+    for (const Token &t : toks) {
+        if (t.kind == TokKind::Ident &&
+            (t.text == "MS_TRACE_SPAN" || t.text == "PhaseTimer")) {
+            observed = true;
+            break;
+        }
+    }
+    if (observed)
+        return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident || !contains(sweep_calls, t.text) ||
+            !isPunct(at(toks, i + 1), "("))
+            continue;
+        out.push_back(
+            {ctx.path, t.line, "no-untraced-sweep-loop",
+             "'" + t.text +
+                 "' runs a sweep but the file declares no "
+                 "observability scope; wrap the sweep in a "
+                 "measure::PhaseTimer (or MS_TRACE_SPAN) so --metrics "
+                 "runs report where the wall-clock went"});
+        return; // advisory: once per file is enough
+    }
+}
+
+// ---------------------------------------------------------------------
 // unit-suffix
 // ---------------------------------------------------------------------
 
@@ -592,6 +644,9 @@ allRules()
         {"serial-grid-loop",
          "bench/ grid loops that bypass measure::ParallelExecutor",
          checkSerialGridLoop},
+        {"no-untraced-sweep-loop",
+         "bench/ sweeps with no PhaseTimer/MS_TRACE_SPAN scope",
+         checkUntracedSweepLoop},
         {"unit-suffix",
          "latency/bandwidth identifiers without a unit suffix",
          checkUnitSuffix},

@@ -91,6 +91,22 @@ TEST(LintSelftest, SerialGridLoopFiresInBench)
            "straight-line call must not fire";
 }
 
+TEST(LintSelftest, UntracedSweepLoopFiresOncePerFile)
+{
+    auto fs = runRule("bench/untraced_sweep_loop.cc",
+                      "no-untraced-sweep-loop");
+    EXPECT_EQ(countRule(fs, "no-untraced-sweep-loop"), 1)
+        << "advisory: one finding per file, at the first sweep call";
+}
+
+TEST(LintSelftest, TracedSweepLoopStaysQuiet)
+{
+    auto fs = runRule("bench/traced_sweep_loop.cc",
+                      "no-untraced-sweep-loop");
+    EXPECT_EQ(countRule(fs, "no-untraced-sweep-loop"), 0)
+        << "a PhaseTimer scope anywhere in the file satisfies the rule";
+}
+
 TEST(LintSelftest, UnitSuffixFires)
 {
     auto fs = runRule("src/unit_suffix.cc", "unit-suffix");
@@ -158,7 +174,8 @@ TEST(LintSelftest, RuleCatalogIsStable)
         "no-nondeterminism",    "float-equal",
         "c-style-cast",         "unclamped-double-to-int",
         "mutable-global-state", "serial-grid-loop",
-        "unit-suffix",          "no-bare-catch",
+        "no-untraced-sweep-loop", "unit-suffix",
+        "no-bare-catch",
     };
     EXPECT_EQ(ids, expected);
 }
