@@ -15,6 +15,7 @@
 
 #include "model_common.hh"
 #include "model/sensitivity.hh"
+#include "serve/evaluator.hh"
 
 using namespace memsense;
 using namespace memsense::bench;
@@ -27,7 +28,10 @@ main(int argc, char **argv)
            "CPI increase vs. per-core bandwidth reduction, by class");
 
     model::Platform base = model::Platform::paperBaseline();
-    model::SensitivityAnalyzer an(makeSolver(argc, argv), base);
+    // Each class's sweep re-solves the shared baseline point; route
+    // all solves through the memoizing evaluator so repeats are hits.
+    serve::Evaluator eval(makeSolver(argc, argv));
+    model::SensitivityAnalyzer an(eval, base);
     auto variants =
         model::SensitivityAnalyzer::standardBandwidthVariants(base.memory);
 
@@ -55,5 +59,11 @@ main(int argc, char **argv)
                  csv);
     }
     std::cout << "\nBaseline: " << base.describe() << "\n";
+    const serve::CacheStats cs = eval.cacheStats();
+    inform(strformat("evaluator cache: %llu hits / %llu misses "
+                     "(%zu distinct operating points)",
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     cs.size));
     return 0;
 }

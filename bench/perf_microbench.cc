@@ -15,6 +15,7 @@
 #include "measure/runner.hh"
 #include "util/thread_pool.hh"
 #include "model/memsense.hh"
+#include "serve/evaluator.hh"
 #include "sim/machine.hh"
 #include "stats/regression.hh"
 #include "util/log.hh"
@@ -38,6 +39,39 @@ BM_SolverSolve(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SolverSolve);
+
+/** Cold path through the memoizing evaluator: every solve misses. */
+void
+BM_EvaluatorColdSolve(benchmark::State &state)
+{
+    serve::Evaluator eval;
+    model::Platform base = model::Platform::paperBaseline();
+    auto bd = model::paper::classParams(model::WorkloadClass::BigData);
+    // Vary the latency each iteration so no request ever repeats: this
+    // measures miss cost = fingerprint + probe + full fixed point.
+    double extra = 0.0;
+    for (auto _ : state) {
+        model::Platform plat = base;
+        plat.memory = base.memory.withCompulsoryNs(
+            base.memory.compulsoryNs + extra);
+        extra += 1e-6;
+        benchmark::DoNotOptimize(eval.solve(bd, plat));
+    }
+}
+BENCHMARK(BM_EvaluatorColdSolve);
+
+/** Warm path: the same request every iteration, served from cache. */
+void
+BM_EvaluatorCacheHit(benchmark::State &state)
+{
+    serve::Evaluator eval;
+    model::Platform base = model::Platform::paperBaseline();
+    auto bd = model::paper::classParams(model::WorkloadClass::BigData);
+    benchmark::DoNotOptimize(eval.solve(bd, base)); // prime
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.solve(bd, base));
+}
+BENCHMARK(BM_EvaluatorCacheHit);
 
 void
 BM_EquivalenceSummary(benchmark::State &state)

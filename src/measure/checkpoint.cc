@@ -1,11 +1,11 @@
 #include "measure/checkpoint.hh"
 
 #include <bit>
-#include <cstdio>
 #include <sstream>
 
 #include "util/error.hh"
 #include "util/fault_injection.hh"
+#include "util/hash.hh"
 #include "util/string_util.hh"
 #include "util/trace.hh"
 
@@ -16,44 +16,6 @@ namespace
 {
 
 constexpr const char *kHeaderPrefix = "memsense-ckpt v1 key=";
-
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-std::string
-hex64(std::uint64_t v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-std::optional<std::uint64_t>
-parseHex64(const std::string &word)
-{
-    if (word.size() != 16)
-        return std::nullopt;
-    std::uint64_t v = 0;
-    for (char c : word) {
-        v <<= 4;
-        if (c >= '0' && c <= '9')
-            v |= static_cast<std::uint64_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            v |= static_cast<std::uint64_t>(c - 'a' + 10);
-        else
-            return std::nullopt;
-    }
-    return v;
-}
 
 /** "R <index> <status> <payload>" — the checksummed record body. */
 std::string
@@ -72,7 +34,7 @@ parseRecordLine(const std::string &line)
         return std::nullopt;
     const std::string body = line.substr(0, hash_pos);
     auto checksum = parseHex64(line.substr(hash_pos + 2));
-    if (!checksum || *checksum != fnv1a(body))
+    if (!checksum || *checksum != fnv1a64(body))
         return std::nullopt; // torn or corrupt record
 
     // body = "R <index> <status> <payload>"
@@ -130,7 +92,7 @@ decodeDoubles(const std::string &text)
 std::string
 checkpointRunKey(const std::string &descriptor)
 {
-    return hex64(fnv1a(descriptor));
+    return hex64(fnv1a64(descriptor));
 }
 
 CheckpointJournal::CheckpointJournal(const std::string &path,
@@ -191,7 +153,7 @@ CheckpointJournal::append(std::size_t index, bool ok,
                   "checkpoint payload must be single-line and '#'-free");
     const std::string body = recordBody(index, ok, payload);
     std::lock_guard<std::mutex> lock(mtx);
-    out << body << " #" << hex64(fnv1a(body)) << "\n";
+    out << body << " #" << hex64(fnv1a64(body)) << "\n";
     out.flush();
     if (!out.good())
         throw TransientError("checkpoint journal write failed ('" +

@@ -48,6 +48,15 @@ class EquivalenceAnalyzer
      */
     EquivalenceAnalyzer(Solver solver, Platform baseline);
 
+    /**
+     * Analyze through an external engine (e.g. the serving layer's
+     * memoizing serve::Evaluator) instead of an owned Solver — the
+     * equivalence bisections revisit the same operating points many
+     * times, so a caching engine pays off here. The engine must
+     * outlive the analyzer.
+     */
+    EquivalenceAnalyzer(const SolveEngine &engine, Platform baseline);
+
     /** Percent performance gain from adding @p gbps_per_core GB/s/core. */
     double perfGainFromBandwidth(const WorkloadParams &p,
                                  double gbps_per_core = 1.0) const;
@@ -85,7 +94,11 @@ class EquivalenceAnalyzer
     /** Platform with reduced compulsory latency (floored at 1 ns). */
     Platform withReducedLatency(double delta_ns) const;
 
+    /** The engine every operating point is solved with. */
+    const SolveEngine &eng() const { return engine ? *engine : solver; }
+
     Solver solver;
+    const SolveEngine *engine = nullptr; ///< non-owning; set by ref ctor
     Platform base;
 };
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Canonical fingerprints of model evaluation requests.
+ *
+ * The serving layer (src/serve) memoizes solver results keyed on the
+ * exact inputs that determine an operating point: the workload's
+ * numeric parameters, the platform, the queuing curve, and the solver
+ * tuning knobs. This file defines the canonical encoding of those
+ * inputs — every double contributes its IEEE-754 bit pattern, so two
+ * requests share a key iff they are bit-identical inputs to the
+ * solver — and the 64-bit FNV-1a fingerprint over it.
+ *
+ * Deliberately excluded: WorkloadParams::name and ::cls. They label a
+ * request but do not enter Eq. 1/Eq. 4, so two differently-named
+ * requests with identical numbers share one cache entry.
+ *
+ * FNV-1a is not collision-free; consumers that cannot tolerate a
+ * collision must compare canonicalRequestKey() text before trusting a
+ * fingerprint match (the serve cache does exactly that).
+ */
+
+#ifndef MEMSENSE_MODEL_FINGERPRINT_HH
+#define MEMSENSE_MODEL_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "model/params.hh"
+#include "model/platform.hh"
+#include "model/queuing.hh"
+#include "model/solver.hh"
+
+namespace memsense::model
+{
+
+/** Canonical encoding of the numeric workload parameters. */
+std::string canonicalKey(const WorkloadParams &p);
+
+/** Canonical encoding of the platform (cores, clock, memory). */
+std::string canonicalKey(const Platform &plat);
+
+/** Canonical encoding of a queuing model (knots, cap, origin). */
+std::string canonicalKey(const QueuingModel &qm);
+
+/** Canonical encoding of the solver tuning knobs. */
+std::string canonicalKey(const SolverOptions &opts);
+
+/**
+ * Canonical encoding of one full evaluation request:
+ * workload | platform fields, in fixed documented order. The solver
+ * configuration is not included — append solverFingerprint() (or keep
+ * one cache per solver) when caching across solver configurations.
+ */
+std::string canonicalRequestKey(const WorkloadParams &p,
+                                const Platform &plat);
+
+/**
+ * Append canonicalRequestKey(@p p, @p plat) to @p out. The solve-cache
+ * probe path clears and refills one per-thread buffer with this,
+ * making a warm cache hit allocation-free.
+ */
+void appendCanonicalRequestKey(std::string &out, const WorkloadParams &p,
+                               const Platform &plat);
+
+/**
+ * FNV-1a fingerprint of the request, mixed with @p seed. Hashes the
+ * same fields in the same order as canonicalRequestKey(), but over
+ * their raw bit patterns rather than the hex text — it identifies the
+ * same equivalence classes, cheaper. Not collision-free: pair it with
+ * canonicalRequestKey() text wherever a collision would be wrong.
+ */
+std::uint64_t requestFingerprint(const WorkloadParams &p,
+                                 const Platform &plat,
+                                 std::uint64_t seed = 0);
+
+/**
+ * Fingerprint of everything about a Solver that affects its results:
+ * the queuing curve and the tuning knobs. Use it as the @p seed of
+ * requestFingerprint() so one cache never mixes solvers.
+ */
+std::uint64_t solverFingerprint(const Solver &solver);
+
+} // namespace memsense::model
+
+#endif // MEMSENSE_MODEL_FINGERPRINT_HH

@@ -49,21 +49,21 @@ recommend(const SensitivityReport &r)
 } // anonymous namespace
 
 SensitivityReport
-buildReport(const Solver &solver, const WorkloadParams &workload,
+buildReport(const SolveEngine &engine, const WorkloadParams &workload,
             const Platform &platform)
 {
     SensitivityReport r;
     r.workload = workload;
     r.platform = platform;
-    r.baseline = solver.solve(workload, platform);
+    r.baseline = engine.solve(workload, platform);
 
-    SensitivityAnalyzer an(solver, platform);
+    SensitivityAnalyzer an(engine, platform);
     r.latencySweep = an.latencySweep(workload, 60.0, 10.0);
     r.bandwidthSweep = an.bandwidthSweep(
         workload,
         SensitivityAnalyzer::standardBandwidthVariants(platform.memory));
 
-    EquivalenceAnalyzer eq(solver, platform);
+    EquivalenceAnalyzer eq(engine, platform);
     r.tradeoff = eq.summarize(workload);
     r.recommendation = recommend(r);
     return r;

@@ -38,11 +38,16 @@ struct SensitivityReport
 /**
  * Build the report for @p workload on @p platform.
  *
- * @param solver   performance solver (owns the queuing model)
+ * Accepts any SolveEngine: the analytic Solver, or the serving layer's
+ * memoizing serve::Evaluator — the report's sweeps and equivalence
+ * bisections revisit many operating points, so a caching engine cuts
+ * the cost sharply.
+ *
+ * @param engine   performance solve engine
  * @param workload workload parameters
  * @param platform baseline platform
  */
-SensitivityReport buildReport(const Solver &solver,
+SensitivityReport buildReport(const SolveEngine &engine,
                               const WorkloadParams &workload,
                               const Platform &platform);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -14,10 +15,17 @@ SensitivityAnalyzer::SensitivityAnalyzer(Solver solver_in,
     base.validate();
 }
 
+SensitivityAnalyzer::SensitivityAnalyzer(const SolveEngine &engine_in,
+                                         Platform baseline)
+    : engine(&engine_in), base(std::move(baseline))
+{
+    base.validate();
+}
+
 OperatingPoint
 SensitivityAnalyzer::baselinePoint(const WorkloadParams &p) const
 {
-    return solver.solve(p, base);
+    return eng().solve(p, base);
 }
 
 std::vector<BandwidthSweepPoint>
@@ -27,6 +35,14 @@ SensitivityAnalyzer::bandwidthSweep(
 {
     requireConfig(!variants.empty(), "bandwidth sweep needs variants");
     const double base_cpi = baselinePoint(p).cpiEff;
+    // Every sweep point is normalized against these two; a zero would
+    // turn the whole Fig. 8 series into NaN/inf. The Solver guarantees
+    // both by contract, but an external SolveEngine is only promised to
+    // be deterministic — re-check at the division site.
+    MS_REQUIRE(base_cpi > 0.0, "baseline CPI ", base_cpi,
+               " must be positive for a bandwidth sweep");
+    MS_REQUIRE(base.cores >= 1, "baseline platform reports ", base.cores,
+               " cores");
     const double base_per_core =
         base.memory.effectiveBandwidth() /
         static_cast<double>(base.cores) / 1e9;
@@ -41,7 +57,7 @@ SensitivityAnalyzer::bandwidthSweep(
         pt.bwPerCoreGBps = mem.effectiveBandwidth() /
                            static_cast<double>(plat.cores) / 1e9;
         pt.bwDeltaPerCoreGBps = pt.bwPerCoreGBps - base_per_core;
-        pt.op = solver.solve(p, plat);
+        pt.op = eng().solve(p, plat);
         pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
         sweep.push_back(pt);
     }
@@ -59,6 +75,8 @@ SensitivityAnalyzer::latencySweep(const WorkloadParams &p,
     requireConfig(step_ns > 0.0, "latency step must be positive");
     requireConfig(max_extra_ns >= 0.0, "latency range must be non-negative");
     const double base_cpi = baselinePoint(p).cpiEff;
+    MS_REQUIRE(base_cpi > 0.0, "baseline CPI ", base_cpi,
+               " must be positive for a latency sweep");
 
     std::vector<LatencySweepPoint> sweep;
     for (double extra = 0.0; extra <= max_extra_ns + 1e-9;
@@ -69,7 +87,7 @@ SensitivityAnalyzer::latencySweep(const WorkloadParams &p,
         LatencySweepPoint pt;
         pt.compulsoryNs = plat.memory.compulsoryNs;
         pt.deltaNs = extra;
-        pt.op = solver.solve(p, plat);
+        pt.op = eng().solve(p, plat);
         pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
         sweep.push_back(pt);
     }
@@ -87,6 +105,8 @@ SensitivityAnalyzer::bandwidthDerivative(
         double dbw = hi.bwPerCoreGBps - lo.bwPerCoreGBps;
         if (dbw <= 0.0)
             continue;
+        MS_REQUIRE(hi.op.cpiEff > 0.0, "sweep point ", i - 1,
+                   " has non-positive CPI ", hi.op.cpiEff);
         DerivativePoint d;
         d.x = lo.bwPerCoreGBps;
         d.dCpiPct =
@@ -107,6 +127,8 @@ SensitivityAnalyzer::latencyDerivative(
         double dns = hi.compulsoryNs - lo.compulsoryNs;
         if (dns <= 0.0)
             continue;
+        MS_REQUIRE(lo.op.cpiEff > 0.0, "sweep point ", i - 1,
+                   " has non-positive CPI ", lo.op.cpiEff);
         DerivativePoint d;
         d.x = hi.compulsoryNs;
         // Normalized to a 10 ns step, as the paper reports.

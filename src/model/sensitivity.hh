@@ -58,6 +58,13 @@ class SensitivityAnalyzer
      */
     SensitivityAnalyzer(Solver solver, Platform baseline);
 
+    /**
+     * Sweep through an external engine (e.g. the serving layer's
+     * memoizing serve::Evaluator) instead of an owned Solver. The
+     * engine must outlive the analyzer.
+     */
+    SensitivityAnalyzer(const SolveEngine &engine, Platform baseline);
+
     /** The baseline platform. */
     const Platform &baseline() const { return base; }
 
@@ -104,7 +111,11 @@ class SensitivityAnalyzer
     standardBandwidthVariants(const MemoryConfig &baseline);
 
   private:
+    /** The engine every sweep point is solved with. */
+    const SolveEngine &eng() const { return engine ? *engine : solver; }
+
     Solver solver;
+    const SolveEngine *engine = nullptr; ///< non-owning; set by ref ctor
     Platform base;
 };
 

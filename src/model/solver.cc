@@ -43,11 +43,19 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
 
     OperatingPoint op;
 
-    // A workload with no memory traffic never touches the queue.
+    // A workload with no memory traffic never touches the queue. Every
+    // field is set explicitly: the operating point of this path is part
+    // of the serving contract (it gets cached and journaled), so it must
+    // not depend on what the struct defaults happen to be.
     // memsense-lint: allow(float-equal): exact-zero traffic short-circuit
     if (p.bytesPerInstruction() == 0.0) {
         op.cpiEff = p.cpiCache;
         op.missPenaltyNs = plat.memory.compulsoryNs;
+        op.queuingDelayNs = 0.0;
+        op.bandwidthPerCoreBps = 0.0;
+        op.bandwidthTotalBps = 0.0;
+        op.utilization = 0.0;
+        op.bandwidthBound = false;
         op.iterations = 0;
         return op;
     }
@@ -109,8 +117,22 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
         p, avail / static_cast<double>(threads), cps);
     op.bandwidthBound = bw_cpi >= lat_cpi;
     op.cpiEff = std::max(lat_cpi, bw_cpi);
-    op.queuingDelayNs = qdelay_ns;
-    op.missPenaltyNs = mp_ns;
+    if (op.bandwidthBound) {
+        // Bandwidth regime: the reported delay must be the saturated
+        // queue consistent with the Eq. 4 CPI, not the bisection's
+        // near-cap midpoint. The bisection converges to the stable cap
+        // from below, so its delay undershoots maxStableDelayNs() by
+        // O(tolerance * curve slope) — invisible at the default 1e-9
+        // tolerance, nanoseconds at looser ones, and always bitwise
+        // wrong for the cached/journaled point the serving layer
+        // replays (paper Sec. VI.C: "no amount of latency reduction
+        // can compensate for bandwidth constraints").
+        op.queuingDelayNs = queuingModel.maxStableDelayNs();
+        op.missPenaltyNs = plat.memory.compulsoryNs + op.queuingDelayNs;
+    } else {
+        op.queuingDelayNs = qdelay_ns;
+        op.missPenaltyNs = mp_ns;
+    }
 
     const double demand =
         bandwidthDemandTotal(p, op.cpiEff, cps, threads);
@@ -127,6 +149,22 @@ Solver::solve(const WorkloadParams &p, const Platform &plat) const
     MS_ENSURE(op.missPenaltyNs >= plat.memory.compulsoryNs,
               "miss penalty ", op.missPenaltyNs,
               " ns below compulsory latency ", plat.memory.compulsoryNs);
+    // The reported point must be internally consistent: in the latency
+    // regime the CPI is exactly Eq. 1 of the reported miss penalty; in
+    // the bandwidth regime the penalty is pinned at the saturated queue.
+    MS_ENSURE(op.bandwidthBound ||
+                  std::abs(effectiveCpi(p, plat.nsToCycles(
+                               op.missPenaltyNs)) -
+                           op.cpiEff) <= 1e-12 * op.cpiEff,
+              "latency-regime CPI ", op.cpiEff,
+              " inconsistent with reported miss penalty ",
+              op.missPenaltyNs, " ns");
+    MS_ENSURE(!op.bandwidthBound ||
+                  op.missPenaltyNs ==
+                      plat.memory.compulsoryNs +
+                          queuingModel.maxStableDelayNs(),
+              "bandwidth-regime miss penalty ", op.missPenaltyNs,
+              " ns not pinned at compulsory + saturated queuing delay");
     MS_ENSURE(op.bandwidthTotalBps >= 0.0 &&
                   op.bandwidthTotalBps <= avail,
               "consumed bandwidth ", op.bandwidthTotalBps,

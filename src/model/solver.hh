@@ -89,12 +89,32 @@ struct SolverOptions
 };
 
 /**
+ * Anything that can map a (workload, platform) pair to its operating
+ * point. The analytic Solver is the reference implementation; the
+ * serving layer's memoizing serve::Evaluator is a drop-in — the
+ * sensitivity/equivalence analyzers and report builder accept either,
+ * so sweeps that revisit operating points get caching for free.
+ *
+ * Implementations must be safe for concurrent read-only use and
+ * deterministic: the same inputs always yield the bit-identical point.
+ */
+class SolveEngine
+{
+  public:
+    virtual ~SolveEngine() = default;
+
+    /** Solve for the stable operating point (Eq. 1 + Eq. 4). */
+    virtual OperatingPoint solve(const WorkloadParams &p,
+                                 const Platform &plat) const = 0;
+};
+
+/**
  * Performance solver for (workload, platform) pairs.
  *
  * Stateless apart from the queuing model; safe to share across threads
  * for read-only use.
  */
-class Solver
+class Solver : public SolveEngine
 {
   public:
     /** Use the analytic default queuing model. */
@@ -105,7 +125,7 @@ class Solver
 
     /** Solve for the stable operating point. */
     OperatingPoint solve(const WorkloadParams &p,
-                         const Platform &plat) const;
+                         const Platform &plat) const override;
 
     /**
      * CPI relative to a reference operating point:
@@ -116,6 +136,9 @@ class Solver
 
     /** The queuing model in use. */
     const QueuingModel &queuing() const { return queuingModel; }
+
+    /** The fixed-point tuning knobs in use (for fingerprinting). */
+    const SolverOptions &options() const { return opts; }
 
   private:
     QueuingModel queuingModel;

@@ -1,0 +1,118 @@
+#include "serve/evaluator.hh"
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "util/contract.hh"
+#include "util/trace.hh"
+
+namespace memsense::serve
+{
+
+Evaluator::Evaluator(model::Solver solver_in, EvaluatorOptions opts)
+    : analyticSolver(std::move(solver_in)), options(opts),
+      solverFp(model::solverFingerprint(analyticSolver)),
+      cache(opts.cache)
+{
+    options.resilience.retry.validate();
+}
+
+model::OperatingPoint
+Evaluator::solve(const model::WorkloadParams &p,
+                 const model::Platform &plat) const
+{
+    // Per-thread key buffer: a warm hit allocates nothing (the buffer
+    // keeps its capacity across calls; the cache copies on insert).
+    thread_local std::string key;
+    key.clear();
+    model::appendCanonicalRequestKey(key, p, plat);
+    const std::uint64_t fp = model::requestFingerprint(p, plat, solverFp);
+    if (auto hit = cache.lookup(fp, key))
+        return *hit;
+    model::OperatingPoint op = analyticSolver.solve(p, plat);
+    cache.insert(fp, key, op);
+    return op;
+}
+
+std::vector<EvalOutcome>
+Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
+{
+    MS_TRACE_SPAN("serve.batch");
+    MS_METRIC_COUNT_N("serve.batch.requests", requests.size());
+
+    constexpr std::size_t kNotUnique = static_cast<std::size_t>(-1);
+
+    // Pass 1 (serial, input order): fingerprint, probe the cache, and
+    // deduplicate the misses. Serial probing keeps the hit/miss/evict
+    // counter sequence — and therefore the metrics artifact — identical
+    // for every worker count.
+    std::vector<EvalOutcome> outcomes(requests.size());
+    std::vector<std::size_t> uniqueOf(requests.size(), kNotUnique);
+    std::vector<std::size_t> uniqueRequestIndex;
+    std::vector<std::uint64_t> uniqueFp;
+    std::vector<std::string> uniqueKey;
+    std::unordered_map<std::string, std::size_t> uniqueByKey;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        outcomes[i].id = requests[i].id;
+        std::string key = model::canonicalRequestKey(
+            requests[i].workload, requests[i].platform);
+        std::uint64_t fp = model::requestFingerprint(
+            requests[i].workload, requests[i].platform, solverFp);
+        if (auto hit = cache.lookup(fp, key)) {
+            outcomes[i].result.value.emplace(*hit);
+            outcomes[i].cacheHit = true;
+            continue;
+        }
+        auto [it, inserted] =
+            uniqueByKey.emplace(std::move(key), uniqueRequestIndex.size());
+        if (inserted) {
+            uniqueRequestIndex.push_back(i);
+            uniqueFp.push_back(fp);
+            uniqueKey.push_back(it->first);
+        }
+        uniqueOf[i] = it->second;
+    }
+    MS_METRIC_COUNT_N("serve.batch.unique_solves",
+                      uniqueRequestIndex.size());
+
+    // Pass 2 (parallel): solve each unique miss once. Failures are
+    // quarantined per job, never thrown.
+    measure::ParallelExecutor executor(options.jobs);
+    auto solved = executor.mapOrderedResilient(
+        uniqueRequestIndex,
+        [this, &requests](std::size_t request_index) {
+            const EvalRequest &req = requests[request_index];
+            return analyticSolver.solve(req.workload, req.platform);
+        },
+        options.resilience);
+
+    // Pass 3 (serial, unique order): cache the successes. Insert order
+    // is fixed, so LRU state and eviction counts are deterministic.
+    for (std::size_t u = 0; u < solved.size(); ++u) {
+        if (solved[u].ok())
+            cache.insert(uniqueFp[u], uniqueKey[u], *solved[u].value);
+    }
+
+    // Pass 4 (serial, input order): fan results back out to every
+    // request that mapped to each unique solve.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (uniqueOf[i] == kNotUnique)
+            continue; // already served from cache
+        const auto &job = solved[uniqueOf[i]];
+        outcomes[i].result.attempts = job.attempts;
+        if (job.ok()) {
+            outcomes[i].result.value.emplace(*job.value);
+        } else {
+            MS_INVARIANT(job.failure.has_value(),
+                         "failed job carries no failure record");
+            measure::FailureRecord rec = *job.failure;
+            rec.jobIndex = i;
+            rec.context = requests[i].id;
+            outcomes[i].result.failure.emplace(std::move(rec));
+        }
+    }
+    return outcomes;
+}
+
+} // namespace memsense::serve

@@ -1,0 +1,341 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace memsense::serve
+{
+
+namespace
+{
+
+/** Recursive-descent parser over one immutable input buffer. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text)
+        : in(text)
+    {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        requireConfig(pos == in.size(),
+                      "trailing content at byte " + std::to_string(pos));
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw ConfigError("JSON parse error at byte " +
+                          std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= in.size())
+            fail("unexpected end of input");
+        return in[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (in.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.text = parseString();
+            return v;
+        }
+        if (consumeWord("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeWord("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeWord("null"))
+            return JsonValue{};
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= in.size())
+                fail("unterminated string");
+            char c = in[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= in.size())
+                fail("unterminated escape");
+            char esc = in[pos++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                // Pass \uXXXX through for ASCII; reject the rest
+                // rather than mis-decode (the request schema never
+                // needs non-ASCII keys or ids).
+                if (pos + 4 > in.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = in[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                fail(std::string("bad escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < in.size() &&
+               ((in[pos] >= '0' && in[pos] <= '9') || in[pos] == '.' ||
+                in[pos] == 'e' || in[pos] == 'E' || in[pos] == '+' ||
+                in[pos] == '-'))
+            ++pos;
+        std::string word(in.substr(start, pos - start));
+        char *end = nullptr;
+        double v = std::strtod(word.c_str(), &end);
+        if (end != word.c_str() + word.size() || !std::isfinite(v)) {
+            pos = start;
+            fail("malformed number '" + word + "'");
+        }
+        JsonValue out;
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return out;
+    }
+
+    std::string_view in;
+    std::size_t pos = 0;
+};
+
+} // anonymous namespace
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return false;
+    for (const auto &m : members) {
+        if (m.first == key)
+            return true;
+    }
+    return false;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    requireConfig(kind == Kind::Object,
+                  "JSON value is not an object (looking up '" + key +
+                      "')");
+    for (const auto &m : members) {
+        if (m.first == key)
+            return m.second;
+    }
+    throw ConfigError("missing JSON member '" + key + "'");
+}
+
+double
+JsonValue::asNumber(const std::string &what) const
+{
+    requireConfig(kind == Kind::Number, what + " must be a number");
+    return number;
+}
+
+const std::string &
+JsonValue::asString(const std::string &what) const
+{
+    requireConfig(kind == Kind::String, what + " must be a string");
+    return text;
+}
+
+int
+JsonValue::asInt(const std::string &what) const
+{
+    double v = asNumber(what);
+    requireConfig(v >= -2147483648.0 && v <= 2147483647.0,
+                  what + " is out of integer range");
+    // memsense-lint: allow(unclamped-double-to-int): range-checked above
+    int i = static_cast<int>(v);
+    // memsense-lint: allow(float-equal): exact integrality check
+    requireConfig(static_cast<double>(i) == v,
+                  what + " must be a whole number");
+    return i;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace memsense::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON for the serving layer.
+ *
+ * The batch evaluator speaks JSON-lines: one request object per line
+ * in, one result object per line out. This is the tiny strict parser
+ * for the inbound side — objects, arrays, strings, numbers, booleans,
+ * null; no comments, no trailing commas — plus the string escaper for
+ * the outbound side. Deliberately dependency-free and small; it is not
+ * a general-purpose JSON library (no unicode escapes beyond pass-through
+ * \uXXXX, numbers parsed as double).
+ *
+ * Malformed input raises ConfigError with a byte offset, which the
+ * service layer converts into a per-line error result instead of
+ * aborting the batch.
+ */
+
+#ifndef MEMSENSE_SERVE_JSON_HH
+#define MEMSENSE_SERVE_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace memsense::serve
+{
+
+/** One parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;   ///< valid when kind == Bool
+    double number = 0.0;    ///< valid when kind == Number
+    std::string text;       ///< valid when kind == String
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+    std::vector<JsonValue> items;                           ///< Array
+
+    /** True when this is an object with member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Member @p key; throws ConfigError when absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Number value; throws ConfigError on kind mismatch. */
+    double asNumber(const std::string &what) const;
+
+    /** String value; throws ConfigError on kind mismatch. */
+    const std::string &asString(const std::string &what) const;
+
+    /** Integer value; throws ConfigError when not a whole number. */
+    int asInt(const std::string &what) const;
+};
+
+/**
+ * Parse one JSON document. The whole input must be consumed (trailing
+ * whitespace allowed); throws ConfigError otherwise.
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Shortest decimal form of @p v that round-trips to the same bits
+ * ("%.17g"), for byte-stable result serialization.
+ */
+std::string jsonNumber(double v);
+
+} // namespace memsense::serve
+
+#endif // MEMSENSE_SERVE_JSON_HH

@@ -1,0 +1,142 @@
+#include "serve/request.hh"
+
+#include "model/paper_data.hh"
+#include "serve/json.hh"
+#include "util/error.hh"
+#include "util/string_util.hh"
+
+namespace memsense::serve
+{
+
+namespace
+{
+
+model::WorkloadClass
+classFromName(const std::string &cls)
+{
+    std::string lc = toLower(cls);
+    if (lc == "bigdata")
+        return model::WorkloadClass::BigData;
+    if (lc == "enterprise")
+        return model::WorkloadClass::Enterprise;
+    if (lc == "hpc")
+        return model::WorkloadClass::Hpc;
+    throw ConfigError("workload class must be bigdata, enterprise, or "
+                      "hpc (got '" +
+                      cls + "')");
+}
+
+model::WorkloadParams
+workloadFrom(const JsonValue &v)
+{
+    model::WorkloadClass cls = model::WorkloadClass::BigData;
+    if (v.has("class"))
+        cls = classFromName(v.at("class").asString("workload.class"));
+    model::WorkloadParams p = model::paper::classParams(cls);
+    if (v.has("name"))
+        p.name = v.at("name").asString("workload.name");
+    if (v.has("cpi_cache"))
+        p.cpiCache = v.at("cpi_cache").asNumber("workload.cpi_cache");
+    if (v.has("bf"))
+        p.bf = v.at("bf").asNumber("workload.bf");
+    if (v.has("mpki"))
+        p.mpki = v.at("mpki").asNumber("workload.mpki");
+    if (v.has("wbr"))
+        p.wbr = v.at("wbr").asNumber("workload.wbr");
+    if (v.has("iopi"))
+        p.iopi = v.at("iopi").asNumber("workload.iopi");
+    if (v.has("io_bytes"))
+        p.ioBytes = v.at("io_bytes").asNumber("workload.io_bytes");
+    return p;
+}
+
+model::Platform
+platformFrom(const JsonValue &v)
+{
+    model::Platform plat; // struct defaults == paper baseline
+    if (v.has("cores"))
+        plat.cores = v.at("cores").asInt("platform.cores");
+    if (v.has("smt"))
+        plat.smt = v.at("smt").asInt("platform.smt");
+    if (v.has("ghz"))
+        plat.ghz = v.at("ghz").asNumber("platform.ghz");
+    if (v.has("channels"))
+        plat.memory.channels =
+            v.at("channels").asInt("platform.channels");
+    if (v.has("speed_mts"))
+        plat.memory.megaTransfers =
+            v.at("speed_mts").asNumber("platform.speed_mts");
+    if (v.has("efficiency"))
+        plat.memory.efficiency =
+            v.at("efficiency").asNumber("platform.efficiency");
+    if (v.has("latency_ns"))
+        plat.memory.compulsoryNs =
+            v.at("latency_ns").asNumber("platform.latency_ns");
+    return plat;
+}
+
+std::string
+errorJson(const std::string &type, const std::string &message,
+          bool fatal, int attempts)
+{
+    return "{\"type\":\"" + jsonEscape(type) + "\",\"message\":\"" +
+           jsonEscape(message) + "\",\"fatal\":" +
+           (fatal ? "true" : "false") +
+           ",\"attempts\":" + std::to_string(attempts) + "}";
+}
+
+} // anonymous namespace
+
+EvalRequest
+parseRequestLine(const std::string &line, std::size_t line_number)
+{
+    JsonValue v = parseJson(line);
+    requireConfig(v.kind == JsonValue::Kind::Object,
+                  "request line must be a JSON object");
+    EvalRequest req;
+    req.id = v.has("id") ? v.at("id").asString("id")
+                         : "line-" + std::to_string(line_number);
+    if (v.has("workload"))
+        req.workload = workloadFrom(v.at("workload"));
+    else
+        req.workload =
+            model::paper::classParams(model::WorkloadClass::BigData);
+    if (v.has("platform"))
+        req.platform = platformFrom(v.at("platform"));
+    return req;
+}
+
+std::string
+resultLine(const EvalOutcome &outcome)
+{
+    std::string out = "{\"id\":\"" + jsonEscape(outcome.id) + "\",";
+    if (outcome.result.ok()) {
+        const model::OperatingPoint &op = *outcome.result.value;
+        out += "\"ok\":true,\"op\":{\"cpi_eff\":" +
+               jsonNumber(op.cpiEff) +
+               ",\"miss_penalty_ns\":" + jsonNumber(op.missPenaltyNs) +
+               ",\"queuing_delay_ns\":" +
+               jsonNumber(op.queuingDelayNs) + ",\"bw_per_core_bps\":" +
+               jsonNumber(op.bandwidthPerCoreBps) +
+               ",\"bw_total_bps\":" + jsonNumber(op.bandwidthTotalBps) +
+               ",\"utilization\":" + jsonNumber(op.utilization) +
+               ",\"bandwidth_bound\":" +
+               (op.bandwidthBound ? "true" : "false") +
+               ",\"iterations\":" + std::to_string(op.iterations) + "}}";
+        return out;
+    }
+    const measure::FailureRecord &f = *outcome.result.failure;
+    out += "\"ok\":false,\"error\":" +
+           errorJson(f.errorType, f.message, f.fatal, f.attempts) + "}";
+    return out;
+}
+
+std::string
+parseErrorLine(std::size_t line_number, const std::string &message)
+{
+    return "{\"id\":\"line-" + std::to_string(line_number) +
+           "\",\"ok\":false,\"error\":" +
+           errorJson("ConfigError", message, true, 0) + "}";
+}
+
+} // namespace memsense::serve

@@ -1,0 +1,96 @@
+#include "serve/service.hh"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+#include "util/error.hh"
+#include "util/string_util.hh"
+#include "util/trace.hh"
+
+namespace memsense::serve
+{
+
+std::string
+ServiceSummary::describe() const
+{
+    return strformat("%zu lines: %zu solved, %zu failed, %zu parse "
+                     "errors; cache %llu hits / %llu misses / %llu "
+                     "evictions (%zu entries)",
+                     lines, solved, failed, parseErrors,
+                     static_cast<unsigned long long>(cache.hits),
+                     static_cast<unsigned long long>(cache.misses),
+                     static_cast<unsigned long long>(cache.evictions),
+                     cache.size);
+}
+
+ServiceSummary
+runEvalService(std::istream &in, std::ostream &out,
+               const ServiceOptions &opts)
+{
+    requireConfig(opts.repeat >= 1, "repeat must be >= 1");
+    MS_TRACE_SPAN("serve.service");
+
+    // Ingest: one slot per non-empty line, either a parsed request or
+    // a pre-rendered parse-error result line.
+    struct Slot
+    {
+        bool parsed = false;
+        std::size_t requestIndex = 0; ///< into requests when parsed
+        std::string errorLine;        ///< rendered when !parsed
+    };
+    std::vector<Slot> slots;
+    std::vector<EvalRequest> requests;
+    std::string line;
+    std::size_t line_number = 0;
+    ServiceSummary summary;
+    while (std::getline(in, line)) {
+        ++line_number;
+        bool blank = true;
+        for (char c : line) {
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        }
+        if (blank)
+            continue;
+        ++summary.lines;
+        Slot slot;
+        try {
+            EvalRequest req = parseRequestLine(line, line_number);
+            slot.parsed = true;
+            slot.requestIndex = requests.size();
+            requests.push_back(std::move(req));
+        } catch (const ConfigError &e) {
+            ++summary.parseErrors;
+            MS_METRIC_COUNT("serve.parse_errors");
+            slot.errorLine = parseErrorLine(line_number, e.what());
+        }
+        slots.push_back(std::move(slot));
+    }
+
+    Evaluator evaluator{model::Solver(), opts.eval};
+    std::vector<EvalOutcome> outcomes;
+    for (int pass = 0; pass < opts.repeat; ++pass)
+        outcomes = evaluator.evaluateBatch(requests);
+
+    for (const Slot &slot : slots) {
+        if (!slot.parsed) {
+            out << slot.errorLine << "\n";
+            continue;
+        }
+        const EvalOutcome &o = outcomes[slot.requestIndex];
+        if (o.result.ok())
+            ++summary.solved;
+        else
+            ++summary.failed;
+        if (o.cacheHit)
+            ++summary.cacheHits;
+        out << resultLine(o) << "\n";
+    }
+    summary.cache = evaluator.cacheStats();
+    return summary;
+}
+
+} // namespace memsense::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Stream-level driver of the batch evaluation service.
+ *
+ * Reads JSON-lines requests from an istream, evaluates them through a
+ * memoizing Evaluator, and writes one JSON result line per input line
+ * — in input order, malformed lines included (they become ConfigError
+ * result lines rather than aborting the batch). The memsense_eval tool
+ * is a thin CLI wrapper over runEvalService(); tests drive it directly
+ * over stringstreams.
+ *
+ * `repeat` re-evaluates the same batch N times against the same warm
+ * cache and emits only the final pass, so `--repeat 2` output being
+ * byte-identical to `--repeat 1` output is exactly the warm-cache
+ * determinism guarantee, testable with a diff.
+ */
+
+#ifndef MEMSENSE_SERVE_SERVICE_HH
+#define MEMSENSE_SERVE_SERVICE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "serve/evaluator.hh"
+
+namespace memsense::serve
+{
+
+/** Knobs of one service run. */
+struct ServiceOptions
+{
+    EvaluatorOptions eval;   ///< cache + worker + resilience knobs
+    int repeat = 1;          ///< evaluate the batch this many times
+};
+
+/** What one service run did (for the stderr summary line). */
+struct ServiceSummary
+{
+    std::size_t lines = 0;       ///< non-empty input lines
+    std::size_t parseErrors = 0; ///< lines that never became requests
+    std::size_t solved = 0;      ///< ok results in the emitted pass
+    std::size_t failed = 0;      ///< quarantined results in that pass
+    std::size_t cacheHits = 0;   ///< cache hits in that pass
+    CacheStats cache;            ///< final cache counters
+
+    /** One human-readable summary line. */
+    std::string describe() const;
+};
+
+/**
+ * Run the service: read requests from @p in, write result lines to
+ * @p out. Blank lines are skipped. Throws ConfigError only on nonsense
+ * options; per-line failures are captured in the output stream.
+ */
+ServiceSummary runEvalService(std::istream &in, std::ostream &out,
+                              const ServiceOptions &opts = {});
+
+} // namespace memsense::serve
+
+#endif // MEMSENSE_SERVE_SERVICE_HH

@@ -9,6 +9,7 @@
 
 #include "model/equivalence.hh"
 #include "model/paper_data.hh"
+#include "util/contract.hh"
 
 namespace memsense::model
 {
@@ -143,6 +144,32 @@ TEST(Equivalence, ZeroDeltasGiveZeroGains)
     WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
     EXPECT_DOUBLE_EQ(an.perfGainFromBandwidth(bd, 0.0), 0.0);
     EXPECT_DOUBLE_EQ(an.perfGainFromLatency(bd, 0.0), 0.0);
+}
+
+TEST(Equivalence, NoLatencyHeadroomGivesInfiniteEquivalent)
+{
+    // Regression: with the baseline compulsory latency already at the
+    // 1 ns floor, the old bisection bracket [0, compulsoryNs - 1]
+    // collapsed to a point (or went negative) and converged onto
+    // nonsense negative "equivalent" latency reductions. No reduction
+    // can match the bandwidth gain, so the answer is infinity.
+    Platform floor_plat = Platform::paperBaseline();
+    floor_plat.memory = floor_plat.memory.withCompulsoryNs(1.0);
+    EquivalenceAnalyzer an(Solver(), floor_plat);
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    double equivalent_ns = an.latencyEquivalentOfBandwidth(bd);
+    EXPECT_TRUE(std::isinf(equivalent_ns));
+    EXPECT_GT(equivalent_ns, 0.0) << "must never be negative";
+}
+
+TEST(Equivalence, NegligibleThresholdMustBeNonNegative)
+{
+    EquivalenceAnalyzer an = makeAnalyzer();
+    WorkloadParams bd = paper::classParams(WorkloadClass::BigData);
+    EXPECT_THROW(an.bandwidthEquivalentOfLatency(bd, 10.0, -1e-6),
+                 ContractViolation);
+    EXPECT_THROW(an.latencyEquivalentOfBandwidth(bd, 1.0, -1e-6),
+                 ContractViolation);
 }
 
 } // anonymous namespace

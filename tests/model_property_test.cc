@@ -164,4 +164,31 @@ TEST(ModelProperty, SolverFixedPointStableUnderUlpPerturbation)
     });
 }
 
+/**
+ * The zero-traffic short-circuit: any workload with zero bytes per
+ * instruction solves to exactly CPI_cache on every platform, with the
+ * full operating point pinned (no queuing, no bandwidth, no
+ * iterations) — the limiting case of Eq. 1/Eq. 4 as traffic -> 0.
+ */
+TEST(ModelProperty, ZeroTrafficSolvesToExactCacheCpiEverywhere)
+{
+    forAll(kSeed + 6, 200, [](Rng &rng) {
+        model::WorkloadParams p = genWorkloadParams(rng);
+        p.mpki = 0.0;
+        p.iopi = 0.0;
+        p.ioBytes = 0.0;
+        model::Platform plat = genPlatform(rng);
+        model::Solver solver;
+        model::OperatingPoint op = solver.solve(p, plat);
+        EXPECT_DOUBLE_EQ(op.cpiEff, p.cpiCache);
+        EXPECT_DOUBLE_EQ(op.missPenaltyNs, plat.memory.compulsoryNs);
+        EXPECT_DOUBLE_EQ(op.queuingDelayNs, 0.0);
+        EXPECT_DOUBLE_EQ(op.bandwidthPerCoreBps, 0.0);
+        EXPECT_DOUBLE_EQ(op.bandwidthTotalBps, 0.0);
+        EXPECT_DOUBLE_EQ(op.utilization, 0.0);
+        EXPECT_FALSE(op.bandwidthBound);
+        EXPECT_EQ(op.iterations, 0);
+    });
+}
+
 } // anonymous namespace

@@ -7,6 +7,7 @@
 
 #include "model/paper_data.hh"
 #include "model/sensitivity.hh"
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::model
@@ -155,6 +156,30 @@ TEST(Sensitivity, SweepValidation)
     EXPECT_THROW(an.bandwidthSweep(bd, {}), ConfigError);
     EXPECT_THROW(an.latencySweep(bd, 60.0, 0.0), ConfigError);
     EXPECT_THROW(an.latencySweep(bd, -5.0, 10.0), ConfigError);
+}
+
+TEST(Derivatives, RejectDegenerateSweepPoints)
+{
+    // Regression for the division-guard sweep: a sweep point with a
+    // zero CPI would silently produce inf/nan derivatives; the
+    // contract now rejects it loudly instead.
+    // Sweeps run most-bandwidth-first / lowest-latency-first; the
+    // divisor of each ratio is the earlier point's CPI.
+    std::vector<BandwidthSweepPoint> bw_sweep(2);
+    bw_sweep[0].bwPerCoreGBps = 2.0;
+    bw_sweep[0].op.cpiEff = 0.0; // degenerate divisor
+    bw_sweep[1].bwPerCoreGBps = 1.0;
+    bw_sweep[1].op.cpiEff = 1.0;
+    EXPECT_THROW(SensitivityAnalyzer::bandwidthDerivative(bw_sweep),
+                 ContractViolation);
+
+    std::vector<LatencySweepPoint> lat_sweep(2);
+    lat_sweep[0].compulsoryNs = 60.0;
+    lat_sweep[0].op.cpiEff = 0.0; // degenerate divisor
+    lat_sweep[1].compulsoryNs = 70.0;
+    lat_sweep[1].op.cpiEff = 1.0;
+    EXPECT_THROW(SensitivityAnalyzer::latencyDerivative(lat_sweep),
+                 ContractViolation);
 }
 
 } // anonymous namespace

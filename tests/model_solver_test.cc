@@ -9,6 +9,7 @@
 
 #include <tuple>
 
+#include "model/cpi_model.hh"
 #include "model/paper_data.hh"
 #include "model/solver.hh"
 #include "util/error.hh"
@@ -82,6 +83,69 @@ TEST(Solver, ZeroTrafficWorkloadIsPureCpiCache)
     EXPECT_DOUBLE_EQ(op.cpiEff, 0.8);
     EXPECT_DOUBLE_EQ(op.bandwidthTotalBps, 0.0);
     EXPECT_FALSE(op.bandwidthBound);
+}
+
+TEST(Solver, ZeroTrafficSetsEveryOperatingPointField)
+{
+    // Regression: the zero-traffic short-circuit must define the full
+    // OperatingPoint — it is cached and journaled by the serving
+    // layer, so no field may be left at a struct default by accident.
+    WorkloadParams p;
+    p.name = "pure-compute";
+    p.cpiCache = 1.7;
+    p.bf = 0.5; // irrelevant without misses
+    p.mpki = 0.0;
+    p.wbr = 0.0;
+    Solver solver;
+    Platform base = Platform::paperBaseline();
+    OperatingPoint op = solver.solve(p, base);
+    EXPECT_DOUBLE_EQ(op.cpiEff, 1.7);
+    EXPECT_DOUBLE_EQ(op.missPenaltyNs, base.memory.compulsoryNs);
+    EXPECT_DOUBLE_EQ(op.queuingDelayNs, 0.0);
+    EXPECT_DOUBLE_EQ(op.bandwidthPerCoreBps, 0.0);
+    EXPECT_DOUBLE_EQ(op.bandwidthTotalBps, 0.0);
+    EXPECT_DOUBLE_EQ(op.utilization, 0.0);
+    EXPECT_FALSE(op.bandwidthBound);
+    EXPECT_EQ(op.iterations, 0);
+}
+
+TEST(Solver, BandwidthRegimeReportsSaturatedQueuingState)
+{
+    // Regression: in the bandwidth-limited regime the reported
+    // queuing delay / miss penalty used to be the raw bisection
+    // iterate — off from the saturation point by O(tolerance), and
+    // inconsistent with the Eq. 4 CPI actually reported. They must be
+    // pinned at compulsory + saturated queuing delay exactly.
+    Solver solver;
+    Platform base = Platform::paperBaseline();
+    WorkloadParams hpc = paper::classParams(WorkloadClass::Hpc);
+    OperatingPoint op = solver.solve(hpc, base);
+    ASSERT_TRUE(op.bandwidthBound);
+    double sat_delay_ns = solver.queuing().maxStableDelayNs();
+    EXPECT_DOUBLE_EQ(op.queuingDelayNs, sat_delay_ns);
+    EXPECT_DOUBLE_EQ(op.missPenaltyNs,
+                     base.memory.compulsoryNs + sat_delay_ns);
+}
+
+TEST(Solver, LatencyRegimePenaltyReproducesReportedCpi)
+{
+    // The latency-regime contract: plugging the reported miss penalty
+    // back into Eq. 1 must reproduce the reported CPI (loose
+    // tolerance — pre-fix the two disagreed by the bisection width).
+    Solver solver;
+    Platform base = Platform::paperBaseline();
+    for (WorkloadClass cls :
+         {WorkloadClass::Enterprise, WorkloadClass::BigData}) {
+        WorkloadParams p = paper::classParams(cls);
+        OperatingPoint op = solver.solve(p, base);
+        ASSERT_FALSE(op.bandwidthBound) << p.name;
+        double cpi_from_penalty =
+            effectiveCpi(p, base.nsToCycles(op.missPenaltyNs));
+        EXPECT_NEAR(cpi_from_penalty, op.cpiEff, 1e-3 * op.cpiEff)
+            << p.name;
+        EXPECT_NEAR(cpi_from_penalty, op.cpiEff, 1e-12 * op.cpiEff)
+            << p.name << ": reported penalty must match exactly";
+    }
 }
 
 TEST(Solver, RelativeCpiHelper)

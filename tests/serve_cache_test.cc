@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the serving layer's sharded verifying LRU cache: recency
+ * and eviction order, fingerprint-collision safety, counter
+ * accounting, and a seeded fuzz pass over the request fingerprint
+ * scheme the cache is keyed on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "model/fingerprint.hh"
+#include "model/solver.hh"
+#include "property_test_support.hh"
+#include "serve/cache.hh"
+#include "util/rng.hh"
+
+namespace memsense::serve
+{
+namespace
+{
+
+/** A recognizable operating point (only cpiEff matters here). */
+model::OperatingPoint
+opWithCpi(double cpi)
+{
+    model::OperatingPoint op;
+    op.cpiEff = cpi;
+    return op;
+}
+
+TEST(ServeCache, LruEvictionOrderWithRecencyRefresh)
+{
+    // One shard so the LRU order is global and fully predictable.
+    ShardedLruCache cache({.capacity = 4, .shards = 1});
+    for (std::uint64_t fp = 1; fp <= 4; ++fp)
+        cache.insert(fp, "k" + std::to_string(fp),
+                     opWithCpi(static_cast<double>(fp)));
+
+    // Refresh entry 1: recency order becomes [1, 4, 3, 2].
+    ASSERT_TRUE(cache.lookup(1, "k1").has_value());
+
+    // A fifth insert must evict the least recent entry — 2, not 1.
+    cache.insert(5, "k5", opWithCpi(5.0));
+    EXPECT_FALSE(cache.lookup(2, "k2").has_value());
+    EXPECT_TRUE(cache.lookup(1, "k1").has_value());
+    EXPECT_TRUE(cache.lookup(3, "k3").has_value());
+    EXPECT_TRUE(cache.lookup(4, "k4").has_value());
+    EXPECT_TRUE(cache.lookup(5, "k5").has_value());
+
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.inserts, 5u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.size, 4u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 5u);
+}
+
+TEST(ServeCache, FingerprintCollisionNeverReturnsWrongEntry)
+{
+    ShardedLruCache cache({.capacity = 8, .shards = 1});
+    cache.insert(42, "key-a", opWithCpi(1.0));
+
+    // Same fingerprint, different canonical key: the hit must be
+    // rejected (counted as a collision), never served.
+    EXPECT_FALSE(cache.lookup(42, "key-b").has_value());
+    EXPECT_EQ(cache.stats().collisions, 1u);
+
+    // A colliding insert keeps the incumbent and drops the new entry.
+    cache.insert(42, "key-b", opWithCpi(2.0));
+    auto hit = cache.lookup(42, "key-a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->cpiEff, 1.0);
+    EXPECT_FALSE(cache.lookup(42, "key-b").has_value());
+    EXPECT_EQ(cache.stats().inserts, 1u);
+    EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(ServeCache, CapacityIsEnforcedAcrossShards)
+{
+    // 3 shards rounds up to 4; capacity splits across them.
+    ShardedLruCache cache({.capacity = 8, .shards = 3});
+    EXPECT_EQ(cache.capacity(), 8u);
+    for (std::uint64_t fp = 0; fp < 100; ++fp)
+        cache.insert(fp, "k" + std::to_string(fp), opWithCpi(1.0));
+    CacheStats s = cache.stats();
+    EXPECT_LE(s.size, 8u);
+    EXPECT_EQ(s.inserts, 100u);
+    EXPECT_EQ(s.evictions, 100u - s.size);
+}
+
+TEST(ServeCache, ClearDropsEntriesButKeepsCounters)
+{
+    ShardedLruCache cache({.capacity = 8, .shards = 2});
+    cache.insert(7, "k7", opWithCpi(1.0));
+    ASSERT_TRUE(cache.lookup(7, "k7").has_value());
+    cache.clear();
+    EXPECT_FALSE(cache.lookup(7, "k7").has_value());
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.size, 0u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+/**
+ * Seeded fuzz over the fingerprint scheme: across many random
+ * requests, two requests share a fingerprint iff they share the
+ * canonical key text, and both encodings are recomputation-stable.
+ * (FNV-1a collisions are possible in principle; a sample this size
+ * colliding would indicate a mixing bug, not bad luck.)
+ */
+TEST(ServeCache, FingerprintFuzzMatchesCanonicalKeys)
+{
+    Rng rng(20150614);
+    std::unordered_map<std::uint64_t, std::string> seen;
+    for (int i = 0; i < 500; ++i) {
+        model::WorkloadParams p = proptest::genWorkloadParams(rng);
+        model::Platform plat = proptest::genPlatform(rng);
+        std::string key = model::canonicalRequestKey(p, plat);
+        std::uint64_t fp = model::requestFingerprint(p, plat);
+        EXPECT_EQ(key, model::canonicalRequestKey(p, plat));
+        EXPECT_EQ(fp, model::requestFingerprint(p, plat));
+        auto [it, inserted] = seen.emplace(fp, key);
+        if (!inserted) {
+            EXPECT_EQ(it->second, key)
+                << "fingerprint collision between distinct requests";
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace memsense::serve

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the memoizing batch evaluator and the JSON-lines service:
+ * cached solves must be bit-identical to the analytic solver, batches
+ * must deduplicate and capture per-request failures, and the emitted
+ * result stream must be byte-identical across worker counts and cache
+ * temperature (the serving determinism contract, docs/serving.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_test_support.hh"
+#include "model/equivalence.hh"
+#include "model/paper_data.hh"
+#include "model/sensitivity.hh"
+#include "serve/evaluator.hh"
+#include "serve/service.hh"
+
+namespace memsense::serve
+{
+namespace
+{
+
+using memsense::testjson::parseJson;
+
+/** Split a result stream into its lines (no trailing blank). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(ServeEvaluator, SolveIsBitIdenticalToAnalyticSolver)
+{
+    model::Solver solver;
+    Evaluator eval;
+    model::Platform base = model::Platform::paperBaseline();
+    for (const auto &p : model::paper::classParams()) {
+        model::OperatingPoint direct = solver.solve(p, base);
+        model::OperatingPoint cold = eval.solve(p, base);
+        model::OperatingPoint warm = eval.solve(p, base);
+        for (const auto &op : {cold, warm}) {
+            EXPECT_DOUBLE_EQ(op.cpiEff, direct.cpiEff) << p.name;
+            EXPECT_DOUBLE_EQ(op.missPenaltyNs, direct.missPenaltyNs)
+                << p.name;
+            EXPECT_DOUBLE_EQ(op.queuingDelayNs, direct.queuingDelayNs)
+                << p.name;
+            EXPECT_DOUBLE_EQ(op.bandwidthTotalBps,
+                             direct.bandwidthTotalBps)
+                << p.name;
+            EXPECT_DOUBLE_EQ(op.utilization, direct.utilization)
+                << p.name;
+            EXPECT_EQ(op.bandwidthBound, direct.bandwidthBound)
+                << p.name;
+        }
+    }
+    CacheStats s = eval.cacheStats();
+    EXPECT_EQ(s.inserts, 3u);
+    EXPECT_EQ(s.hits, 3u);
+}
+
+TEST(ServeEvaluator, BatchDeduplicatesIdenticalRequests)
+{
+    Evaluator eval;
+    model::Platform base = model::Platform::paperBaseline();
+    model::WorkloadParams bd =
+        model::paper::classParams(model::WorkloadClass::BigData);
+    model::WorkloadParams hpc =
+        model::paper::classParams(model::WorkloadClass::Hpc);
+
+    std::vector<EvalRequest> batch = {
+        {"first", bd, base},
+        {"dup-of-first", bd, base},
+        {"other", hpc, base},
+    };
+    auto outcomes = eval.evaluateBatch(batch);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].id, "first");
+    EXPECT_EQ(outcomes[1].id, "dup-of-first");
+    for (const auto &o : outcomes)
+        EXPECT_TRUE(o.result.ok()) << o.id;
+    EXPECT_DOUBLE_EQ(outcomes[0].result.value->cpiEff,
+                     outcomes[1].result.value->cpiEff);
+    // Two unique operating points solved; the duplicate solved zero.
+    EXPECT_EQ(eval.cacheStats().inserts, 2u);
+
+    // The same batch again is served entirely from the warm cache.
+    auto warm = eval.evaluateBatch(batch);
+    EXPECT_EQ(eval.cacheStats().inserts, 2u);
+    EXPECT_EQ(eval.cacheStats().hits, 3u);
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_TRUE(warm[i].cacheHit) << warm[i].id;
+        EXPECT_DOUBLE_EQ(warm[i].result.value->cpiEff,
+                         outcomes[i].result.value->cpiEff);
+    }
+}
+
+TEST(ServeEvaluator, AnalyzersProduceIdenticalResultsThroughTheCache)
+{
+    model::Platform base = model::Platform::paperBaseline();
+    model::WorkloadParams bd =
+        model::paper::classParams(model::WorkloadClass::BigData);
+
+    model::EquivalenceAnalyzer direct(model::Solver(), base);
+    Evaluator eval;
+    model::EquivalenceAnalyzer cached(eval, base);
+
+    model::TradeoffSummary a = direct.summarize(bd);
+    model::TradeoffSummary b = cached.summarize(bd);
+    EXPECT_DOUBLE_EQ(a.baselineCpi, b.baselineCpi);
+    EXPECT_DOUBLE_EQ(a.perfGainBandwidthPct, b.perfGainBandwidthPct);
+    EXPECT_DOUBLE_EQ(a.perfGainLatencyPct, b.perfGainLatencyPct);
+    EXPECT_DOUBLE_EQ(a.bandwidthEquivalentGBps,
+                     b.bandwidthEquivalentGBps);
+    EXPECT_DOUBLE_EQ(a.latencyEquivalentNs, b.latencyEquivalentNs);
+    // The bisections revisit baselines and probe points; the cache
+    // must have absorbed some of those repeats.
+    EXPECT_GT(eval.cacheStats().hits, 0u);
+}
+
+/** The JSON-lines stream the service tests drive. Line 4 is
+ *  malformed on purpose; "bad" has an out-of-domain mpki. */
+const char *const kRequestStream =
+    R"({"id": "a", "workload": {"class": "bigdata"}})"
+    "\n"
+    R"({"id": "b", "workload": {"class": "hpc"}})"
+    "\n"
+    R"({"id": "dup-of-a", "workload": {"class": "bigdata"}})"
+    "\n"
+    "this is not json\n"
+    R"({"id": "bad", "workload": {"class": "bigdata", "mpki": -3}})"
+    "\n"
+    R"({"id": "c", "workload": {"class": "enterprise"},)"
+    R"( "platform": {"latency_ns": 95}})"
+    "\n";
+
+std::string
+runService(int jobs, int repeat)
+{
+    std::istringstream in(kRequestStream);
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.eval.jobs = jobs;
+    opts.repeat = repeat;
+    runEvalService(in, out, opts);
+    return out.str();
+}
+
+TEST(ServeService, OutputIsByteIdenticalAcrossJobsAndRepeat)
+{
+    std::string serial = runService(1, 1);
+    EXPECT_EQ(serial, runService(8, 1))
+        << "worker count changed the result stream";
+    EXPECT_EQ(serial, runService(4, 3))
+        << "a warm cache changed the result stream";
+}
+
+TEST(ServeService, ResultLinesPreserveOrderAndCaptureErrors)
+{
+    std::istringstream in(kRequestStream);
+    std::ostringstream out;
+    ServiceSummary summary = runEvalService(in, out, {});
+
+    auto lines = splitLines(out.str());
+    ASSERT_EQ(lines.size(), 6u);
+
+    const char *const ids[] = {"a", "b", "dup-of-a", "line-4", "bad",
+                               "c"};
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        auto v = parseJson(lines[i]);
+        EXPECT_EQ(v.at("id").str, ids[i]) << "line " << i + 1;
+    }
+
+    // The malformed line: a ConfigError result with attempts = 0
+    // (it never became a request, so nothing was ever attempted).
+    auto malformed = parseJson(lines[3]);
+    EXPECT_FALSE(malformed.at("ok").boolean);
+    EXPECT_EQ(malformed.at("error").at("type").str, "ConfigError");
+    EXPECT_EQ(malformed.at("error").at("attempts").number, 0.0);
+
+    // The out-of-domain request: captured, not thrown, batch intact.
+    auto bad = parseJson(lines[4]);
+    EXPECT_FALSE(bad.at("ok").boolean);
+    EXPECT_EQ(bad.at("error").at("type").str, "ConfigError");
+
+    // Healthy lines carry a full operating point.
+    auto ok_line = parseJson(lines[0]);
+    EXPECT_TRUE(ok_line.at("ok").boolean);
+    EXPECT_GT(ok_line.at("op").at("cpi_eff").number, 0.0);
+    EXPECT_GT(ok_line.at("op").at("miss_penalty_ns").number, 0.0);
+
+    // The duplicate of "a" must carry the identical operating point.
+    auto dup = parseJson(lines[2]);
+    EXPECT_EQ(dup.at("op").at("cpi_eff").number,
+              ok_line.at("op").at("cpi_eff").number);
+
+    EXPECT_EQ(summary.lines, 6u);
+    EXPECT_EQ(summary.parseErrors, 1u);
+    EXPECT_EQ(summary.solved, 4u);
+    EXPECT_EQ(summary.failed, 1u);
+}
+
+TEST(ServeService, NoResultFieldLeaksCacheState)
+{
+    // docs/serving.md promises cold and warm result lines are
+    // byte-identical, which requires that no serialized field depend
+    // on cache state. Check the field inventory of one line.
+    std::istringstream in(R"({"id": "x"})" "\n");
+    std::ostringstream out;
+    runEvalService(in, out, {});
+    auto v = parseJson(splitLines(out.str()).at(0));
+    EXPECT_EQ(v.object.size(), 3u) << "id, ok, op — nothing else";
+    EXPECT_TRUE(v.has("id"));
+    EXPECT_TRUE(v.has("ok"));
+    EXPECT_TRUE(v.has("op"));
+    EXPECT_FALSE(v.has("cache_hit"));
+}
+
+} // anonymous namespace
+} // namespace memsense::serve

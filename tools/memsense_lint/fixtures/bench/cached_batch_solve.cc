@@ -1,0 +1,37 @@
+// Fixture (bench/ context): the same grid loop routed through the
+// memoizing serve::Evaluator must stay quiet — mentioning the
+// evaluator anywhere in the file satisfies the rule. NOT part of the
+// build — linted by lint_selftest.
+
+#include <vector>
+
+namespace model
+{
+struct Platform
+{
+    double ghz = 2.0;
+};
+struct Point
+{
+    double cpiEff = 0.0;
+};
+} // namespace model
+
+namespace serve
+{
+struct Evaluator
+{
+    model::Point solve(int params, const model::Platform &plat) const;
+};
+} // namespace serve
+
+double
+cachedGrid()
+{
+    serve::Evaluator eval;
+    std::vector<model::Platform> grid(8);
+    double sum = 0.0;
+    for (const model::Platform &plat : grid)
+        sum += eval.solve(3, plat).cpiEff;
+    return sum;
+}

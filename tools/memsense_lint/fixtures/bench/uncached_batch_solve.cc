@@ -1,0 +1,39 @@
+// Fixture (bench/ context): a driver that calls the analytic solver
+// inside a hand-rolled grid loop, never mentioning the memoizing
+// evaluator, must be flagged — once per file, at the first call. NOT
+// part of the build — linted by lint_selftest.
+
+#include <vector>
+
+namespace model
+{
+struct Platform
+{
+    double ghz = 2.0;
+};
+struct Point
+{
+    double cpiEff = 0.0;
+};
+struct Solver
+{
+    Point solve(int params, const Platform &plat) const;
+};
+} // namespace model
+
+double
+uncachedGrid()
+{
+    model::Solver solver;
+    std::vector<model::Platform> grid(8);
+    double sum = 0.0;
+    for (const model::Platform &plat : grid) {
+        // flagged: every revisited operating point re-runs the fixed
+        // point from scratch
+        sum += solver.solve(3, plat).cpiEff;
+        // NOT flagged again: the rule reports once per file
+        sum += solver.solve(4, plat).cpiEff;
+    }
+    // NOT flagged: straight-line call outside any loop
+    return sum + solver.solve(5, grid.front()).cpiEff;
+}

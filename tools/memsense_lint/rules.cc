@@ -98,6 +98,42 @@ contains(const std::set<std::string> &set, const std::string &s)
     return set.count(s) != 0;
 }
 
+/** Token ranges (begin, end) of every for-loop body in the file. */
+std::vector<std::pair<std::size_t, std::size_t>>
+forLoopBodies(const std::vector<Token> &toks)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks[i], "for") || !isPunct(at(toks, i + 1), "("))
+            continue;
+        std::size_t head_end = matchDelim(toks, i + 1, "(", ")");
+        if (head_end >= toks.size())
+            continue;
+        std::size_t body_begin = head_end + 1;
+        std::size_t body_end;
+        if (isPunct(at(toks, body_begin), "{")) {
+            body_end = matchDelim(toks, body_begin, "{", "}");
+        } else {
+            body_end = body_begin;
+            while (body_end < toks.size() && !isPunct(toks[body_end], ";"))
+                ++body_end;
+        }
+        bodies.emplace_back(body_begin, body_end);
+    }
+    return bodies;
+}
+
+bool
+insideAny(const std::vector<std::pair<std::size_t, std::size_t>> &bodies,
+          std::size_t i)
+{
+    for (const auto &[b, e] : bodies) {
+        if (i > b && i < e)
+            return true;
+    }
+    return false;
+}
+
 // ---------------------------------------------------------------------
 // no-nondeterminism
 // ---------------------------------------------------------------------
@@ -378,40 +414,14 @@ checkSerialGridLoop(const FileContext &ctx, std::vector<Finding> &out)
         "runObservation", "WorkloadRun",
     };
     const auto &toks = ctx.toks;
-
-    // Collect the token ranges of all for-loop bodies.
-    std::vector<std::pair<std::size_t, std::size_t>> bodies;
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (!isIdent(toks[i], "for") || !isPunct(at(toks, i + 1), "("))
-            continue;
-        std::size_t head_end = matchDelim(toks, i + 1, "(", ")");
-        if (head_end >= toks.size())
-            continue;
-        std::size_t body_begin = head_end + 1;
-        std::size_t body_end;
-        if (isPunct(at(toks, body_begin), "{")) {
-            body_end = matchDelim(toks, body_begin, "{", "}");
-        } else {
-            body_end = body_begin;
-            while (body_end < toks.size() && !isPunct(toks[body_end], ";"))
-                ++body_end;
-        }
-        bodies.emplace_back(body_begin, body_end);
-    }
+    auto bodies = forLoopBodies(toks);
 
     std::set<int> flagged_lines;
     for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token &t = toks[i];
         if (t.kind != TokKind::Ident || !contains(runner_calls, t.text))
             continue;
-        bool in_loop = false;
-        for (const auto &[b, e] : bodies) {
-            if (i > b && i < e) {
-                in_loop = true;
-                break;
-            }
-        }
-        if (!in_loop || !flagged_lines.insert(t.line).second)
+        if (!insideAny(bodies, i) || !flagged_lines.insert(t.line).second)
             continue;
         out.push_back(
             {ctx.path, t.line, "serial-grid-loop",
@@ -472,6 +482,47 @@ checkUntracedSweepLoop(const FileContext &ctx, std::vector<Finding> &out)
                  "observability scope; wrap the sweep in a "
                  "measure::PhaseTimer (or MS_TRACE_SPAN) so --metrics "
                  "runs report where the wall-clock went"});
+        return; // advisory: once per file is enough
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-uncached-batch-solve
+// ---------------------------------------------------------------------
+
+void
+checkUncachedBatchSolve(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (!ctx.inBench)
+        return;
+    const auto &toks = ctx.toks;
+    // A file that mentions the memoizing evaluator has already routed
+    // (some of) its solves through the cache; stay quiet rather than
+    // guess which call sites remain cold.
+    for (const Token &t : toks) {
+        if (isIdent(t, "Evaluator"))
+            return;
+    }
+    auto bodies = forLoopBodies(toks);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!isIdent(t, "solve") || !isPunct(at(toks, i + 1), "("))
+            continue;
+        const Token &prev = at(toks, i - 1);
+        // Only member calls (solver.solve / engine->solve): a local
+        // helper named solve() is not the analytic fixed point.
+        if (!isPunct(prev, ".") && !isPunct(prev, "->"))
+            continue;
+        if (!insideAny(bodies, i))
+            continue;
+        out.push_back(
+            {ctx.path, t.line, "no-uncached-batch-solve",
+             "'.solve()' inside a hand-rolled grid loop re-derives "
+             "every operating point from scratch; route the batch "
+             "through serve::Evaluator so revisited points are served "
+             "from the memoizing cache, or annotate with "
+             "allow(no-uncached-batch-solve) and the reason the grid "
+             "never repeats a point"});
         return; // advisory: once per file is enough
     }
 }
@@ -647,6 +698,10 @@ allRules()
         {"no-untraced-sweep-loop",
          "bench/ sweeps with no PhaseTimer/MS_TRACE_SPAN scope",
          checkUntracedSweepLoop},
+        {"no-uncached-batch-solve",
+         "bench/ solve() grid loops that bypass the serve::Evaluator "
+         "cache",
+         checkUncachedBatchSolve},
         {"unit-suffix",
          "latency/bandwidth identifiers without a unit suffix",
          checkUnitSuffix},

@@ -107,6 +107,24 @@ TEST(LintSelftest, TracedSweepLoopStaysQuiet)
         << "a PhaseTimer scope anywhere in the file satisfies the rule";
 }
 
+TEST(LintSelftest, UncachedBatchSolveFiresOncePerFile)
+{
+    auto fs = runRule("bench/uncached_batch_solve.cc",
+                      "no-uncached-batch-solve");
+    EXPECT_EQ(countRule(fs, "no-uncached-batch-solve"), 1)
+        << "advisory: one finding per file, at the first in-loop "
+           "solve(); the straight-line call must not fire";
+}
+
+TEST(LintSelftest, CachedBatchSolveStaysQuiet)
+{
+    auto fs = runRule("bench/cached_batch_solve.cc",
+                      "no-uncached-batch-solve");
+    EXPECT_EQ(countRule(fs, "no-uncached-batch-solve"), 0)
+        << "mentioning the memoizing Evaluator anywhere in the file "
+           "satisfies the rule";
+}
+
 TEST(LintSelftest, UnitSuffixFires)
 {
     auto fs = runRule("src/unit_suffix.cc", "unit-suffix");
@@ -174,8 +192,8 @@ TEST(LintSelftest, RuleCatalogIsStable)
         "no-nondeterminism",    "float-equal",
         "c-style-cast",         "unclamped-double-to-int",
         "mutable-global-state", "serial-grid-loop",
-        "no-untraced-sweep-loop", "unit-suffix",
-        "no-bare-catch",
+        "no-untraced-sweep-loop", "no-uncached-batch-solve",
+        "unit-suffix",          "no-bare-catch",
     };
     EXPECT_EQ(ids, expected);
 }
