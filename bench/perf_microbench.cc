@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <future>
 #include <memory>
 #include <vector>
@@ -26,6 +29,63 @@ using namespace memsense;
 namespace
 {
 
+/**
+ * Median absolute deviation: the robust spread statistic reported next
+ * to the median for every benchmark. A single preempted repetition
+ * inflates stddev arbitrarily but moves MAD barely at all, so the
+ * perf-suite artifact stays comparable run to run.
+ */
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n == 0)
+        return 0.0;
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double
+madOf(const std::vector<double> &v)
+{
+    const double med = medianOf(v);
+    std::vector<double> dev;
+    dev.reserve(v.size());
+    for (double x : v)
+        dev.push_back(std::abs(x - med));
+    return medianOf(dev);
+}
+
+/**
+ * Register the standard repetition policy: every benchmark runs
+ * kRepetitions times and reports median + MAD aggregates only (the
+ * per-repetition rows are noise in the committed artifact).
+ */
+constexpr int kRepetitions = 5;
+
+void
+applyRepetitions(benchmark::internal::Benchmark *b)
+{
+    b->Repetitions(kRepetitions)
+        ->ReportAggregatesOnly(true)
+        ->ComputeStatistics("mad", madOf);
+}
+
+/**
+ * One process-wide evaluator, warmed on first use and reused across
+ * repetitions: re-constructing it per repetition re-measured cold
+ * cache construction instead of the steady-state hit path.
+ */
+serve::Evaluator &
+sharedEvaluator()
+{
+    // memsense-lint: allow(mutable-global-state): warmed once and
+    // reused across iterations by design (the cache-hit benchmark);
+    // google-benchmark runs registrations serially
+    static serve::Evaluator eval;
+    return eval;
+}
+
 void
 BM_SolverSolve(benchmark::State &state)
 {
@@ -38,7 +98,7 @@ BM_SolverSolve(benchmark::State &state)
             solver.solve(params[i++ % params.size()], base));
     }
 }
-BENCHMARK(BM_SolverSolve);
+BENCHMARK(BM_SolverSolve)->Apply(applyRepetitions);
 
 /** Cold path through the memoizing evaluator: every solve misses. */
 void
@@ -58,20 +118,20 @@ BM_EvaluatorColdSolve(benchmark::State &state)
         benchmark::DoNotOptimize(eval.solve(bd, plat));
     }
 }
-BENCHMARK(BM_EvaluatorColdSolve);
+BENCHMARK(BM_EvaluatorColdSolve)->Apply(applyRepetitions);
 
 /** Warm path: the same request every iteration, served from cache. */
 void
 BM_EvaluatorCacheHit(benchmark::State &state)
 {
-    serve::Evaluator eval;
+    serve::Evaluator &eval = sharedEvaluator();
     model::Platform base = model::Platform::paperBaseline();
     auto bd = model::paper::classParams(model::WorkloadClass::BigData);
     benchmark::DoNotOptimize(eval.solve(bd, base)); // prime
     for (auto _ : state)
         benchmark::DoNotOptimize(eval.solve(bd, base));
 }
-BENCHMARK(BM_EvaluatorCacheHit);
+BENCHMARK(BM_EvaluatorCacheHit)->Apply(applyRepetitions);
 
 void
 BM_EquivalenceSummary(benchmark::State &state)
@@ -82,7 +142,7 @@ BM_EquivalenceSummary(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(an.summarize(bd));
 }
-BENCHMARK(BM_EquivalenceSummary);
+BENCHMARK(BM_EquivalenceSummary)->Apply(applyRepetitions);
 
 void
 BM_LinearFit(benchmark::State &state)
@@ -96,7 +156,7 @@ BM_LinearFit(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(stats::linearFit(xs, ys));
 }
-BENCHMARK(BM_LinearFit);
+BENCHMARK(BM_LinearFit)->Apply(applyRepetitions);
 
 void
 BM_CacheLookup(benchmark::State &state)
@@ -118,7 +178,7 @@ BM_CacheLookup(benchmark::State &state)
             cache.lookup(rng.nextBounded(80'000), false, 0));
     }
 }
-BENCHMARK(BM_CacheLookup)->Arg(2)->Arg(3);
+BENCHMARK(BM_CacheLookup)->Arg(2)->Arg(3)->Apply(applyRepetitions);
 
 /** Dispatch overhead of the experiment engine's worker pool. */
 void
@@ -139,7 +199,11 @@ BM_ThreadPoolDispatch(benchmark::State &state)
         static_cast<double>(state.iterations()) * 64.0,
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_ThreadPoolDispatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Apply(applyRepetitions);
 
 void
 BM_DramChannelRead(benchmark::State &state)
@@ -155,7 +219,7 @@ BM_DramChannelRead(benchmark::State &state)
             rng.nextBounded(1024), t));
     }
 }
-BENCHMARK(BM_DramChannelRead);
+BENCHMARK(BM_DramChannelRead)->Apply(applyRepetitions);
 
 /** End-to-end: simulated instructions per host second. */
 void
@@ -183,8 +247,16 @@ BM_SimulationThroughput(benchmark::State &state)
     state.counters["sim_instr_per_s"] = benchmark::Counter(
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulationThroughput)->Arg(0)->Arg(1)->Arg(2)
-    ->Unit(benchmark::kMillisecond);
+// Simulation throughput keeps 3 repetitions: each repetition re-warms
+// a Machine, so the full 5 would dominate perf-suite wall time.
+BENCHMARK(BM_SimulationThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true)
+    ->ComputeStatistics("mad", madOf);
 
 } // anonymous namespace
 

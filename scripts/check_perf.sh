@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Performance gate: build Release, run the perf suite (bench/perf_suite),
+# write a fresh BENCH_memsense.json, and diff it against the committed
+# copy at the repo root. A config whose warm-median wall time regressed
+# by more than the threshold (default 25%) is flagged.
+#
+# Wall-clock measurements on a shared/loaded machine are noisy, so the
+# check is ADVISORY by default: regressions are printed but the script
+# exits 0. Set CHECK_PERF_STRICT=1 (CI on a quiet runner) to make a
+# flagged regression fail the build. To refresh the committed trajectory
+# after intentional perf work, copy the fresh file over the committed
+# one — the pre-campaign "baseline_pre_pr" section is carried forward
+# automatically.
+#
+# Usage: scripts/check_perf.sh [build_dir]
+#   CHECK_PERF_STRICT=1     exit non-zero on a flagged regression
+#   CHECK_PERF_THRESHOLD=25 regression threshold, percent
+#   CHECK_PERF_ARGS="..."   extra perf_suite arguments (e.g.
+#                           --skip-microbench for a quick pass)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+committed="${repo_root}/BENCH_memsense.json"
+threshold="${CHECK_PERF_THRESHOLD:-25}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target \
+    perf_suite perf_microbench fig03_cpi_fits fig07_queuing_delay
+
+fresh="$(mktemp -d)/BENCH_memsense.json"
+"${build_dir}/bench/perf_suite" \
+    --out "${fresh}" \
+    --carry-baseline "${committed}" \
+    ${CHECK_PERF_ARGS:-}
+
+if [[ ! -f "${committed}" ]]; then
+    echo "No committed BENCH_memsense.json; bootstrapping from this run."
+    cp "${fresh}" "${committed}"
+    exit 0
+fi
+
+# The comparison's exit status is inspected below; suspend -e so a
+# flagged regression reaches the advisory/strict branch.
+set +e
+python3 - "${committed}" "${fresh}" "${threshold}" <<'EOF'
+import json, sys
+
+committed = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+threshold = float(sys.argv[3])
+
+regressions = []
+for key, old in committed.get("end_to_end", {}).items():
+    new = fresh.get("end_to_end", {}).get(key)
+    if new is None:
+        print(f"note: {key} missing from the fresh run")
+        continue
+    o, n = old["warm_median_s"], new["warm_median_s"]
+    delta = 100.0 * (n - o) / o if o else 0.0
+    flag = " <-- REGRESSION" if delta > threshold else ""
+    print(f"{key}: committed {o:.3f}s, fresh {n:.3f}s ({delta:+.1f}%){flag}")
+    if delta > threshold:
+        regressions.append(key)
+
+base = committed.get("baseline_pre_pr", {}).get("end_to_end", {})
+for key, old in base.items():
+    new = fresh.get("end_to_end", {}).get(key)
+    if new is None or not old.get("warm_median_s"):
+        continue
+    speedup = old["warm_median_s"] / new["warm_median_s"]
+    print(f"{key}: {speedup:.2f}x vs pre-campaign baseline")
+
+sys.exit(1 if regressions else 0)
+EOF
+rc=$?
+set -e
+
+if [[ ${rc} -ne 0 ]]; then
+    if [[ "${CHECK_PERF_STRICT:-0}" == "1" ]]; then
+        echo "FAIL: performance regression beyond ${threshold}%" >&2
+        exit 1
+    fi
+    echo "WARNING: regression flagged (advisory; CHECK_PERF_STRICT=1 to enforce)"
+fi
+echo "Fresh results left at ${fresh}; copy over ${committed} to refresh."

@@ -34,6 +34,8 @@ ShardedLruCache::ShardedLruCache(CacheOptions opts)
         count >>= 1;
     shardsVec.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
+        // memsense-lint: allow(no-hot-loop-alloc): construction-time
+        // loop, reserved to count two lines above
         shardsVec.push_back(std::make_unique<Shard>());
     shardMask = count - 1;
     shardCapacity = opts.capacity / count;

@@ -99,8 +99,14 @@ class ShardedLruCache
         model::OperatingPoint op;
     };
 
-    /** One shard: LRU list (front = most recent) plus its index. */
-    struct Shard
+    /** One shard: LRU list (front = most recent) plus its index.
+     *
+     * Cache-line aligned so adjacent heap-allocated shards never share
+     * a line: each shard's mutex and hit/miss tallies are written by
+     * whichever worker lands on it, and a shared line would turn
+     * independent shards into one contended line (false sharing).
+     */
+    struct alignas(64) Shard
     {
         mutable std::mutex mu;
         std::list<Entry> lru;

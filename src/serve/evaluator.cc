@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/arena.hh"
 #include "util/contract.hh"
 #include "util/trace.hh"
 
@@ -47,16 +48,36 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
     // deduplicate the misses. Serial probing keeps the hit/miss/evict
     // counter sequence — and therefore the metrics artifact — identical
     // for every worker count.
+    // Batch-local bump arena backs the index/fingerprint scratch: one
+    // block allocation serves the whole pass, and everything is freed
+    // wholesale when the batch returns. The outcomes vector stays on
+    // the heap because it is handed to the caller.
+    util::Arena arena;
+    util::ArenaAllocator<std::size_t> idxAlloc(&arena);
+    util::ArenaAllocator<std::uint64_t> fpAlloc(&arena);
     std::vector<EvalOutcome> outcomes(requests.size());
-    std::vector<std::size_t> uniqueOf(requests.size(), kNotUnique);
+    util::ArenaVector<std::size_t> uniqueOf(requests.size(), kNotUnique,
+                                            idxAlloc);
+    // Plain vector: handed to ParallelExecutor::mapOrderedResilient,
+    // whose signature takes std::vector<Job>.
     std::vector<std::size_t> uniqueRequestIndex;
-    std::vector<std::uint64_t> uniqueFp;
+    util::ArenaVector<std::uint64_t> uniqueFp(fpAlloc);
     std::vector<std::string> uniqueKey;
     std::unordered_map<std::string, std::size_t> uniqueByKey;
+    // Reused key buffer: on a warm batch every request is a cache hit,
+    // and rebuilding the key in place means zero allocations per hit
+    // (the map copies the key only for unique misses).
+    std::string key;
+    // Worst case every request is a unique miss, so reserving the
+    // batch size up front makes the pushes below growth-free.
+    uniqueRequestIndex.reserve(requests.size());
+    uniqueFp.reserve(requests.size());
+    uniqueKey.reserve(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
         outcomes[i].id = requests[i].id;
-        std::string key = model::canonicalRequestKey(
-            requests[i].workload, requests[i].platform);
+        key.clear();
+        model::appendCanonicalRequestKey(key, requests[i].workload,
+                                         requests[i].platform);
         std::uint64_t fp = model::requestFingerprint(
             requests[i].workload, requests[i].platform, solverFp);
         if (auto hit = cache.lookup(fp, key)) {
@@ -64,11 +85,17 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
             outcomes[i].cacheHit = true;
             continue;
         }
+        // Copy (not move) into the map: the copy is paid only for
+        // unique misses, and keeps the reused buffer's capacity warm.
         auto [it, inserted] =
-            uniqueByKey.emplace(std::move(key), uniqueRequestIndex.size());
+            uniqueByKey.emplace(key, uniqueRequestIndex.size());
         if (inserted) {
+            // memsense-lint: allow(no-hot-loop-alloc): reserved to
+            // requests.size() above the loop
             uniqueRequestIndex.push_back(i);
+            // memsense-lint: allow(no-hot-loop-alloc): reserved above
             uniqueFp.push_back(fp);
+            // memsense-lint: allow(no-hot-loop-alloc): reserved above
             uniqueKey.push_back(it->first);
         }
         uniqueOf[i] = it->second;

@@ -61,12 +61,16 @@ runEvalService(std::istream &in, std::ostream &out,
             EvalRequest req = parseRequestLine(line, line_number);
             slot.parsed = true;
             slot.requestIndex = requests.size();
+            // memsense-lint: allow(no-hot-loop-alloc): once-per-batch
+            // input parse (line count unknown until EOF), not the
+            // per-request evaluation loop
             requests.push_back(std::move(req));
         } catch (const ConfigError &e) {
             ++summary.parseErrors;
             MS_METRIC_COUNT("serve.parse_errors");
             slot.errorLine = parseErrorLine(line_number, e.what());
         }
+        // memsense-lint: allow(no-hot-loop-alloc): same input parse
         slots.push_back(std::move(slot));
     }
 

@@ -7,7 +7,7 @@ namespace memsense::sim
 {
 
 SetAssocCache::SetAssocCache(std::string name_in, const CacheConfig &config,
-                             std::uint64_t seed)
+                             std::uint64_t seed, util::Arena *arena)
     : _name(std::move(name_in)), cfg(config), rng(seed)
 {
     // Validate before deriving the geometry: sets() divides by the
@@ -16,31 +16,71 @@ SetAssocCache::SetAssocCache(std::string name_in, const CacheConfig &config,
     numSets = cfg.sets();
     if (numSets > 0 && (numSets & (numSets - 1)) == 0)
         setMask = numSets - 1;
-    ways.resize(static_cast<std::size_t>(numSets) * cfg.ways);
     MS_ENSURE(numSets >= 1, _name, ": derived geometry has no sets");
-    MS_INVARIANT(ways.size() ==
-                     static_cast<std::size_t>(numSets) * cfg.ways,
-                 _name, ": way array does not match sets x ways");
+
+    // Per-set block layout: tags, lastUse, fillTimes (8 bytes per
+    // way each), then the meta and rrpv bytes; the stride rounds up
+    // to a cache line so sets never share a line.
+    const std::size_t w = cfg.ways;
+    lastUseOff = 8 * w;
+    fillOff = 16 * w;
+    metaOff = 24 * w;
+    rrpvOff = 25 * w;
+    setStride = (26 * w + (util::AlignedSlab::kAlign - 1)) &
+                ~(util::AlignedSlab::kAlign - 1);
+    // No pre-zeroing: tags and rrpvs are the only fields read before
+    // an install, and the loop below writes them. Every other field
+    // (lastUse, fillTimes, meta) is written by insert()/prefill()
+    // before any path reads it — pickVictim and the hit path only
+    // touch ways whose tag is valid, i.e. ways that were installed.
+    slab.init(static_cast<std::size_t>(numSets) * setStride, arena,
+              /*zero=*/false);
+    for (std::uint64_t s = 0; s < numSets; ++s) {
+        unsigned char *blk = setBlock(s);
+        Addr *tags = tagsOf(blk);
+        std::uint8_t *rrpvs = rrpvsOf(blk);
+        for (std::uint32_t i = 0; i < cfg.ways; ++i) {
+            tags[i] = kInvalidTag;
+            rrpvs[i] = 3;
+        }
+    }
 }
 
 LookupResult
 SetAssocCache::lookup(Addr line_addr, bool is_write, Picos now)
 {
     (void)now;
-    const std::size_t base = setBase(setIndex(line_addr));
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        Way &w = ways[i];
-        if (w.valid && w.tag == line_addr) {
-            w.lastUse = ++useCounter;
-            w.rrpv = 0;
+    unsigned char *blk = setBlock(setIndex(line_addr));
+    const Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr) {
+            lastUseOf(blk)[i] = ++useCounter;
+            rrpvsOf(blk)[i] = 0;
+            std::uint8_t *meta = metaOf(blk);
+            std::uint8_t m = meta[i];
+            const bool first_touch = (m & kPrefetched) != 0;
             if (is_write)
-                w.dirty = true;
+                m |= kDirty;
+            meta[i] = m & static_cast<std::uint8_t>(~kPrefetched);
             ++_stats.hits;
-            bool first_touch = w.prefetched;
-            w.prefetched = false;
-            return {true, w.fillTime, first_touch};
+            return {true, fillTimesOf(blk)[i], first_touch};
         }
     }
+    // Miss: remember this scan for fillAfterMiss(). The tag array is
+    // host-cache hot after the scan above, so finding the first
+    // invalid way here is nearly free — unlike the cold re-scan a
+    // plain insert() would do at fill time.
+    std::uint32_t invalid = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == kInvalidTag) {
+            invalid = i;
+            break;
+        }
+    }
+    fillHintBlk = blk;
+    fillHintLine = line_addr;
+    fillHintSlot = invalid;
     ++_stats.misses;
     return {false, 0, false};
 }
@@ -48,40 +88,44 @@ SetAssocCache::lookup(Addr line_addr, bool is_write, Picos now)
 bool
 SetAssocCache::contains(Addr line_addr) const
 {
-    const std::size_t base = setBase(setIndex(line_addr));
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        if (ways[i].valid && ways[i].tag == line_addr)
+    const Addr *tags = tagsOf(setBlock(setIndex(line_addr)));
+    const std::uint32_t n = cfg.ways;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr)
             return true;
     }
     return false;
 }
 
-std::size_t
-SetAssocCache::pickVictim(std::size_t base)
+std::uint32_t
+SetAssocCache::pickVictim(unsigned char *blk)
 {
+    const std::uint32_t n = cfg.ways;
     switch (cfg.replacement) {
       case ReplacementKind::Lru: {
-        std::size_t victim = base;
-        std::uint64_t oldest = ways[base].lastUse;
-        for (std::size_t i = base + 1; i < base + cfg.ways; ++i) {
-            if (ways[i].lastUse < oldest) {
-                oldest = ways[i].lastUse;
+        const std::uint64_t *lastUse = lastUseOf(blk);
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = lastUse[0];
+        for (std::uint32_t i = 1; i < n; ++i) {
+            if (lastUse[i] < oldest) {
+                oldest = lastUse[i];
                 victim = i;
             }
         }
         return victim;
       }
       case ReplacementKind::Random:
-        return base + static_cast<std::size_t>(rng.nextBounded(cfg.ways));
+        return static_cast<std::uint32_t>(rng.nextBounded(n));
       case ReplacementKind::Srrip: {
         // Find an RRPV-3 line, aging the set until one appears.
+        std::uint8_t *rrpvs = rrpvsOf(blk);
         for (;;) {
-            for (std::size_t i = base; i < base + cfg.ways; ++i) {
-                if (ways[i].rrpv >= 3)
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (rrpvs[i] >= 3)
                     return i;
             }
-            for (std::size_t i = base; i < base + cfg.ways; ++i)
-                ++ways[i].rrpv;
+            for (std::uint32_t i = 0; i < n; ++i)
+                ++rrpvs[i];
         }
       }
     }
@@ -92,49 +136,45 @@ Victim
 SetAssocCache::insert(Addr line_addr, bool dirty, Picos fill_time,
                       bool prefetched)
 {
-    const std::size_t base = setBase(setIndex(line_addr));
+    MS_INVARIANT(line_addr != kInvalidTag,
+                 _name, ": line address collides with the empty-way tag");
+    unsigned char *blk = setBlock(setIndex(line_addr));
+    Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
 
-    // Already present (racing fill): refresh state, no eviction.
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        Way &w = ways[i];
-        if (w.valid && w.tag == line_addr) {
-            w.dirty = w.dirty || dirty;
-            w.lastUse = ++useCounter;
+    // One scan finds both a racing fill (already present: refresh, no
+    // eviction) and the first invalid way (preferred install slot).
+    std::uint32_t slot = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr) {
+            if (dirty)
+                metaOf(blk)[i] |= kDirty;
+            lastUseOf(blk)[i] = ++useCounter;
             return {};
         }
-    }
-
-    // Prefer an invalid way.
-    std::size_t slot = base + cfg.ways;
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        if (!ways[i].valid) {
+        if (tags[i] == kInvalidTag && slot == n)
             slot = i;
-            break;
-        }
     }
 
     Victim victim;
-    if (slot == base + cfg.ways) {
-        slot = pickVictim(base);
-        MS_INVARIANT(slot < ways.size(),
+    if (slot == n) {
+        slot = pickVictim(blk);
+        MS_INVARIANT(slot < n,
                      _name, ": victim slot ", slot, " out of range");
-        Way &w = ways[slot];
         victim.valid = true;
-        victim.dirty = w.dirty;
-        victim.lineAddr = w.tag;
+        victim.dirty = (metaOf(blk)[slot] & kDirty) != 0;
+        victim.lineAddr = tags[slot];
         ++_stats.evictions;
-        if (w.dirty)
+        if (victim.dirty)
             ++_stats.dirtyEvictions;
     }
 
-    Way &w = ways[slot];
-    w.tag = line_addr;
-    w.valid = true;
-    w.dirty = dirty;
-    w.lastUse = ++useCounter;
-    w.rrpv = 2; // SRRIP long re-reference insertion
-    w.prefetched = prefetched;
-    w.fillTime = fill_time;
+    tags[slot] = line_addr;
+    lastUseOf(blk)[slot] = ++useCounter;
+    rrpvsOf(blk)[slot] = 2; // SRRIP long re-reference insertion
+    metaOf(blk)[slot] = static_cast<std::uint8_t>(
+        (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0));
+    fillTimesOf(blk)[slot] = fill_time;
     ++_stats.fills;
     return victim;
 }
@@ -142,27 +182,115 @@ SetAssocCache::insert(Addr line_addr, bool dirty, Picos fill_time,
 bool
 SetAssocCache::invalidate(Addr line_addr)
 {
-    const std::size_t base = setBase(setIndex(line_addr));
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        Way &w = ways[i];
-        if (w.valid && w.tag == line_addr) {
-            w.valid = false;
-            bool was_dirty = w.dirty;
-            w.dirty = false;
+    unsigned char *blk = setBlock(setIndex(line_addr));
+    Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr) {
+            tags[i] = kInvalidTag;
+            std::uint8_t *meta = metaOf(blk);
+            const bool was_dirty = (meta[i] & kDirty) != 0;
+            meta[i] = static_cast<std::uint8_t>(meta[i] & ~kDirty);
             return was_dirty;
         }
     }
     return false;
 }
 
+Victim
+SetAssocCache::fillAfterMiss(Addr line_addr, bool dirty, Picos fill_time,
+                             bool prefetched)
+{
+    MS_INVARIANT(fillHintBlk != nullptr && fillHintLine == line_addr,
+                 _name, ": fillAfterMiss without a matching miss");
+    unsigned char *blk = fillHintBlk;
+    fillHintBlk = nullptr;
+    Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
+
+    // Install exactly as insert() would: the hinted slot replaces the
+    // scan (the line cannot be present — nothing touched this cache
+    // since its miss), and a full set falls through to the victim
+    // policy with an unchanged decision sequence.
+    std::uint32_t slot = fillHintSlot;
+    Victim victim;
+    if (slot == n) {
+        slot = pickVictim(blk);
+        MS_INVARIANT(slot < n,
+                     _name, ": victim slot ", slot, " out of range");
+        victim.valid = true;
+        victim.dirty = (metaOf(blk)[slot] & kDirty) != 0;
+        victim.lineAddr = tags[slot];
+        ++_stats.evictions;
+        if (victim.dirty)
+            ++_stats.dirtyEvictions;
+    }
+
+    tags[slot] = line_addr;
+    lastUseOf(blk)[slot] = ++useCounter;
+    rrpvsOf(blk)[slot] = 2; // SRRIP long re-reference insertion
+    metaOf(blk)[slot] = static_cast<std::uint8_t>(
+        (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0));
+    fillTimesOf(blk)[slot] = fill_time;
+    ++_stats.fills;
+    return victim;
+}
+
+Victim
+SetAssocCache::writebackInsert(Addr line_addr, Picos now)
+{
+    MS_INVARIANT(line_addr != kInvalidTag,
+                 _name, ": line address collides with the empty-way tag");
+    unsigned char *blk = setBlock(setIndex(line_addr));
+    Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
+
+    // One scan: a present line takes the markDirtyIfPresent() path
+    // (dirty bit only — a writeback is not a reuse, so recency and
+    // statistics stay untouched); the scan also remembers the first
+    // invalid way in case the line is absent.
+    std::uint32_t slot = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr) {
+            metaOf(blk)[i] |= kDirty;
+            return {};
+        }
+        if (tags[i] == kInvalidTag && slot == n)
+            slot = i;
+    }
+
+    // Absent: install dirty, exactly as insert(line, true, now) would.
+    Victim victim;
+    if (slot == n) {
+        slot = pickVictim(blk);
+        MS_INVARIANT(slot < n,
+                     _name, ": victim slot ", slot, " out of range");
+        victim.valid = true;
+        victim.dirty = (metaOf(blk)[slot] & kDirty) != 0;
+        victim.lineAddr = tags[slot];
+        ++_stats.evictions;
+        if (victim.dirty)
+            ++_stats.dirtyEvictions;
+    }
+
+    tags[slot] = line_addr;
+    lastUseOf(blk)[slot] = ++useCounter;
+    rrpvsOf(blk)[slot] = 2; // SRRIP long re-reference insertion
+    metaOf(blk)[slot] = kDirty;
+    fillTimesOf(blk)[slot] = now;
+    ++_stats.fills;
+    return victim;
+}
+
 bool
 SetAssocCache::markDirtyIfPresent(Addr line_addr)
 {
-    const std::size_t base = setBase(setIndex(line_addr));
-    for (std::size_t i = base; i < base + cfg.ways; ++i) {
-        Way &w = ways[i];
-        if (w.valid && w.tag == line_addr) {
-            w.dirty = true;
+    unsigned char *blk = setBlock(setIndex(line_addr));
+    const Addr *tags = tagsOf(blk);
+    const std::uint32_t n = cfg.ways;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (tags[i] == line_addr) {
+            metaOf(blk)[i] |= kDirty;
             return true;
         }
     }
@@ -177,17 +305,16 @@ SetAssocCache::prefill()
     // maps to set s under the modulo indexing.
     constexpr Addr kDummyBase = Addr{1} << 56;
     for (std::uint64_t s = 0; s < numSets; ++s) {
-        const std::size_t base = setBase(s);
+        unsigned char *blk = setBlock(s);
+        Addr *tags = tagsOf(blk);
         for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-            Way &way = ways[base + w];
-            if (way.valid)
+            if (tags[w] != kInvalidTag)
                 continue;
-            way.tag = kDummyBase + w * numSets + s;
-            way.valid = true;
-            way.dirty = false;
-            way.lastUse = 0; // evict dummies before any real line
-            way.rrpv = 3;
-            way.fillTime = 0;
+            tags[w] = kDummyBase + w * numSets + s;
+            lastUseOf(blk)[w] = 0; // evict dummies before any real line
+            rrpvsOf(blk)[w] = 3;
+            metaOf(blk)[w] = 0;
+            fillTimesOf(blk)[w] = 0;
         }
     }
 }
@@ -196,9 +323,12 @@ std::uint64_t
 SetAssocCache::validLineCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &w : ways)
-        if (w.valid)
-            ++n;
+    for (std::uint64_t s = 0; s < numSets; ++s) {
+        const Addr *tags = tagsOf(setBlock(s));
+        for (std::uint32_t w = 0; w < cfg.ways; ++w)
+            if (tags[w] != kInvalidTag)
+                ++n;
+    }
     return n;
 }
 

@@ -1,19 +1,24 @@
 #include "sim/core.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::sim
 {
 
 SimCore::SimCore(int id_in, const MachineConfig &machine_cfg,
-                 SetAssocCache &shared_llc, MemoryController &memctrl)
+                 SetAssocCache &shared_llc, MemoryController &memctrl,
+                 util::Arena *arena)
     : id(id_in), mc(machine_cfg), clk(machine_cfg.core.ghz),
       l1d("core" + std::to_string(id_in) + ".l1d", machine_cfg.l1d,
-          machine_cfg.seed * 7919 + static_cast<std::uint64_t>(id_in)),
+          machine_cfg.seed * 7919 + static_cast<std::uint64_t>(id_in),
+          arena),
       l2c("core" + std::to_string(id_in) + ".l2", machine_cfg.l2,
-          machine_cfg.seed * 104729 + static_cast<std::uint64_t>(id_in)),
+          machine_cfg.seed * 104729 + static_cast<std::uint64_t>(id_in),
+          arena),
       llc(shared_llc), mem(memctrl), pf(machine_cfg.core.prefetcher)
 {
     issueCostPs = static_cast<double>(clk.periodPs()) /
@@ -23,6 +28,12 @@ SimCore::SimCore(int id_in, const MachineConfig &machine_cfg,
     // divide on every memory access of every sweep worker. Cached as
     // the identical expression so timing is bit-for-bit unchanged.
     issueCyclesPerOp = 1.0 / mc.core.issueWidth;
+    {
+        int exp = 0;
+        // memsense-lint: allow(float-equal): frexp of a power of two
+        // returns exactly 0.5 — an exact-sentinel check by design
+        issueDivExact = std::frexp(mc.core.issueWidth, &exp) == 0.5;
+    }
     robWindowPs = clk.toPicos(mc.core.robWindowCycles);
     mshrBusy.reserve(mc.core.mshrs);
     pfBusy.reserve(mc.core.prefetcher.maxOutstanding);
@@ -44,14 +55,17 @@ SimCore::runUntil(Picos until)
         timePs = std::max(timePs, until);
         return false;
     }
-    requireInvariant(ops != nullptr, "core has no bound op stream");
-    MicroOp op;
+    MS_REQUIRE(ops != nullptr, "core has no bound op stream");
     while (timePs < until) {
-        if (!ops->next(op)) {
-            streamEnded = true;
-            return false;
+        if (opPos == opCount) {
+            opCount = ops->acquireRun(&opRun);
+            opPos = 0;
+            if (opCount == 0) {
+                streamEnded = true;
+                return false;
+            }
         }
-        apply(op);
+        apply(opRun[opPos++]);
     }
     return true;
 }
@@ -62,7 +76,10 @@ SimCore::apply(const MicroOp &op)
     const Picos before = timePs;
     switch (op.kind) {
       case OpKind::Compute:
-        advanceCycles(static_cast<double>(op.count) / mc.core.issueWidth);
+        advanceCycles(issueDivExact
+                          ? static_cast<double>(op.count) * issueCyclesPerOp
+                          : static_cast<double>(op.count) /
+                                mc.core.issueWidth);
         ctrs.instructions += op.count;
         break;
       case OpKind::Bubble:
@@ -221,6 +238,9 @@ SimCore::maybePrefetch(std::uint16_t stream_id, Addr line)
         ++ctrs.llcPrefetchFetches;
         const Picos completion = mem.read(cand, timePs);
         ctrs.dramLatencyTotal += completion - timePs;
+        // memsense-lint: allow(no-hot-loop-alloc): capacity reserved
+        // to maxOutstanding in the ctor, and the loop breaks at that
+        // bound above — the push never grows
         pfBusy.push_back(completion);
         Victim v = llc.insert(cand, false, completion, true);
         if (v.valid && v.dirty) {
@@ -233,7 +253,7 @@ SimCore::maybePrefetch(std::uint16_t stream_id, Addr line)
 void
 SimCore::installLine(Addr line, bool is_write, Picos fill_time)
 {
-    Victim v = llc.insert(line, false, fill_time);
+    Victim v = llc.fillAfterMiss(line, false, fill_time);
     if (v.valid && v.dirty) {
         mem.write(v.lineAddr, timePs);
         ++ctrs.writebacks;
@@ -244,15 +264,14 @@ SimCore::installLine(Addr line, bool is_write, Picos fill_time)
 void
 SimCore::installIntoL2(Addr line, bool is_write, Picos fill_time)
 {
-    Victim v = l2c.insert(line, false, fill_time);
+    Victim v = l2c.fillAfterMiss(line, false, fill_time);
     if (v.valid && v.dirty) {
-        // Writeback into the LLC; allocate there if it was evicted.
-        if (!llc.markDirtyIfPresent(v.lineAddr)) {
-            Victim lv = llc.insert(v.lineAddr, true, timePs);
-            if (lv.valid && lv.dirty) {
-                mem.write(lv.lineAddr, timePs);
-                ++ctrs.writebacks;
-            }
+        // Writeback into the LLC; allocate there if it was evicted
+        // (one fused scan: dirty-mark when present, install when not).
+        Victim lv = llc.writebackInsert(v.lineAddr, timePs);
+        if (lv.valid && lv.dirty) {
+            mem.write(lv.lineAddr, timePs);
+            ++ctrs.writebacks;
         }
     }
     installIntoL1(line, is_write, fill_time);
@@ -261,19 +280,16 @@ SimCore::installIntoL2(Addr line, bool is_write, Picos fill_time)
 void
 SimCore::installIntoL1(Addr line, bool is_write, Picos fill_time)
 {
-    Victim v = l1d.insert(line, is_write, fill_time);
+    Victim v = l1d.fillAfterMiss(line, is_write, fill_time);
     if (v.valid && v.dirty) {
-        // Writeback into the L2; allocate there if it was evicted.
-        if (!l2c.markDirtyIfPresent(v.lineAddr)) {
-            Victim lv = l2c.insert(v.lineAddr, true, timePs);
-            if (lv.valid && lv.dirty) {
-                if (!llc.markDirtyIfPresent(lv.lineAddr)) {
-                    Victim llv = llc.insert(lv.lineAddr, true, timePs);
-                    if (llv.valid && llv.dirty) {
-                        mem.write(llv.lineAddr, timePs);
-                        ++ctrs.writebacks;
-                    }
-                }
+        // Writeback into the L2; allocate there if it was evicted
+        // (fused scans, cascading outward as victims stay dirty).
+        Victim lv = l2c.writebackInsert(v.lineAddr, timePs);
+        if (lv.valid && lv.dirty) {
+            Victim llv = llc.writebackInsert(lv.lineAddr, timePs);
+            if (llv.valid && llv.dirty) {
+                mem.write(llv.lineAddr, timePs);
+                ++ctrs.writebacks;
             }
         }
     }

@@ -94,12 +94,20 @@ class SimCore
      * @param mc      machine configuration (core + cache geometry)
      * @param llc     shared last-level cache (borrowed)
      * @param mem     memory controller (borrowed)
+     * @param arena   optional bump allocator backing the private
+     *                cache arrays (borrowed; must outlive the core)
      */
     SimCore(int id, const MachineConfig &mc, SetAssocCache &llc,
-            MemoryController &mem);
+            MemoryController &mem, util::Arena *arena = nullptr);
 
     /** Attach the op stream to execute (borrowed; must outlive runs). */
-    void bind(OpStream &stream) { ops = &stream; }
+    void bind(OpStream &stream)
+    {
+        ops = &stream;
+        // Drop any run acquired from a previously bound stream.
+        opRun = nullptr;
+        opPos = opCount = 0;
+    }
 
     /** Local core time. */
     Picos now() const { return timePs; }
@@ -184,11 +192,29 @@ class SimCore
     OpStream *ops = nullptr;
     bool streamEnded = false;
 
+    /**
+     * Current op run: runUntil() acquires runs from the stream (one
+     * virtual acquireRun() per run instead of one next() per op) and
+     * consumes them in place. Ops left over when a quantum deadline
+     * hits are consumed by the next quantum, so the executed sequence
+     * is exactly the stream's sequence.
+     */
+    const MicroOp *opRun = nullptr;
+    std::size_t opPos = 0;   ///< next unconsumed op in opRun
+    std::size_t opCount = 0; ///< valid ops in opRun
+
     Picos timePs = 0;
     double carryPs = 0.0; ///< sub-picosecond accumulation
     double issueCostPs;   ///< per-instruction issue time
     double issueCyclesPerOp = 0.0; ///< 1/issueWidth, hoisted from the
                                    ///< per-access path in apply()
+    /**
+     * True when issueWidth is a power of two (the common 2/4/8
+     * configs): division by it is exact, so `count * (1/width)`
+     * is bit-identical to `count / width` and saves an FP divide on
+     * every Compute op. Non-power-of-two widths keep the divide.
+     */
+    bool issueDivExact = false;
     Picos robWindowPs;    ///< run-ahead slack for independent loads
     std::vector<Picos> mshrBusy; ///< outstanding miss completion times
     std::vector<Picos> pfBusy;   ///< outstanding prefetch completions

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::sim
@@ -21,7 +22,7 @@ DramChannel::DramChannel(const DramConfig &config)
 DramService
 DramChannel::access(std::uint32_t bank, std::uint64_t row, Picos arrival)
 {
-    requireInvariant(bank < banks.size(), "bank index out of range");
+    MS_REQUIRE(bank < banks.size(), "bank index out of range");
     Bank &b = banks[bank];
 
     Picos start = std::max(arrival, b.readyAt);

@@ -95,15 +95,18 @@ scaledLlc(const MachineConfig &cfg)
 } // anonymous namespace
 
 Machine::Machine(const MachineConfig &config)
-    : cfg(config), mem(config.dram),
-      sharedLlc("llc", scaledLlc(config), config.seed * 31)
+    : cfg(config), mem(config.dram, &arena),
+      sharedLlc("llc", scaledLlc(config), config.seed * 31, &arena)
 {
     cfg.validate();
     if (cfg.prefillLlc)
         sharedLlc.prefill();
     cores.reserve(static_cast<std::size_t>(cfg.cores));
     for (int i = 0; i < cfg.cores; ++i)
-        cores.push_back(std::make_unique<SimCore>(i, cfg, sharedLlc, mem));
+        // memsense-lint: allow(no-hot-loop-alloc): construction-time
+        // loop, reserved to the core count two lines above
+        cores.push_back(
+            std::make_unique<SimCore>(i, cfg, sharedLlc, mem, &arena));
     // ~256 core cycles of cross-agent skew: small vs. DRAM latency.
     quantum = Clock(cfg.core.ghz).toPicos(256);
 }

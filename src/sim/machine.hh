@@ -22,6 +22,7 @@
 #include "sim/core.hh"
 #include "sim/io.hh"
 #include "sim/memctrl.hh"
+#include "util/arena.hh"
 
 namespace memsense::sim
 {
@@ -119,6 +120,13 @@ class Machine
 
   private:
     MachineConfig cfg;
+    /**
+     * Bump allocator backing the hot per-access state (cache way
+     * arrays, write rings). Declared before its consumers so it is
+     * destroyed last; one arena per Machine keeps its blocks local to
+     * the sweep worker that owns the Machine.
+     */
+    util::Arena arena;
     MemoryController mem;
     SetAssocCache sharedLlc;
     std::vector<std::unique_ptr<SimCore>> cores;

@@ -5,18 +5,33 @@
 namespace memsense::sim
 {
 
-MemoryController::MemoryController(const DramConfig &config)
+MemoryController::MemoryController(const DramConfig &config,
+                                   util::Arena *arena)
     : cfg(config)
 {
     cfg.validate();
     chans.reserve(static_cast<std::size_t>(cfg.channels));
     for (int i = 0; i < cfg.channels; ++i)
+        // memsense-lint: allow(no-hot-loop-alloc): construction-time
+        // loop, reserved to the channel count two lines above
         chans.emplace_back(cfg);
-    writeBuf.resize(static_cast<std::size_t>(cfg.channels));
+    writeBuf.reserve(static_cast<std::size_t>(cfg.channels));
+    for (int i = 0; i < cfg.channels; ++i) {
+        // memsense-lint: allow(no-hot-loop-alloc): construction-time
+        // loop, reserved to the channel count above
+        writeBuf.emplace_back(util::ArenaAllocator<PendingWrite>(arena));
+        // Capacity equals the forced-burst bound, so the ring is sized
+        // exactly once (arena storage is never regrown).
+        // memsense-lint: allow(no-hot-loop-alloc): sized exactly once
+        writeBuf.back().slots.resize(cfg.writeBufferEntries);
+    }
     Picos uncore_total = nsToPicos(cfg.uncoreNs);
     uncoreRequest = uncore_total / 2;
     uncoreResponse = uncore_total - uncoreRequest;
     linesPerRow = cfg.rowBytes / kLineBytes;
+    drainWatermark = static_cast<std::size_t>(
+        cfg.writeDrainWatermark *
+        static_cast<double>(cfg.writeBufferEntries));
 }
 
 DramCoord
@@ -54,20 +69,19 @@ void
 MemoryController::write(Addr line_addr, Picos now)
 {
     DramCoord c = decode(line_addr);
-    auto &buf = writeBuf[c.channel];
-    buf.push_back({c.bank, c.row});
+    WriteRing &buf = writeBuf[c.channel];
+    DramChannel &chan = chans[c.channel];
+    buf.push({c.bank, c.row});
     ++_stats.writes;
 
     const Picos arrival = now + uncoreRequest;
-    auto watermark = static_cast<std::size_t>(
-        cfg.writeDrainWatermark *
-        static_cast<double>(cfg.writeBufferEntries));
 
     if (buf.size() >= cfg.writeBufferEntries) {
         // Buffer full: forced burst drain (a real write storm).
-        for (const auto &w : buf)
-            chans[c.channel].write(w.bank, w.row, arrival);
-        buf.clear();
+        while (!buf.empty()) {
+            const PendingWrite w = buf.pop();
+            chan.write(w.bank, w.row, arrival);
+        }
         return;
     }
 
@@ -75,14 +89,13 @@ MemoryController::write(Addr line_addr, Picos now)
     // they do not form read-blocking bursts at moderate load. Above
     // the watermark, drain one write per posting regardless, keeping
     // the buffer bounded under sustained write pressure.
+    const std::size_t watermark = drainWatermark;
     while (!buf.empty() &&
-           (chans[c.channel].busFreeTime() <= arrival ||
+           (chan.busFreeTime() <= arrival ||
             buf.size() > std::max<std::size_t>(1, watermark))) {
-        const PendingWrite w = buf.front();
-        buf.erase(buf.begin());
-        chans[c.channel].write(w.bank, w.row, arrival);
-        if (chans[c.channel].busFreeTime() > arrival &&
-            buf.size() <= watermark) {
+        const PendingWrite w = buf.pop();
+        chan.write(w.bank, w.row, arrival);
+        if (chan.busFreeTime() > arrival && buf.size() <= watermark) {
             break;
         }
     }
@@ -93,9 +106,11 @@ MemoryController::drainWrites(Picos now)
 {
     for (std::uint32_t ch = 0; ch < chans.size(); ++ch) {
         Picos arrival = now + uncoreRequest;
-        for (const auto &w : writeBuf[ch])
+        WriteRing &buf = writeBuf[ch];
+        while (!buf.empty()) {
+            const PendingWrite w = buf.pop();
             chans[ch].write(w.bank, w.row, arrival);
-        writeBuf[ch].clear();
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 #include "sim/config.hh"
 #include "sim/dram.hh"
 #include "sim/microop.hh"
+#include "util/arena.hh"
 #include "util/units.hh"
 
 namespace memsense::sim
@@ -63,7 +64,13 @@ struct MemCtrlStats
 class MemoryController
 {
   public:
-    explicit MemoryController(const DramConfig &cfg);
+    /**
+     * @param cfg   channel timing and geometry
+     * @param arena optional bump allocator backing the per-channel
+     *              write rings (must outlive the controller)
+     */
+    explicit MemoryController(const DramConfig &cfg,
+                              util::Arena *arena = nullptr);
 
     /** Decode a line address into channel/bank/row coordinates. */
     DramCoord decode(Addr line_addr) const;
@@ -117,12 +124,55 @@ class MemoryController
         std::uint64_t row;
     };
 
+    /**
+     * Fixed-capacity FIFO of posted writes for one channel.
+     *
+     * The drain loop used to pop the front of a std::vector —
+     * O(buffer) memmove per drained write, on the hot write path. A
+     * ring pops in O(1) and never reallocates: capacity is exactly
+     * writeBufferEntries, the forced-burst bound.
+     */
+    struct WriteRing
+    {
+        explicit WriteRing(util::ArenaAllocator<PendingWrite> alloc)
+            : slots(alloc)
+        {
+        }
+
+        util::ArenaVector<PendingWrite> slots; ///< sized once, in ctor
+        std::size_t head = 0;
+        std::size_t count = 0;
+
+        bool empty() const { return count == 0; }
+        std::size_t size() const { return count; }
+
+        void push(PendingWrite w)
+        {
+            std::size_t tail = head + count;
+            if (tail >= slots.size())
+                tail -= slots.size();
+            slots[tail] = w;
+            ++count;
+        }
+
+        PendingWrite pop()
+        {
+            PendingWrite w = slots[head];
+            if (++head == slots.size())
+                head = 0;
+            --count;
+            return w;
+        }
+    };
+
     DramConfig cfg;
     std::vector<DramChannel> chans;
-    std::vector<std::vector<PendingWrite>> writeBuf; ///< per channel
+    std::vector<WriteRing> writeBuf; ///< per channel
     Picos uncoreRequest;  ///< LLC-miss to DDR-command latency
     Picos uncoreResponse; ///< DDR-data to core latency
     std::uint32_t linesPerRow;
+    /** cfg.writeDrainWatermark * entries, hoisted off the write path. */
+    std::size_t drainWatermark = 0;
     MemCtrlStats _stats;
 };
 

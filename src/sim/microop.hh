@@ -12,7 +12,9 @@
 #ifndef MEMSENSE_SIM_MICROOP_HH
 #define MEMSENSE_SIM_MICROOP_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace memsense::sim
 {
@@ -60,6 +62,50 @@ class OpStream
 
     /** Produce the next op into @p op; false at end of stream. */
     virtual bool next(MicroOp &op) = 0;
+
+    /**
+     * Hand out a run of ready ops without copying: points @p run at
+     * consecutive ops (consumed from the stream's perspective) and
+     * returns how many; 0 means the stream ended. The pointer stays
+     * valid until the next acquireRun() call on this stream.
+     *
+     * The ops and their order are exactly what repeated next() calls
+     * would produce — this exists so the core pays one virtual call
+     * per run instead of per op, and no per-op copy at all when the
+     * producer buffers internally (workloads::Workload points straight
+     * into its batch buffer). The default loops next() into a private
+     * staging buffer for producers without one.
+     */
+    virtual std::size_t acquireRun(const MicroOp **run)
+    {
+        // Once next() has returned false the stream is complete and —
+        // matching the per-op caller this batches for — must never be
+        // asked again: a stream's end-of-stream check need not be
+        // idempotent.
+        if (stagingDone) {
+            *run = stagingBuf.data();
+            return 0;
+        }
+        if (stagingBuf.empty())
+            stagingBuf.resize(kStagingRun);
+        std::size_t n = 0;
+        while (n < stagingBuf.size()) {
+            if (!next(stagingBuf[n])) {
+                stagingDone = true;
+                break;
+            }
+            ++n;
+        }
+        *run = stagingBuf.data();
+        return n;
+    }
+
+  private:
+    /** Run length of the default acquireRun() (one virtual call per
+     *  this many ops; sized to keep the staging buffer L1-resident). */
+    static constexpr std::size_t kStagingRun = 128;
+    std::vector<MicroOp> stagingBuf; ///< lazily sized, default path only
+    bool stagingDone = false; ///< latched on the first false from next()
 };
 
 } // namespace memsense::sim

@@ -67,6 +67,9 @@ StridePrefetcher::observeMiss(std::uint16_t stream, Addr line_addr,
         std::int64_t target = static_cast<std::int64_t>(line_addr) + ahead;
         if (target < 0)
             continue;
+        // memsense-lint: allow(no-hot-loop-alloc): bounded by
+        // cfg.degree; the caller's scratch vector is cleared (not
+        // shrunk) per call, so its capacity persists after warmup
         out.push_back(static_cast<Addr>(target));
         ++_stats.issued;
     }

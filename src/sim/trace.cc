@@ -95,8 +95,14 @@ Trace::load(std::istream &is)
           default:
             ok = false;
         }
-        requireConfig(ok, "malformed trace line " +
-                              std::to_string(lineno) + ": " + line);
+        if (!ok) {
+            // memsense-lint: allow(no-hot-loop-alloc): cold error
+            // path of the once-per-file trace loader; also keeps the
+            // message off the happy path entirely
+            const std::string where = std::to_string(lineno);
+            throw ConfigError("malformed trace line " + where + ": " +
+                              line);
+        }
         t.append(op);
     }
     return t;

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "util/error.hh"
+#include "util/contract.hh"
 
 namespace memsense
 {
@@ -56,7 +56,7 @@ Rng::next()
 std::uint64_t
 Rng::nextBounded(std::uint64_t bound)
 {
-    requireInvariant(bound != 0, "nextBounded called with bound 0");
+    MS_REQUIRE(bound != 0, "nextBounded called with bound 0");
     // Lemire's multiply-shift rejection method: unbiased and fast.
     std::uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -91,7 +91,7 @@ Rng::chance(double p)
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
-    requireInvariant(lo <= hi, "nextRange with lo > hi");
+    MS_REQUIRE(lo <= hi, "nextRange with lo > hi");
     auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(nextBounded(span));
 }
@@ -128,7 +128,7 @@ Rng::nextGaussian()
 std::uint64_t
 Rng::nextZipf(std::uint64_t n, double skew)
 {
-    requireInvariant(n > 0, "nextZipf with n == 0");
+    MS_REQUIRE(n > 0, "nextZipf with n == 0");
     if (skew <= 0.0)
         return nextBounded(n);
 

@@ -76,11 +76,15 @@ class ThreadPool
     void enqueue(std::function<void()> task);
     void workerLoop();
 
-    mutable std::mutex mtx;
+    // The queue state (mutex, cv, deque, stop flag) is deliberately
+    // segregated onto its own cache lines away from `threads`:
+    // workerCount() readers and the submit path would otherwise share
+    // a line with the hot mutex word and ping-pong it between cores.
+    alignas(64) mutable std::mutex mtx;
     std::condition_variable cv;
     std::deque<std::function<void()>> queue;
     bool stopping = false;
-    std::vector<std::thread> threads;
+    alignas(64) std::vector<std::thread> threads;
 };
 
 } // namespace memsense

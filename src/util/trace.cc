@@ -129,8 +129,14 @@ registry()
     return *r;
 }
 
-/** Per-thread buffers; registered with the registry on first touch. */
-struct ThreadState
+/** Per-thread buffers; registered with the registry on first touch.
+ *
+ * Cache-line aligned: instances are reached through Registry::live
+ * during cross-thread aggregation, and alignment guarantees one
+ * thread's hot counters never share a line with a neighbour's state
+ * regardless of where the TLS allocator places them.
+ */
+struct alignas(64) ThreadState
 {
     int track = -1;
     unsigned depth = 0;

@@ -5,20 +5,6 @@
 namespace memsense::workloads
 {
 
-sim::Addr
-Region::at(std::uint64_t offset) const
-{
-    requireInvariant(offset < bytes, name + ": offset out of region");
-    return base + offset;
-}
-
-sim::Addr
-Region::lineAddr(std::uint64_t idx) const
-{
-    requireInvariant(idx < lines(), name + ": line index out of region");
-    return base + idx * 64;
-}
-
 AddressSpace::AddressSpace(sim::Addr base)
     : cursor(base)
 {

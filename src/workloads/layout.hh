@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/microop.hh"
+#include "util/contract.hh"
 
 namespace memsense::workloads
 {
@@ -31,11 +32,25 @@ struct Region
     /** Number of cache lines covered. */
     std::uint64_t lines() const { return bytes / 64; }
 
-    /** Byte address of @p offset into the region (bounds-checked). */
-    sim::Addr at(std::uint64_t offset) const;
+    /** Byte address of @p offset into the region (bounds-checked).
+     *
+     * Inline, with the diagnostic built only on failure: every
+     * generated memory op runs through here, and the out-of-line
+     * version used to concatenate its message string per call —
+     * a malloc/free pair on the generator hot path.
+     */
+    sim::Addr at(std::uint64_t offset) const
+    {
+        MS_REQUIRE(offset < bytes, name, ": offset out of region");
+        return base + offset;
+    }
 
     /** Line-aligned address of line @p idx (bounds-checked). */
-    sim::Addr lineAddr(std::uint64_t idx) const;
+    sim::Addr lineAddr(std::uint64_t idx) const
+    {
+        MS_REQUIRE(idx < lines(), name, ": line index out of region");
+        return base + idx * 64;
+    }
 };
 
 /** Simple bump allocator over a big virtual arena. */

@@ -1,5 +1,8 @@
 #include "workloads/workload.hh"
 
+#include <algorithm>
+
+#include "util/contract.hh"
 #include "util/error.hh"
 
 namespace memsense::workloads
@@ -23,11 +26,35 @@ Workload::next(sim::MicroOp &op)
             if (buf.empty())
                 return false;
         }
-        requireInvariant(ended || !buf.empty(),
-                         _name + ": generateBatch produced no ops");
+        MS_INVARIANT(ended || !buf.empty(),
+                     _name, ": generateBatch produced no ops");
     }
     op = buf[pos++];
     return true;
+}
+
+std::size_t
+Workload::acquireRun(const sim::MicroOp **run)
+{
+    // Same refill protocol as next(): a false generateBatch() may
+    // still have pushed a final partial batch.
+    while (pos >= buf.size()) {
+        if (ended)
+            return 0;
+        buf.clear();
+        pos = 0;
+        if (!generateBatch()) {
+            ended = true;
+            if (buf.empty())
+                return 0;
+        }
+        MS_INVARIANT(ended || !buf.empty(),
+                     _name, ": generateBatch produced no ops");
+    }
+    *run = buf.data() + pos;
+    const std::size_t n = buf.size() - pos;
+    pos = buf.size();
+    return n;
 }
 
 void

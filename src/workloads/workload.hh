@@ -35,6 +35,13 @@ class Workload : public sim::OpStream
     /** Pop the next op, refilling from generateBatch() as needed. */
     bool next(sim::MicroOp &op) final;
 
+    /**
+     * Zero-copy run handout: points @p run into the batch buffer
+     * (refilled from generateBatch() as needed) — same sequence
+     * next() would produce, without a virtual call or copy per op.
+     */
+    std::size_t acquireRun(const sim::MicroOp **run) final;
+
     /** Workload id. */
     const std::string &name() const { return _name; }
 

@@ -286,6 +286,50 @@ TEST_F(ObservabilityTest, MetricsDocumentValidatesAgainstSchema)
     EXPECT_NE(slurp(path).find(slice), std::string::npos);
 }
 
+TEST_F(ObservabilityTest, WallClockArtifactsStayOutOfCountersSlice)
+{
+    // Regression guard for the determinism contract: countersJson()
+    // is the byte-comparable slice that figure-level determinism
+    // checks diff across --jobs values, so nothing wall-clock —
+    // PhaseTimer gauges, span timings — may ever appear in it. A
+    // PhaseTimer leaking into the slice would make the determinism
+    // checks flaky exactly when observability is armed.
+    trace::setStatsEnabled(true);
+    {
+        measure::PhaseTimer sweep("sweep");
+        MS_TRACE_SPAN("unit.work");
+        MS_METRIC_COUNT("unit.deterministic_total");
+    }
+
+    measure::MetricsSnapshot snap =
+        measure::MetricsRegistry::instance().snapshot();
+    // The phase recorded both of its wall-clock artifacts...
+    ASSERT_TRUE(snap.gauges.count("phase.sweep.wall_ms"));
+    ASSERT_TRUE(snap.spans.count("phase.sweep"));
+    ASSERT_TRUE(snap.spans.count("unit.work"));
+
+    // ...and none of them reach the byte-comparable slice; the
+    // deterministic counter does.
+    const std::string slice =
+        measure::MetricsRegistry::countersJson(snap);
+    EXPECT_NE(slice.find("unit.deterministic_total"),
+              std::string::npos)
+        << slice;
+    EXPECT_EQ(slice.find("phase."), std::string::npos) << slice;
+    EXPECT_EQ(slice.find("wall_ms"), std::string::npos) << slice;
+    EXPECT_EQ(slice.find("_ns"), std::string::npos) << slice;
+    EXPECT_EQ(slice.find("unit.work"), std::string::npos) << slice;
+
+    // Two snapshots of the same counters serialize byte-identically
+    // even though wall time moved between them.
+    {
+        measure::PhaseTimer again("sweep");
+    }
+    const std::string slice2 = measure::MetricsRegistry::countersJson(
+        measure::MetricsRegistry::instance().snapshot());
+    EXPECT_EQ(slice, slice2);
+}
+
 TEST_F(ObservabilityTest, TracingLifecycleGuards)
 {
     EXPECT_EQ(trace::stopTracing(), "") << "stop without start is a no-op";

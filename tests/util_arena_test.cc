@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the bump/arena allocator backing the simulator hot path:
+ * alignment guarantees, reset/reuse of normal blocks, the dedicated
+ * large-allocation path, the std::allocator adapter (heap fallback
+ * included), and the AlignedSlab raw-buffer helper. Under ASan the
+ * poisoning of never-allocated and reset regions is exercised too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/arena.hh"
+
+using namespace memsense;
+
+namespace
+{
+
+bool
+isAligned(const void *p, std::size_t align)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, HonorsRequestedAlignment)
+{
+    util::Arena arena;
+    for (std::size_t align : {std::size_t{1}, std::size_t{8},
+                              std::size_t{64}, std::size_t{128}}) {
+        // Skew the cursor first so alignment is actually exercised.
+        arena.allocate(3, 1);
+        void *p = arena.allocate(32, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(isAligned(p, align)) << "align " << align;
+    }
+}
+
+TEST(Arena, AllocationsAreDisjointAndUsable)
+{
+    util::Arena arena;
+    std::vector<unsigned char *> ptrs;
+    for (int i = 0; i < 64; ++i) {
+        auto *p = static_cast<unsigned char *>(arena.allocate(97, 8));
+        std::memset(p, i, 97);
+        ptrs.push_back(p);
+    }
+    for (int i = 0; i < 64; ++i) {
+        for (int j = 0; j < 97; ++j)
+            ASSERT_EQ(ptrs[i][j], i) << "allocation " << i
+                                     << " was overwritten";
+    }
+}
+
+TEST(Arena, GrowsByChainingBlocks)
+{
+    util::Arena arena(1024);
+    EXPECT_EQ(arena.blockCount(), 0u);
+    for (int i = 0; i < 32; ++i)
+        arena.allocate(256, 8);
+    // 32 * 256 bytes cannot fit one 1 KiB block.
+    EXPECT_GT(arena.blockCount(), 1u);
+    EXPECT_EQ(arena.bytesAllocated(), 32u * 256u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesAllocated());
+}
+
+TEST(Arena, ResetRetainsNormalBlockCapacity)
+{
+    util::Arena arena(1024);
+    for (int i = 0; i < 16; ++i)
+        arena.allocate(256, 8);
+    const std::size_t blocks_before = arena.blockCount();
+    const std::size_t reserved_before = arena.bytesReserved();
+
+    arena.reset();
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    EXPECT_EQ(arena.blockCount(), blocks_before);
+    EXPECT_EQ(arena.bytesReserved(), reserved_before);
+
+    // The same footprint must be served entirely from retained blocks.
+    for (int i = 0; i < 16; ++i)
+        arena.allocate(256, 8);
+    EXPECT_EQ(arena.blockCount(), blocks_before);
+}
+
+TEST(Arena, LargeAllocationsGetDedicatedBlocks)
+{
+    util::Arena arena(1024);
+    // More than half a block routes to the large path.
+    void *p = arena.allocate(4096, 64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(isAligned(p, 64));
+    EXPECT_EQ(arena.largeAllocCount(), 1u);
+    std::memset(p, 0xab, 4096);
+
+    // Large blocks are released (not retained) by reset().
+    arena.reset();
+    EXPECT_EQ(arena.largeAllocCount(), 0u);
+}
+
+TEST(Arena, OversizedAlignmentRoutesToLargePath)
+{
+    util::Arena arena(1024);
+    // align > blockBytes/4 cannot be guaranteed by a normal block bump.
+    void *p = arena.allocate(64, 512);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(isAligned(p, 512));
+    EXPECT_EQ(arena.largeAllocCount(), 1u);
+}
+
+TEST(Arena, ZeroByteAllocationsReturnValidPointers)
+{
+    util::Arena arena;
+    void *a = arena.allocate(0);
+    void *b = arena.allocate(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST(ArenaAllocator, VectorBackedByArena)
+{
+    util::Arena arena;
+    util::ArenaAllocator<std::uint64_t> alloc(&arena);
+    util::ArenaVector<std::uint64_t> v(alloc);
+    v.reserve(1000);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), std::uint64_t{0}),
+              999u * 1000u / 2u);
+    EXPECT_GE(arena.bytesAllocated(), 1000u * sizeof(std::uint64_t));
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap)
+{
+    // Default-constructed allocator must behave like std::allocator:
+    // usable, and individually deallocating (no arena leak).
+    util::ArenaVector<int> v;
+    for (int i = 0; i < 10000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 10000u);
+    EXPECT_EQ(v[9999], 9999);
+}
+
+TEST(ArenaAllocator, RebindsAcrossValueTypes)
+{
+    util::Arena arena;
+    util::ArenaAllocator<int> ints(&arena);
+    util::ArenaAllocator<double> doubles(ints);
+    EXPECT_EQ(doubles.arena(), &arena);
+    EXPECT_TRUE((ints == util::ArenaAllocator<int>(&arena)));
+}
+
+TEST(AlignedSlab, CacheLineAlignedHeapBacked)
+{
+    util::AlignedSlab slab;
+    slab.init(4096, nullptr);
+    ASSERT_NE(slab.data(), nullptr);
+    EXPECT_TRUE(isAligned(slab.data(), util::AlignedSlab::kAlign));
+    // Zeroed by default.
+    for (std::size_t i = 0; i < 4096; ++i)
+        ASSERT_EQ(slab.data()[i], 0u);
+}
+
+TEST(AlignedSlab, CacheLineAlignedArenaBacked)
+{
+    util::Arena arena;
+    util::AlignedSlab slab;
+    slab.init(256, &arena);
+    ASSERT_NE(slab.data(), nullptr);
+    EXPECT_TRUE(isAligned(slab.data(), util::AlignedSlab::kAlign));
+    EXPECT_GE(arena.bytesAllocated(), 256u);
+}
+
+TEST(AlignedSlab, UnzeroedInitIsWritable)
+{
+    util::AlignedSlab slab;
+    slab.init(512, nullptr, /*zero=*/false);
+    std::memset(slab.data(), 0x5a, 512);
+    for (std::size_t i = 0; i < 512; ++i)
+        ASSERT_EQ(slab.data()[i], 0x5au);
+}
+
+#if MEMSENSE_ARENA_ASAN
+/**
+ * Under AddressSanitizer, memory reclaimed by reset() must be
+ * poisoned: a stale pointer read would abort the process, so this
+ * test only checks the non-fatal property that fresh allocations
+ * after reset are unpoisoned (the poison/unpoison pairing works).
+ */
+TEST(Arena, AsanRepoisonsOnReset)
+{
+    util::Arena arena(1024);
+    auto *p = static_cast<unsigned char *>(arena.allocate(64, 8));
+    p[0] = 1; // allocated: must be addressable
+    EXPECT_FALSE(__asan_address_is_poisoned(p));
+    arena.reset();
+    EXPECT_TRUE(__asan_address_is_poisoned(p));
+    auto *q = static_cast<unsigned char *>(arena.allocate(64, 8));
+    EXPECT_FALSE(__asan_address_is_poisoned(q));
+    q[0] = 2;
+}
+#endif
+
+} // namespace

@@ -1,0 +1,16 @@
+// Fixture: no-hot-loop-alloc is scoped to src/sim and src/serve; the
+// same per-iteration allocations in a cold layer (here src/model, a
+// once-per-sweep-point solver) must not fire.
+#include <string>
+#include <vector>
+
+void
+coldLoops(const std::vector<int> &input)
+{
+    std::vector<int> grown;
+    for (int v : input) {
+        grown.push_back(v);
+        std::string label = std::to_string(v);
+        (void)label;
+    }
+}

@@ -1,0 +1,49 @@
+// Fixture: no-hot-loop-alloc must fire on per-iteration allocations
+// inside src/sim loops and stay quiet on hoisted/reserved patterns.
+#include <string>
+#include <vector>
+
+void
+hotLoops(const std::vector<int> &input)
+{
+    std::vector<int> grown;
+    for (int v : input) {
+        grown.push_back(v); // FIRES: growth, no visible reserve
+    }
+
+    std::size_t i = 0;
+    while (i < input.size()) {
+        int *leak = new int(input[i]); // FIRES: new per iteration
+        delete leak;
+        ++i;
+    }
+
+    for (int v : input) {
+        std::string label = std::to_string(v); // FIRES twice:
+        (void)label; // the declaration and the to_string() call
+    }
+}
+
+void
+hoistedPatterns(const std::vector<int> &input)
+{
+    // Reserved outside the loop, annotated with the bound: quiet.
+    std::vector<int> out;
+    out.reserve(input.size());
+    for (int v : input) {
+        // memsense-lint: allow(no-hot-loop-alloc): capacity reserved
+        // to input.size() on the line above; push_back cannot grow
+        out.push_back(v);
+    }
+
+    // Reused buffer, cleared per iteration: quiet.
+    std::string buf;
+    for (int v : input) {
+        buf.clear();
+        buf += static_cast<char>('0' + v % 10);
+    }
+
+    // Allocation outside any loop: quiet.
+    int *once = new int(42);
+    delete once;
+}

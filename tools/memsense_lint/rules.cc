@@ -98,13 +98,16 @@ contains(const std::set<std::string> &set, const std::string &s)
     return set.count(s) != 0;
 }
 
-/** Token ranges (begin, end) of every for-loop body in the file. */
+/** Token ranges (begin, end) of loop bodies for @p keywords. */
 std::vector<std::pair<std::size_t, std::size_t>>
-forLoopBodies(const std::vector<Token> &toks)
+loopBodies(const std::vector<Token> &toks,
+           const std::set<std::string> &keywords)
 {
     std::vector<std::pair<std::size_t, std::size_t>> bodies;
     for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (!isIdent(toks[i], "for") || !isPunct(at(toks, i + 1), "("))
+        if (toks[i].kind != TokKind::Ident ||
+            !contains(keywords, toks[i].text) ||
+            !isPunct(at(toks, i + 1), "("))
             continue;
         std::size_t head_end = matchDelim(toks, i + 1, "(", ")");
         if (head_end >= toks.size())
@@ -121,6 +124,14 @@ forLoopBodies(const std::vector<Token> &toks)
         bodies.emplace_back(body_begin, body_end);
     }
     return bodies;
+}
+
+/** Token ranges (begin, end) of every for-loop body in the file. */
+std::vector<std::pair<std::size_t, std::size_t>>
+forLoopBodies(const std::vector<Token> &toks)
+{
+    static const std::set<std::string> kw = {"for"};
+    return loopBodies(toks, kw);
 }
 
 bool
@@ -528,6 +539,78 @@ checkUncachedBatchSolve(const FileContext &ctx, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------------
+// no-hot-loop-alloc
+// ---------------------------------------------------------------------
+
+void
+checkHotLoopAlloc(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (!ctx.inHotPath)
+        return;
+    // Container growth that may reallocate on the iteration that
+    // crosses capacity. pop_back/clear shrink in place and stay legal.
+    static const std::set<std::string> growth_calls = {
+        "push_back", "emplace_back", "resize",
+    };
+    static const std::set<std::string> loop_kw = {"for", "while"};
+    const auto &toks = ctx.toks;
+    auto bodies = loopBodies(toks, loop_kw);
+    if (bodies.empty())
+        return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident || !insideAny(bodies, i))
+            continue;
+        if (t.text == "new") {
+            out.push_back(
+                {ctx.path, t.line, "no-hot-loop-alloc",
+                 "'new' inside a loop on a simulator/serving hot path "
+                 "allocates per iteration; hoist the allocation out of "
+                 "the loop or bump-allocate from util::Arena, or "
+                 "annotate with allow(no-hot-loop-alloc) and the "
+                 "reason the loop is cold"});
+            continue;
+        }
+        if (contains(growth_calls, t.text) &&
+            (isPunct(at(toks, i - 1), ".") ||
+             isPunct(at(toks, i - 1), "->")) &&
+            isPunct(at(toks, i + 1), "(")) {
+            out.push_back(
+                {ctx.path, t.line, "no-hot-loop-alloc",
+                 "'" + t.text +
+                     "' inside a loop on a simulator/serving hot path "
+                     "can reallocate per iteration; reserve() the "
+                     "capacity outside the loop (then annotate with "
+                     "allow(no-hot-loop-alloc) and where the bound "
+                     "comes from), or hoist the growth out of the "
+                     "loop"});
+            continue;
+        }
+        // A std::string declared (constructed) per iteration heap-
+        // allocates once it outgrows the SSO buffer; so does a
+        // per-iteration to_string(). Member access before "string"
+        // (x.string) is not a declaration.
+        const bool string_decl =
+            t.text == "string" && at(toks, i + 1).kind == TokKind::Ident &&
+            !isPunct(at(toks, i - 1), ".") && !isPunct(at(toks, i - 1), "->");
+        const bool to_string_call =
+            t.text == "to_string" && isPunct(at(toks, i + 1), "(");
+        if (string_decl || to_string_call) {
+            out.push_back(
+                {ctx.path, t.line, "no-hot-loop-alloc",
+                 "std::string " +
+                     std::string(string_decl ? "constructed"
+                                             : "built by to_string()") +
+                     " inside a loop on a simulator/serving hot path "
+                     "mallocs past the SSO limit; hoist a reused "
+                     "buffer out of the loop (clear() per iteration), "
+                     "or annotate with allow(no-hot-loop-alloc) and "
+                     "the reason the loop is cold"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // unit-suffix
 // ---------------------------------------------------------------------
 
@@ -648,6 +731,10 @@ makeContext(const std::string &path, const LexResult &lexed)
     std::string p = path;
     std::replace(p.begin(), p.end(), '\\', '/');
     ctx.inBench = p.find("bench/") != std::string::npos;
+    // The two per-access hot paths of the repo: the simulator core the
+    // sweeps hammer and the serving layer's request path.
+    ctx.inHotPath = p.find("src/sim/") != std::string::npos ||
+                    p.find("src/serve/") != std::string::npos;
     ctx.rngExempt = p.find("util/rng.") != std::string::npos;
     ctx.logExempt = p.find("util/log.") != std::string::npos;
     // The retry/quarantine layer is where errors get classified and
@@ -702,6 +789,9 @@ allRules()
          "bench/ solve() grid loops that bypass the serve::Evaluator "
          "cache",
          checkUncachedBatchSolve},
+        {"no-hot-loop-alloc",
+         "per-iteration heap allocation in src/sim and src/serve loops",
+         checkHotLoopAlloc},
         {"unit-suffix",
          "latency/bandwidth identifiers without a unit suffix",
          checkUnitSuffix},

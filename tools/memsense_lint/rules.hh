@@ -43,6 +43,7 @@ struct FileContext
     std::map<int, std::string> comments; ///< line -> comment text
     std::set<std::string> floatIdents;   ///< idents declared double/float
     bool inBench = false;   ///< file lives under bench/
+    bool inHotPath = false; ///< src/sim/ or src/serve/ (perf-critical)
     bool rngExempt = false; ///< util/rng.* (sanctioned randomness)
     bool logExempt = false; ///< util/log.* (sanctioned global state)
     bool quarantineExempt = false; ///< util/retry.* / measure/resilience.*

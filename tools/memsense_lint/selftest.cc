@@ -125,6 +125,23 @@ TEST(LintSelftest, CachedBatchSolveStaysQuiet)
            "satisfies the rule";
 }
 
+TEST(LintSelftest, HotLoopAllocFires)
+{
+    auto fs = runRule("src/sim/hot_loop_alloc.cc", "no-hot-loop-alloc");
+    EXPECT_EQ(countRule(fs, "no-hot-loop-alloc"), 4)
+        << "unreserved push_back, new-per-iteration, string decl, "
+           "to_string; the reserved/reused/straight-line patterns "
+           "must not fire";
+}
+
+TEST(LintSelftest, HotLoopAllocIsScopedToHotPaths)
+{
+    auto fs = runRule("src/model/cold_loop_alloc.cc",
+                      "no-hot-loop-alloc");
+    EXPECT_EQ(countRule(fs, "no-hot-loop-alloc"), 0)
+        << "the rule covers src/sim and src/serve only";
+}
+
 TEST(LintSelftest, UnitSuffixFires)
 {
     auto fs = runRule("src/unit_suffix.cc", "unit-suffix");
@@ -193,7 +210,8 @@ TEST(LintSelftest, RuleCatalogIsStable)
         "c-style-cast",         "unclamped-double-to-int",
         "mutable-global-state", "serial-grid-loop",
         "no-untraced-sweep-loop", "no-uncached-batch-solve",
-        "unit-suffix",          "no-bare-catch",
+        "no-hot-loop-alloc",    "unit-suffix",
+        "no-bare-catch",
     };
     EXPECT_EQ(ids, expected);
 }
