@@ -58,7 +58,7 @@ main(int argc, char **argv)
         model::EquivalenceAnalyzer eq(solver, base);
         for (const auto &p : model::paper::classParams()) {
             auto sweep = an.latencySweep(p, 10.0, 10.0);
-            double d10 = sweep.back().cpiIncrease * 100.0;
+            double d10 = sweep.back().cpiIncreaseFrac * 100.0;
             double equiv = eq.bandwidthEquivalentOfLatency(p);
             t.addRow({v.name, p.name, formatPercent(d10 / 100.0, 2),
                       std::isinf(equiv) ? "none"

@@ -46,10 +46,10 @@ main(int argc, char **argv)
                       formatDouble(pt.bwPerCoreGBps, 2),
                       formatDouble(pt.bwDeltaPerCoreGBps, 2),
                       formatDouble(pt.op.cpiEff, 3),
-                      formatPercent(pt.cpiIncrease, 1),
+                      formatPercent(pt.cpiIncreaseFrac, 1),
                       pt.op.bandwidthBound ? "yes" : "no"});
             csv.push_back({pt.bwPerCoreGBps, pt.bwDeltaPerCoreGBps,
-                           pt.op.cpiEff, pt.cpiIncrease,
+                           pt.op.cpiEff, pt.cpiIncreaseFrac,
                            pt.op.bandwidthBound ? 1.0 : 0.0});
         }
         t.print(std::cout);

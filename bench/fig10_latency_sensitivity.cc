@@ -38,10 +38,10 @@ main(int argc, char **argv)
             t.addRow({formatDouble(pt.compulsoryNs, 0),
                       formatDouble(pt.op.missPenaltyNs, 1),
                       formatDouble(pt.op.cpiEff, 3),
-                      formatPercent(pt.cpiIncrease, 1),
+                      formatPercent(pt.cpiIncreaseFrac, 1),
                       pt.op.bandwidthBound ? "yes" : "no"});
             csv.push_back({pt.compulsoryNs, pt.op.missPenaltyNs,
-                           pt.op.cpiEff, pt.cpiIncrease,
+                           pt.op.cpiEff, pt.cpiIncreaseFrac,
                            pt.op.bandwidthBound ? 1.0 : 0.0});
         }
         t.print(std::cout);

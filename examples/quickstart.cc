@@ -70,7 +70,7 @@ main()
     for (const auto &pt : an.latencySweep(app, 60.0, 20.0)) {
         std::printf("  %3.0f ns -> CPI %.3f (%+.1f%%)\n",
                     pt.compulsoryNs, pt.op.cpiEff,
-                    pt.cpiIncrease * 100.0);
+                    pt.cpiIncreaseFrac * 100.0);
     }
     return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Lint gate: build memsense-lint and run every rule over the tree,
+# suppressing only the findings recorded in the committed baseline
+# (lint_baseline.json at the repo root). Any finding not in the
+# baseline fails the gate, so new code cannot add debt silently.
+#
+# To accept a deliberate finding instead of fixing it, prefer an
+# inline `// memsense-lint: allow(<rule>): <reason>` comment; extend
+# the baseline only for pre-existing debt:
+#
+#   build/tools/memsense_lint/memsense_lint \
+#       --exclude=fixtures --write-baseline=lint_baseline.json \
+#       src bench tools tests
+#
+# Usage: scripts/check_lint.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if [[ ! -x "${build_dir}/tools/memsense_lint/memsense_lint" ]]; then
+    cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+fi
+cmake --build "${build_dir}" -j --target memsense_lint > /dev/null
+
+# Run from the repo root with relative roots so finding paths match
+# the committed baseline keys byte-for-byte.
+cd "${repo_root}"
+"${build_dir}/tools/memsense_lint/memsense_lint" \
+    --exclude=fixtures \
+    --baseline=lint_baseline.json \
+    src bench tools tests
+
+echo "check_lint: tree is clean against lint_baseline.json"

@@ -14,10 +14,17 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 
 cmake --build "${build_dir}" -j --target memsense_lint
 
-"${build_dir}/tools/memsense_lint/memsense_lint" \
+# Relative roots keep finding paths identical to the committed
+# baseline keys; the SARIF report feeds code-scanning UIs (GitHub
+# code scanning, VS Code SARIF viewer).
+(cd "${repo_root}" && "${build_dir}/tools/memsense_lint/memsense_lint" \
+    --exclude=fixtures \
+    --baseline=lint_baseline.json \
     --json="${build_dir}/lint_report.json" \
-    "${repo_root}/src" "${repo_root}/bench" "${repo_root}/tests"
-echo "memsense-lint passed (report: ${build_dir}/lint_report.json)"
+    --sarif="${build_dir}/lint_report.sarif" \
+    src bench tools tests)
+echo "memsense-lint passed (reports: ${build_dir}/lint_report.json," \
+     "${build_dir}/lint_report.sarif)"
 
 if command -v clang-tidy > /dev/null 2>&1; then
     mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)

@@ -19,6 +19,7 @@ namespace memsense::measure
 struct MetricsRegistry::Impl
 {
     mutable std::mutex mu;
+    // memsense-lint: guarded_by(mu)
     std::map<std::string, double> gauges;
 };
 

@@ -55,6 +55,7 @@ MemoryConfig::withChannels(int n) const
 MemoryConfig
 MemoryConfig::withSpeed(double mt_per_s) const
 {
+    requireConfig(mt_per_s > 0.0, "transfer rate must be positive");
     MemoryConfig c = *this;
     c.megaTransfers = mt_per_s;
     return c;
@@ -63,6 +64,8 @@ MemoryConfig::withSpeed(double mt_per_s) const
 MemoryConfig
 MemoryConfig::withEfficiency(double eff) const
 {
+    requireConfig(eff > 0.0 && eff <= 1.0,
+                  "efficiency must be in (0, 1]");
     MemoryConfig c = *this;
     c.efficiency = eff;
     return c;
@@ -71,6 +74,7 @@ MemoryConfig::withEfficiency(double eff) const
 MemoryConfig
 MemoryConfig::withCompulsoryNs(double ns) const
 {
+    requireConfig(ns > 0.0, "compulsory latency must be positive");
     MemoryConfig c = *this;
     c.compulsoryNs = ns;
     return c;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "model/memory_config.hh"
+#include "util/contract.hh"
 
 namespace memsense::model
 {
@@ -37,10 +38,18 @@ struct Platform
     double bandwidthPerCoreBps() const;
 
     /** Convert a duration in ns into core cycles. */
-    double nsToCycles(double ns) const { return ns * ghz; }
+    double nsToCycles(double ns) const
+    {
+        MS_REQUIRE(ghz > 0.0, "frequency must be positive, got ", ghz);
+        return ns * ghz;
+    }
 
     /** Convert core cycles into ns. */
-    double cyclesToNs(double cycles) const { return cycles / ghz; }
+    double cyclesToNs(double cycles) const
+    {
+        MS_REQUIRE(ghz > 0.0, "frequency must be positive, got ", ghz);
+        return cycles / ghz;
+    }
 
     /** Validate ranges; throws ConfigError when out of domain. */
     void validate() const;

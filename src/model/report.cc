@@ -97,7 +97,7 @@ SensitivityReport::toMarkdown() const
           "| compulsory (ns) | CPI | increase |\n|---|---|---|\n";
     for (const auto &pt : latencySweep) {
         md << strformat("| %.0f | %.3f | %+.1f%% |\n", pt.compulsoryNs,
-                        pt.op.cpiEff, pt.cpiIncrease * 100.0);
+                        pt.op.cpiEff, pt.cpiIncreaseFrac * 100.0);
     }
 
     md << "\n## Bandwidth sensitivity (Fig. 8)\n\n"
@@ -106,7 +106,7 @@ SensitivityReport::toMarkdown() const
     for (const auto &pt : bandwidthSweep) {
         md << strformat("| %.2f | %.3f | %+.1f%% | %s |\n",
                         pt.bwPerCoreGBps, pt.op.cpiEff,
-                        pt.cpiIncrease * 100.0,
+                        pt.cpiIncreaseFrac * 100.0,
                         pt.op.bandwidthBound ? "BW bound" : "latency");
     }
 

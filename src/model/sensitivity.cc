@@ -58,7 +58,7 @@ SensitivityAnalyzer::bandwidthSweep(
                            static_cast<double>(plat.cores) / 1e9;
         pt.bwDeltaPerCoreGBps = pt.bwPerCoreGBps - base_per_core;
         pt.op = eng().solve(p, plat);
-        pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
+        pt.cpiIncreaseFrac = pt.op.cpiEff / base_cpi - 1.0;
         sweep.push_back(pt);
     }
     std::sort(sweep.begin(), sweep.end(),
@@ -88,7 +88,7 @@ SensitivityAnalyzer::latencySweep(const WorkloadParams &p,
         pt.compulsoryNs = plat.memory.compulsoryNs;
         pt.deltaNs = extra;
         pt.op = eng().solve(p, plat);
-        pt.cpiIncrease = pt.op.cpiEff / base_cpi - 1.0;
+        pt.cpiIncreaseFrac = pt.op.cpiEff / base_cpi - 1.0;
         sweep.push_back(pt);
     }
     return sweep;

@@ -28,7 +28,7 @@ struct BandwidthSweepPoint
     double bwDeltaPerCoreGBps = 0.0; ///< change vs. baseline (negative
                                   ///< = reduction)
     OperatingPoint op;            ///< solved operating point
-    double cpiIncrease = 0.0;     ///< cpi / baseline_cpi - 1
+    double cpiIncreaseFrac = 0.0;     ///< cpi / baseline_cpi - 1
 };
 
 /** One point of a compulsory-latency sweep (Fig. 10). */
@@ -37,7 +37,7 @@ struct LatencySweepPoint
     double compulsoryNs = 0.0;    ///< compulsory latency of the variant
     double deltaNs = 0.0;         ///< change vs. baseline
     OperatingPoint op;            ///< solved operating point
-    double cpiIncrease = 0.0;     ///< cpi / baseline_cpi - 1
+    double cpiIncreaseFrac = 0.0;     ///< cpi / baseline_cpi - 1
 };
 
 /** A derivative sample (Fig. 9 / Fig. 11). */

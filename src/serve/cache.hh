@@ -109,13 +109,20 @@ class ShardedLruCache
     struct alignas(64) Shard
     {
         mutable std::mutex mu;
+        // memsense-lint: guarded_by(mu)
         std::list<Entry> lru;
+        // memsense-lint: guarded_by(mu)
         std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
             index;
+        // memsense-lint: guarded_by(mu)
         std::uint64_t hits = 0;
+        // memsense-lint: guarded_by(mu)
         std::uint64_t misses = 0;
+        // memsense-lint: guarded_by(mu)
         std::uint64_t collisions = 0;
+        // memsense-lint: guarded_by(mu)
         std::uint64_t evictions = 0;
+        // memsense-lint: guarded_by(mu)
         std::uint64_t inserts = 0;
     };
 

@@ -42,6 +42,10 @@ SimCore::SimCore(int id_in, const MachineConfig &machine_cfg,
 void
 SimCore::advanceCycles(double cycles)
 {
+    // A negative advance would drive carryPs below zero, and casting a
+    // negative double to the unsigned Picos type is undefined behavior.
+    MS_REQUIRE(cycles >= 0.0,
+               "cannot advance the core clock backwards: ", cycles);
     carryPs += cycles * static_cast<double>(clk.periodPs());
     auto whole = static_cast<Picos>(carryPs);
     timePs += whole;

@@ -82,7 +82,9 @@ class ThreadPool
     // a line with the hot mutex word and ping-pong it between cores.
     alignas(64) mutable std::mutex mtx;
     std::condition_variable cv;
+    // memsense-lint: guarded_by(mtx)
     std::deque<std::function<void()>> queue;
+    // memsense-lint: guarded_by(mtx)
     bool stopping = false;
     alignas(64) std::vector<std::thread> threads;
 };

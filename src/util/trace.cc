@@ -106,12 +106,18 @@ struct ThreadState;
 struct Registry
 {
     std::mutex mu;
+    // memsense-lint: guarded_by(mu)
     std::vector<ThreadState *> live;
     // Contributions of threads that already exited.
+    // memsense-lint: guarded_by(mu)
     std::map<std::string, std::uint64_t> retiredCounters;
+    // memsense-lint: guarded_by(mu)
     std::map<std::string, SpanStat> retiredSpans;
+    // memsense-lint: guarded_by(mu)
     std::map<std::string, ValueStat> retiredValues;
+    // memsense-lint: guarded_by(mu)
     std::vector<Event> retiredEvents;
+    // memsense-lint: guarded_by(mu)
     std::map<int, std::string> tracks;
     std::string tracePath;
     std::uint64_t epochNs = 0;
@@ -169,11 +175,16 @@ struct alignas(64) ThreadState
     void retireLocked(Registry &r)
     {
         for (const auto &kv : counters)
+            // memsense-lint: allow(unguarded-shared-state): every
+            // caller holds r.mu — see the "mu held" contract above
             r.retiredCounters[kv.first] += kv.second;
         for (const auto &kv : spans)
+            // memsense-lint: allow(unguarded-shared-state): r.mu held
             r.retiredSpans[kv.first].merge(kv.second);
         for (const auto &kv : values)
+            // memsense-lint: allow(unguarded-shared-state): r.mu held
             r.retiredValues[kv.first].merge(kv.second);
+        // memsense-lint: allow(unguarded-shared-state): r.mu held
         r.retiredEvents.insert(r.retiredEvents.end(), events.begin(),
                                events.end());
         counters.clear();

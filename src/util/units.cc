@@ -21,6 +21,20 @@ picosToNs(Picos ps)
     return static_cast<double>(ps) / kPicosPerNano;
 }
 
+double
+nsToCycles(double ns, double ghz)
+{
+    requireConfig(ghz > 0.0, "frequency must be positive");
+    return ns * ghz;
+}
+
+double
+cyclesToNs(double cycles, double ghz)
+{
+    requireConfig(ghz > 0.0, "frequency must be positive");
+    return cycles / ghz;
+}
+
 Clock::Clock(double ghz)
     : _ghz(ghz)
 {

@@ -36,6 +36,16 @@ double picosToNs(Picos ps);
 constexpr double kBytesPerGB = 1e9;
 
 /**
+ * Convert a duration in nanoseconds to core cycles at @p ghz. The
+ * explicit helper is the sanctioned way to cross the ns/cycles unit
+ * boundary; memsense-lint's unit-mismatch rule flags implicit mixes.
+ */
+double nsToCycles(double ns, double ghz);
+
+/** Convert core cycles at @p ghz to nanoseconds. */
+double cyclesToNs(double cycles, double ghz);
+
+/**
  * A core or memory clock.
  *
  * Wraps a frequency in GHz and provides exact cycle<->picosecond

@@ -9,6 +9,7 @@
 #include "model/memory_config.hh"
 #include "model/platform.hh"
 #include "util/error.hh"
+#include "util/units.hh"
 
 namespace memsense::model
 {
@@ -112,6 +113,21 @@ TEST(MemoryConfig, Validation)
     EXPECT_THROW(m.withCompulsoryNs(0.0).validate(), ConfigError);
 }
 
+TEST(MemoryConfig, WithersRejectInvalidValuesEagerly)
+{
+    // Regression (found by memsense-lint contract-coverage): the
+    // builder methods used to accept any value silently, deferring all
+    // checking to validate(); a config that was never validated could
+    // carry a zero or negative rate into the bandwidth math. The
+    // withers now contract their domain at the call.
+    MemoryConfig m;
+    EXPECT_THROW(m.withSpeed(0.0), ConfigError);
+    EXPECT_THROW(m.withSpeed(-1333.0), ConfigError);
+    EXPECT_THROW(m.withEfficiency(0.0), ConfigError);
+    EXPECT_THROW(m.withEfficiency(1.2), ConfigError);
+    EXPECT_THROW(m.withCompulsoryNs(-5.0), ConfigError);
+}
+
 TEST(Platform, BaselineMatchesPaperSection6)
 {
     Platform p = Platform::paperBaseline();
@@ -128,6 +144,28 @@ TEST(Platform, CycleConversions)
     EXPECT_NEAR(p.nsToCycles(75.0), 202.5, 1e-9);
     EXPECT_NEAR(p.cyclesToNs(270.0), 100.0, 1e-9);
     EXPECT_DOUBLE_EQ(p.cyclesPerSecond(), 2.7e9);
+}
+
+TEST(Platform, CycleConversionsContractTheFrequency)
+{
+    // Regression (found by memsense-lint contract-coverage): on an
+    // unvalidated platform with ghz == 0, cyclesToNs used to divide by
+    // zero and return inf, which then flowed silently into latency
+    // sweeps. Both conversions now require a positive frequency.
+    Platform p = Platform::paperBaseline();
+    p.ghz = 0.0;
+    EXPECT_THROW(p.nsToCycles(75.0), ContractViolation);
+    EXPECT_THROW(p.cyclesToNs(270.0), ContractViolation);
+}
+
+TEST(Units, ExplicitConversionHelpersCrossTheUnitBoundary)
+{
+    // The free helpers are the sanctioned way to mix ns and cycles;
+    // memsense-lint's unit-mismatch rule recognizes them by name.
+    EXPECT_NEAR(nsToCycles(75.0, 2.7), 202.5, 1e-9);
+    EXPECT_NEAR(cyclesToNs(202.5, 2.7), 75.0, 1e-9);
+    EXPECT_THROW(nsToCycles(75.0, 0.0), ConfigError);
+    EXPECT_THROW(cyclesToNs(202.5, -1.0), ConfigError);
 }
 
 TEST(Platform, Validation)

@@ -47,10 +47,10 @@ TEST(BandwidthSweep, BaselineFirstAndCpiIncreasesDownward)
         paper::classParams(WorkloadClass::Hpc), variants);
     ASSERT_FALSE(sweep.empty());
     EXPECT_NEAR(sweep.front().bwDeltaPerCoreGBps, 0.0, 1e-9);
-    EXPECT_NEAR(sweep.front().cpiIncrease, 0.0, 1e-9);
+    EXPECT_NEAR(sweep.front().cpiIncreaseFrac, 0.0, 1e-9);
     for (std::size_t i = 1; i < sweep.size(); ++i) {
         ASSERT_LE(sweep[i].bwPerCoreGBps, sweep[i - 1].bwPerCoreGBps);
-        ASSERT_GE(sweep[i].cpiIncrease, sweep[i - 1].cpiIncrease - 1e-9);
+        ASSERT_GE(sweep[i].cpiIncreaseFrac, sweep[i - 1].cpiIncreaseFrac - 1e-9);
     }
 }
 
@@ -64,7 +64,7 @@ TEST(BandwidthSweep, HpcHurtsMostEnterpriseLeast)
 
     auto worst_increase = [&](WorkloadClass cls) {
         auto sweep = an.bandwidthSweep(paper::classParams(cls), variants);
-        return sweep.back().cpiIncrease;
+        return sweep.back().cpiIncreaseFrac;
     };
     double hpc = worst_increase(WorkloadClass::Hpc);
     double bd = worst_increase(WorkloadClass::BigData);
@@ -89,10 +89,10 @@ TEST(BandwidthSweep, BigDataToleratesModestReduction)
                           variants);
     for (const auto &pt : sweep) {
         if (pt.bwDeltaPerCoreGBps > -1.5) {
-            EXPECT_LT(pt.cpiIncrease, 0.10) << pt.memory.describe();
+            EXPECT_LT(pt.cpiIncreaseFrac, 0.10) << pt.memory.describe();
         }
         if (pt.bwDeltaPerCoreGBps < -4.0) {
-            EXPECT_GT(pt.cpiIncrease, 0.30) << pt.memory.describe();
+            EXPECT_GT(pt.cpiIncreaseFrac, 0.30) << pt.memory.describe();
         }
     }
 }
@@ -105,7 +105,7 @@ TEST(LatencySweep, StepsAndNormalization)
     ASSERT_EQ(sweep.size(), 7u);
     EXPECT_DOUBLE_EQ(sweep.front().compulsoryNs, 75.0);
     EXPECT_DOUBLE_EQ(sweep.back().compulsoryNs, 135.0);
-    EXPECT_NEAR(sweep.front().cpiIncrease, 0.0, 1e-12);
+    EXPECT_NEAR(sweep.front().cpiIncreaseFrac, 0.0, 1e-12);
 }
 
 TEST(LatencySweep, ClassSensitivitiesMatchPaperFig10)
@@ -115,7 +115,7 @@ TEST(LatencySweep, ClassSensitivitiesMatchPaperFig10)
 
     auto per_10ns = [&](WorkloadClass cls) {
         auto sweep = an.latencySweep(paper::classParams(cls), 10.0, 10.0);
-        return sweep.back().cpiIncrease * 100.0;
+        return sweep.back().cpiIncreaseFrac * 100.0;
     };
     EXPECT_NEAR(per_10ns(WorkloadClass::Enterprise), 3.5, 1.0);
     EXPECT_NEAR(per_10ns(WorkloadClass::BigData), 2.5, 1.0);

@@ -174,7 +174,7 @@ cmdSweep(int argc, char **argv)
                              cli.getDouble("step-ns"))) {
             t.addRow({formatDouble(pt.compulsoryNs, 0),
                       formatDouble(pt.op.cpiEff, 3),
-                      formatPercent(pt.cpiIncrease, 1),
+                      formatPercent(pt.cpiIncreaseFrac, 1),
                       pt.op.bandwidthBound ? "yes" : "no"});
         }
         t.print(std::cout);
@@ -189,7 +189,7 @@ cmdSweep(int argc, char **argv)
             t.addRow({pt.memory.describe(),
                       formatDouble(pt.bwPerCoreGBps, 2),
                       formatDouble(pt.op.cpiEff, 3),
-                      formatPercent(pt.cpiIncrease, 1),
+                      formatPercent(pt.cpiIncreaseFrac, 1),
                       pt.op.bandwidthBound ? "yes" : "no"});
         }
         t.print(std::cout);

@@ -1,0 +1,271 @@
+#include "baseline.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "lint.hh"
+
+namespace memsense::lint
+{
+
+namespace
+{
+
+/**
+ * Strict recursive-descent reader for the baseline's JSON subset:
+ * objects, arrays, and double-quoted strings with \" \\ \n \t \uXXXX
+ * escapes. No numbers, booleans, or nulls — the format never emits
+ * them, so the parser rejects them.
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &path, const std::string &text)
+        : path_(path), text_(text)
+    {
+    }
+
+    Baseline parse()
+    {
+        Baseline b;
+        expect('{');
+        expectKey("entries");
+        expect('[');
+        skipWs();
+        if (peek() != ']') {
+            for (;;) {
+                b.entries.push_back(parseEntry());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(']');
+        expect('}');
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after closing '}'");
+        return b;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error("memsense-lint: baseline " + path_ +
+                                 ": parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void expect(char c)
+    {
+        skipWs();
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void expectKey(const std::string &key)
+    {
+        if (parseString() != key)
+            fail("expected key \"" + key + "\"");
+        expect(':');
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = text_[pos_++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                if (v > 0x7f)
+                    fail("non-ASCII \\u escape not supported");
+                out += static_cast<char>(v);
+                break;
+              }
+              default:
+                fail(std::string("unknown escape '\\") + e + "'");
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    BaselineEntry parseEntry()
+    {
+        BaselineEntry e;
+        expect('{');
+        bool saw_rule = false, saw_file = false, saw_symbol = false;
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            expect(':');
+            skipWs();
+            std::string value = parseString();
+            if (key == "rule") {
+                e.rule = value;
+                saw_rule = true;
+            } else if (key == "file") {
+                e.file = value;
+                saw_file = true;
+            } else if (key == "symbol") {
+                e.symbol = value;
+                saw_symbol = true;
+            } else {
+                fail("unknown entry key \"" + key + "\"");
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        if (!saw_rule || !saw_file || !saw_symbol)
+            fail("entry must have rule, file, and symbol keys");
+        return e;
+    }
+
+    std::string path_;
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+/** Exact match, or suffix at a '/' boundary in either direction. */
+bool
+pathMatches(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    auto suffix_at_slash = [](const std::string &longer,
+                              const std::string &shorter) {
+        if (longer.size() <= shorter.size())
+            return false;
+        return longer.compare(longer.size() - shorter.size(),
+                              shorter.size(), shorter) == 0 &&
+               longer[longer.size() - shorter.size() - 1] == '/';
+    };
+    return suffix_at_slash(a, b) || suffix_at_slash(b, a);
+}
+
+} // anonymous namespace
+
+bool
+Baseline::covers(const Finding &f) const
+{
+    for (const BaselineEntry &e : entries) {
+        if (e.rule == f.rule && e.symbol == f.symbol &&
+            pathMatches(f.file, e.file))
+            return true;
+    }
+    return false;
+}
+
+Baseline
+parseBaseline(const std::string &path, const std::string &text)
+{
+    return Parser(path, text).parse();
+}
+
+Baseline
+loadBaseline(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error(
+            "memsense-lint: cannot read baseline file " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseBaseline(path, ss.str());
+}
+
+std::string
+writeBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<BaselineEntry> entries;
+    entries.reserve(findings.size());
+    for (const Finding &f : findings)
+        entries.push_back({f.rule, f.file, f.symbol});
+    auto key = [](const BaselineEntry &e) {
+        return std::tie(e.rule, e.file, e.symbol);
+    };
+    std::sort(entries.begin(), entries.end(),
+              [&key](const BaselineEntry &a, const BaselineEntry &b) {
+                  return key(a) < key(b);
+              });
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [&key](const BaselineEntry &a,
+                                     const BaselineEntry &b) {
+                                  return key(a) == key(b);
+                              }),
+                  entries.end());
+
+    std::ostringstream os;
+    os << "{\n  \"entries\": [";
+    bool first = true;
+    for (const BaselineEntry &e : entries) {
+        os << (first ? "" : ",") << "\n    {\"rule\": \""
+           << jsonEscaped(e.rule) << "\", \"file\": \""
+           << jsonEscaped(e.file) << "\", \"symbol\": \""
+           << jsonEscaped(e.symbol) << "\"}";
+        first = false;
+    }
+    os << (entries.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+} // namespace memsense::lint

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Finding baseline: the accepted backlog, checked into the repo.
+ *
+ * Entries key on (rule, file, symbol) — never on line numbers — so an
+ * unrelated edit above a baselined finding does not resurrect it, and
+ * moving a function within its file does not either. The cost is that
+ * a second instance of the same rule inside the same symbol is also
+ * absorbed; the sweep that retires a baseline entry is expected to
+ * clear the whole symbol.
+ *
+ * The file format is a strict, minimal JSON subset written by
+ * writeBaseline(); loadBaseline() refuses anything it cannot fully
+ * parse. A half-read baseline silently un-suppressing (or worse,
+ * suppressing everything) is a CI integrity bug, so parse failures are
+ * hard errors with the offending offset.
+ */
+
+#ifndef MEMSENSE_LINT_BASELINE_HH
+#define MEMSENSE_LINT_BASELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace memsense::lint
+{
+
+/** One accepted finding. */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    std::string symbol; ///< "" = file-scope finding
+};
+
+/** A loaded baseline. */
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+
+    /**
+     * True when @p f matches an entry. Paths match exactly or as a
+     * suffix at a '/' boundary in either direction, so a baseline
+     * recorded as "src/model/solver.cc" covers a finding reported
+     * against "/abs/checkout/src/model/solver.cc" and vice versa.
+     */
+    bool covers(const Finding &f) const;
+};
+
+/**
+ * Parse @p text (from @p path, used in error messages) into a
+ * Baseline. Throws std::runtime_error on any syntax the strict parser
+ * does not recognize.
+ */
+Baseline parseBaseline(const std::string &path, const std::string &text);
+
+/** Read and parse a baseline file. Throws if unreadable or malformed. */
+Baseline loadBaseline(const std::string &path);
+
+/** Serialize @p findings as baseline JSON (sorted, deduplicated). */
+std::string writeBaseline(const std::vector<Finding> &findings);
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_BASELINE_HH

@@ -1,0 +1,62 @@
+// Fixture: unguarded-shared-state, mutation side. Locked mutations
+// and constructor initialization must stay quiet; the unlocked
+// mutations in addUnlocked must fire (one per field).
+
+#include "shared_registry.hh"
+
+namespace memsense::serve
+{
+
+SharedRegistry::SharedRegistry()
+{
+    total = 0; // quiet: constructor of the declaring class
+}
+
+void
+SharedRegistry::add(int v)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    entries.push_back(v); // quiet: lock_guard on mu is visible
+    total += v;           // quiet
+}
+
+void
+SharedRegistry::addUnlocked(int v)
+{
+    entries.push_back(v); // fire 1
+    total += v;           // fire 2
+}
+
+void
+SharedRegistry::resetForTest()
+{
+    // memsense-lint: allow(unguarded-shared-state): single-threaded hook
+    total = 0;
+}
+
+int
+SharedRegistry::drain()
+{
+    mu.lock();
+    int out = static_cast<int>(total);
+    entries.clear(); // quiet: explicit mu.lock() is visible
+    mu.unlock();
+    return out;
+}
+
+// An unrelated class whose member happens to share the name of a
+// guarded field. Bare accesses inside its own methods must NOT be
+// confused with SharedRegistry::total.
+class ScratchTally
+{
+  public:
+    void bump()
+    {
+        total += 1; // quiet: ScratchTally::total is not annotated
+    }
+
+  private:
+    long total = 0;
+};
+
+} // namespace memsense::serve

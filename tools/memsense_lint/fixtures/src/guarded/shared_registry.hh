@@ -1,0 +1,28 @@
+// Fixture: unguarded-shared-state, declaration side. Fields annotated
+// guarded_by(mu) here are enforced in the sibling shared_registry.cc
+// through the cross-file symbol index (same file stem).
+
+#include <mutex>
+#include <vector>
+
+namespace memsense::serve
+{
+
+class SharedRegistry
+{
+  public:
+    SharedRegistry();
+    void add(int v);
+    void addUnlocked(int v);
+    void resetForTest();
+    int drain();
+
+  private:
+    std::mutex mu;
+    // memsense-lint: guarded_by(mu)
+    std::vector<int> entries;
+    // memsense-lint: guarded_by(mu)
+    long total = 0;
+};
+
+} // namespace memsense::serve

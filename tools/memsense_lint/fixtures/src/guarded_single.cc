@@ -1,0 +1,28 @@
+// Fixture: unguarded-shared-state with the annotation and the
+// mutation in the same file — the per-file symbol table alone must
+// catch it, no cross-file index required.
+
+#include <mutex>
+
+namespace memsense::serve
+{
+
+struct Counter
+{
+    std::mutex mu;
+    // memsense-lint: guarded_by(mu)
+    long hits = 0;
+
+    void recordLocked(long n)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        hits += n; // quiet
+    }
+
+    void recordRacy(long n)
+    {
+        hits += n; // fire
+    }
+};
+
+} // namespace memsense::serve

@@ -1,0 +1,56 @@
+// Fixture: contract-coverage. Externally-linked model/sim functions
+// taking floating-point parameters must open with a contract
+// (MS_REQUIRE / requireConfig); internal-linkage helpers, integer
+// functions, and reasoned allow() carriers must stay quiet.
+
+namespace memsense::model
+{
+
+double
+solveLatencyNs(double base_ns, double factor)
+{
+    MS_REQUIRE(base_ns >= 0.0);
+    return base_ns * factor; // quiet: contracted
+}
+
+double
+scaledBandwidthGBps(double raw_gbps)
+{
+    requireConfig(raw_gbps > 0.0, "bandwidth must be positive");
+    return raw_gbps; // quiet: user-input contract counts
+}
+
+double
+uncheckedBlend(double a_frac, double b) // fire 1: no opening contract
+{
+    return a_frac * b;
+}
+
+class PhaseModel
+{
+  public:
+    double blendNs(double x_ns, double w_frac) // fire 2: member, no contract
+    {
+        return x_ns * w_frac;
+    }
+};
+
+int
+integerOnly(int n, long m) // quiet: no floating-point parameters
+{
+    return n + static_cast<int>(m);
+}
+
+static double
+localHelper(double x) // quiet: internal linkage
+{
+    return x * 2.0;
+}
+
+// memsense-lint: allow(contract-coverage): any finite weight is valid
+double documentedTotal(double weight)
+{
+    return localHelper(weight);
+}
+
+} // namespace memsense::model

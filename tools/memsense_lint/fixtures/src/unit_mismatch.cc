@@ -1,0 +1,68 @@
+// Fixture: unit-mismatch. Cross-unit arithmetic, comparisons,
+// unit-dropping assignments, and mismatched returns must fire;
+// same-unit math, literals, explicit conversions, and product terms
+// must stay quiet. Expected findings are numbered in the comments.
+
+using Picos = unsigned long long;
+
+namespace memsense::model
+{
+
+double cyclesToNs(double cycles, double ghz);
+double nsToCycles(double ns, double ghz);
+
+double
+mixedArithmetic(double busy_ns, double stall_cycles, double ghz)
+{
+    double total_ns = busy_ns + stall_cycles;  // fire 1: ns + cycles
+    double wait_cycles = stall_cycles - busy_ns; // fire 2: cycles - ns
+    double same_ns = busy_ns + busy_ns;        // quiet: same unit
+    double lit_ns = busy_ns + 1.5;             // quiet: literal operand
+    double conv_ns = busy_ns + cyclesToNs(stall_cycles, ghz); // quiet
+    double scaled_ns = busy_ns + stall_cycles * ghz; // quiet: product
+    (void)wait_cycles;
+    return total_ns + same_ns + lit_ns + conv_ns + scaled_ns;
+}
+
+bool
+compareMixed(double busy_ns, double stall_cycles, double load_frac)
+{
+    if (busy_ns < stall_cycles) // fire 3: ns < cycles
+        return true;
+    if (load_frac > 0.9) // quiet: literal operand
+        return false;
+    return busy_ns >= stall_cycles; // fire 4: ns >= cycles
+}
+
+void
+accumulate(double &total_ns, double stall_cycles, double extra_ns)
+{
+    total_ns = stall_cycles;  // fire 5: unit-dropping assignment
+    total_ns += stall_cycles; // fire 6: compound cross-unit
+    total_ns += extra_ns;     // quiet: same unit
+}
+
+double
+waitTimeNs(double stall_cycles)
+{
+    return stall_cycles; // fire 7: Ns-named function returns cycles
+}
+
+double
+budgetCheck(double lat_ns)
+{
+    Picos deadline = 125000;
+    if (deadline < lat_ns) // fire 8: Picos-typed var vs ns
+        return lat_ns;
+    return 0.0;
+}
+
+double
+pick(const double *lat_ns, const double *lat_cycles, int i)
+{
+    if (lat_ns[i] > lat_cycles[i]) // fire 9: subscripted operands
+        return lat_ns[i];
+    return lat_cycles[0]; // quiet: pick() declares no return unit
+}
+
+} // namespace memsense::model

@@ -1,0 +1,15 @@
+// Fixture: allow() suppression for unit-mismatch — a deliberate
+// cross-unit sum with a reasoned annotation must produce no findings.
+
+namespace memsense::model
+{
+
+double
+deliberateMix(double base_ns, double skew_cycles)
+{
+    // memsense-lint: allow(unit-mismatch): skew is pre-scaled to ns
+    double total_ns = base_ns + skew_cycles;
+    return total_ns;
+}
+
+} // namespace memsense::model

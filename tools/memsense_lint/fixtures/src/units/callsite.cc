@@ -1,0 +1,18 @@
+// Fixture: unit-mismatch call-argument checking, call side. The
+// swapped call must fire once per mismatched argument; the correct
+// call must stay quiet.
+
+#include "timing.hh"
+
+namespace memsense::model
+{
+
+double
+driver(double lat_ns, double stall_cycles, double ghz)
+{
+    double good = applyPenalty(lat_ns, stall_cycles, ghz); // quiet
+    double bad = applyPenalty(stall_cycles, lat_ns, ghz);  // fire x2
+    return good + bad;
+}
+
+} // namespace memsense::model

@@ -1,0 +1,10 @@
+// Fixture: unit-mismatch call-argument checking, declaration side.
+// Parameter names carry units; call sites in callsite.cc are checked
+// against this signature through the cross-file symbol index.
+
+namespace memsense::model
+{
+
+double applyPenalty(double base_ns, double penalty_cycles, double ghz);
+
+} // namespace memsense::model

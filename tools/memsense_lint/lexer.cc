@@ -78,11 +78,26 @@ tokenize(const std::string &source)
             continue;
         }
 
-        // Line comment: capture text for suppression parsing.
+        // Line comment: capture text for suppression parsing. A
+        // backslash-newline splice extends the comment onto the next
+        // physical line (phase-2 splicing happens before comment
+        // recognition, so the spliced text is still comment, not code).
         if (c == '/' && i + 1 < n && source[i + 1] == '/') {
             std::size_t start = i + 2;
-            while (i < n && source[i] != '\n')
+            while (i < n) {
+                if (source[i] == '\n') {
+                    if (i > start && source[i - 1] == '\\') {
+                        addComment(line,
+                                   source.substr(start, i - 1 - start));
+                        ++line;
+                        ++i;
+                        start = i;
+                        continue;
+                    }
+                    break;
+                }
                 ++i;
+            }
             addComment(line, source.substr(start, i - start));
             continue;
         }
@@ -107,9 +122,20 @@ tokenize(const std::string &source)
             continue;
         }
 
-        // Raw string literal: R"delim( ... )delim"
+        // Raw string literal: R"delim( ... )delim", with an optional
+        // encoding prefix (u8R / uR / UR / LR).
+        std::size_t raw_r = std::string::npos; // index of the 'R'
         if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
-            std::size_t d = i + 2;
+            raw_r = i;
+        } else if (c == 'u' || c == 'U' || c == 'L') {
+            std::size_t r = i + 1;
+            if (c == 'u' && r < n && source[r] == '8')
+                ++r;
+            if (r + 1 < n && source[r] == 'R' && source[r + 1] == '"')
+                raw_r = r;
+        }
+        if (raw_r != std::string::npos) {
+            std::size_t d = raw_r + 2;
             std::string delim;
             while (d < n && source[d] != '(')
                 delim += source[d++];
@@ -166,7 +192,14 @@ tokenize(const std::string &source)
                         (source[i + 1] == 'x' || source[i + 1] == 'X'));
             while (i < n) {
                 char d = source[i];
-                if (isIdentChar(d) || d == '.' || d == '\'') {
+                if (isIdentChar(d) || d == '.') {
+                    ++i;
+                    continue;
+                }
+                // Digit separator: only between alphanumerics, so an
+                // adjacent char literal is not swallowed.
+                if (d == '\'' && i + 1 < n &&
+                    std::isalnum(static_cast<unsigned char>(source[i + 1]))) {
                     ++i;
                     continue;
                 }

@@ -120,13 +120,34 @@ lintableExtension(const std::filesystem::path &p)
            ext == ".hpp";
 }
 
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("memsense-lint: cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+excluded(const std::string &path, const LintOptions &opts)
+{
+    for (const std::string &sub : opts.excludes) {
+        if (!sub.empty() && path.find(sub) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 } // anonymous namespace
 
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &source,
-           const LintOptions &opts)
+           const LintOptions &opts, const SymbolIndex *index)
 {
-    FileContext ctx = makeContext(path, tokenize(source));
+    FileContext ctx = makeContext(path, tokenize(source), index);
     std::vector<Finding> raw;
     for (const Rule &rule : allRules()) {
         if (!opts.ruleFilter.empty() &&
@@ -137,8 +158,16 @@ lintSource(const std::string &path, const std::string &source,
     }
     std::vector<Finding> out;
     for (Finding &f : raw) {
-        if (!suppressed(f, ctx))
-            out.push_back(std::move(f));
+        if (suppressed(f, ctx))
+            continue;
+        // Attribute to the enclosing function so baseline entries key
+        // on a stable symbol, not a drifting line number.
+        if (f.symbol.empty()) {
+            const FunctionDecl *fn = ctx.syms.enclosingLine(f.line);
+            if (fn)
+                f.symbol = fn->qualified;
+        }
+        out.push_back(std::move(f));
     }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
@@ -150,14 +179,10 @@ lintSource(const std::string &path, const std::string &source,
 }
 
 std::vector<Finding>
-lintFile(const std::string &path, const LintOptions &opts)
+lintFile(const std::string &path, const LintOptions &opts,
+         const SymbolIndex *index)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("memsense-lint: cannot read " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return lintSource(path, ss.str(), opts);
+    return lintSource(path, readFileOrThrow(path), opts, index);
 }
 
 std::vector<Finding>
@@ -167,22 +192,46 @@ lintPaths(const std::vector<std::string> &paths, const LintOptions &opts,
     namespace fs = std::filesystem;
     std::vector<std::string> files;
     for (const std::string &p : paths) {
+        std::size_t before = files.size();
         if (fs::is_directory(p)) {
             for (const auto &entry : fs::recursive_directory_iterator(p)) {
                 if (entry.is_regular_file() &&
-                    lintableExtension(entry.path()))
+                    lintableExtension(entry.path()) &&
+                    !excluded(entry.path().generic_string(), opts))
                     files.push_back(entry.path().generic_string());
             }
+        } else if (fs::is_regular_file(p)) {
+            if (!excluded(p, opts))
+                files.push_back(p);
         } else {
-            files.push_back(p);
+            throw std::runtime_error(
+                "memsense-lint: path does not exist (or is not a file or "
+                "directory): " + p);
         }
+        if (files.size() == before)
+            throw std::runtime_error(
+                "memsense-lint: no lintable files (*.cc/.hh/.h/.cpp/.hpp) "
+                "under " + p +
+                "; a root that scans nothing would pass vacuously, so it "
+                "is an error (check the path and --exclude patterns)");
     }
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<Finding> out;
+    // Pass 1: scan every file into the cross-file symbol index.
+    SymbolIndex index;
+    std::vector<std::string> sources;
+    sources.reserve(files.size());
     for (const std::string &file : files) {
-        std::vector<Finding> per_file = lintFile(file, opts);
+        sources.push_back(readFileOrThrow(file));
+        index.merge(file, scanSymbols(tokenize(sources.back())));
+    }
+
+    // Pass 2: rules, with the whole tree's declarations in scope.
+    std::vector<Finding> out;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::vector<Finding> per_file =
+            lintSource(files[i], sources[i], opts, &index);
         out.insert(out.end(), per_file.begin(), per_file.end());
     }
     if (files_scanned)
@@ -222,12 +271,22 @@ jsonReport(const std::vector<Finding> &findings, std::size_t files_scanned)
         jsonEscape(os, f.file);
         os << "\", \"line\": " << f.line << ", \"rule\": \"";
         jsonEscape(os, f.rule);
+        os << "\", \"symbol\": \"";
+        jsonEscape(os, f.symbol);
         os << "\", \"message\": \"";
         jsonEscape(os, f.message);
         os << "\"}";
         first = false;
     }
     os << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::ostringstream os;
+    jsonEscape(os, s);
     return os.str();
 }
 

@@ -2,6 +2,11 @@
  * @file
  * memsense-lint driver: file discovery, suppression handling, and
  * report formatting on top of the rule catalog in rules.hh.
+ *
+ * Tree analysis is two-pass: every discovered file is scanned into the
+ * SymbolIndex first, then each file is linted with the merged index in
+ * scope, so cross-file rules (unit-mismatch call checks, guarded_by
+ * annotations declared in a sibling header) see the whole tree.
  */
 
 #ifndef MEMSENSE_LINT_LINT_HH
@@ -20,21 +25,29 @@ struct LintOptions
 {
     /** When non-empty, only these rule ids run. */
     std::vector<std::string> ruleFilter;
+    /** Paths containing any of these substrings are skipped. */
+    std::vector<std::string> excludes;
 };
 
 /** Lint one in-memory source (the selftest entry point). */
 std::vector<Finding> lintSource(const std::string &path,
                                 const std::string &source,
-                                const LintOptions &opts = {});
+                                const LintOptions &opts = {},
+                                const SymbolIndex *index = nullptr);
 
 /** Lint one file on disk. Throws std::runtime_error if unreadable. */
 std::vector<Finding> lintFile(const std::string &path,
-                              const LintOptions &opts = {});
+                              const LintOptions &opts = {},
+                              const SymbolIndex *index = nullptr);
 
 /**
  * Lint files and directory trees (recursing into *.cc/.hh/.h/.cpp/.hpp,
  * deterministic order). @p files_scanned, when non-null, receives the
  * number of files visited.
+ *
+ * Throws std::runtime_error when a root does not exist or contributes
+ * no lintable files — a silent "0 files, 0 findings" pass from a typo'd
+ * path is indistinguishable from a clean tree, so it is an error.
  */
 std::vector<Finding> lintPaths(const std::vector<std::string> &paths,
                                const LintOptions &opts = {},
@@ -46,6 +59,9 @@ std::string formatFinding(const Finding &f);
 /** Machine-readable JSON report (findings, per-rule counts, file count). */
 std::string jsonReport(const std::vector<Finding> &findings,
                        std::size_t files_scanned);
+
+/** JSON string-escape @p s (shared by the JSON/SARIF/baseline writers). */
+std::string jsonEscaped(const std::string &s);
 
 } // namespace memsense::lint
 

@@ -6,13 +6,21 @@
  *   memsense_lint [options] <file-or-dir>...
  *
  * Options:
- *   --json[=PATH]   write a JSON report to PATH (default stdout)
- *   --rules=a,b     run only the named rules
- *   --list-rules    print the rule catalog and exit
- *   --help          usage
+ *   --json[=PATH]       write a JSON report to PATH (default stdout)
+ *   --sarif=PATH        write a SARIF 2.1.0 report to PATH ("-" stdout)
+ *   --baseline=PATH     suppress findings covered by the baseline file
+ *   --write-baseline=PATH  write current findings as a new baseline
+ *                          and exit 0 (suppressed entries excluded)
+ *   --exclude=SUBSTR    skip files whose path contains SUBSTR
+ *                       (repeatable; e.g. --exclude=fixtures)
+ *   --rules=a,b         run only the named rules
+ *   --list-rules        print the rule catalog and exit
+ *   --help              usage
  *
- * Exit status: 0 when no findings, 1 when findings were reported,
- * 2 on usage or I/O errors. Diagnostics print one per line as
+ * Exit status: 0 when no (new) findings, 1 when findings were
+ * reported, 2 on usage or I/O errors — including a root path that
+ * exists but yields no lintable files, and a baseline file that does
+ * not parse. Diagnostics print one per line as
  * "file:line: rule: message" so editors and grep can consume them.
  */
 
@@ -21,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "baseline.hh"
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace
 {
@@ -29,8 +39,10 @@ namespace
 void
 usage(std::ostream &os)
 {
-    os << "usage: memsense_lint [--json[=PATH]] [--rules=a,b] "
-          "[--list-rules] <file-or-dir>...\n";
+    os << "usage: memsense_lint [--json[=PATH]] [--sarif=PATH]\n"
+          "                     [--baseline=PATH] [--write-baseline=PATH]\n"
+          "                     [--exclude=SUBSTR]... [--rules=a,b]\n"
+          "                     [--list-rules] <file-or-dir>...\n";
 }
 
 std::vector<std::string>
@@ -52,6 +64,16 @@ splitCsv(const std::string &s)
     return out;
 }
 
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << text;
+    return true;
+}
+
 } // anonymous namespace
 
 int
@@ -63,6 +85,9 @@ main(int argc, char **argv)
     LintOptions opts;
     bool want_json = false;
     std::string json_path;
+    std::string sarif_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -78,6 +103,14 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             want_json = true;
             json_path = arg.substr(7);
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = arg.substr(8);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = arg.substr(11);
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            write_baseline_path = arg.substr(17);
+        } else if (arg.rfind("--exclude=", 0) == 0) {
+            opts.excludes.push_back(arg.substr(10));
         } else if (arg.rfind("--rules=", 0) == 0) {
             opts.ruleFilter = splitCsv(arg.substr(8));
         } else if (!arg.empty() && arg[0] == '-') {
@@ -106,6 +139,20 @@ main(int argc, char **argv)
         }
     }
 
+    // Load the baseline before scanning: a malformed baseline must
+    // fail fast, not after a long lint pass.
+    Baseline baseline;
+    bool have_baseline = false;
+    if (!baseline_path.empty()) {
+        try {
+            baseline = loadBaseline(baseline_path);
+            have_baseline = true;
+        } catch (const std::exception &e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    }
+
     std::size_t files_scanned = 0;
     std::vector<Finding> findings;
     try {
@@ -115,6 +162,31 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!write_baseline_path.empty()) {
+        if (!writeTextFile(write_baseline_path, writeBaseline(findings))) {
+            std::cerr << "memsense-lint: cannot write "
+                      << write_baseline_path << "\n";
+            return 2;
+        }
+        std::cerr << "memsense-lint: baselined " << findings.size()
+                  << " finding" << (findings.size() == 1 ? "" : "s")
+                  << " across " << files_scanned << " files into "
+                  << write_baseline_path << "\n";
+        return 0;
+    }
+
+    std::size_t baselined = 0;
+    if (have_baseline) {
+        std::vector<Finding> fresh;
+        for (Finding &f : findings) {
+            if (baseline.covers(f))
+                ++baselined;
+            else
+                fresh.push_back(std::move(f));
+        }
+        findings = std::move(fresh);
+    }
+
     for (const Finding &f : findings)
         std::cerr << formatFinding(f) << "\n";
 
@@ -122,19 +194,28 @@ main(int argc, char **argv)
         std::string report = jsonReport(findings, files_scanned);
         if (json_path.empty()) {
             std::cout << report;
-        } else {
-            std::ofstream out(json_path);
-            if (!out) {
-                std::cerr << "memsense-lint: cannot write " << json_path
-                          << "\n";
-                return 2;
-            }
-            out << report;
+        } else if (!writeTextFile(json_path, report)) {
+            std::cerr << "memsense-lint: cannot write " << json_path
+                      << "\n";
+            return 2;
+        }
+    }
+    if (!sarif_path.empty()) {
+        std::string report = sarifReport(findings);
+        if (sarif_path == "-") {
+            std::cout << report;
+        } else if (!writeTextFile(sarif_path, report)) {
+            std::cerr << "memsense-lint: cannot write " << sarif_path
+                      << "\n";
+            return 2;
         }
     }
 
     std::cerr << "memsense-lint: " << files_scanned << " files, "
               << findings.size() << " finding"
-              << (findings.size() == 1 ? "" : "s") << "\n";
+              << (findings.size() == 1 ? "" : "s");
+    if (baselined > 0)
+        std::cerr << " (" << baselined << " baselined)";
+    std::cerr << "\n";
     return findings.empty() ? 0 : 1;
 }

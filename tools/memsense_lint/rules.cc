@@ -29,44 +29,6 @@ isPunct(const Token &t, const char *text)
     return t.kind == TokKind::Punct && t.text == text;
 }
 
-/** Split an identifier into lowercased camelCase / snake_case words. */
-std::vector<std::string>
-identWords(const std::string &name)
-{
-    std::vector<std::string> words;
-    std::string cur;
-    for (std::size_t i = 0; i < name.size(); ++i) {
-        char c = name[i];
-        if (c == '_') {
-            if (!cur.empty())
-                words.push_back(cur);
-            cur.clear();
-            continue;
-        }
-        bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
-        if (upper && !cur.empty()) {
-            char prev = name[i - 1];
-            bool prev_lower =
-                std::islower(static_cast<unsigned char>(prev)) != 0 ||
-                std::isdigit(static_cast<unsigned char>(prev)) != 0;
-            bool next_lower =
-                i + 1 < name.size() &&
-                std::islower(static_cast<unsigned char>(name[i + 1])) != 0;
-            // New word at lower->Upper, and at the last upper of an
-            // acronym run ("GBps" -> "g", "bps").
-            if (prev_lower || (!prev_lower && next_lower)) {
-                words.push_back(cur);
-                cur.clear();
-            }
-        }
-        cur += static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c)));
-    }
-    if (!cur.empty())
-        words.push_back(cur);
-    return words;
-}
-
 std::string
 lowercase(const std::string &s)
 {
@@ -718,15 +680,446 @@ checkBareCatch(const FileContext &ctx, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------------
+// unit-mismatch
+// ---------------------------------------------------------------------
+
+/** Unit an identifier carries: name suffix, then Picos/Cycles type. */
+Unit
+identUnit(const FileContext &ctx, const std::string &name)
+{
+    Unit u = unitFromIdentifier(name);
+    if (u != Unit::Unknown)
+        return u;
+    auto it = ctx.syms.typedUnits.find(name);
+    return it != ctx.syms.typedUnits.end() ? it->second : Unit::Unknown;
+}
+
+/**
+ * Unit and spelling of the operand that *ends* at token @p i. Sets
+ * @p start to the operand's first token so the caller can reject
+ * operands that are really one factor of a product.
+ */
+Unit
+leftOperandUnit(const FileContext &ctx, std::size_t i, std::size_t *start,
+                std::string *spelling)
+{
+    const auto &toks = ctx.toks;
+    const Token &t = at(toks, i);
+    *start = i;
+    if (t.kind == TokKind::Number)
+        return Unit::Unknown;
+
+    std::size_t name_idx = i;
+    bool is_call = false;
+    if (isPunct(t, ")") || isPunct(t, "]")) {
+        const char *opener = isPunct(t, ")") ? "(" : "[";
+        const char *closer = isPunct(t, ")") ? ")" : "]";
+        int depth = 0;
+        std::size_t j = i + 1;
+        while (j-- > 0) {
+            if (isPunct(toks[j], closer))
+                ++depth;
+            else if (isPunct(toks[j], opener) && --depth == 0)
+                break;
+        }
+        if (depth != 0 || j == 0 || at(toks, j - 1).kind != TokKind::Ident)
+            return Unit::Unknown;
+        name_idx = j - 1;
+        is_call = isPunct(t, ")");
+    } else if (t.kind != TokKind::Ident) {
+        return Unit::Unknown;
+    }
+
+    // Walk back over a member/scope chain so `cfg.latency_ns` starts
+    // at `cfg` (product detection) but keeps the member's unit.
+    std::size_t s = name_idx;
+    while ((isPunct(at(toks, s - 1), ".") || isPunct(at(toks, s - 1), "->") ||
+            isPunct(at(toks, s - 1), "::")) &&
+           at(toks, s - 2).kind == TokKind::Ident)
+        s -= 2;
+    *start = s;
+    *spelling = toks[name_idx].text + (is_call ? "()" : "");
+    return is_call ? unitFromIdentifier(toks[name_idx].text)
+                   : identUnit(ctx, toks[name_idx].text);
+}
+
+/**
+ * Unit and spelling of the operand *starting* at token @p j. Sets
+ * @p end one past the operand. Unknown for anything that is not a
+ * lone identifier chain, call, or subscript.
+ */
+Unit
+rightOperandUnit(const FileContext &ctx, std::size_t j, std::size_t *end,
+                 std::string *spelling)
+{
+    const auto &toks = ctx.toks;
+    while (isPunct(at(toks, j), "-") || isPunct(at(toks, j), "+") ||
+           isPunct(at(toks, j), "!"))
+        ++j;
+    const Token &t = at(toks, j);
+    *end = j + 1;
+    if (t.kind != TokKind::Ident)
+        return Unit::Unknown;
+    std::size_t last = j;
+    while ((isPunct(at(toks, last + 1), ".") ||
+            isPunct(at(toks, last + 1), "->") ||
+            isPunct(at(toks, last + 1), "::")) &&
+           at(toks, last + 2).kind == TokKind::Ident)
+        last += 2;
+    if (isPunct(at(toks, last + 1), "(")) { // call
+        *end = matchDelim(toks, last + 1, "(", ")") + 1;
+        *spelling = toks[last].text + "()";
+        return unitFromIdentifier(toks[last].text);
+    }
+    std::size_t e = last + 1;
+    while (isPunct(at(toks, e), "["))
+        e = matchDelim(toks, e, "[", "]") + 1;
+    *end = e;
+    *spelling = toks[last].text;
+    return identUnit(ctx, toks[last].text);
+}
+
+/** True when token @p i is `*`, `/`, or `%` (a product context). */
+bool
+isMulDiv(const std::vector<Token> &toks, std::size_t i)
+{
+    const Token &t = at(toks, i);
+    return isPunct(t, "*") || isPunct(t, "/") || isPunct(t, "%");
+}
+
+void
+checkUnitMismatch(const FileContext &ctx, std::vector<Finding> &out)
+{
+    const auto &toks = ctx.toks;
+    static const std::set<std::string> cmp_ops = {"<",  ">",  "<=",
+                                                  ">=", "==", "!="};
+    const std::string convert_hint =
+        "; convert explicitly (util/units.hh: nsToCycles/cyclesToNs, "
+        "Clock, nsToPicos/picosToNs) or annotate with "
+        "allow(unit-mismatch) and the reason the units agree";
+
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Punct)
+            continue;
+        const bool addsub = t.text == "+" || t.text == "-";
+        const bool cmp = cmp_ops.count(t.text) != 0;
+        const bool compound = t.text == "+=" || t.text == "-=";
+        const bool assign = t.text == "=";
+        if (!addsub && !cmp && !compound && !assign)
+            continue;
+
+        // Binary only: the left neighbour must end an operand.
+        const Token &prev = toks[i - 1];
+        if (prev.kind != TokKind::Ident && prev.kind != TokKind::Number &&
+            !isPunct(prev, ")") && !isPunct(prev, "]"))
+            continue;
+
+        std::size_t lstart = 0;
+        std::string lhs, rhs;
+        Unit lu = leftOperandUnit(ctx, i - 1, &lstart, &lhs);
+        if (lu == Unit::Unknown)
+            continue;
+        std::size_t rend = 0;
+        Unit ru = rightOperandUnit(ctx, i + 1, &rend, &rhs);
+        if (ru == Unit::Unknown || lu == ru)
+            continue;
+
+        // An operand that is one factor of a product has the product's
+        // unit, which we do not derive: stay quiet.
+        if (lstart > 0 && isMulDiv(toks, lstart - 1))
+            continue;
+        if (isMulDiv(toks, rend))
+            continue;
+
+        if (assign || compound) {
+            // Single-term right-hand side only.
+            const Token &after = at(toks, rend);
+            if (!isPunct(after, ";") && !isPunct(after, ",") &&
+                !isPunct(after, ")"))
+                continue;
+        }
+
+        const char *what = addsub ? "cross-unit arithmetic"
+                           : cmp  ? "cross-unit comparison"
+                                  : "unit-changing assignment";
+        out.push_back({ctx.path, t.line, "unit-mismatch",
+                       std::string(what) + ": '" + lhs + "' [" +
+                           unitName(lu) + "] " + t.text + " '" + rhs +
+                           "' [" + unitName(ru) + "]" + convert_hint});
+    }
+
+    // Return-value units: a function whose name declares its unit must
+    // not return a single term of a different unit.
+    for (const FunctionDecl &f : ctx.syms.functions) {
+        if (!f.hasBody() || f.returnUnit == Unit::Unknown)
+            continue;
+        for (std::size_t i = f.bodyBegin + 1; i < f.bodyEnd; ++i) {
+            if (!isIdent(toks[i], "return"))
+                continue;
+            std::size_t rend = 0;
+            std::string rhs;
+            Unit ru = rightOperandUnit(ctx, i + 1, &rend, &rhs);
+            if (ru == Unit::Unknown || !isPunct(at(toks, rend), ";") ||
+                ru == f.returnUnit)
+                continue;
+            out.push_back(
+                {ctx.path, toks[i].line, "unit-mismatch",
+                 "'" + f.qualified + "' declares [" +
+                     unitName(f.returnUnit) + "] in its name but returns '" +
+                     rhs + "' [" + unitName(ru) + "]" + convert_hint,
+                 f.qualified});
+        }
+    }
+
+    // Call arguments against cross-file signatures: a single-term
+    // argument with a unit must match the parameter's declared unit.
+    if (!ctx.index)
+        return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident || !isPunct(at(toks, i + 1), "("))
+            continue;
+        auto it = ctx.index->functions.find(t.text);
+        if (it == ctx.index->functions.end() || it->second.ambiguous)
+            continue;
+        const std::vector<Unit> &params = it->second.paramUnits;
+        if (params.empty() ||
+            std::all_of(params.begin(), params.end(),
+                        [](Unit u) { return u == Unit::Unknown; }))
+            continue;
+        std::size_t close = matchDelim(toks, i + 1, "(", ")");
+        if (close >= toks.size())
+            continue;
+        // Argument slice boundaries at top-level commas.
+        std::vector<std::size_t> begins = {i + 2}, ends;
+        int par = 0, brc = 0, sq = 0;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (isPunct(toks[j], "("))
+                ++par;
+            else if (isPunct(toks[j], ")"))
+                --par;
+            else if (isPunct(toks[j], "{"))
+                ++brc;
+            else if (isPunct(toks[j], "}"))
+                --brc;
+            else if (isPunct(toks[j], "["))
+                ++sq;
+            else if (isPunct(toks[j], "]"))
+                --sq;
+            else if (isPunct(toks[j], ",") && par == 0 && brc == 0 &&
+                     sq == 0) {
+                ends.push_back(j);
+                begins.push_back(j + 1);
+            }
+        }
+        ends.push_back(close);
+        if (close == i + 2)
+            continue; // no arguments
+        if (begins.size() != params.size())
+            continue; // arity mismatch: overload or varargs, stay quiet
+        for (std::size_t a = 0; a < begins.size(); ++a) {
+            if (params[a] == Unit::Unknown)
+                continue;
+            std::size_t rend = 0;
+            std::string rhs;
+            Unit ru = rightOperandUnit(ctx, begins[a], &rend, &rhs);
+            // Whole argument must be the single term we derived.
+            if (ru == Unit::Unknown || rend != ends[a] || ru == params[a])
+                continue;
+            out.push_back(
+                {ctx.path, toks[begins[a]].line, "unit-mismatch",
+                 "argument " + std::to_string(a + 1) + " of '" + t.text +
+                     "' expects [" + unitName(params[a]) + "] but '" + rhs +
+                     "' is [" + unitName(ru) + "]" + convert_hint});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unguarded-shared-state
+// ---------------------------------------------------------------------
+
+void
+checkUnguardedSharedState(const FileContext &ctx, std::vector<Finding> &out)
+{
+    // Applicable annotations: this file's own plus same-stem siblings
+    // (a field annotated in foo.hh is enforced inside foo.cc).
+    const std::vector<GuardedField> *fields = &ctx.syms.guarded;
+    if (ctx.index) {
+        auto it = ctx.index->guardedByStem.find(fileStem(ctx.path));
+        if (it != ctx.index->guardedByStem.end())
+            fields = &it->second;
+    }
+    if (fields->empty())
+        return;
+
+    std::map<std::string, std::set<std::string>> mutex_of; // field -> mutexes
+    std::map<std::string, std::set<std::string>> class_of; // field -> classes
+    std::set<std::string> guarded_classes;
+    for (const GuardedField &g : *fields) {
+        mutex_of[g.field].insert(g.mutexName);
+        class_of[g.field].insert(g.className);
+        if (!g.className.empty())
+            guarded_classes.insert(g.className);
+    }
+
+    static const std::set<std::string> mutating_methods = {
+        "push_back", "emplace_back", "emplace",    "insert", "erase",
+        "clear",     "resize",       "pop_back",   "pop_front",
+        "push_front", "assign",      "swap",       "merge",  "reserve",
+    };
+    static const std::set<std::string> assign_ops = {
+        "=",  "+=", "-=", "*=", "/=", "%=", "&=",
+        "|=", "^=", "<<=", ">>=", "++", "--",
+    };
+    static const std::set<std::string> lock_types = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    };
+
+    const auto &toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        auto fit = mutex_of.find(t.text);
+        if (fit == mutex_of.end())
+            continue;
+
+        std::size_t j = i + 1;
+        while (isPunct(at(toks, j), "["))
+            j = matchDelim(toks, j, "[", "]") + 1;
+        const Token &n = at(toks, j);
+        bool mutation =
+            (n.kind == TokKind::Punct && assign_ops.count(n.text) != 0) ||
+            isPunct(at(toks, i - 1), "++") || isPunct(at(toks, i - 1), "--");
+        if (!mutation && (isPunct(n, ".") || isPunct(n, "->")) &&
+            at(toks, j + 1).kind == TokKind::Ident &&
+            mutating_methods.count(at(toks, j + 1).text) != 0 &&
+            isPunct(at(toks, j + 2), "("))
+            mutation = true;
+        if (!mutation)
+            continue;
+
+        const FunctionDecl *f = ctx.syms.enclosing(i);
+        if (!f)
+            continue; // declaration initializer, not a mutation site
+        // Constructors/destructors of the declaring class run before
+        // the object is shared.
+        if (f->ctorOrDtor && guarded_classes.count(f->className) != 0)
+            continue;
+
+        // A *bare* (unprefixed or this->) use of the field name can
+        // only refer to the annotated field when the enclosing function
+        // is a member of the declaring class; an unrelated class in a
+        // sibling file may have its own member with the same name.
+        // Prefixed accesses (obj.field / ptr->field) stay enforced
+        // everywhere the annotation is in scope.
+        bool prefixed = isPunct(at(toks, i - 1), ".") ||
+                        isPunct(at(toks, i - 1), "->");
+        if (prefixed && i >= 2 && isIdent(at(toks, i - 2), "this"))
+            prefixed = false;
+        if (!prefixed && class_of[t.text].count(f->className) == 0)
+            continue;
+
+        const std::set<std::string> &mutexes = fit->second;
+        bool locked = false;
+        for (std::size_t s = f->bodyBegin; s < i && !locked; ++s) {
+            const Token &lt = toks[s];
+            if (lt.kind != TokKind::Ident)
+                continue;
+            if (lock_types.count(lt.text) != 0) {
+                // The lock declaration's statement must name the mutex.
+                for (std::size_t e = s + 1; e < i; ++e) {
+                    if (isPunct(toks[e], ";"))
+                        break;
+                    if (toks[e].kind == TokKind::Ident &&
+                        mutexes.count(toks[e].text) != 0) {
+                        locked = true;
+                        break;
+                    }
+                }
+            } else if (mutexes.count(lt.text) != 0 &&
+                       (isPunct(at(toks, s + 1), ".") ||
+                        isPunct(at(toks, s + 1), "->")) &&
+                       isIdent(at(toks, s + 2), "lock")) {
+                locked = true;
+            }
+        }
+        if (locked)
+            continue;
+        std::string mutex_list;
+        for (const std::string &m : mutexes)
+            mutex_list += (mutex_list.empty() ? "" : ", ") + m;
+        out.push_back(
+            {ctx.path, t.line, "unguarded-shared-state",
+             "'" + t.text + "' is annotated guarded_by(" + mutex_list +
+                 ") but is mutated with no lock on that mutex visible in "
+                 "'" + f->qualified + "'; take the lock in this scope, or "
+                 "annotate with allow(unguarded-shared-state) and the "
+                 "reason the caller already holds it",
+             f->qualified});
+    }
+}
+
+// ---------------------------------------------------------------------
+// contract-coverage
+// ---------------------------------------------------------------------
+
+void
+checkContractCoverage(const FileContext &ctx, std::vector<Finding> &out)
+{
+    if (!ctx.inModelOrSim)
+        return;
+    static const std::set<std::string> contract_tokens = {
+        "MS_REQUIRE", "MS_ENSURE", "MS_INVARIANT", "requireConfig",
+        "requireInvariant",
+    };
+    const auto &toks = ctx.toks;
+    for (const FunctionDecl &f : ctx.syms.functions) {
+        if (!f.hasBody() || !f.externallyLinked || f.ctorOrDtor)
+            continue;
+        bool floating = std::any_of(
+            f.params.begin(), f.params.end(),
+            [](const ParamDecl &p) { return p.floating; });
+        if (!floating)
+            continue;
+        bool contracted = false;
+        std::size_t stop = std::min(f.bodyEnd, f.bodyBegin + 80);
+        for (std::size_t i = f.bodyBegin + 1; i < stop; ++i) {
+            if (toks[i].kind == TokKind::Ident &&
+                contract_tokens.count(toks[i].text) != 0) {
+                contracted = true;
+                break;
+            }
+        }
+        if (contracted)
+            continue;
+        out.push_back(
+            {ctx.path, f.line, "contract-coverage",
+             "externally-linked '" + f.qualified +
+                 "' takes floating-point parameters but opens with no "
+                 "MS_REQUIRE/requireConfig block; contract the valid "
+                 "domain at the boundary (util/contract.hh), or annotate "
+                 "with allow(contract-coverage) and the reason the domain "
+                 "is total",
+             f.qualified});
+    }
+}
+
 } // anonymous namespace
 
 FileContext
-makeContext(const std::string &path, const LexResult &lexed)
+makeContext(const std::string &path, const LexResult &lexed,
+            const SymbolIndex *index)
 {
     FileContext ctx;
     ctx.path = path;
     ctx.toks = lexed.tokens;
     ctx.comments = lexed.comments;
+    ctx.syms = scanSymbols(lexed);
+    ctx.index = index;
 
     std::string p = path;
     std::replace(p.begin(), p.end(), '\\', '/');
@@ -735,6 +1128,10 @@ makeContext(const std::string &path, const LexResult &lexed)
     // sweeps hammer and the serving layer's request path.
     ctx.inHotPath = p.find("src/sim/") != std::string::npos ||
                     p.find("src/serve/") != std::string::npos;
+    // Contract-coverage scope: the analytic model and the simulator,
+    // where every floating-point input has a physical valid domain.
+    ctx.inModelOrSim = p.find("src/model/") != std::string::npos ||
+                       p.find("src/sim/") != std::string::npos;
     ctx.rngExempt = p.find("util/rng.") != std::string::npos;
     ctx.logExempt = p.find("util/log.") != std::string::npos;
     // The retry/quarantine layer is where errors get classified and
@@ -798,6 +1195,17 @@ allRules()
         {"no-bare-catch",
          "catch (...) that swallows without rethrow or record",
          checkBareCatch},
+        {"unit-mismatch",
+         "cross-unit arithmetic/comparison/assignment between "
+         "unit-suffixed quantities",
+         checkUnitMismatch},
+        {"unguarded-shared-state",
+         "guarded_by-annotated fields mutated with no visible lock",
+         checkUnguardedSharedState},
+        {"contract-coverage",
+         "model/sim entry points with float params but no opening "
+         "contract",
+         checkContractCoverage},
     };
     return rules;
 }

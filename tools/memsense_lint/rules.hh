@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "lexer.hh"
+#include "symbols.hh"
 
 namespace memsense::lint
 {
@@ -29,10 +30,19 @@ namespace memsense::lint
 /** One diagnostic produced by a rule. */
 struct Finding
 {
+    Finding() = default;
+    Finding(std::string file_, int line_, std::string rule_,
+            std::string message_, std::string symbol_ = "")
+        : file(std::move(file_)), line(line_), rule(std::move(rule_)),
+          message(std::move(message_)), symbol(std::move(symbol_))
+    {
+    }
+
     std::string file;    ///< path as given to the linter
-    int line;            ///< 1-based line of the offending token
+    int line = 0;        ///< 1-based line of the offending token
     std::string rule;    ///< rule id (e.g. "float-equal")
     std::string message; ///< human-readable explanation
+    std::string symbol;  ///< enclosing function/symbol ("" = file scope)
 };
 
 /** Everything a rule may consult about one source file. */
@@ -42,8 +52,11 @@ struct FileContext
     std::vector<Token> toks;             ///< lexed token stream
     std::map<int, std::string> comments; ///< line -> comment text
     std::set<std::string> floatIdents;   ///< idents declared double/float
+    Symbols syms;                        ///< per-file symbol table
+    const SymbolIndex *index = nullptr;  ///< cross-file index (may be null)
     bool inBench = false;   ///< file lives under bench/
     bool inHotPath = false; ///< src/sim/ or src/serve/ (perf-critical)
+    bool inModelOrSim = false; ///< src/model/ or src/sim/ (contract scope)
     bool rngExempt = false; ///< util/rng.* (sanctioned randomness)
     bool logExempt = false; ///< util/log.* (sanctioned global state)
     bool quarantineExempt = false; ///< util/retry.* / measure/resilience.*
@@ -60,8 +73,13 @@ struct Rule
 /** The full rule catalog, in reporting order. */
 const std::vector<Rule> &allRules();
 
-/** Build a FileContext (classification flags, float-ident table). */
-FileContext makeContext(const std::string &path, const LexResult &lexed);
+/**
+ * Build a FileContext (classification flags, float-ident table, symbol
+ * table). @p index, when non-null, supplies cross-file signatures and
+ * guarded_by annotations from the whole analyzed tree.
+ */
+FileContext makeContext(const std::string &path, const LexResult &lexed,
+                        const SymbolIndex *index = nullptr);
 
 } // namespace memsense::lint
 

@@ -1,0 +1,76 @@
+#include "sarif.hh"
+
+#include <map>
+#include <sstream>
+
+#include "lint.hh"
+
+namespace memsense::lint
+{
+
+std::string
+sarifReport(const std::vector<Finding> &findings)
+{
+    const std::vector<Rule> &rules = allRules();
+    std::map<std::string, std::size_t> rule_index;
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        rule_index[rules[i].id] = i;
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json"
+          "\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"memsense-lint\",\n"
+       << "          \"informationUri\": \"docs/static_analysis.md\",\n"
+       << "          \"rules\": [";
+    bool first = true;
+    for (const Rule &r : rules) {
+        os << (first ? "" : ",") << "\n            {\"id\": \""
+           << jsonEscaped(r.id) << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscaped(r.summary) << "\"}}";
+        first = false;
+    }
+    os << "\n          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [";
+    first = true;
+    for (const Finding &f : findings) {
+        os << (first ? "" : ",") << "\n        {\n"
+           << "          \"ruleId\": \"" << jsonEscaped(f.rule) << "\",\n";
+        auto it = rule_index.find(f.rule);
+        if (it != rule_index.end())
+            os << "          \"ruleIndex\": " << it->second << ",\n";
+        os << "          \"level\": \"warning\",\n"
+           << "          \"message\": {\"text\": \""
+           << jsonEscaped(f.message) << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << jsonEscaped(f.file) << "\"},\n"
+           << "                \"region\": {\"startLine\": "
+           << (f.line > 0 ? f.line : 1) << "}\n"
+           << "              }";
+        if (!f.symbol.empty())
+            os << ",\n              \"logicalLocations\": [{\"name\": \""
+               << jsonEscaped(f.symbol)
+               << "\", \"kind\": \"function\"}]";
+        os << "\n            }\n"
+           << "          ]\n"
+           << "        }";
+        first = false;
+    }
+    os << (findings.empty() ? "" : "\n      ") << "]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace memsense::lint

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SARIF 2.1.0 writer, so CI viewers (GitHub code scanning, VS Code
+ * SARIF explorer) can render memsense-lint findings inline. Emits the
+ * minimal valid document: one run, the full rule catalog under
+ * tool.driver.rules, and one result per finding with a physical
+ * location (uri + startLine).
+ */
+
+#ifndef MEMSENSE_LINT_SARIF_HH
+#define MEMSENSE_LINT_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace memsense::lint
+{
+
+/** Render @p findings as a SARIF 2.1.0 document. */
+std::string sarifReport(const std::vector<Finding> &findings);
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_SARIF_HH

@@ -1,0 +1,530 @@
+#include "symbols.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace memsense::lint
+{
+
+namespace
+{
+
+const Token kNullTok{TokKind::Punct, "", 0};
+
+const Token &
+at(const std::vector<Token> &toks, std::size_t i)
+{
+    return i < toks.size() ? toks[i] : kNullTok;
+}
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Ident && t.text == text;
+}
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+std::size_t
+matchDelim(const std::vector<Token> &toks, std::size_t open,
+           const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (isPunct(toks[i], opener))
+            ++depth;
+        else if (isPunct(toks[i], closer) && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+/** Keywords that produce `name (` without being a function head. */
+const std::set<std::string> &
+notFunctionKeywords()
+{
+    static const std::set<std::string> kw = {
+        "if",       "for",        "while",    "switch",   "return",
+        "catch",    "sizeof",     "alignas",  "alignof",  "decltype",
+        "noexcept", "throw",      "new",      "delete",   "operator",
+        "co_await", "co_return",  "co_yield", "typedef",  "using",
+        "static_assert",
+    };
+    return kw;
+}
+
+/** Type/specifier words that cannot be a parameter's *name*. */
+const std::set<std::string> &
+typeKeywords()
+{
+    static const std::set<std::string> kw = {
+        "void",     "bool",     "char",      "short",    "int",
+        "long",     "float",    "double",    "unsigned", "signed",
+        "const",    "constexpr", "volatile", "mutable",  "auto",
+        "std",      "size_t",   "ssize_t",   "ptrdiff_t",
+        "int8_t",   "int16_t",  "int32_t",   "int64_t",  "uint8_t",
+        "uint16_t", "uint32_t", "uint64_t",  "uintptr_t", "intptr_t",
+        "string",   "string_view",
+    };
+    return kw;
+}
+
+/** Split a parameter list into per-parameter token slices. */
+std::vector<std::vector<Token>>
+splitParams(const std::vector<Token> &toks, std::size_t open,
+            std::size_t close)
+{
+    std::vector<std::vector<Token>> pieces;
+    std::vector<Token> cur;
+    int par = 0, ang = 0, brc = 0, sq = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "(")
+                ++par;
+            else if (t.text == ")")
+                --par;
+            else if (t.text == "{")
+                ++brc;
+            else if (t.text == "}")
+                --brc;
+            else if (t.text == "[")
+                ++sq;
+            else if (t.text == "]")
+                --sq;
+            else if (t.text == "<")
+                ++ang;
+            else if (t.text == ">" && ang > 0)
+                --ang;
+            else if (t.text == ">>")
+                ang = std::max(0, ang - 2);
+            else if (t.text == "," && par == 0 && ang == 0 && brc == 0 &&
+                     sq == 0) {
+                pieces.push_back(cur);
+                cur.clear();
+                continue;
+            }
+        }
+        cur.push_back(t);
+    }
+    if (!cur.empty())
+        pieces.push_back(cur);
+    return pieces;
+}
+
+/** Parse one parameter slice into name / unit / floating-ness. */
+ParamDecl
+parseParam(const std::vector<Token> &piece)
+{
+    ParamDecl p;
+    std::string last_ident;
+    Unit type_unit = Unit::Unknown;
+    int par = 0, ang = 0;
+    for (const Token &t : piece) {
+        if (t.kind == TokKind::Punct) {
+            if (t.text == "=" && par == 0 && ang == 0)
+                break; // default argument
+            if (t.text == "(")
+                ++par;
+            else if (t.text == ")")
+                --par;
+            else if (t.text == "<")
+                ++ang;
+            else if (t.text == ">" && ang > 0)
+                --ang;
+            else if (t.text == ">>")
+                ang = std::max(0, ang - 2);
+            continue;
+        }
+        if (t.kind != TokKind::Ident || par != 0 || ang != 0)
+            continue;
+        last_ident = t.text;
+        if (t.text == "double" || t.text == "float")
+            p.floating = true;
+        Unit tu = unitFromTypeName(t.text);
+        if (tu != Unit::Unknown)
+            type_unit = tu;
+    }
+    if (!last_ident.empty() && typeKeywords().count(last_ident) == 0)
+        p.name = last_ident;
+    p.unit = unitFromIdentifier(p.name);
+    if (p.unit == Unit::Unknown)
+        p.unit = type_unit;
+    return p;
+}
+
+/** A classified scope awaiting (or on) the stack. */
+struct Scope
+{
+    char kind = 'b'; ///< 'n' namespace, 'c' class, 'f' function, 'b' block
+    std::string name;
+    bool anon = false;     ///< anonymous namespace
+    std::size_t fn = SIZE_MAX; ///< functions[] index for kind 'f'
+};
+
+} // anonymous namespace
+
+const FunctionDecl *
+Symbols::enclosing(std::size_t i) const
+{
+    const FunctionDecl *best = nullptr;
+    for (const FunctionDecl &f : functions) {
+        if (!f.hasBody() || i <= f.bodyBegin || i >= f.bodyEnd)
+            continue;
+        if (!best || f.bodyEnd - f.bodyBegin < best->bodyEnd - best->bodyBegin)
+            best = &f;
+    }
+    return best;
+}
+
+const FunctionDecl *
+Symbols::enclosingLine(int line) const
+{
+    const FunctionDecl *best = nullptr;
+    for (const FunctionDecl &f : functions) {
+        int first = f.hasBody() ? std::min(f.line, f.firstLine) : f.line;
+        int last = f.hasBody() ? f.lastLine : f.line;
+        if (line < first || line > last)
+            continue;
+        if (!best || last - first < best->lastLine - best->firstLine)
+            best = &f;
+    }
+    return best;
+}
+
+std::string
+fileStem(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    std::size_t dot = p.find_last_of('.');
+    std::size_t slash = p.find_last_of('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        p.resize(dot);
+    return p;
+}
+
+Symbols
+scanSymbols(const LexResult &lexed)
+{
+    const std::vector<Token> &toks = lexed.tokens;
+    Symbols out;
+
+    std::map<std::size_t, Scope> pending; // '{' token index -> scope
+    std::vector<Scope> stack;
+    // Class body token ranges, for attributing guarded fields.
+    std::vector<std::pair<std::string, std::pair<std::size_t, std::size_t>>>
+        class_ranges;
+
+    auto in_function = [&stack]() {
+        return std::any_of(stack.begin(), stack.end(),
+                           [](const Scope &s) { return s.kind == 'f'; });
+    };
+    auto current_class = [&stack]() -> std::string {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == 'c')
+                return it->name;
+        }
+        return std::string();
+    };
+    auto in_anon_namespace = [&stack]() {
+        return std::any_of(stack.begin(), stack.end(), [](const Scope &s) {
+            return s.kind == 'n' && s.anon;
+        });
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+
+        if (isPunct(t, "{")) {
+            auto it = pending.find(i);
+            Scope s = it != pending.end() ? it->second : Scope{};
+            if (s.kind == 'f' && s.fn < out.functions.size()) {
+                out.functions[s.fn].bodyBegin = i;
+                out.functions[s.fn].firstLine = t.line;
+            }
+            stack.push_back(s);
+            continue;
+        }
+        if (isPunct(t, "}")) {
+            if (!stack.empty()) {
+                const Scope &s = stack.back();
+                if (s.kind == 'f' && s.fn < out.functions.size()) {
+                    out.functions[s.fn].bodyEnd = i;
+                    out.functions[s.fn].lastLine = t.line;
+                }
+                stack.pop_back();
+            }
+            continue;
+        }
+        if (in_function())
+            continue;
+
+        if (isIdent(t, "namespace")) {
+            std::size_t j = i + 1;
+            std::string name;
+            bool anon = true;
+            while (at(toks, j).kind == TokKind::Ident ||
+                   isPunct(at(toks, j), "::")) {
+                if (at(toks, j).kind == TokKind::Ident) {
+                    if (!name.empty())
+                        name += "::";
+                    name += at(toks, j).text;
+                    anon = false;
+                }
+                ++j;
+            }
+            if (isPunct(at(toks, j), "{"))
+                pending[j] = Scope{'n', name, anon, SIZE_MAX};
+            i = j - 1;
+            continue;
+        }
+
+        if ((isIdent(t, "class") || isIdent(t, "struct")) &&
+            !isIdent(at(toks, i - 1), "enum") &&
+            !isPunct(at(toks, i - 1), "<") && !isPunct(at(toks, i - 1), ",")) {
+            std::size_t j = i + 1;
+            if (isIdent(at(toks, j), "alignas") &&
+                isPunct(at(toks, j + 1), "("))
+                j = matchDelim(toks, j + 1, "(", ")") + 1;
+            std::string cname;
+            if (at(toks, j).kind == TokKind::Ident) {
+                cname = at(toks, j).text;
+                ++j;
+            }
+            while (j < toks.size() && !isPunct(toks[j], "{") &&
+                   !isPunct(toks[j], ";") && !isPunct(toks[j], "(") &&
+                   !isPunct(toks[j], "="))
+                ++j;
+            if (j < toks.size() && isPunct(toks[j], "{")) {
+                pending[j] = Scope{'c', cname, false, SIZE_MAX};
+                class_ranges.push_back(
+                    {cname, {j, matchDelim(toks, j, "{", "}")}});
+            }
+            i = j - 1;
+            continue;
+        }
+
+        // Candidate function head: `name ( ... )` followed by a body,
+        // a ';', or `= default/delete/0`.
+        if (t.kind != TokKind::Ident || !isPunct(at(toks, i + 1), "(") ||
+            notFunctionKeywords().count(t.text) != 0)
+            continue;
+        std::size_t close = matchDelim(toks, i + 1, "(", ")");
+        if (close >= toks.size())
+            continue;
+
+        // Walk the trailing specifier soup to the head's end.
+        std::size_t k = close + 1;
+        while (k < toks.size()) {
+            const Token &h = toks[k];
+            if (isIdent(h, "const") || isIdent(h, "noexcept") ||
+                isIdent(h, "override") || isIdent(h, "final") ||
+                isIdent(h, "mutable")) {
+                ++k;
+                continue;
+            }
+            if (isPunct(h, "(")) { // noexcept(...)
+                k = matchDelim(toks, k, "(", ")") + 1;
+                continue;
+            }
+            if (isPunct(h, "->")) { // trailing return type
+                ++k;
+                while (k < toks.size() && !isPunct(toks[k], "{") &&
+                       !isPunct(toks[k], ";") && !isPunct(toks[k], "="))
+                    ++k;
+                continue;
+            }
+            break;
+        }
+        if (isPunct(at(toks, k), ":")) {
+            // Constructor init list: hop over `name(...)` / `name{...}`
+            // entries until the body '{'.
+            ++k;
+            while (k < toks.size()) {
+                while (at(toks, k).kind == TokKind::Ident ||
+                       isPunct(at(toks, k), "::") ||
+                       isPunct(at(toks, k), "<") || isPunct(at(toks, k), ">"))
+                    ++k;
+                if (isPunct(at(toks, k), "("))
+                    k = matchDelim(toks, k, "(", ")") + 1;
+                else if (isPunct(at(toks, k), "{"))
+                    k = matchDelim(toks, k, "{", "}") + 1;
+                else
+                    break;
+                if (isPunct(at(toks, k), ",")) {
+                    ++k;
+                    continue;
+                }
+                break;
+            }
+        }
+        bool is_def = isPunct(at(toks, k), "{");
+        bool is_decl = isPunct(at(toks, k), ";");
+        if (!is_def && isPunct(at(toks, k), "=")) {
+            const Token &v = at(toks, k + 1);
+            is_decl = isIdent(v, "default") || isIdent(v, "delete") ||
+                      v.kind == TokKind::Number;
+        }
+        if (!is_def && !is_decl)
+            continue;
+
+        FunctionDecl fd;
+        fd.name = t.text;
+        fd.line = t.line;
+        std::size_t name_start = i;
+        if (isPunct(at(toks, i - 1), "~")) {
+            fd.ctorOrDtor = true;
+            name_start = i - 1;
+        }
+        // Out-of-class qualification: `Class::name(`.
+        std::size_t q = name_start;
+        std::string qual_class;
+        while (isPunct(at(toks, q - 1), "::") &&
+               at(toks, q - 2).kind == TokKind::Ident) {
+            qual_class = at(toks, q - 2).text;
+            q -= 2;
+        }
+        fd.className = !qual_class.empty() ? qual_class : current_class();
+        if (!fd.className.empty() && fd.name == fd.className)
+            fd.ctorOrDtor = true;
+        fd.qualified = fd.className.empty()
+                           ? fd.name
+                           : fd.className + "::" + fd.name;
+
+        // Declaration prefix: linkage and return-type units.
+        bool is_static = false;
+        Unit ret_type_unit = Unit::Unknown;
+        for (std::size_t b = q; b > 0 && q - b < 40;) {
+            --b;
+            const Token &pt = toks[b];
+            if (isPunct(pt, ";") || isPunct(pt, "{") || isPunct(pt, "}") ||
+                isPunct(pt, ":"))
+                break;
+            if (isIdent(pt, "static"))
+                is_static = true;
+            if (pt.kind == TokKind::Ident) {
+                Unit tu = unitFromTypeName(pt.text);
+                if (tu != Unit::Unknown)
+                    ret_type_unit = tu;
+            }
+        }
+        fd.externallyLinked =
+            !in_anon_namespace() &&
+            !(is_static && fd.className.empty() && current_class().empty());
+        fd.returnUnit = unitFromIdentifier(fd.name);
+        if (fd.returnUnit == Unit::Unknown)
+            fd.returnUnit = ret_type_unit;
+
+        for (const auto &piece : splitParams(toks, i + 1, close)) {
+            if (piece.size() == 1 && isIdent(piece[0], "void"))
+                continue;
+            fd.params.push_back(parseParam(piece));
+        }
+
+        std::size_t fn_idx = out.functions.size();
+        out.functions.push_back(fd);
+        if (is_def) {
+            pending[k] = Scope{'f', fd.qualified, false, fn_idx};
+            i = k - 1; // resume at the body '{'
+        } else {
+            i = k; // resume after the declaration
+        }
+    }
+
+    // Variables whose declared type is a unit-bearing alias.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        Unit tu = toks[i].kind == TokKind::Ident
+                      ? unitFromTypeName(toks[i].text)
+                      : Unit::Unknown;
+        if (tu == Unit::Unknown || isIdent(at(toks, i - 1), "using"))
+            continue;
+        std::size_t j = i + 1;
+        while (isIdent(at(toks, j), "const") || isPunct(at(toks, j), "&") ||
+               isPunct(at(toks, j), "*"))
+            ++j;
+        if (at(toks, j).kind == TokKind::Ident &&
+            !isPunct(at(toks, j + 1), "("))
+            out.typedUnits[at(toks, j).text] = tu;
+    }
+
+    // guarded_by annotations: `// memsense-lint: guarded_by(mu)` on the
+    // field's own line or a comment line directly above it.
+    for (const auto &[line, text] : lexed.comments) {
+        std::size_t tag = text.find("memsense-lint:");
+        if (tag == std::string::npos)
+            continue;
+        std::size_t open = text.find("guarded_by(", tag);
+        if (open == std::string::npos)
+            continue;
+        std::size_t close_paren = text.find(')', open);
+        if (close_paren == std::string::npos)
+            continue;
+        std::string mutex_name =
+            text.substr(open + 11, close_paren - open - 11);
+        // First token on the annotated line, else the next code line
+        // (comment-above form; stay adjacent).
+        std::size_t fi = toks.size();
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].line == line) {
+                fi = i;
+                break;
+            }
+            if (toks[i].line > line && toks[i].line <= line + 2) {
+                fi = i;
+                break;
+            }
+            if (toks[i].line > line + 2)
+                break;
+        }
+        if (fi >= toks.size())
+            continue;
+        GuardedField gf;
+        gf.mutexName = mutex_name;
+        gf.line = toks[fi].line;
+        for (std::size_t i = fi; i < toks.size(); ++i) {
+            const Token &ft = toks[i];
+            if (isPunct(ft, "=") || isPunct(ft, "{") || isPunct(ft, ";"))
+                break;
+            if (ft.kind == TokKind::Ident)
+                gf.field = ft.text;
+        }
+        if (gf.field.empty())
+            continue;
+        for (const auto &[cname, range] : class_ranges) {
+            if (fi > range.first && fi < range.second)
+                gf.className = cname;
+        }
+        out.guarded.push_back(gf);
+    }
+
+    return out;
+}
+
+void
+SymbolIndex::merge(const std::string &path, const Symbols &syms)
+{
+    for (const FunctionDecl &fd : syms.functions) {
+        std::vector<Unit> units;
+        units.reserve(fd.params.size());
+        for (const ParamDecl &p : fd.params)
+            units.push_back(p.unit);
+        auto it = functions.find(fd.name);
+        if (it == functions.end()) {
+            functions.emplace(fd.name, SigInfo{std::move(units), false});
+        } else if (it->second.paramUnits != units) {
+            it->second.ambiguous = true;
+        }
+    }
+    if (!syms.guarded.empty()) {
+        auto &slot = guardedByStem[fileStem(path)];
+        slot.insert(slot.end(), syms.guarded.begin(), syms.guarded.end());
+    }
+}
+
+} // namespace memsense::lint

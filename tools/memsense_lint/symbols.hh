@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Declaration / symbol-table layer for the semantic lint rules.
+ *
+ * Still no AST and no preprocessor: the scanner walks the token stream
+ * once, tracking a scope stack (namespaces, classes, function bodies)
+ * and recording what the semantic rules need — function signatures
+ * with unit-tagged parameters, variables whose *type* carries a unit
+ * (`Picos`, `Cycles`), `guarded_by` field annotations, and the token /
+ * line span of every function body so findings can be attributed to a
+ * stable symbol (the baseline key) instead of a line number.
+ *
+ * Cross-file analysis happens through SymbolIndex: the driver scans
+ * every file first, merges the per-file tables, and then runs the
+ * rules with the merged index in scope, so a call in `solver.cc` can
+ * be checked against a signature declared in `solver.hh`. Ambiguity is
+ * handled by refusing to guess: two declarations of the same name with
+ * different arity or unit pattern mark the entry ambiguous and the
+ * call-site checks skip it.
+ */
+
+#ifndef MEMSENSE_LINT_SYMBOLS_HH
+#define MEMSENSE_LINT_SYMBOLS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "units.hh"
+
+namespace memsense::lint
+{
+
+/** One declared function parameter. */
+struct ParamDecl
+{
+    std::string name; ///< empty when the parameter is unnamed
+    Unit unit = Unit::Unknown; ///< from name suffix or Picos/Cycles type
+    bool floating = false;     ///< declared double / float
+};
+
+/** One function declaration or definition found in a file. */
+struct FunctionDecl
+{
+    std::string name;      ///< unqualified name
+    std::string qualified; ///< Class::name for members, else name
+    std::string className; ///< enclosing / scoping class, may be empty
+    int line = 0;          ///< line of the name token
+    int firstLine = 0;     ///< body start line (definitions only)
+    int lastLine = 0;      ///< body end line (definitions only)
+    std::size_t bodyBegin = SIZE_MAX; ///< token index of body '{'
+    std::size_t bodyEnd = SIZE_MAX;   ///< token index of matching '}'
+    std::vector<ParamDecl> params;
+    Unit returnUnit = Unit::Unknown; ///< from name suffix or return type
+    bool externallyLinked = true; ///< false: static or anon namespace
+    bool ctorOrDtor = false;
+
+    bool hasBody() const { return bodyBegin != SIZE_MAX; }
+};
+
+/** A field annotated `// memsense-lint: guarded_by(<mutex>)`. */
+struct GuardedField
+{
+    std::string field;     ///< annotated field name
+    std::string mutexName; ///< guarding mutex (last path component)
+    std::string className; ///< class declaring the field
+    int line = 0;          ///< declaration line
+};
+
+/** Per-file symbol table. */
+struct Symbols
+{
+    std::vector<FunctionDecl> functions;
+    /** Variables whose declared type names a unit (Picos, Cycles). */
+    std::map<std::string, Unit> typedUnits;
+    std::vector<GuardedField> guarded;
+
+    /** Innermost function definition whose body spans token @p i. */
+    const FunctionDecl *enclosing(std::size_t i) const;
+
+    /** Innermost function definition whose body spans @p line. */
+    const FunctionDecl *enclosingLine(int line) const;
+};
+
+/** Scan one tokenized file into its symbol table. */
+Symbols scanSymbols(const LexResult &lexed);
+
+/** Merged signature of one function name across the analyzed tree. */
+struct SigInfo
+{
+    std::vector<Unit> paramUnits;
+    bool ambiguous = false; ///< conflicting declarations seen
+};
+
+/** Path minus extension with forward slashes ("src/serve/cache"). */
+std::string fileStem(const std::string &path);
+
+/** Cross-file symbol index built from every scanned file. */
+struct SymbolIndex
+{
+    /** Function name -> merged signature. */
+    std::map<std::string, SigInfo> functions;
+    /**
+     * guarded_by annotations keyed by declaring file stem, so a field
+     * annotated in `foo.hh` is enforced in `foo.hh` and `foo.cc` but
+     * an unrelated field of the same name elsewhere is not.
+     */
+    std::map<std::string, std::vector<GuardedField>> guardedByStem;
+
+    /** Merge @p syms scanned from @p path into the index. */
+    void merge(const std::string &path, const Symbols &syms);
+};
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_SYMBOLS_HH

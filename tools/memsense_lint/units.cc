@@ -1,0 +1,207 @@
+#include "units.hh"
+
+#include <cctype>
+#include <map>
+
+namespace memsense::lint
+{
+
+std::vector<std::string>
+identWords(const std::string &name)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        if (c == '_') {
+            if (!cur.empty())
+                words.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+        if (upper && !cur.empty()) {
+            char prev = name[i - 1];
+            bool prev_lower =
+                std::islower(static_cast<unsigned char>(prev)) != 0 ||
+                std::isdigit(static_cast<unsigned char>(prev)) != 0;
+            bool next_lower =
+                i + 1 < name.size() &&
+                std::islower(static_cast<unsigned char>(name[i + 1])) != 0;
+            // New word at lower->Upper, and at the last upper of an
+            // acronym run ("GBps" -> "g", "bps").
+            if (prev_lower || (!prev_lower && next_lower)) {
+                words.push_back(cur);
+                cur.clear();
+            }
+        }
+        cur += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+namespace
+{
+
+/** Lowercased word -> the unit it declares. */
+const std::map<std::string, Unit> &
+unitWords()
+{
+    static const std::map<std::string, Unit> words = {
+        {"ns", Unit::Ns},
+        {"nanos", Unit::Ns},
+        {"us", Unit::Us},
+        {"micros", Unit::Us},
+        {"ms", Unit::Ms},
+        {"millis", Unit::Ms},
+        {"sec", Unit::Sec},
+        {"secs", Unit::Sec},
+        {"seconds", Unit::Sec},
+        {"ps", Unit::Ps},
+        {"picos", Unit::Ps},
+        {"cycle", Unit::Cycles},
+        {"cycles", Unit::Cycles},
+        {"cyc", Unit::Cycles},
+        {"cpi", Unit::Cpi},
+        {"mpki", Unit::PerInstr},
+        {"hz", Unit::Hz},
+        {"mhz", Unit::Mhz},
+        {"ghz", Unit::Ghz},
+        {"bps", Unit::Bps},
+        {"mbps", Unit::MBps},
+        {"gbps", Unit::GBps},
+        {"byte", Unit::Bytes},
+        {"bytes", Unit::Bytes},
+        {"kb", Unit::KB},
+        {"mb", Unit::MB},
+        {"gb", Unit::GB},
+        {"frac", Unit::Dimensionless},
+        {"fraction", Unit::Dimensionless},
+        {"ratio", Unit::Dimensionless},
+        {"factor", Unit::Dimensionless},
+        {"pct", Unit::Dimensionless},
+        {"percent", Unit::Dimensionless},
+        {"norm", Unit::Dimensionless},
+        {"rel", Unit::Dimensionless},
+        {"relative", Unit::Dimensionless},
+    };
+    return words;
+}
+
+} // anonymous namespace
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Unknown:
+        return "?";
+      case Unit::Dimensionless:
+        return "dimensionless";
+      case Unit::Ns:
+        return "ns";
+      case Unit::Us:
+        return "us";
+      case Unit::Ms:
+        return "ms";
+      case Unit::Sec:
+        return "s";
+      case Unit::Ps:
+        return "ps";
+      case Unit::Cycles:
+        return "cycles";
+      case Unit::Cpi:
+        return "cycles/instr";
+      case Unit::PerInstr:
+        return "events/instr";
+      case Unit::Hz:
+        return "Hz";
+      case Unit::Mhz:
+        return "MHz";
+      case Unit::Ghz:
+        return "GHz";
+      case Unit::Bps:
+        return "bytes/s";
+      case Unit::MBps:
+        return "MB/s";
+      case Unit::GBps:
+        return "GB/s";
+      case Unit::Bytes:
+        return "bytes";
+      case Unit::KB:
+        return "KB";
+      case Unit::MB:
+        return "MB";
+      case Unit::GB:
+        return "GB";
+    }
+    return "?";
+}
+
+Unit
+unitFromIdentifier(const std::string &name)
+{
+    const std::vector<std::string> words = identWords(name);
+    // Last unit word wins so conversion names ("nsToCycles") resolve
+    // to their target, and "PerInstr" is recognized as a word pair.
+    auto is_seconds = [](const std::string &w) {
+        return w == "sec" || w == "secs" || w == "second" ||
+               w == "seconds" || w == "s";
+    };
+    for (std::size_t i = words.size(); i-- > 0;) {
+        if (words[i] == "instr" && i > 0 && words[i - 1] == "per")
+            return Unit::PerInstr;
+        // "<size> per sec" spellings are rates: bytes_per_sec -> Bps,
+        // mbPerSecond -> MBps, gb_per_s -> GBps.
+        if (is_seconds(words[i]) && i >= 2 && words[i - 1] == "per") {
+            const std::string &base = words[i - 2];
+            if (base == "byte" || base == "bytes")
+                return Unit::Bps;
+            if (base == "kb" || base == "mb")
+                return Unit::MBps;
+            if (base == "gb")
+                return Unit::GBps;
+        }
+        // CamelCase "GBps"/"MBps" split into "g"/"m" + "bps"; rejoin
+        // the scale prefix so they do not collapse to plain Bps.
+        if (words[i] == "bps" && i > 0) {
+            if (words[i - 1] == "g")
+                return Unit::GBps;
+            if (words[i - 1] == "m")
+                return Unit::MBps;
+        }
+        auto it = unitWords().find(words[i]);
+        if (it != unitWords().end())
+            return it->second;
+    }
+    return Unit::Unknown;
+}
+
+Unit
+unitFromTypeName(const std::string &type_name)
+{
+    if (type_name == "Picos")
+        return Unit::Ps;
+    if (type_name == "Cycles")
+        return Unit::Cycles;
+    return Unit::Unknown;
+}
+
+bool
+isUnitConversionName(const std::string &name)
+{
+    const std::vector<std::string> words = identWords(name);
+    if (words.size() < 3)
+        return false;
+    for (std::size_t i = 0; i + 2 < words.size(); ++i) {
+        if (words[i + 1] == "to" && unitWords().count(words[i]) != 0 &&
+            unitWords().count(words[i + 2]) != 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace memsense::lint

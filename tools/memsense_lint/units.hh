@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit-dimension vocabulary for the semantic lint layer.
+ *
+ * The repo's naming convention is the only place a quantity's unit can
+ * live (`latency_ns`, `mpCycles`, `bandwidthBps`, `hitFrac`): the type
+ * system sees `double` everywhere. This header turns that convention
+ * into a small closed vocabulary the `unit-mismatch` rule can reason
+ * about. Every distinct scale is its own unit — `Ns` vs `Ms` mixups
+ * are exactly as silent as `Ns` vs `Cycles` ones — and dimensionless
+ * markers (`Frac`, `Ratio`, `Factor`) are a unit of their own so
+ * `frac + latency_ns` still flags.
+ *
+ * Inference is deliberately last-word-wins over the identifier's
+ * camelCase/snake_case words: `nsToCycles` names a conversion *to*
+ * cycles, so both the variable and the call-result rules agree on
+ * `Cycles`.
+ */
+
+#ifndef MEMSENSE_LINT_UNITS_HH
+#define MEMSENSE_LINT_UNITS_HH
+
+#include <string>
+#include <vector>
+
+namespace memsense::lint
+{
+
+/** Split an identifier into lowercased camelCase / snake_case words. */
+std::vector<std::string> identWords(const std::string &name);
+
+/** A unit dimension (each scale distinct; see file comment). */
+enum class Unit
+{
+    Unknown,       ///< no unit information in the name
+    Dimensionless, ///< Frac / Ratio / Factor / Pct / Norm / Rel
+    Ns,            ///< nanoseconds
+    Us,            ///< microseconds
+    Ms,            ///< milliseconds
+    Sec,           ///< seconds
+    Ps,            ///< picoseconds (Picos)
+    Cycles,        ///< core clock cycles
+    Cpi,           ///< cycles per instruction (Eq. 1 quantity)
+    PerInstr,      ///< events per instruction (MPI, MPKI)
+    Hz,            ///< hertz
+    Mhz,           ///< megahertz
+    Ghz,           ///< gigahertz
+    Bps,           ///< bytes per second
+    MBps,          ///< megabytes per second
+    GBps,          ///< gigabytes per second
+    Bytes,         ///< a byte count
+    KB,            ///< kilobytes
+    MB,            ///< megabytes
+    GB,            ///< gigabytes
+};
+
+/** Stable lower-case spelling used in diagnostics ("ns", "cycles"). */
+const char *unitName(Unit u);
+
+/**
+ * Infer the unit an identifier's name declares, last unit word wins:
+ * "avgMissPenaltyNs" -> Ns, "mp_cycles" -> Cycles, "nsToCycles" ->
+ * Cycles, "hitFrac" -> Dimensionless, "count" -> Unknown.
+ */
+Unit unitFromIdentifier(const std::string &name);
+
+/**
+ * Infer the unit of a *type* spelling: the strong aliases ("Picos" ->
+ * Ps, "Cycles" -> Cycles). Plain arithmetic types return Unknown.
+ */
+Unit unitFromTypeName(const std::string &type_name);
+
+/**
+ * True when @p name spells an explicit-conversion helper the checker
+ * recognizes ("nsToCycles", "picosToNs", "bytesToGB", ...): two unit
+ * words joined by "to"/"To". Conversion calls carry the unit of their
+ * *target* word (which unitFromIdentifier already returns), and their
+ * arguments are exempt from call-argument unit matching.
+ */
+bool isUnitConversionName(const std::string &name);
+
+} // namespace memsense::lint
+
+#endif // MEMSENSE_LINT_UNITS_HH
