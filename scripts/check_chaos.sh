@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Chaos harness for the long-running evaluation server: build the
+# daemon and the load generator under AddressSanitizer, then drive a
+# real memsense_serve process over a Unix socket through a matrix of
+# injected fault sites and stress configurations. Every scenario must
+# end with: loadgen exit 0 with every request classified, server exit 0
+# after SIGTERM, and a consistent reply ledger in --stats-json
+# (accepted == ok + error + write-failure replies). The batch tool's
+# golden output is re-checked at the end so none of the serving-layer
+# churn can drift the byte-stable evaluation contract.
+#
+# Faults reach the server through MEMSENSE_FAULTS; the loadgen runs
+# with that variable stripped so only the server misbehaves.
+#
+# Usage: scripts/check_chaos.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DMEMSENSE_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+cmake --build "${build_dir}" -j \
+    --target memsense_serve_bin memsense_loadgen memsense_eval
+
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+
+serve_bin="${build_dir}/tools/memsense_serve"
+loadgen_bin="${build_dir}/tools/memsense_loadgen"
+eval_bin="${build_dir}/tools/memsense_eval"
+fixture_src="${repo_root}/tests/serve/requests_50.jsonl"
+golden="${repo_root}/tests/golden/serve_eval_50.jsonl"
+
+scratch="$(mktemp -d)"
+# The shared fixture carries a deliberately-malformed line for the
+# batch tool's parse-error path; the loadgen replays JSON objects only
+# (malformed-line handling is covered by serve_server_test).
+requests="${scratch}/requests.jsonl"
+grep '^{' "${fixture_src}" > "${requests}"
+server_pid=""
+cleanup() {
+    [ -n "${server_pid}" ] && kill "${server_pid}" 2>/dev/null || true
+    [ -n "${server_pid}" ] && wait "${server_pid}" 2>/dev/null || true
+    rm -rf "${scratch}"
+}
+trap cleanup EXIT
+
+require_json_field() { # file needle label
+    grep -q "$2" "$1" || {
+        echo "FAIL($3): $2 not found in $1" >&2
+        cat "$1" >&2
+        exit 1
+    }
+}
+
+# Run one scenario: start the server with the given fault spec and
+# extra flags, fire the loadgen at it, SIGTERM the server, and check
+# both exit codes plus the server's ledger consistency.
+#   run_scenario <name> <fault_spec> <loadgen_extra...>
+# Extra server flags come in via the SERVER_FLAGS array variable.
+run_scenario() {
+    local name="$1" faults="$2"
+    shift 2
+    local sock="${scratch}/${name}.sock"
+    local stats="${scratch}/${name}.stats.json"
+    local report="${scratch}/${name}.report.json"
+
+    echo "=== scenario ${name} (faults: ${faults:-none}) ==="
+    MEMSENSE_FAULTS="${faults}" "${serve_bin}" --unix "${sock}" \
+        --stats-json "${stats}" "${SERVER_FLAGS[@]}" \
+        2>"${scratch}/${name}.server.log" &
+    server_pid=$!
+
+    # Wait for the socket to appear (the server unlinks stale ones).
+    for _ in $(seq 1 100); do
+        [ -S "${sock}" ] && break
+        kill -0 "${server_pid}" 2>/dev/null || {
+            echo "FAIL(${name}): server died on startup" >&2
+            cat "${scratch}/${name}.server.log" >&2
+            exit 1
+        }
+        sleep 0.05
+    done
+
+    env -u MEMSENSE_FAULTS "${loadgen_bin}" --unix "${sock}" \
+        --requests "${requests}" --connections 4 --total 200 \
+        --recv-timeout-ms 10000 --report-json "${report}" "$@" \
+        >/dev/null 2>"${scratch}/${name}.loadgen.log" || {
+        echo "FAIL(${name}): loadgen exited non-zero" >&2
+        cat "${scratch}/${name}.loadgen.log" >&2
+        exit 1
+    }
+
+    kill -TERM "${server_pid}"
+    local rc=0
+    wait "${server_pid}" || rc=$?
+    server_pid=""
+    if [ "${rc}" -ne 0 ]; then
+        echo "FAIL(${name}): server exit ${rc} after SIGTERM" >&2
+        cat "${scratch}/${name}.server.log" >&2
+        exit 1
+    fi
+
+    # The two ledgers: every accepted request got exactly one reply
+    # (server side), every sent request got classified (client side).
+    require_json_field "${stats}" '"consistent":true' "${name}"
+    echo "OK: ${name}"
+}
+
+# --- Scenario matrix ---------------------------------------------------
+
+# Baseline: no faults, default admission config.
+SERVER_FLAGS=(--workers 2)
+run_scenario baseline ""
+
+# One scenario per server-side fault site, firing probabilistically.
+for site in server.read server.parse server.enqueue server.solve \
+            server.write evaluator.solve; do
+    SERVER_FLAGS=(--workers 2)
+    run_scenario "fault-${site}" "seed=7;${site}:throw:p=0.1"
+done
+
+# Delay faults jam the workers; a tiny queue must shed, not wedge.
+SERVER_FLAGS=(--workers 1 --max-queue 4)
+run_scenario overload "seed=7;server.solve:delay=20:p=0.5"
+overload_report="${scratch}/overload.report.json"
+require_json_field "${overload_report}" '"overloaded":' overload
+python3 - "${overload_report}" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+sent = r["sent"]
+shed = r["overloaded"]
+assert sent == 200, f"loadgen lost requests: {r}"
+assert r["ok"] > 0, f"nothing succeeded under overload: {r}"
+assert shed < sent, f"everything was shed: {r}"
+EOF
+echo "OK: overload shedding is bounded (some ok, some shed, none lost)"
+
+# Deadline pressure: every request carries a tight budget while solves
+# are randomly delayed; replies must be ok or deadline_exceeded.
+SERVER_FLAGS=(--workers 2 --default-deadline-ms 15)
+run_scenario deadlines "seed=11;server.solve:delay=25:p=0.4" \
+    --deadline-ms 15
+
+# Stale degradation: same overload, but the server may answer from the
+# coarse fingerprint cache instead of shedding outright.
+SERVER_FLAGS=(--workers 1 --max-queue 4 --allow-stale)
+run_scenario degraded "seed=7;server.solve:delay=20:p=0.5"
+
+# --- Golden guard ------------------------------------------------------
+# The serving layer must not have drifted the batch tool's bytes
+# (the full fixture here, malformed line included).
+"${eval_bin}" --requests "${fixture_src}" --jobs 4 \
+    > "${scratch}/eval.jsonl"
+diff -u "${golden}" "${scratch}/eval.jsonl" || {
+    echo "FAIL: memsense_eval output drifted from golden" >&2
+    exit 1
+}
+echo "OK: memsense_eval golden is byte-identical"
+
+echo "Chaos check passed: the server survived every fault site and" \
+     "overload shape with a consistent ledger, under ASan."

@@ -17,15 +17,18 @@ cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 # Only the fault-tolerance targets: the rest of the suite has its own
-# sanitizer passes (check_tsan.sh, check_ubsan.sh).
+# sanitizer passes (check_tsan.sh, check_ubsan.sh). The serve targets
+# joined this pass when MS_FAULT_POINT grew through the server's
+# accept/read/parse/enqueue/solve/write path.
 cmake --build "${build_dir}" -j \
     --target util_retry_test util_fault_injection_test \
-    measure_resilience_test
+    measure_resilience_test serve_evaluator_test \
+    serve_server_test serve_loadgen_test serve_soak_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-    -R 'Retry|FaultInjection|MeasureResilienceTest'
+    -R 'Retry|FaultInjection|MeasureResilienceTest|EvaluatorFault|ServeServer|ServeSoak|LoadgenRun|LoadgenRequestLine'
 
-echo "Fault check passed: retry, injection, and checkpoint paths are" \
-     "clean under ASan."
+echo "Fault check passed: retry, injection, checkpoint, and serving" \
+     "paths are clean under ASan."

@@ -6,6 +6,7 @@
 
 #include "util/arena.hh"
 #include "util/contract.hh"
+#include "util/fault_injection.hh"
 #include "util/trace.hh"
 
 namespace memsense::serve
@@ -23,15 +24,37 @@ model::OperatingPoint
 Evaluator::solve(const model::WorkloadParams &p,
                  const model::Platform &plat) const
 {
+    return solveCancellable(p, plat, model::CancelCheck{});
+}
+
+std::optional<model::OperatingPoint>
+Evaluator::probe(const model::WorkloadParams &p,
+                 const model::Platform &plat) const
+{
+    MS_FAULT_POINT("evaluator.probe");
     // Per-thread key buffer: a warm hit allocates nothing (the buffer
     // keeps its capacity across calls; the cache copies on insert).
     thread_local std::string key;
     key.clear();
     model::appendCanonicalRequestKey(key, p, plat);
     const std::uint64_t fp = model::requestFingerprint(p, plat, solverFp);
-    if (auto hit = cache.lookup(fp, key))
+    return cache.lookup(fp, key);
+}
+
+model::OperatingPoint
+Evaluator::solveCancellable(const model::WorkloadParams &p,
+                            const model::Platform &plat,
+                            const model::CancelCheck &cancel) const
+{
+    if (auto hit = probe(p, plat))
         return *hit;
-    model::OperatingPoint op = analyticSolver.solve(p, plat);
+    MS_FAULT_POINT("evaluator.solve");
+    model::OperatingPoint op = analyticSolver.solve(p, plat, cancel);
+    MS_FAULT_POINT("evaluator.insert");
+    thread_local std::string key;
+    key.clear();
+    model::appendCanonicalRequestKey(key, p, plat);
+    const std::uint64_t fp = model::requestFingerprint(p, plat, solverFp);
     cache.insert(fp, key, op);
     return op;
 }
@@ -75,6 +98,10 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
     uniqueKey.reserve(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i) {
         outcomes[i].id = requests[i].id;
+        // A fault here aborts the whole batch (the probe pass is
+        // serial and unprotected by design); the chaos tests assert
+        // that the abort is a clean throw, never a crash or a leak.
+        MS_FAULT_POINT("evaluator.probe");
         key.clear();
         model::appendCanonicalRequestKey(key, requests[i].workload,
                                          requests[i].platform);
@@ -110,6 +137,9 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
         uniqueRequestIndex,
         [this, &requests](std::size_t request_index) {
             const EvalRequest &req = requests[request_index];
+            // Inside the resilient wrapper: an injected fault here is
+            // retried or quarantined per request, never thrown out.
+            MS_FAULT_POINT("evaluator.solve");
             return analyticSolver.solve(req.workload, req.platform);
         },
         options.resilience);
@@ -117,8 +147,10 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
     // Pass 3 (serial, unique order): cache the successes. Insert order
     // is fixed, so LRU state and eviction counts are deterministic.
     for (std::size_t u = 0; u < solved.size(); ++u) {
-        if (solved[u].ok())
+        if (solved[u].ok()) {
+            MS_FAULT_POINT("evaluator.insert");
             cache.insert(uniqueFp[u], uniqueKey[u], *solved[u].value);
+        }
     }
 
     // Pass 4 (serial, input order): fan results back out to every

@@ -33,6 +33,7 @@
 #define MEMSENSE_SERVE_EVALUATOR_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "measure/parallel.hh"
@@ -75,6 +76,27 @@ class Evaluator : public model::SolveEngine
     model::OperatingPoint solve(const model::WorkloadParams &p,
                                 const model::Platform &plat)
         const override;
+
+    /**
+     * Cache probe only: a verified hit (refreshing recency) or
+     * nullopt, never a solve. The server's reader threads use this as
+     * the admission fast path — a hit is answered inline and consumes
+     * no queue slot, which is what "shed cold solves first" means.
+     */
+    std::optional<model::OperatingPoint>
+    probe(const model::WorkloadParams &p,
+          const model::Platform &plat) const;
+
+    /**
+     * Cached solve with a cooperative cancellation hook (probe, then
+     * Solver::solve(p, plat, cancel), then insert). A cancelled or
+     * failed solve caches nothing. Throws model::SolveCancelled when
+     * @p cancel fires — the server maps that to `deadline_exceeded`.
+     */
+    model::OperatingPoint
+    solveCancellable(const model::WorkloadParams &p,
+                     const model::Platform &plat,
+                     const model::CancelCheck &cancel) const;
 
     /**
      * Evaluate a batch (see file comment). Outcomes are returned in

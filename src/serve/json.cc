@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/error.hh"
+#include "util/fault_injection.hh"
 
 namespace memsense::serve
 {
@@ -16,17 +17,21 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(std::string_view text)
-        : in(text)
+    Parser(std::string_view text, const JsonLimits &limits_in)
+        : in(text), limits(limits_in)
     {}
 
     JsonValue
     parseDocument()
     {
+        if (in.size() > limits.maxBytes)
+            fail("input of " + std::to_string(in.size()) +
+                 " bytes exceeds the " +
+                 std::to_string(limits.maxBytes) + "-byte cap");
         JsonValue v = parseValue();
         skipWs();
-        requireConfig(pos == in.size(),
-                      "trailing content at byte " + std::to_string(pos));
+        if (pos != in.size())
+            fail("trailing content");
         return v;
     }
 
@@ -34,8 +39,8 @@ class Parser
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        throw ConfigError("JSON parse error at byte " +
-                          std::to_string(pos) + ": " + what);
+        throw ParseError("JSON parse error at byte " +
+                         std::to_string(pos) + ": " + what);
     }
 
     void
@@ -72,6 +77,22 @@ class Parser
         pos += word.size();
         return true;
     }
+
+    /** RAII depth guard: every nested object/array level costs one
+     *  recursion frame, so the cap is what keeps a hostile
+     *  `[[[[[...` line from overflowing the stack. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p_in)
+            : p(p_in)
+        {
+            if (++p.depth > p.limits.maxDepth)
+                p.fail("nesting deeper than " +
+                       std::to_string(p.limits.maxDepth) + " levels");
+        }
+        ~DepthGuard() { --p.depth; }
+        Parser &p;
+    };
 
     JsonValue
     parseValue()
@@ -110,6 +131,7 @@ class Parser
     JsonValue
     parseObject()
     {
+        DepthGuard guard(*this);
         expect('{');
         JsonValue v;
         v.kind = JsonValue::Kind::Object;
@@ -141,6 +163,7 @@ class Parser
     JsonValue
     parseArray()
     {
+        DepthGuard guard(*this);
         expect('[');
         JsonValue v;
         v.kind = JsonValue::Kind::Array;
@@ -173,6 +196,11 @@ class Parser
             char c = in[pos++];
             if (c == '"')
                 return out;
+            if (static_cast<unsigned char>(c) >= 0x80) {
+                --pos;
+                consumeUtf8(out);
+                continue;
+            }
             if (c != '\\') {
                 out += c;
                 continue;
@@ -219,6 +247,52 @@ class Parser
         }
     }
 
+    /**
+     * Validate and copy one multi-byte UTF-8 sequence starting at
+     * `pos`. Rejects truncated tails, bare continuation bytes,
+     * overlong encodings, surrogates, and code points past U+10FFFF —
+     * hostile bytes must become a clean ParseError, not mojibake
+     * echoed back into a reply stream.
+     */
+    void
+    consumeUtf8(std::string &out)
+    {
+        const unsigned char lead = static_cast<unsigned char>(in[pos]);
+        int extra = 0;
+        unsigned code = 0;
+        if ((lead & 0xe0) == 0xc0) {
+            extra = 1;
+            code = lead & 0x1fu;
+        } else if ((lead & 0xf0) == 0xe0) {
+            extra = 2;
+            code = lead & 0x0fu;
+        } else if ((lead & 0xf8) == 0xf0) {
+            extra = 3;
+            code = lead & 0x07u;
+        } else {
+            fail("invalid UTF-8 lead byte");
+        }
+        if (pos + 1 + static_cast<std::size_t>(extra) > in.size())
+            fail("truncated UTF-8 sequence");
+        for (int i = 1; i <= extra; ++i) {
+            const unsigned char cont =
+                static_cast<unsigned char>(in[pos + static_cast<std::size_t>(i)]);
+            if ((cont & 0xc0) != 0x80)
+                fail("truncated UTF-8 sequence");
+            code = (code << 6) | (cont & 0x3fu);
+        }
+        static constexpr unsigned kMinForLen[4] = {0, 0x80, 0x800,
+                                                   0x10000};
+        if (code < kMinForLen[extra])
+            fail("overlong UTF-8 encoding");
+        if (code >= 0xd800 && code <= 0xdfff)
+            fail("UTF-8 encoded surrogate");
+        if (code > 0x10ffff)
+            fail("UTF-8 code point out of range");
+        out.append(in.substr(pos, 1 + static_cast<std::size_t>(extra)));
+        pos += 1 + static_cast<std::size_t>(extra);
+    }
+
     JsonValue
     parseNumber()
     {
@@ -244,7 +318,9 @@ class Parser
     }
 
     std::string_view in;
+    JsonLimits limits;
     std::size_t pos = 0;
+    int depth = 0;
 };
 
 } // anonymous namespace
@@ -303,9 +379,13 @@ JsonValue::asInt(const std::string &what) const
 }
 
 JsonValue
-parseJson(std::string_view text)
+parseJson(std::string_view text, const JsonLimits &limits)
 {
-    return Parser(text).parseDocument();
+    // Fault site for the serving chaos harness: a throw here must
+    // surface as one per-line error reply, never a crashed batch or a
+    // dropped request.
+    MS_FAULT_POINT("serve.json.parse");
+    return Parser(text, limits).parseDocument();
 }
 
 std::string

@@ -10,21 +10,56 @@
  * a general-purpose JSON library (no unicode escapes beyond pass-through
  * \uXXXX, numbers parsed as double).
  *
- * Malformed input raises ConfigError with a byte offset, which the
- * service layer converts into a per-line error result instead of
- * aborting the batch.
+ * Malformed input raises ParseError (a ConfigError subclass) with a
+ * byte offset, which the service layer converts into a per-line error
+ * result instead of aborting the batch.
+ *
+ * Hostile-input hardening: the parser is the first thing untrusted
+ * network bytes hit, so it enforces explicit resource caps (JsonLimits)
+ * — a maximum input length and a maximum nesting depth (the recursive
+ * descent would otherwise overflow the stack on a `[[[[...` line) —
+ * and validates UTF-8 inside string literals, rejecting truncated or
+ * overlong sequences instead of passing mojibake through to replies.
  */
 
 #ifndef MEMSENSE_SERVE_JSON_HH
 #define MEMSENSE_SERVE_JSON_HH
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/error.hh"
+
 namespace memsense::serve
 {
+
+/**
+ * Raised on malformed or over-limit JSON input. Subclasses ConfigError
+ * so every existing "bad input" path (per-line error capture, batch
+ * error results) handles it unchanged; the distinct type lets the
+ * serving layer and tests tell parse failures from domain failures.
+ */
+class ParseError : public ConfigError
+{
+  public:
+    explicit ParseError(const std::string &what_arg)
+        : ConfigError(what_arg)
+    {}
+};
+
+/**
+ * Resource caps for one parse. Defaults are generous for the request
+ * schema (a request line is ~300 bytes, nesting depth 3) while keeping
+ * a hostile line from exhausting stack or memory.
+ */
+struct JsonLimits
+{
+    std::size_t maxBytes = 1u << 20; ///< longest accepted input
+    int maxDepth = 64;               ///< deepest object/array nesting
+};
 
 /** One parsed JSON value (tree-owning). */
 struct JsonValue
@@ -63,10 +98,10 @@ struct JsonValue
 };
 
 /**
- * Parse one JSON document. The whole input must be consumed (trailing
- * whitespace allowed); throws ConfigError otherwise.
+ * Parse one JSON document under @p limits. The whole input must be
+ * consumed (trailing whitespace allowed); throws ParseError otherwise.
  */
-JsonValue parseJson(std::string_view text);
+JsonValue parseJson(std::string_view text, const JsonLimits &limits = {});
 
 /** Escape @p s for embedding inside a JSON string literal. */
 std::string jsonEscape(std::string_view s);

@@ -103,6 +103,17 @@ parseRequestLine(const std::string &line, std::size_t line_number)
             model::paper::classParams(model::WorkloadClass::BigData);
     if (v.has("platform"))
         req.platform = platformFrom(v.at("platform"));
+    if (v.has("deadline_ms")) {
+        req.deadlineMs = v.at("deadline_ms").asNumber("deadline_ms");
+        requireConfig(req.deadlineMs >= 0.0,
+                      "deadline_ms must be >= 0");
+    }
+    if (v.has("allow_stale")) {
+        const JsonValue &stale = v.at("allow_stale");
+        requireConfig(stale.kind == JsonValue::Kind::Bool,
+                      "allow_stale must be a boolean");
+        req.allowStale = stale.boolean;
+    }
     return req;
 }
 
@@ -112,6 +123,8 @@ resultLine(const EvalOutcome &outcome)
     std::string out = "{\"id\":\"" + jsonEscape(outcome.id) + "\",";
     if (outcome.result.ok()) {
         const model::OperatingPoint &op = *outcome.result.value;
+        if (outcome.degraded)
+            out += "\"degraded\":true,";
         out += "\"ok\":true,\"op\":{\"cpi_eff\":" +
                jsonNumber(op.cpiEff) +
                ",\"miss_penalty_ns\":" + jsonNumber(op.missPenaltyNs) +
@@ -134,9 +147,24 @@ resultLine(const EvalOutcome &outcome)
 std::string
 parseErrorLine(std::size_t line_number, const std::string &message)
 {
+    return parseErrorLine(line_number, "ConfigError", message, true);
+}
+
+std::string
+parseErrorLine(std::size_t line_number, const std::string &type,
+               const std::string &message, bool fatal)
+{
     return "{\"id\":\"line-" + std::to_string(line_number) +
            "\",\"ok\":false,\"error\":" +
-           errorJson("ConfigError", message, true, 0) + "}";
+           errorJson(type, message, fatal, 0) + "}";
+}
+
+std::string
+errorReplyLine(const std::string &id, const std::string &type,
+               const std::string &message, bool fatal)
+{
+    return "{\"id\":\"" + jsonEscape(id) + "\",\"ok\":false,\"error\":" +
+           errorJson(type, message, fatal, 0) + "}";
 }
 
 } // namespace memsense::serve

@@ -48,6 +48,14 @@ struct EvalRequest
     std::string id;                ///< echoed into the result line
     model::WorkloadParams workload;
     model::Platform platform;
+    /** Optional per-request deadline budget from the moment the server
+     *  admits the line ("deadline_ms" field); 0 = none. The batch
+     *  service ignores it — deadlines are a serving concern. */
+    double deadlineMs = 0.0;
+    /** Request opts out of degraded coarse-fingerprint answers under
+     *  overload even when the server allows them ("allow_stale":
+     *  false); default is to accept whatever the server offers. */
+    bool allowStale = true;
 };
 
 /** One evaluation outcome, paired with the request id. */
@@ -58,6 +66,10 @@ struct EvalOutcome
     /** Served from cache (diagnostic only — never serialized, so the
      *  result stream stays identical between cold and warm runs). */
     bool cacheHit = false;
+    /** Answered from the coarse-fingerprint stale cache under
+     *  overload. Serialized as `"degraded":true` only when set, so
+     *  the batch path's result lines are byte-identical to before. */
+    bool degraded = false;
 };
 
 /**
@@ -77,6 +89,25 @@ std::string resultLine(const EvalOutcome &outcome);
  */
 std::string parseErrorLine(std::size_t line_number,
                            const std::string &message);
+
+/**
+ * Like parseErrorLine, but with an explicit error @p type and
+ * retryability — the service uses it to surface non-ConfigError parse
+ * failures (e.g. injected faults) as per-line results.
+ */
+std::string parseErrorLine(std::size_t line_number,
+                           const std::string &type,
+                           const std::string &message, bool fatal);
+
+/**
+ * One typed error reply for the serving path: `{"id":..., "ok":false,
+ * "error":{"type":<type>,...}}`. The server's admission/deadline
+ * machinery replies with types `overloaded`, `deadline_exceeded`, and
+ * `internal` (docs/serving.md); @p fatal says whether a retry of the
+ * same request could succeed (false for overload/deadline).
+ */
+std::string errorReplyLine(const std::string &id, const std::string &type,
+                           const std::string &message, bool fatal);
 
 } // namespace memsense::serve
 

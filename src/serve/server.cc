@@ -1,0 +1,606 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "serve/json.hh"
+#include "serve/request.hh"
+#include "util/error.hh"
+#include "util/fault_injection.hh"
+#include "util/retry.hh"
+#include "util/string_util.hh"
+#include "util/trace.hh"
+
+namespace memsense::serve
+{
+
+namespace
+{
+
+double
+steadyNowMs()
+{
+    using namespace std::chrono;
+    // memsense-lint: allow(no-nondeterminism): the default deadline
+    // clock of a live server; tests inject ServerOptions::nowMs
+    const auto since_epoch = steady_clock::now().time_since_epoch();
+    return duration<double, std::milli>(since_epoch).count();
+}
+
+/**
+ * Coarse request key for the stale-answer cache: every numeric knob
+ * quantized to 3 significant digits, so "the same experiment re-run
+ * with jittered inputs" maps to one slot. Deliberately much coarser
+ * than the exact canonical fingerprint — a degraded answer is allowed
+ * to be approximately right, and every reply served from this cache is
+ * flagged `"degraded":true` so clients can tell.
+ */
+std::string
+coarseKey(const EvalRequest &req)
+{
+    const model::WorkloadParams &w = req.workload;
+    const model::Platform &p = req.platform;
+    return strformat("%.3g|%.3g|%.3g|%.3g|%.3g|%.3g|%d|%d|%.3g|%d|%.3g|"
+                     "%.3g|%.3g",
+                     w.cpiCache, w.bf, w.mpki, w.wbr, w.iopi, w.ioBytes,
+                     p.cores, p.smt, p.ghz, p.memory.channels,
+                     p.memory.megaTransfers, p.memory.efficiency,
+                     p.memory.compulsoryNs);
+}
+
+} // anonymous namespace
+
+void
+ServerOptions::validate() const
+{
+    requireConfig(workers >= 1, "server workers must be >= 1");
+    requireConfig(maxConnections >= 1,
+                  "server maxConnections must be >= 1");
+    requireConfig(maxQueueDepth >= 1,
+                  "server maxQueueDepth must be >= 1");
+    requireConfig(maxInflightBytes >= 1,
+                  "server maxInflightBytes must be >= 1");
+    requireConfig(maxLineBytes >= 2, "server maxLineBytes must be >= 2");
+    requireConfig(defaultDeadlineMs >= 0.0,
+                  "server defaultDeadlineMs must be >= 0");
+    requireConfig(drainDeadlineMs >= 0.0,
+                  "server drainDeadlineMs must be >= 0");
+    requireConfig(pollMs >= 1, "server pollMs must be >= 1");
+}
+
+std::string
+ServerStats::describe() const
+{
+    return strformat(
+        "%llu conns (%llu shed): %llu accepted = %llu ok + %llu err + "
+        "%llu write-fail%s; %llu hits, %llu stale, %llu shed, %llu "
+        "deadline, %llu solved, %llu drained, %llu parse errors",
+        static_cast<unsigned long long>(connections),
+        static_cast<unsigned long long>(connectionsShed),
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(repliesOk),
+        static_cast<unsigned long long>(repliesError),
+        static_cast<unsigned long long>(writeErrors),
+        consistent() ? "" : " [LEDGER INCONSISTENT]",
+        static_cast<unsigned long long>(cacheHits),
+        static_cast<unsigned long long>(staleServed),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(deadlineExceeded),
+        static_cast<unsigned long long>(solved),
+        static_cast<unsigned long long>(drained),
+        static_cast<unsigned long long>(parseErrors));
+}
+
+std::string
+ServerStats::toJson() const
+{
+    auto field = [](const char *name, std::uint64_t v) {
+        return "\"" + std::string(name) +
+               "\":" + std::to_string(static_cast<unsigned long long>(v));
+    };
+    return "{" + field("connections", connections) + "," +
+           field("connections_shed", connectionsShed) + "," +
+           field("accepted", accepted) + "," +
+           field("parse_errors", parseErrors) + "," +
+           field("cache_hits", cacheHits) + "," +
+           field("stale_served", staleServed) + "," +
+           field("shed", shed) + "," +
+           field("deadline_exceeded", deadlineExceeded) + "," +
+           field("solved", solved) + "," + field("drained", drained) +
+           "," + field("replies_ok", repliesOk) + "," +
+           field("replies_error", repliesError) + "," +
+           field("write_errors", writeErrors) + ",\"consistent\":" +
+           (consistent() ? "true" : "false") + "}";
+}
+
+Server::Server(ServerOptions opts)
+    : options(std::move(opts)), eval(model::Solver(), options.eval)
+{
+    options.validate();
+    if (!options.nowMs)
+        options.nowMs = steadyNowMs;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+double
+Server::now() const
+{
+    return options.nowMs();
+}
+
+void
+Server::addTransport(std::unique_ptr<Transport> transport)
+{
+    requireConfig(!started.load(), "addTransport must precede start()");
+    transports.push_back(std::move(transport));
+}
+
+void
+Server::start()
+{
+    requireConfig(!transports.empty(),
+                  "server needs at least one transport");
+    requireConfig(!started.exchange(true), "server already started");
+    workerThreads.reserve(static_cast<std::size_t>(options.workers));
+    for (int i = 0; i < options.workers; ++i)
+        // memsense-lint: allow(no-hot-loop-alloc): one-time startup,
+        // reserved to options.workers just above
+        workerThreads.emplace_back([this] { workerLoop(); });
+    acceptThreads.reserve(transports.size());
+    for (auto &t : transports)
+        // memsense-lint: allow(no-hot-loop-alloc): one-time startup,
+        // reserved to transports.size() just above
+        acceptThreads.emplace_back([this, tp = t.get()] {
+            acceptLoop(tp);
+        });
+}
+
+void
+Server::requestStop()
+{
+    if (stopFlag.exchange(true))
+        return;
+    for (auto &t : transports)
+        t->shutdownTransport();
+    queueCv.notify_all();
+}
+
+void
+Server::stop()
+{
+    if (!started.load() || stopped.exchange(true))
+        return;
+    requestStop();
+    for (auto &t : acceptThreads)
+        if (t.joinable())
+            t.join();
+    // Readers poll stopFlag between lines (pollMs granularity), so
+    // each exits within one poll tick; joining here is bounded.
+    for (;;) {
+        std::thread reader;
+        {
+            std::lock_guard<std::mutex> lock(readerMu);
+            if (readerThreads.empty())
+                break;
+            reader = std::move(readerThreads.back());
+            readerThreads.pop_back();
+        }
+        if (reader.joinable())
+            reader.join();
+    }
+    // Drain: give queued work drainDeadlineMs of real time to flow to
+    // the workers, then cut them off and flush what remains.
+    {
+        std::unique_lock<std::mutex> lock(queueMu);
+        queueIdleCv.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(
+                options.drainDeadlineMs),
+            [this] { return queue.empty(); });
+        hardStop = true;
+    }
+    queueCv.notify_all();
+    for (auto &t : workerThreads)
+        if (t.joinable())
+            t.join();
+    flushQueueAsDrained();
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    return counters;
+}
+
+void
+Server::acceptLoop(Transport *transport)
+{
+    while (!stopFlag.load(std::memory_order_acquire)) {
+        std::unique_ptr<LineStream> stream;
+        const Transport::Accept a =
+            transport->accept(stream, options.pollMs);
+        if (a == Transport::Accept::Closed)
+            return;
+        if (a == Transport::Accept::Idle)
+            continue;
+        std::shared_ptr<LineStream> shared(std::move(stream));
+        if (activeConnections.load(std::memory_order_acquire) >=
+            options.maxConnections) {
+            // Connection-level shedding: refuse with one typed error
+            // line, before any request is accepted into the ledger.
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.connectionsShed;
+            }
+            shared->writeLine(errorReplyLine(
+                "", "overloaded", "connection limit reached", false));
+            shared->shutdownStream();
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.connections;
+        }
+        activeConnections.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> lock(readerMu);
+        // memsense-lint: allow(no-hot-loop-alloc): one thread per
+        // accepted connection — connection churn, not the per-request
+        // hot path
+        readerThreads.emplace_back(
+            [this, shared] { readLoop(shared); });
+    }
+}
+
+void
+Server::readLoop(std::shared_ptr<LineStream> stream)
+{
+    std::string line;
+    std::size_t line_number = 0;
+    while (!stopFlag.load(std::memory_order_acquire)) {
+        const LineStream::Read r =
+            stream->readLine(line, options.pollMs);
+        if (r == LineStream::Read::Idle)
+            continue;
+        if (r == LineStream::Read::Eof ||
+            r == LineStream::Read::Error)
+            break;
+        ++line_number;
+        if (r == LineStream::Read::TooLong) {
+            // The oversized line was counted and dropped by the
+            // stream; reply once, then drop the connection — the
+            // framing past an unread tail is unrecoverable.
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.accepted;
+                ++counters.parseErrors;
+            }
+            MS_METRIC_COUNT("serve.server.accepted");
+            // Oversized-line error path: fires at most once per
+            // connection, so the string building below is cold.
+            // memsense-lint: allow(no-hot-loop-alloc): cold error path
+            std::string cap_id = "line-" + std::to_string(line_number);
+            // memsense-lint: allow(no-hot-loop-alloc): cold error path
+            std::string cap_msg = "request line exceeds ";
+            // memsense-lint: allow(no-hot-loop-alloc): cold error path
+            cap_msg += std::to_string(options.maxLineBytes);
+            cap_msg += " bytes";
+            sendReply(stream,
+                      errorReplyLine(cap_id, "ConfigError", cap_msg,
+                                     true),
+                      false);
+            break;
+        }
+        bool blank = true;
+        for (char c : line)
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        if (blank)
+            continue;
+        handleLine(stream, line, line_number);
+    }
+    // Deliberately no shutdownStream() here: queued jobs from this
+    // connection still own the stream via shared_ptr and will write
+    // their replies (half-closed clients read them); the descriptor
+    // closes when the last reference drops.
+    activeConnections.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+Server::handleLine(const std::shared_ptr<LineStream> &stream,
+                   const std::string &line, std::size_t line_number)
+{
+    // From here on this line is "accepted": it appears in the ledger
+    // and is owed exactly one reply on every path below.
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++counters.accepted;
+    }
+    MS_METRIC_COUNT("serve.server.accepted");
+
+    EvalRequest req;
+    try {
+        MS_FAULT_POINT("server.parse");
+        req = parseRequestLine(line, line_number);
+    } catch (const std::exception &) {
+        const std::exception_ptr ep = std::current_exception();
+        const ExceptionInfo info = describeException(ep);
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.parseErrors;
+        }
+        sendReply(stream,
+                  errorReplyLine("line-" + std::to_string(line_number),
+                                 info.type, info.message,
+                                 classifyException(ep) ==
+                                     ErrorClass::Fatal),
+                  false);
+        return;
+    }
+
+    // Fast path: a verified cache hit is answered inline on the reader
+    // thread and consumes no queue slot — under overload the hot set
+    // keeps flowing while cold solves are shed below.
+    try {
+        if (auto hit = eval.probe(req.workload, req.platform)) {
+            EvalOutcome outcome;
+            outcome.id = req.id;
+            outcome.result.attempts = 1;
+            outcome.result.value.emplace(*hit);
+            outcome.cacheHit = true;
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.cacheHits;
+            }
+            sendReply(stream, resultLine(outcome), true);
+            return;
+        }
+    } catch (const std::exception &) {
+        const ExceptionInfo info =
+            describeException(std::current_exception());
+        sendReply(stream,
+                  errorReplyLine(req.id, "internal",
+                                 info.type + ": " + info.message, false),
+                  false);
+        return;
+    }
+
+    Job job;
+    job.stream = stream;
+    job.bytes = line.size();
+    const double budget_ms =
+        req.deadlineMs > 0.0 ? req.deadlineMs : options.defaultDeadlineMs;
+    if (budget_ms > 0.0)
+        job.deadlineAtMs = now() + budget_ms;
+    job.request = std::move(req);
+
+    // Admission control: bound both the queue depth and the bytes it
+    // holds, and shed instead of buffering without limit.
+    bool admitted = false;
+    std::size_t depth = 0;
+    std::size_t bytes_inflight = 0;
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        depth = queue.size();
+        bytes_inflight = inflightBytes;
+        if (!hardStop && depth < options.maxQueueDepth &&
+            inflightBytes + job.bytes <= options.maxInflightBytes) {
+            try {
+                MS_FAULT_POINT("server.enqueue");
+                inflightBytes += job.bytes;
+                // memsense-lint: allow(no-hot-loop-alloc): the bounded
+                // admission queue is the load-shedding mechanism; its
+                // depth cap (maxQueueDepth) bounds this allocation
+                queue.push_back(std::move(job));
+                depth = queue.size();
+                admitted = true;
+            } catch (const std::exception &) {
+                // Injected enqueue fault: fall through to the shed
+                // path so the request still gets exactly one reply.
+                admitted = false;
+            }
+        }
+    }
+    if (admitted) {
+        MS_METRIC_OBSERVE("serve.server.queue_depth",
+                          static_cast<double>(depth));
+        queueCv.notify_one();
+        return;
+    }
+
+    // Shed path: degraded stale answer when both sides allow it,
+    // otherwise a typed, explicitly-retryable overload error.
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++counters.shed;
+    }
+    MS_METRIC_COUNT("serve.server.shed");
+    const EvalRequest &request = job.request;
+    if (options.allowStale && request.allowStale) {
+        if (auto stale = staleLookup(request)) {
+            EvalOutcome outcome;
+            outcome.id = request.id;
+            outcome.result.attempts = 1;
+            outcome.result.value.emplace(*stale);
+            outcome.degraded = true;
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.staleServed;
+            }
+            sendReply(stream, resultLine(outcome), true);
+            return;
+        }
+    }
+    sendReply(stream,
+              errorReplyLine(request.id, "overloaded",
+                             strformat("queue full: %zu queued, %zu "
+                                       "bytes in flight",
+                                       depth, bytes_inflight),
+                             false),
+              false);
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queueMu);
+            queueCv.wait(lock, [this] {
+                return hardStop || !queue.empty() ||
+                       stopFlag.load(std::memory_order_acquire);
+            });
+            if (hardStop)
+                return;
+            if (queue.empty()) {
+                if (stopFlag.load(std::memory_order_acquire))
+                    return; // drained: nothing left to do
+                continue;
+            }
+            job = std::move(queue.front());
+            queue.pop_front();
+            inflightBytes -= job.bytes;
+            if (queue.empty())
+                queueIdleCv.notify_all();
+        }
+        runJob(job);
+    }
+}
+
+void
+Server::runJob(const Job &job)
+{
+    const EvalRequest &req = job.request;
+    // Deadline check at dequeue: a request that expired while queued
+    // is answered without burning solver time on it.
+    if (job.deadlineAtMs > 0.0 && now() >= job.deadlineAtMs) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.deadlineExceeded;
+        }
+        MS_METRIC_COUNT("serve.server.deadline_exceeded");
+        sendReply(job.stream,
+                  errorReplyLine(req.id, "deadline_exceeded",
+                                 "deadline expired while queued", false),
+                  false);
+        return;
+    }
+    try {
+        MS_FAULT_POINT("server.solve");
+        model::CancelCheck cancel;
+        if (job.deadlineAtMs > 0.0) {
+            const double deadline_at = job.deadlineAtMs;
+            cancel = [this, deadline_at] {
+                return now() >= deadline_at;
+            };
+        }
+        EvalOutcome outcome;
+        outcome.id = req.id;
+        outcome.result.attempts = 1;
+        outcome.result.value.emplace(
+            eval.solveCancellable(req.workload, req.platform, cancel));
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.solved;
+        }
+        sendReply(job.stream, resultLine(outcome), true);
+        staleStore(req, *outcome.result.value);
+    } catch (const model::SolveCancelled &e) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.deadlineExceeded;
+        }
+        MS_METRIC_COUNT("serve.server.deadline_exceeded");
+        sendReply(job.stream,
+                  errorReplyLine(
+                      req.id, "deadline_exceeded",
+                      strformat("deadline expired mid-solve (%d "
+                                "iterations done)",
+                                e.iterations),
+                      false),
+                  false);
+    } catch (const std::exception &) {
+        const std::exception_ptr ep = std::current_exception();
+        const ExceptionInfo info = describeException(ep);
+        sendReply(job.stream,
+                  errorReplyLine(req.id, "internal",
+                                 info.type + ": " + info.message,
+                                 classifyException(ep) ==
+                                     ErrorClass::Fatal),
+                  false);
+    }
+}
+
+void
+Server::flushQueueAsDrained()
+{
+    std::deque<Job> leftover;
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        leftover.swap(queue);
+        inflightBytes = 0;
+    }
+    for (const Job &job : leftover) {
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.drained;
+        }
+        MS_METRIC_COUNT("serve.server.drained");
+        sendReply(job.stream,
+                  errorReplyLine(job.request.id, "overloaded",
+                                 "server draining", false),
+                  false);
+    }
+}
+
+void
+Server::sendReply(const std::shared_ptr<LineStream> &stream,
+                  const std::string &reply_line, bool ok)
+{
+    bool delivered = false;
+    try {
+        delivered = stream->writeLine(reply_line);
+    } catch (...) { // memsense-lint: allow(no-bare-catch): last-ditch
+        // containment — a reply that cannot be rendered or written must
+        // become a counted write error, never tear down the worker
+        delivered = false;
+    }
+    std::lock_guard<std::mutex> lock(statsMu);
+    if (!delivered)
+        ++counters.writeErrors;
+    else if (ok)
+        ++counters.repliesOk;
+    else
+        ++counters.repliesError;
+}
+
+std::optional<model::OperatingPoint>
+Server::staleLookup(const EvalRequest &req) const
+{
+    std::lock_guard<std::mutex> lock(staleMu);
+    auto it = staleCache.find(coarseKey(req));
+    if (it == staleCache.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Server::staleStore(const EvalRequest &req,
+                   const model::OperatingPoint &op)
+{
+    std::lock_guard<std::mutex> lock(staleMu);
+    // Unbounded growth guard: the coarse key space is tiny in practice
+    // (3 significant digits per knob), but a hostile workload stream
+    // could still inflate it — cap and wholesale-reset, which only
+    // costs degraded-answer coverage, never correctness.
+    if (staleCache.size() >= 4096)
+        staleCache.clear();
+    staleCache[coarseKey(req)] = op;
+}
+
+} // namespace memsense::serve

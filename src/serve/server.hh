@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Fault-tolerant long-running evaluation server.
+ *
+ * One Server wraps one memoizing serve::Evaluator behind any number of
+ * Transports (TCP, Unix-domain, stdio, in-process) and speaks the
+ * JSON-lines request/reply schema of serve/request.hh, extended with
+ * three serving-only error types: `overloaded`, `deadline_exceeded`,
+ * and `internal` (all non-fatal except `internal` when the underlying
+ * failure is). The design goals, in priority order:
+ *
+ *  1. Never crash, never hang, never leak a request: every line read
+ *     from an admitted connection gets exactly one reply (or one
+ *     counted write failure when the peer is already gone). The
+ *     ServerStats ledger makes this checkable:
+ *         accepted == repliesOk + repliesError + writeErrors
+ *
+ *  2. Degrade before collapsing. Admission control bounds both queue
+ *     depth and in-flight request bytes; cache hits are answered
+ *     inline on the reader thread and consume no queue slot, so under
+ *     overload the server keeps serving its hot set and sheds only
+ *     cold solves. With `allowStale` enabled (server opt-in AND the
+ *     request not opting out) a shed request may instead be answered
+ *     from a coarse-fingerprint stale cache, flagged `"degraded":true`.
+ *
+ *  3. Deadlines are cooperative and injectable. A request's
+ *     `deadline_ms` budget starts at admission; workers check it when
+ *     dequeuing and the solver polls it between bisection iterations
+ *     (model::CancelCheck), so a deadline can cut a solve mid-flight
+ *     without threads being killed. The clock is a ServerOptions hook
+ *     — tests drive deadlines deterministically with a fake clock.
+ *
+ *  4. Drain, don't drop, on shutdown. requestStop() stops accepting
+ *     and reading; queued work keeps flowing to workers until
+ *     `drainDeadlineMs` elapses, after which the remainder is flushed
+ *     with `overloaded` ("server draining") replies — still exactly
+ *     one reply per accepted request.
+ *
+ * Fault sites (MS_FAULT_POINT): server.accept, server.read,
+ * server.parse, server.enqueue, server.solve, server.write, plus the
+ * evaluator.probe/solve/insert sites underneath. The chaos harness
+ * (scripts/check_chaos.sh) runs the matrix of these against live
+ * traffic and asserts the ledger, clean exits, and ASan silence.
+ */
+
+#ifndef MEMSENSE_SERVE_SERVER_HH
+#define MEMSENSE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/evaluator.hh"
+#include "serve/transport.hh"
+
+namespace memsense::serve
+{
+
+/** Tuning knobs of one Server. */
+struct ServerOptions
+{
+    EvaluatorOptions eval;     ///< cache + resilience of the evaluator
+    int workers = 2;           ///< solver worker threads (>= 1)
+    int maxConnections = 64;   ///< concurrent connections (excess shed)
+    std::size_t maxQueueDepth = 256;    ///< queued cold solves
+    std::size_t maxInflightBytes = 4u << 20; ///< queued request bytes
+    std::size_t maxLineBytes = 64u << 10;    ///< per-line byte cap
+    double defaultDeadlineMs = 0.0; ///< applied when a request has none
+    double drainDeadlineMs = 2000.0; ///< queue budget after stop
+    int pollMs = 50;           ///< accept/read wakeup granularity
+    /** Server-side opt-in to degraded stale answers for shed requests
+     *  (each request can still opt out with `"allow_stale": false`). */
+    bool allowStale = false;
+    /**
+     * Monotonic clock in milliseconds. Deadlines, drain timing, and
+     * latency metrics all read this hook, so tests inject a fake clock
+     * and exercise deadline/drain paths deterministically (the same
+     * injectable-clock pattern as measure::ResilienceOptions).
+     */
+    std::function<double()> nowMs;
+
+    /** Validate the knobs; throws ConfigError on nonsense. */
+    void validate() const;
+};
+
+/** Monotonic counters of one server run (see the ledger invariant). */
+struct ServerStats
+{
+    std::uint64_t connections = 0;     ///< accepted connections
+    std::uint64_t connectionsShed = 0; ///< refused at maxConnections
+    std::uint64_t accepted = 0;    ///< request lines read + owed a reply
+    std::uint64_t parseErrors = 0; ///< accepted but never parsed
+    std::uint64_t cacheHits = 0;   ///< answered inline from the cache
+    std::uint64_t staleServed = 0; ///< degraded coarse-cache answers
+    std::uint64_t shed = 0;        ///< refused by admission control
+    std::uint64_t deadlineExceeded = 0; ///< expired before/during solve
+    std::uint64_t solved = 0;      ///< full solves that replied ok
+    std::uint64_t drained = 0;     ///< flushed at shutdown (overloaded)
+    std::uint64_t repliesOk = 0;   ///< `"ok":true` replies written
+    std::uint64_t repliesError = 0; ///< `"ok":false` replies written
+    std::uint64_t writeErrors = 0; ///< replies the peer never got
+
+    /** The exactly-one-reply ledger. */
+    bool
+    consistent() const
+    {
+        return accepted == repliesOk + repliesError + writeErrors;
+    }
+
+    /** One human-readable summary line. */
+    std::string describe() const;
+
+    /** JSON object (stable key order) for --stats-json artifacts. */
+    std::string toJson() const;
+};
+
+/**
+ * The server (see file comment). Lifecycle: construct, addTransport()
+ * one or more times, start(), then stop() — which drains and joins.
+ * stop() is idempotent; requestStop() only flips the flag (safe to
+ * call from a signal-watching thread, NOT from a signal handler —
+ * signal handlers should set an atomic the daemon's main loop polls).
+ */
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Add a listening endpoint. Must precede start(). */
+    void addTransport(std::unique_ptr<Transport> transport);
+
+    /** Spawn accept + worker threads. */
+    void start();
+
+    /** Begin shutdown: stop accepting/reading, let the queue drain. */
+    void requestStop();
+
+    /** Drain (bounded by drainDeadlineMs), join all threads. */
+    void stop();
+
+    /** Snapshot of the counters (thread-safe, any time). */
+    ServerStats stats() const;
+
+    /** The wrapped evaluator (cache stats etc.). */
+    const Evaluator &evaluator() const { return eval; }
+
+    /** True once requestStop()/stop() began. */
+    bool
+    stopping() const
+    {
+        return stopFlag.load(std::memory_order_acquire);
+    }
+
+    /** Connections currently being read (daemon idle detection). */
+    int
+    activeConnectionCount() const
+    {
+        return activeConnections.load(std::memory_order_acquire);
+    }
+
+  private:
+    /** One queued cold solve, owing exactly one reply. */
+    struct Job
+    {
+        std::shared_ptr<LineStream> stream;
+        EvalRequest request;
+        std::size_t bytes = 0;     ///< admission accounting
+        double deadlineAtMs = 0.0; ///< absolute, 0 = none
+    };
+
+    void acceptLoop(Transport *transport);
+    void readLoop(std::shared_ptr<LineStream> stream);
+    void workerLoop();
+    void handleLine(const std::shared_ptr<LineStream> &stream,
+                    const std::string &line, std::size_t line_number);
+    void runJob(const Job &job);
+    void flushQueueAsDrained();
+    /** Write one reply; counts ok/error/writeError per the ledger. */
+    void sendReply(const std::shared_ptr<LineStream> &stream,
+                   const std::string &reply_line, bool ok);
+    double now() const;
+
+    /** Coarse stale-answer cache (see allowStale). */
+    std::optional<model::OperatingPoint>
+    staleLookup(const EvalRequest &req) const;
+    void staleStore(const EvalRequest &req,
+                    const model::OperatingPoint &op);
+
+    ServerOptions options;
+    Evaluator eval;
+
+    std::vector<std::unique_ptr<Transport>> transports;
+    std::vector<std::thread> acceptThreads;
+    std::vector<std::thread> workerThreads;
+    std::mutex readerMu;
+    std::vector<std::thread> readerThreads;
+
+    std::mutex queueMu;
+    std::condition_variable queueCv;
+    std::condition_variable queueIdleCv; ///< signalled when queue empties
+    std::deque<Job> queue;
+    std::size_t inflightBytes = 0;
+    bool hardStop = false; ///< workers must exit even with queued work
+
+    std::atomic<bool> stopFlag{false};
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopped{false};
+    std::atomic<int> activeConnections{0};
+
+    mutable std::mutex statsMu;
+    ServerStats counters;
+
+    mutable std::mutex staleMu;
+    std::unordered_map<std::string, model::OperatingPoint> staleCache;
+};
+
+} // namespace memsense::serve
+
+#endif // MEMSENSE_SERVE_SERVER_HH

@@ -7,6 +7,7 @@
 
 #include "serve/request.hh"
 #include "util/error.hh"
+#include "util/retry.hh"
 #include "util/string_util.hh"
 #include "util/trace.hh"
 
@@ -18,12 +19,13 @@ ServiceSummary::describe() const
 {
     return strformat("%zu lines: %zu solved, %zu failed, %zu parse "
                      "errors; cache %llu hits / %llu misses / %llu "
-                     "evictions (%zu entries)",
+                     "evictions (%zu entries)%s",
                      lines, solved, failed, parseErrors,
                      static_cast<unsigned long long>(cache.hits),
                      static_cast<unsigned long long>(cache.misses),
                      static_cast<unsigned long long>(cache.evictions),
-                     cache.size);
+                     cache.size,
+                     interrupted ? "; interrupted" : "");
 }
 
 ServiceSummary
@@ -46,7 +48,11 @@ runEvalService(std::istream &in, std::ostream &out,
     std::string line;
     std::size_t line_number = 0;
     ServiceSummary summary;
-    while (std::getline(in, line)) {
+    const auto stopped = [&opts] {
+        return opts.stop != nullptr &&
+               opts.stop->load(std::memory_order_relaxed);
+    };
+    while (!stopped() && std::getline(in, line)) {
         ++line_number;
         bool blank = true;
         for (char c : line) {
@@ -69,15 +75,36 @@ runEvalService(std::istream &in, std::ostream &out,
             ++summary.parseErrors;
             MS_METRIC_COUNT("serve.parse_errors");
             slot.errorLine = parseErrorLine(line_number, e.what());
+        } catch (const std::exception &) {
+            // Non-ConfigError parse failures (an injected fault at
+            // serve.json.parse, say) still cost the batch exactly one
+            // error line in this slot, never the whole run.
+            const ExceptionInfo info =
+                describeException(std::current_exception());
+            ++summary.parseErrors;
+            MS_METRIC_COUNT("serve.parse_errors");
+            slot.errorLine = parseErrorLine(
+                line_number, info.type, info.message,
+                classifyException(std::current_exception()) ==
+                    ErrorClass::Fatal);
         }
         // memsense-lint: allow(no-hot-loop-alloc): same input parse
         slots.push_back(std::move(slot));
     }
 
+    summary.interrupted = stopped();
+
     Evaluator evaluator{model::Solver(), opts.eval};
     std::vector<EvalOutcome> outcomes;
-    for (int pass = 0; pass < opts.repeat; ++pass)
+    // Pass 0 always runs so every ingested line gets its result even
+    // on an interrupted run; the stop flag only cuts warm repeats.
+    for (int pass = 0; pass < opts.repeat; ++pass) {
+        if (pass > 0 && stopped()) {
+            summary.interrupted = true;
+            break;
+        }
         outcomes = evaluator.evaluateBatch(requests);
+    }
 
     for (const Slot &slot : slots) {
         if (!slot.parsed) {

@@ -18,6 +18,7 @@
 #ifndef MEMSENSE_SERVE_SERVICE_HH
 #define MEMSENSE_SERVE_SERVICE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -32,6 +33,15 @@ struct ServiceOptions
 {
     EvaluatorOptions eval;   ///< cache + worker + resilience knobs
     int repeat = 1;          ///< evaluate the batch this many times
+    /**
+     * Cooperative shutdown flag (optional): polled between input
+     * lines and between repeat passes. When it flips true the run
+     * stops reading, evaluates whatever was already ingested exactly
+     * once, emits those results, and returns with `interrupted` set —
+     * the signal handlers of memsense_eval point this at their flag so
+     * Ctrl-C flushes partial results instead of tearing the process.
+     */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 /** What one service run did (for the stderr summary line). */
@@ -42,6 +52,7 @@ struct ServiceSummary
     std::size_t solved = 0;      ///< ok results in the emitted pass
     std::size_t failed = 0;      ///< quarantined results in that pass
     std::size_t cacheHits = 0;   ///< cache hits in that pass
+    bool interrupted = false;    ///< stopped early by the stop flag
     CacheStats cache;            ///< final cache counters
 
     /** One human-readable summary line. */

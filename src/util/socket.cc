@@ -1,0 +1,289 @@
+#include "util/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+
+namespace memsense::net
+{
+
+namespace
+{
+
+[[noreturn]] void
+failErrno(const std::string &what)
+{
+    throw ConfigError(what + ": " + std::strerror(errno));
+}
+
+void
+setCloexec(int fd)
+{
+    int flags = fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+sockaddr_in
+tcpAddress(const std::string &host, int port)
+{
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const std::string resolved =
+        (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+    if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1)
+        throw ConfigError("cannot parse IPv4 address '" + resolved +
+                          "' (hostnames are not resolved; use a "
+                          "dotted quad or 'localhost')");
+    return addr;
+}
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    requireConfig(!path.empty(), "unix socket path must be non-empty");
+    requireConfig(path.size() < sizeof(addr.sun_path),
+                  "unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // anonymous namespace
+
+void
+FdHandle::reset()
+{
+    if (fd_ >= 0) {
+        // EINTR on close is not retried: POSIX leaves the fd state
+        // unspecified and a retry risks closing a reused descriptor.
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Listener
+listenTcp(const std::string &host, int port, int backlog)
+{
+    requireConfig(port >= 0 && port <= 65535,
+                  "tcp port must be in [0, 65535], got " +
+                      std::to_string(port));
+    FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        failErrno("socket(AF_INET)");
+    setCloexec(fd.get());
+    int one = 1;
+    setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = tcpAddress(host, port);
+    if (bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0)
+        failErrno("bind tcp " + host + ":" + std::to_string(port));
+    if (listen(fd.get(), backlog) != 0)
+        failErrno("listen tcp " + host + ":" + std::to_string(port));
+
+    sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                    &len) != 0)
+        failErrno("getsockname");
+    Listener l;
+    l.port = ntohs(bound.sin_port);
+    l.address = "tcp:" + (host.empty() ? std::string("127.0.0.1") : host) +
+                ":" + std::to_string(l.port);
+    l.fd = std::move(fd);
+    return l;
+}
+
+Listener
+listenUnix(const std::string &path, int backlog)
+{
+    sockaddr_un addr = unixAddress(path);
+    FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        failErrno("socket(AF_UNIX)");
+    setCloexec(fd.get());
+    // A stale socket file from a crashed server would make bind fail
+    // with EADDRINUSE even though nothing is listening; unlink first.
+    ::unlink(path.c_str());
+    if (bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0)
+        failErrno("bind unix " + path);
+    if (listen(fd.get(), backlog) != 0)
+        failErrno("listen unix " + path);
+    Listener l;
+    l.address = "unix:" + path;
+    l.unixPath = path;
+    l.fd = std::move(fd);
+    return l;
+}
+
+FdHandle
+connectTcp(const std::string &host, int port)
+{
+    sockaddr_in addr = tcpAddress(host, port);
+    FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        failErrno("socket(AF_INET)");
+    setCloexec(fd.get());
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        failErrno("connect tcp " + host + ":" + std::to_string(port));
+    return fd;
+}
+
+FdHandle
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr = unixAddress(path);
+    FdHandle fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        failErrno("socket(AF_UNIX)");
+    setCloexec(fd.get());
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        failErrno("connect unix " + path);
+    return fd;
+}
+
+IoWait
+waitReadable(int fd, int timeout_ms)
+{
+    return waitReadable2(fd, -1, timeout_ms);
+}
+
+IoWait
+waitReadable2(int fd, int wake_fd, int timeout_ms)
+{
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    nfds_t n = 1;
+    if (wake_fd >= 0) {
+        fds[1] = {wake_fd, POLLIN, 0};
+        n = 2;
+    }
+    int rc;
+    do {
+        rc = ::poll(fds, n, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        failErrno("poll");
+    if (rc == 0)
+        return IoWait::Timeout;
+    if (n == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)))
+        return IoWait::Hangup; // shutdown wake beats pending data
+    if (fds[0].revents & (POLLERR | POLLNVAL))
+        return IoWait::Hangup;
+    // POLLHUP with POLLIN still has buffered bytes to drain; pure
+    // POLLHUP means the peer is gone with nothing left to read.
+    if ((fds[0].revents & POLLHUP) && !(fds[0].revents & POLLIN))
+        return IoWait::Hangup;
+    return IoWait::Ready;
+}
+
+long
+readSome(int fd, char *buf, std::size_t len)
+{
+    for (;;) {
+        ssize_t n = ::read(fd, buf, len);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -1;
+        if (errno == ECONNRESET)
+            return 0; // a reset peer reads as EOF for framing purposes
+        failErrno("read");
+    }
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill
+        // the server process with SIGPIPE. send() requires a socket;
+        // pipes/regular fds fall back to write() (no SIGPIPE risk in
+        // our usage: only the in-process transport uses non-sockets).
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, data + sent, len - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return false;
+            failErrno("write");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+FdHandle
+acceptOn(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+            setCloexec(fd);
+            return FdHandle(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return FdHandle();
+        failErrno("accept");
+    }
+}
+
+PipePair
+makePipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        failErrno("pipe");
+    setCloexec(fds[0]);
+    setCloexec(fds[1]);
+    // Non-blocking write end: pokePipe must never block even if the
+    // pipe buffer is full of unread wake bytes.
+    int flags = fcntl(fds[1], F_GETFL);
+    if (flags >= 0)
+        fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+    PipePair p;
+    p.readEnd = FdHandle(fds[0]);
+    p.writeEnd = FdHandle(fds[1]);
+    return p;
+}
+
+void
+pokePipe(int write_fd)
+{
+    char byte = 0;
+    // Best-effort: a full pipe already has a pending wake, and EINTR
+    // here is fine for the same reason (the next poke re-arms it).
+    [[maybe_unused]] ssize_t rc = ::write(write_fd, &byte, 1);
+}
+
+} // namespace memsense::net

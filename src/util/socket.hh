@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Minimal POSIX socket layer for the serving path.
+ *
+ * Just enough BSD-socket surface for memsense_serve and
+ * memsense_loadgen: RAII file descriptors, TCP and Unix-domain
+ * listeners/dialers, and EINTR-safe poll/read/write helpers. All
+ * failures surface as ConfigError (the environment, not the library,
+ * is wrong); no call here ever raises SIGPIPE (writes use
+ * MSG_NOSIGNAL / are pipe-safe).
+ *
+ * Deliberately not a framework: line framing, timeouts-as-policy, and
+ * concurrency live in serve/transport.hh on top of these calls.
+ */
+
+#ifndef MEMSENSE_UTIL_SOCKET_HH
+#define MEMSENSE_UTIL_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace memsense::net
+{
+
+/** RAII owner of one file descriptor (move-only; -1 = empty). */
+class FdHandle
+{
+  public:
+    FdHandle() = default;
+    explicit FdHandle(int fd_in)
+        : fd_(fd_in)
+    {}
+    ~FdHandle() { reset(); }
+
+    FdHandle(FdHandle &&other) noexcept
+        : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+
+    FdHandle &
+    operator=(FdHandle &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    FdHandle(const FdHandle &) = delete;
+    FdHandle &operator=(const FdHandle &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Give up ownership without closing. */
+    int release()
+    {
+        int fd_out = fd_;
+        fd_ = -1;
+        return fd_out;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** One bound, listening endpoint. */
+struct Listener
+{
+    FdHandle fd;
+    std::string address; ///< "tcp:127.0.0.1:8321" / "unix:/path"
+    int port = 0;        ///< resolved TCP port (0 for Unix sockets)
+    std::string unixPath; ///< socket file to unlink on close (Unix)
+};
+
+/**
+ * Bind + listen on TCP @p host:@p port. Port 0 picks an ephemeral
+ * port; the resolved one is returned in Listener::port.
+ */
+Listener listenTcp(const std::string &host, int port, int backlog = 64);
+
+/** Bind + listen on a Unix-domain socket, replacing a stale file. */
+Listener listenUnix(const std::string &path, int backlog = 64);
+
+/** Connect to a TCP endpoint. Throws ConfigError on failure. */
+FdHandle connectTcp(const std::string &host, int port);
+
+/** Connect to a Unix-domain socket. Throws ConfigError on failure. */
+FdHandle connectUnix(const std::string &path);
+
+/** Outcome of one bounded wait on a descriptor. */
+enum class IoWait
+{
+    Ready,   ///< readable (or accept-ready)
+    Timeout, ///< nothing within the budget
+    Hangup,  ///< peer closed / descriptor error
+};
+
+/** Wait up to @p timeout_ms for @p fd to become readable. */
+IoWait waitReadable(int fd, int timeout_ms);
+
+/**
+ * Wait up to @p timeout_ms for either descriptor; @p wake_fd is the
+ * self-pipe pattern — readable wake_fd reports Hangup so accept loops
+ * unblock on shutdown without racing a close() of the listen fd.
+ */
+IoWait waitReadable2(int fd, int wake_fd, int timeout_ms);
+
+/**
+ * One read(2) into @p buf, retrying EINTR. Returns bytes read, 0 on
+ * EOF, -1 on a would-block/after-timeout condition, throws
+ * ConfigError on hard errors.
+ */
+long readSome(int fd, char *buf, std::size_t len);
+
+/**
+ * Write all of @p data, retrying EINTR and short writes, suppressing
+ * SIGPIPE. Returns false when the peer is gone (EPIPE/ECONNRESET);
+ * throws ConfigError on other hard errors.
+ */
+bool writeAll(int fd, const char *data, std::size_t len);
+
+/** accept(2) with EINTR retry; empty handle when nothing is pending. */
+FdHandle acceptOn(int listen_fd);
+
+/** An inheritable pipe pair for self-pipe wakeups (read, write). */
+struct PipePair
+{
+    FdHandle readEnd;
+    FdHandle writeEnd;
+};
+
+/** Create a non-blocking pipe pair. */
+PipePair makePipe();
+
+/** Best-effort single-byte write to a wake pipe (signal-safe-ish). */
+void pokePipe(int write_fd);
+
+} // namespace memsense::net
+
+#endif // MEMSENSE_UTIL_SOCKET_HH

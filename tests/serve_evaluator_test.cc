@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "model/sensitivity.hh"
 #include "serve/evaluator.hh"
 #include "serve/service.hh"
+#include "util/fault_injection.hh"
 
 namespace memsense::serve
 {
@@ -207,6 +210,139 @@ TEST(ServeService, ResultLinesPreserveOrderAndCaptureErrors)
     EXPECT_EQ(summary.parseErrors, 1u);
     EXPECT_EQ(summary.solved, 4u);
     EXPECT_EQ(summary.failed, 1u);
+}
+
+/**
+ * A one-char streambuf that flips an atomic flag the moment the Nth
+ * newline is served, so the service's between-lines stop poll sees the
+ * flag with a deterministic number of lines already ingested — exactly
+ * what a signal landing mid-stream looks like to runEvalService().
+ */
+class FlagAfterLinesBuf : public std::streambuf
+{
+  public:
+    FlagAfterLinesBuf(std::string text_in, int lines,
+                      std::atomic<bool> &flag_in)
+        : text(std::move(text_in)), linesLeft(lines), flag(flag_in)
+    {
+    }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        if (pos >= text.size())
+            return traits_type::eof();
+        ch = text[pos++];
+        if (ch == '\n' && --linesLeft == 0)
+            flag.store(true);
+        setg(&ch, &ch, &ch + 1);
+        return traits_type::to_int_type(ch);
+    }
+
+  private:
+    std::string text;
+    std::size_t pos = 0;
+    char ch = 0;
+    int linesLeft;
+    std::atomic<bool> &flag;
+};
+
+TEST(ServeService, PresetStopFlagInterruptsBeforeReadingAnything)
+{
+    std::istringstream in(kRequestStream);
+    std::ostringstream out;
+    ServiceOptions opts;
+    std::atomic<bool> stop{true};
+    opts.stop = &stop;
+    ServiceSummary summary = runEvalService(in, out, opts);
+    EXPECT_TRUE(summary.interrupted);
+    EXPECT_EQ(summary.lines, 0u);
+    EXPECT_EQ(out.str(), "");
+}
+
+TEST(ServeService, StopMidStreamFlushesTheIngestedPrefix)
+{
+    // This is the memsense_eval Ctrl-C contract: stop reading, still
+    // evaluate and emit everything ingested before the signal.
+    std::atomic<bool> stop{false};
+    FlagAfterLinesBuf buf(kRequestStream, 2, stop);
+    std::istream in(&buf);
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.stop = &stop;
+    ServiceSummary summary = runEvalService(in, out, opts);
+    EXPECT_TRUE(summary.interrupted);
+    EXPECT_EQ(summary.lines, 2u);
+    auto lines = splitLines(out.str());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(parseJson(lines[0]).at("id").str, "a");
+    EXPECT_EQ(parseJson(lines[1]).at("id").str, "b");
+    EXPECT_EQ(summary.solved, 2u);
+}
+
+class EvaluatorFaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::reset(); }
+
+    model::Platform base = model::Platform::paperBaseline();
+    model::WorkloadParams bd =
+        model::paper::classParams(model::WorkloadClass::BigData);
+    model::WorkloadParams hpc =
+        model::paper::classParams(model::WorkloadClass::Hpc);
+};
+
+TEST_F(EvaluatorFaultTest, PersistentSolveFaultIsQuarantinedPerRequest)
+{
+    Evaluator eval;
+    eval.solve(bd, base); // warm the cache before the faults start
+    fault::configure("evaluator.solve:throw:nth=1");
+
+    std::vector<EvalRequest> batch = {
+        {"cached", bd, base},
+        {"cold", hpc, base},
+    };
+    auto outcomes = eval.evaluateBatch(batch);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].result.ok());
+    EXPECT_TRUE(outcomes[0].cacheHit);
+    ASSERT_FALSE(outcomes[1].result.ok());
+    EXPECT_EQ(outcomes[1].result.failure->errorType, "FaultInjected");
+    EXPECT_EQ(outcomes[1].result.attempts, 1);
+}
+
+TEST_F(EvaluatorFaultTest, TransientSolveFaultIsRetriedToSuccess)
+{
+    EvaluatorOptions opts;
+    opts.resilience.retry.maxAttempts = 3;
+    opts.resilience.retry.baseDelayMs = 1.0;
+    Evaluator eval(model::Solver(), opts);
+    fault::configure("evaluator.solve:throw:count=1");
+
+    std::vector<EvalRequest> batch = {{"r", bd, base}};
+    auto outcomes = eval.evaluateBatch(batch);
+    ASSERT_TRUE(outcomes[0].result.ok());
+    EXPECT_EQ(outcomes[0].result.attempts, 2);
+    EXPECT_EQ(fault::fireCount("evaluator.solve"), 1u);
+}
+
+TEST_F(EvaluatorFaultTest, ProbeFaultAbortsTheBatchWithACleanThrow)
+{
+    // The serial probe pass is unprotected by design: a fault there is
+    // a clean typed throw out of evaluateBatch, never a crash.
+    Evaluator eval;
+    fault::configure("evaluator.probe:throw:nth=1");
+    std::vector<EvalRequest> batch = {{"r", bd, base}};
+    EXPECT_THROW(eval.evaluateBatch(batch), fault::FaultInjected);
+}
+
+TEST_F(EvaluatorFaultTest, InsertFaultAbortsTheCachePassCleanly)
+{
+    Evaluator eval;
+    fault::configure("evaluator.insert:throw:nth=1");
+    std::vector<EvalRequest> batch = {{"r", bd, base}};
+    EXPECT_THROW(eval.evaluateBatch(batch), fault::FaultInjected);
 }
 
 TEST(ServeService, NoResultFieldLeaksCacheState)

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Hostile-input hardening tests for the serving JSON parser.
+ *
+ * The parser is the first thing untrusted network bytes reach, so it
+ * must fail closed on resource-exhaustion shapes — oversized lines,
+ * deep `[[[[...` nesting that would overflow the recursive descent's
+ * stack — and on malformed UTF-8 inside string literals, all with a
+ * typed ParseError (a ConfigError subclass) instead of a crash, an
+ * OOM, or silent mojibake pass-through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/json.hh"
+
+namespace memsense::serve
+{
+namespace
+{
+
+TEST(JsonLimits, OversizedInputIsRejectedUpFront)
+{
+    JsonLimits limits;
+    limits.maxBytes = 64;
+    const std::string big(65, ' ');
+    try {
+        parseJson("\"" + big + "\"", limits);
+        FAIL() << "oversized input parsed";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte cap"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonLimits, InputAtTheCapStillParses)
+{
+    JsonLimits limits;
+    limits.maxBytes = 16;
+    // Exactly 16 bytes: {"k":"0123456"} plus one space = 16.
+    const std::string doc = "{\"k\":\"01234567\"}";
+    ASSERT_EQ(doc.size(), 16u);
+    JsonValue v = parseJson(doc, limits);
+    EXPECT_EQ(v.at("k").asString("k"), "01234567");
+}
+
+TEST(JsonLimits, DeepNestingIsRejectedNotStackOverflowed)
+{
+    JsonLimits limits;
+    limits.maxDepth = 8;
+    std::string deep;
+    for (int i = 0; i < 9; ++i)
+        deep += "[";
+    for (int i = 0; i < 9; ++i)
+        deep += "]";
+    EXPECT_THROW(parseJson(deep, limits), ParseError);
+
+    std::string ok;
+    for (int i = 0; i < 8; ++i)
+        ok += "[";
+    for (int i = 0; i < 8; ++i)
+        ok += "]";
+    EXPECT_NO_THROW(parseJson(ok, limits));
+}
+
+TEST(JsonLimits, HostileDepthBombAtDefaultLimitsDoesNotCrash)
+{
+    // 100k nested arrays: without the depth cap this would overflow
+    // the stack long before running out of input.
+    std::string bomb;
+    bomb.reserve(200000);
+    for (int i = 0; i < 100000; ++i)
+        bomb += "[";
+    EXPECT_THROW(parseJson(bomb), ParseError);
+}
+
+TEST(JsonLimits, MixedObjectArrayNestingCountsBothKinds)
+{
+    JsonLimits limits;
+    limits.maxDepth = 4;
+    // Depth 5 alternating object/array.
+    EXPECT_THROW(parseJson("{\"a\":[{\"b\":[{}]}]}", limits),
+                 ParseError);
+    EXPECT_NO_THROW(parseJson("{\"a\":[{\"b\":[]}]}", limits));
+}
+
+TEST(JsonUtf8, TruncatedSequenceIsRejected)
+{
+    // E2 82 is the first two bytes of U+20AC (€); the tail is cut off.
+    const std::string truncated = "\"\xE2\x82\"";
+    try {
+        parseJson(truncated);
+        FAIL() << "truncated UTF-8 parsed";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated UTF-8"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonUtf8, BareContinuationByteIsRejected)
+{
+    EXPECT_THROW(parseJson("\"\x80\""), ParseError);
+}
+
+TEST(JsonUtf8, OverlongEncodingIsRejected)
+{
+    // C0 AF is the classic overlong encoding of '/'.
+    EXPECT_THROW(parseJson("\"\xC0\xAF\""), ParseError);
+    // E0 80 80: overlong NUL in three bytes.
+    EXPECT_THROW(parseJson("\"\xE0\x80\x80\""), ParseError);
+}
+
+TEST(JsonUtf8, EncodedSurrogateIsRejected)
+{
+    // ED A0 80 encodes U+D800, a high surrogate — invalid in UTF-8.
+    EXPECT_THROW(parseJson("\"\xED\xA0\x80\""), ParseError);
+}
+
+TEST(JsonUtf8, CodePointPastUnicodeRangeIsRejected)
+{
+    // F4 90 80 80 would be U+110000, one past the Unicode ceiling.
+    EXPECT_THROW(parseJson("\"\xF4\x90\x80\x80\""), ParseError);
+}
+
+TEST(JsonUtf8, ValidMultiByteSequencesPassThrough)
+{
+    // é (2 bytes), € (3 bytes), 😀 (4 bytes).
+    const std::string doc = "\"\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80\"";
+    JsonValue v = parseJson(doc);
+    EXPECT_EQ(v.text, "\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+}
+
+TEST(JsonUtf8, TruncatedAtEndOfInputDoesNotOverread)
+{
+    // Lead byte promising 4 bytes right at the end of the document.
+    EXPECT_THROW(parseJson("\"\xF0"), ParseError);
+}
+
+TEST(JsonParseError, IsACatchableConfigError)
+{
+    // The service's per-line error capture catches ConfigError; the
+    // hardened failures must flow through that path unchanged.
+    try {
+        parseJson("{\"a\":");
+        FAIL() << "malformed input parsed";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("JSON parse error"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParseError, ReportsByteOffset)
+{
+    try {
+        parseJson("{\"a\":tru}");
+        FAIL() << "malformed input parsed";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("at byte"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // anonymous namespace
+} // namespace memsense::serve

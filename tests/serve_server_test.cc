@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Tests for the fault-tolerant evaluation server.
+ *
+ * Driven almost entirely over the in-process transport so the full
+ * accept/read/admit/solve/reply/drain machinery runs with zero kernel
+ * dependencies, plus socket round-trips that skip cleanly when the
+ * sandbox forbids binding. Deadline behaviour is tested with an
+ * auto-advancing injected clock (every observation moves time forward
+ * by a fixed step), so deadline-in-queue and deadline-mid-solve are
+ * deterministic rather than sleep-raced; queue-pressure behaviour is
+ * forced with `delay`-kind injected faults that hold the single worker
+ * busy while requests pile up behind it.
+ *
+ * The invariant asserted everywhere: every accepted request gets
+ * exactly one reply — ServerStats::consistent() — no matter which
+ * fault, shed, deadline, or drain path it took.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "serve/transport.hh"
+#include "util/fault_injection.hh"
+#include "util/socket.hh"
+
+namespace memsense::serve
+{
+namespace
+{
+
+/** Server + its in-process transport, wired for one test. */
+struct TestServer
+{
+    InProcessTransport *transport = nullptr;
+    std::unique_ptr<Server> server;
+
+    explicit TestServer(ServerOptions opts = {})
+    {
+        server = std::make_unique<Server>(std::move(opts));
+        auto t = std::make_unique<InProcessTransport>();
+        transport = t.get();
+        server->addTransport(std::move(t));
+        server->start();
+    }
+};
+
+/** Fast server options for tests (tight poll, quick drain). */
+ServerOptions
+testOptions()
+{
+    ServerOptions opts;
+    opts.pollMs = 5;
+    opts.drainDeadlineMs = 200.0;
+    return opts;
+}
+
+/** A clock that advances stepMs on every observation. */
+std::function<double()>
+autoAdvancingClock(double step_ms)
+{
+    auto t = std::make_shared<double>(0.0);
+    return [t, step_ms] {
+        *t += step_ms;
+        return *t;
+    };
+}
+
+std::string
+coldRequest(const char *id, double mpki)
+{
+    return std::string("{\"id\":\"") + id +
+           "\",\"workload\":{\"mpki\":" + std::to_string(mpki) + "}}";
+}
+
+/** Receive one line or fail the test. */
+std::string
+mustRecv(InProcessClient &client, int timeout_ms = 5000)
+{
+    std::string line;
+    const LineStream::Read r = client.recv(line, timeout_ms);
+    EXPECT_EQ(r, LineStream::Read::Line) << "no reply within budget";
+    return line;
+}
+
+/** Spin until @p pred holds or ~2s of real time passes. */
+template <typename Pred>
+bool
+spinUntil(Pred pred)
+{
+    for (int i = 0; i < 400; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+class ServeServerTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(ServeServerTest, StartStopWithoutTrafficIsClean)
+{
+    TestServer ts(testOptions());
+    ts.server->stop();
+    ts.server->stop(); // idempotent
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.accepted, 0u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, EveryRequestGetsExactlyOneReply)
+{
+    TestServer ts(testOptions());
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("r1", 10.0));
+    client.send(coldRequest("r2", 11.0));
+    client.send(coldRequest("r3", 10.0)); // dup of r1's params
+    std::vector<std::string> replies;
+    for (int i = 0; i < 3; ++i)
+        replies.push_back(mustRecv(client));
+    for (const std::string &r : replies)
+        EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.repliesOk, 3u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, CacheHitsAreServedInlineOnTheReaderThread)
+{
+    TestServer ts(testOptions());
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("cold", 12.0));
+    const std::string first = mustRecv(client);
+    client.send(coldRequest("warm", 12.0));
+    const std::string second = mustRecv(client);
+    EXPECT_NE(second.find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.solved, 1u);
+    // The hit and the solve must agree byte-for-byte past the id.
+    EXPECT_EQ(first.substr(first.find("\"op\"")),
+              second.substr(second.find("\"op\"")));
+}
+
+TEST_F(ServeServerTest, MalformedLineGetsATypedErrorReply)
+{
+    TestServer ts(testOptions());
+    InProcessClient client = ts.transport->connect();
+    client.send("this is not json");
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"id\":\"line-1\""), std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("\"fatal\":true"), std::string::npos) << reply;
+    // The connection survives a bad line; the next request works.
+    client.send(coldRequest("after", 13.0));
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    EXPECT_TRUE(ts.server->stats().consistent());
+}
+
+TEST_F(ServeServerTest, DeadlineExpiredWhileQueuedIsRefusedCheaply)
+{
+    ServerOptions opts = testOptions();
+    // Every clock observation advances 1s, so a 10ms budget taken at
+    // enqueue has always expired by the worker's dequeue check.
+    opts.nowMs = autoAdvancingClock(1000.0);
+    TestServer ts(opts);
+    InProcessClient client = ts.transport->connect();
+    client.send("{\"id\":\"dl\",\"deadline_ms\":10,"
+                "\"workload\":{\"mpki\":14}}");
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"type\":\"deadline_exceeded\""),
+              std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("while queued"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"fatal\":false"), std::string::npos) << reply;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.deadlineExceeded, 1u);
+    EXPECT_EQ(stats.solved, 0u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, DeadlineCutsASolveMidFlightCooperatively)
+{
+    ServerOptions opts = testOptions();
+    // Budget 1500ms, step 1000ms: the dequeue check survives (enqueue
+    // t=1000 -> deadline 2500, dequeue t=2000) and the first solver
+    // cancel poll (t=3000) fires — the cooperative mid-solve path.
+    opts.nowMs = autoAdvancingClock(1000.0);
+    TestServer ts(opts);
+    InProcessClient client = ts.transport->connect();
+    client.send("{\"id\":\"mid\",\"deadline_ms\":1500,"
+                "\"workload\":{\"mpki\":15}}");
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"type\":\"deadline_exceeded\""),
+              std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("mid-solve"), std::string::npos) << reply;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.deadlineExceeded, 1u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, QueueOverflowShedsWithOverloadedError)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.maxQueueDepth = 1;
+    TestServer ts(opts);
+    // Hold the single worker inside its first solve for 400ms.
+    fault::configure("server.solve:delay=400:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("busy", 20.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    })) << "worker never picked up the blocking request";
+    client.send(coldRequest("queued", 21.0));
+    // Give the reader a beat to enqueue "queued" before overflowing.
+    ASSERT_TRUE(spinUntil([&ts] {
+        return ts.server->stats().accepted >= 2;
+    }));
+    client.send(coldRequest("shed", 22.0));
+    // The shed reply arrives first (reader thread, no queue wait).
+    const std::string shed_reply = mustRecv(client);
+    EXPECT_NE(shed_reply.find("\"type\":\"overloaded\""),
+              std::string::npos)
+        << shed_reply;
+    EXPECT_NE(shed_reply.find("queue full"), std::string::npos)
+        << shed_reply;
+    // The blocked and queued solves still complete.
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.solved, 2u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, ShedRequestsCanBeServedStaleAndDegraded)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.maxQueueDepth = 1;
+    opts.allowStale = true;
+    TestServer ts(opts);
+    InProcessClient client = ts.transport->connect();
+    // Warm the coarse stale cache with a full solve near mpki=10.
+    client.send("{\"id\":\"warm\",\"workload\":{\"mpki\":10.0001}}");
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    // Now jam the worker and fill the queue.
+    fault::configure("server.solve:delay=400:count=1");
+    client.send(coldRequest("busy", 30.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    }));
+    client.send(coldRequest("queued", 31.0));
+    ASSERT_TRUE(spinUntil([&ts] {
+        return ts.server->stats().accepted >= 3;
+    }));
+    // Same coarse key as the warm solve, different exact fingerprint:
+    // shed, but answerable stale.
+    client.send("{\"id\":\"stale-ok\",\"workload\":{\"mpki\":10.0002}}");
+    const std::string degraded = mustRecv(client);
+    EXPECT_NE(degraded.find("\"degraded\":true"), std::string::npos)
+        << degraded;
+    EXPECT_NE(degraded.find("\"ok\":true"), std::string::npos)
+        << degraded;
+    // The same shape opting out of staleness gets the overload error.
+    client.send("{\"id\":\"no-stale\",\"allow_stale\":false,"
+                "\"workload\":{\"mpki\":10.0003}}");
+    const std::string refused = mustRecv(client);
+    EXPECT_NE(refused.find("\"type\":\"overloaded\""), std::string::npos)
+        << refused;
+    // Drain the two slow solves.
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.staleServed, 1u);
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, DrainDeadlineFlushesQueuedWorkAsOverloaded)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.drainDeadlineMs = 50.0;
+    TestServer ts(opts);
+    fault::configure("server.solve:delay=400:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("busy", 40.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    }));
+    client.send(coldRequest("q1", 41.0));
+    client.send(coldRequest("q2", 42.0));
+    ASSERT_TRUE(spinUntil([&ts] {
+        return ts.server->stats().accepted >= 3;
+    }));
+    // Stop: the 50ms drain budget expires inside the worker's 400ms
+    // stall, so q1/q2 are flushed as "server draining".
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.drained, 2u);
+    EXPECT_EQ(stats.solved, 1u);
+    EXPECT_TRUE(stats.consistent());
+    int ok = 0;
+    int draining = 0;
+    for (int i = 0; i < 3; ++i) {
+        const std::string reply = mustRecv(client);
+        if (reply.find("\"ok\":true") != std::string::npos)
+            ++ok;
+        if (reply.find("server draining") != std::string::npos)
+            ++draining;
+    }
+    EXPECT_EQ(ok, 1);
+    EXPECT_EQ(draining, 2);
+}
+
+TEST_F(ServeServerTest, ConnectionLimitShedsTheExcessConnection)
+{
+    ServerOptions opts = testOptions();
+    opts.maxConnections = 1;
+    TestServer ts(opts);
+    InProcessClient first = ts.transport->connect();
+    first.send(coldRequest("keep", 50.0));
+    EXPECT_NE(mustRecv(first).find("\"ok\":true"), std::string::npos);
+    InProcessClient second = ts.transport->connect();
+    const std::string refused = mustRecv(second);
+    EXPECT_NE(refused.find("connection limit"), std::string::npos)
+        << refused;
+    // The first connection keeps working.
+    first.send(coldRequest("still", 51.0));
+    EXPECT_NE(mustRecv(first).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.connectionsShed, 1u);
+    EXPECT_EQ(stats.connections, 1u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, OversizedLineIsRefusedAndConnectionDropped)
+{
+    ServerOptions opts = testOptions();
+    TestServer ts(opts);
+    // The in-process transport has no byte cap (its lines arrive
+    // pre-framed), so exercise the fd-backed stream's cap directly
+    // through a socketpair-like pipe is covered in the socket tests;
+    // here assert the parser-level cap on a hostile huge line.
+    InProcessClient client = ts.transport->connect();
+    const std::string huge(2u << 20, 'x');
+    client.send("{\"id\":\"big\",\"workload\":{\"name\":\"" + huge +
+                "\"}}");
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("byte cap"), std::string::npos) << reply;
+    ts.server->stop();
+    EXPECT_TRUE(ts.server->stats().consistent());
+}
+
+TEST_F(ServeServerTest, InjectedParseFaultBecomesAPerLineError)
+{
+    TestServer ts(testOptions());
+    fault::configure("server.parse:throw:nth=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("pf", 60.0));
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("injected fault"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"fatal\":false"), std::string::npos)
+        << reply;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.parseErrors, 1u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, InjectedProbeFaultBecomesAnInternalError)
+{
+    TestServer ts(testOptions());
+    fault::configure("evaluator.probe:throw:nth=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("probe", 61.0));
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"type\":\"internal\""), std::string::npos)
+        << reply;
+    ts.server->stop();
+    EXPECT_TRUE(ts.server->stats().consistent());
+}
+
+TEST_F(ServeServerTest, InjectedEnqueueFaultFallsBackToShedding)
+{
+    TestServer ts(testOptions());
+    fault::configure("server.enqueue:throw:nth=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("eq", 62.0));
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"type\":\"overloaded\""), std::string::npos)
+        << reply;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, InjectedSolveFaultBecomesATypedErrorReply)
+{
+    TestServer ts(testOptions());
+    fault::configure("evaluator.solve:throw:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("sf", 63.0));
+    const std::string reply = mustRecv(client);
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("FaultInjected"), std::string::npos) << reply;
+    // Retryable failure: the same request succeeds afterwards.
+    client.send(coldRequest("sf2", 63.0));
+    EXPECT_NE(mustRecv(client).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    EXPECT_TRUE(ts.server->stats().consistent());
+}
+
+TEST_F(ServeServerTest, InjectedWriteFaultIsCountedNotThrown)
+{
+    TestServer ts(testOptions());
+    fault::configure("server.write:throw:nth=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("wf", 64.0));
+    ASSERT_TRUE(spinUntil([&ts] {
+        return ts.server->stats().writeErrors >= 1;
+    })) << ts.server->stats().describe();
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.writeErrors, 1u);
+    EXPECT_TRUE(stats.consistent());
+}
+
+TEST_F(ServeServerTest, StatsJsonCarriesTheLedger)
+{
+    TestServer ts(testOptions());
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("j", 70.0));
+    mustRecv(client);
+    ts.server->stop();
+    const std::string json = ts.server->stats().toJson();
+    EXPECT_NE(json.find("\"accepted\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"consistent\":true"), std::string::npos)
+        << json;
+}
+
+// ---------------------------------------------------------------------
+// Socket transports. These bind real sockets, so they skip (rather
+// than fail) when the sandbox forbids it.
+
+std::string
+socketRoundTrip(Server &server, std::unique_ptr<LineStream> stream,
+                const std::string &request)
+{
+    EXPECT_TRUE(stream->writeLine(request));
+    std::string reply;
+    EXPECT_EQ(stream->readLine(reply, 5000), LineStream::Read::Line);
+    stream->shutdownStream();
+    server.stop();
+    return reply;
+}
+
+TEST_F(ServeServerTest, TcpRoundTrip)
+{
+    net::Listener listener;
+    try {
+        listener = net::listenTcp("127.0.0.1", 0);
+    } catch (const ConfigError &e) {
+        GTEST_SKIP() << "cannot bind TCP in this environment: "
+                     << e.what();
+    }
+    const int port = listener.port;
+    ASSERT_GT(port, 0);
+    StreamLimits limits;
+    ServerOptions opts = testOptions();
+    Server server(opts);
+    server.addTransport(
+        makeSocketTransport(std::move(listener), limits));
+    server.start();
+    auto stream = makeSocketStream(net::connectTcp("127.0.0.1", port),
+                                   limits, "test-client");
+    const std::string reply = socketRoundTrip(
+        server, std::move(stream), coldRequest("tcp", 80.0));
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    EXPECT_TRUE(server.stats().consistent());
+}
+
+TEST_F(ServeServerTest, UnixSocketRoundTripAndLineCap)
+{
+    const std::string path =
+        ::testing::TempDir() + "memsense_server_test.sock";
+    net::Listener listener;
+    try {
+        listener = net::listenUnix(path);
+    } catch (const ConfigError &e) {
+        GTEST_SKIP() << "cannot bind a Unix socket here: " << e.what();
+    }
+    StreamLimits limits;
+    limits.maxLineBytes = 256; // exercise the fd-stream line cap too
+    ServerOptions opts = testOptions();
+    opts.maxLineBytes = 256;
+    Server server(opts);
+    server.addTransport(
+        makeSocketTransport(std::move(listener), limits));
+    server.start();
+    // The client keeps the default cap: ok-replies are longer than the
+    // 256-byte cap under test on the server side.
+    StreamLimits client_limits;
+    auto stream = makeSocketStream(net::connectUnix(path),
+                                   client_limits, "test-client");
+    ASSERT_TRUE(stream->writeLine(coldRequest("ux", 81.0)));
+    std::string reply;
+    ASSERT_EQ(stream->readLine(reply, 5000), LineStream::Read::Line);
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    // A line past the cap draws a ConfigError reply, then EOF.
+    ASSERT_TRUE(stream->writeLine(
+        "{\"id\":\"big\",\"workload\":{\"name\":\"" +
+        std::string(600, 'x') + "\"}}"));
+    ASSERT_EQ(stream->readLine(reply, 5000), LineStream::Read::Line);
+    EXPECT_NE(reply.find("exceeds"), std::string::npos) << reply;
+    EXPECT_EQ(stream->readLine(reply, 5000), LineStream::Read::Eof);
+    stream->shutdownStream();
+    server.stop();
+    EXPECT_TRUE(server.stats().consistent());
+}
+
+} // anonymous namespace
+} // namespace memsense::serve

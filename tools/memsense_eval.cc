@@ -12,8 +12,15 @@
  *
  *     memsense_eval --requests batch.jsonl --jobs 8
  *     memsense_eval --requests - < batch.jsonl   # stdin
+ *
+ * SIGINT/SIGTERM interrupt the batch cooperatively: the run stops
+ * reading, evaluates and emits what was already ingested, still
+ * flushes `--metrics`/`--stats`, and exits with code 3 so callers can
+ * tell "interrupted but flushed" from success (0) and hard errors (1).
  */
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,6 +32,36 @@
 #include "util/trace.hh"
 
 using namespace memsense;
+
+namespace
+{
+
+/** Exit code of an interrupted-but-flushed run (docs/serving.md). */
+constexpr int kExitInterrupted = 3;
+
+// memsense-lint: allow(mutable-global-state): the signal handler can
+// only reach process-global state; one lock-free flag, set by the
+// handler, polled cooperatively by runEvalService.
+std::atomic<bool> gStopRequested{false};
+
+extern "C" void
+onShutdownSignal(int)
+{
+    // Async-signal-safe: a lock-free atomic store and nothing else.
+    gStopRequested.store(true, std::memory_order_relaxed);
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -52,7 +89,9 @@ main(int argc, char **argv)
         return 1;
 
     try {
+        installSignalHandlers();
         serve::ServiceOptions opts;
+        opts.stop = &gStopRequested;
         opts.eval.jobs = cli.getInt("jobs");
         opts.repeat = cli.getInt("repeat");
         requireConfig(cli.getInt("cache-capacity") >= 1,
@@ -86,6 +125,11 @@ main(int argc, char **argv)
         }
         if (cli.getBool("stats"))
             std::cerr << summary.describe() << "\n";
+        if (summary.interrupted) {
+            std::cerr << "memsense_eval: interrupted; partial results "
+                         "and metrics flushed\n";
+            return kExitInterrupted;
+        }
         return 0;
     } catch (const std::exception &e) {
         std::cerr << "memsense_eval: " << e.what() << "\n";

@@ -1136,9 +1136,13 @@ makeContext(const std::string &path, const LexResult &lexed,
     ctx.logExempt = p.find("util/log.") != std::string::npos;
     // The retry/quarantine layer is where errors get classified and
     // recorded; its own classification switches end in catch (...).
+    // The server's reply path joins it deliberately: a reply write to
+    // a dead peer must become a counted writeError, never a throw
+    // that could lose the one-reply-per-accepted-request ledger.
     ctx.quarantineExempt =
         p.find("util/retry.") != std::string::npos ||
-        p.find("measure/resilience.") != std::string::npos;
+        p.find("measure/resilience.") != std::string::npos ||
+        p.find("serve/server.") != std::string::npos;
 
     // Per-file table of identifiers declared double/float; a cheap
     // stand-in for a type system that serves float-equal and
