@@ -46,11 +46,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
+#include "serve/server.hh"
+#include "serve/transport.hh"
 #include "util/error.hh"
 #include "util/string_util.hh"
 
@@ -322,6 +325,124 @@ runMicrobench(const std::string &binDir, const std::string &filter,
     return out;
 }
 
+// ---------------------------------------------------------------------
+// serve_batch: the server's worker path with and without batching.
+
+/** Fixture shape of the serve_batch microbench: 16 connections each
+ *  replaying the same 64 unique operating points — cross-client
+ *  duplicates in flight at the same instant, the mix batching is
+ *  built for. The parallel reader threads outpace the two workers, so
+ *  the admission queue actually holds multi-request batches. */
+constexpr int kServeBatchUnique = 64;
+constexpr int kServeBatchConns = 16;
+constexpr int kServeBatchTotal = kServeBatchUnique * kServeBatchConns;
+
+/**
+ * One timed pass: a fresh (cold-cache) in-process server, every
+ * connection's requests written up front, then every reply drained.
+ * Returns requests per wall-second. Admission bounds are raised far
+ * above the fixture so nothing sheds — the pass measures the
+ * dequeue/solve/reply pipeline, not admission control.
+ */
+double
+serveBatchPassRps(std::size_t max_batch, double linger_ms,
+                  int eval_jobs)
+{
+    using namespace memsense::serve;
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.pollMs = 1;
+    opts.maxQueueDepth = kServeBatchTotal * 2;
+    opts.maxInflightBytes = 64u << 20;
+    opts.maxBatch = max_batch;
+    opts.batchLingerMs = linger_ms;
+    opts.eval.jobs = eval_jobs;
+    Server server(opts);
+    auto transport_owned = std::make_unique<InProcessTransport>();
+    InProcessTransport *transport = transport_owned.get();
+    server.addTransport(std::move(transport_owned));
+    server.start();
+    std::vector<InProcessClient> clients;
+    clients.reserve(kServeBatchConns);
+    for (int c = 0; c < kServeBatchConns; ++c)
+        clients.push_back(transport->connect());
+
+    std::vector<std::string> lines;
+    lines.reserve(kServeBatchTotal);
+    for (int c = 0; c < kServeBatchConns; ++c)
+        for (int shape = 0; shape < kServeBatchUnique; ++shape)
+            lines.push_back(
+                "{\"id\":\"b" + std::to_string(c) + "-" +
+                std::to_string(shape) +
+                "\",\"workload\":{\"mpki\":" +
+                std::to_string(5.0 + 0.25 * shape) + "}}");
+
+    // memsense-lint: allow(no-nondeterminism): this driver MEASURES
+    // wall time; the solves it times stay deterministic
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kServeBatchTotal; ++i)
+        clients[i / kServeBatchUnique].send(lines[i]);
+    std::string reply;
+    for (InProcessClient &client : clients) {
+        for (int i = 0; i < kServeBatchUnique; ++i) {
+            if (client.recv(reply, 30000) != LineStream::Read::Line)
+                throw memsense::ConfigError(
+                    "serve_batch: a reply never arrived");
+        }
+    }
+    // memsense-lint: allow(no-nondeterminism): wall-time measurement
+    const auto end = std::chrono::steady_clock::now();
+    server.stop();
+    const double seconds =
+        std::chrono::duration<double>(end - start).count();
+    return seconds > 0.0 ? kServeBatchTotal / seconds : 0.0;
+}
+
+struct ServeBatchResult
+{
+    std::vector<double> baselineRps; ///< maxBatch=1: one job per pass
+    std::vector<double> batchedRps;  ///< maxBatch=32: coalesced passes
+};
+
+ServeBatchResult
+runServeBatch(int repeats)
+{
+    std::fprintf(stderr,
+                 "perf_suite: serve_batch (%d reqs, %d unique, "
+                 "%d reps/mode)\n",
+                 kServeBatchTotal, kServeBatchUnique, repeats);
+    ServeBatchResult r;
+    // Interleave the modes so machine-load drift hits both equally.
+    for (int i = 0; i < repeats; ++i) {
+        r.baselineRps.push_back(serveBatchPassRps(1, 0.0, 1));
+        r.batchedRps.push_back(serveBatchPassRps(32, 0.0, 1));
+    }
+    return r;
+}
+
+void
+appendServeBatchJson(std::ostringstream &out, const ServeBatchResult &r)
+{
+    const double base = medianOf(r.baselineRps);
+    const double batched = medianOf(r.batchedRps);
+    out << "  \"serve_batch\": {\n"
+        << "    \"requests\": " << kServeBatchTotal << ",\n"
+        << "    \"unique_shapes\": " << kServeBatchUnique << ",\n"
+        << "    \"baseline_runs_rps\": [";
+    for (std::size_t i = 0; i < r.baselineRps.size(); ++i)
+        out << (i ? ", " : "") << num(r.baselineRps[i]);
+    out << "],\n"
+        << "    \"batched_runs_rps\": [";
+    for (std::size_t i = 0; i < r.batchedRps.size(); ++i)
+        out << (i ? ", " : "") << num(r.batchedRps[i]);
+    out << "],\n"
+        << "    \"baseline_rps\": " << num(base) << ",\n"
+        << "    \"batched_rps\": " << num(batched) << ",\n"
+        << "    \"batched_speedup\": "
+        << num(base > 0.0 ? batched / base : 0.0) << "\n"
+        << "  },\n";
+}
+
 } // namespace
 
 int
@@ -377,6 +498,8 @@ main(int argc, char **argv)
     if (!skipMicro)
         micro = runMicrobench(binDir, filter, scratch);
 
+    const ServeBatchResult serveBatch = runServeBatch(repeats);
+
     std::string baseline;
     if (!carryPath.empty())
         baseline = extractObject(readFile(carryPath), "baseline_pre_pr");
@@ -396,8 +519,9 @@ main(int argc, char **argv)
         out << (i ? ",\n    " : "\n    ") << "\"" << micro[i].first
             << "\": {\"median_ns\": " << num(micro[i].second.first)
             << ", \"mad_ns\": " << num(micro[i].second.second) << "}";
-    out << (micro.empty() ? "" : "\n  ") << "},\n"
-        << "  \"baseline_pre_pr\": "
+    out << (micro.empty() ? "" : "\n  ") << "},\n";
+    appendServeBatchJson(out, serveBatch);
+    out << "  \"baseline_pre_pr\": "
         << (baseline.empty() ? "{}" : baseline) << "\n"
         << "}\n";
 

@@ -149,6 +149,85 @@ run_scenario deadlines "seed=11;server.solve:delay=25:p=0.4" \
 SERVER_FLAGS=(--workers 1 --max-queue 4 --allow-stale)
 run_scenario degraded "seed=7;server.solve:delay=20:p=0.5"
 
+# --- Batching x quota matrix -------------------------------------------
+
+# Fault sites with batching on: server.batch fires between batch
+# assembly and the evaluator call, and the solve-path sites now cover
+# the coalesced dispatch shape as well.
+for site in server.batch server.solve evaluator.solve; do
+    SERVER_FLAGS=(--workers 2 --max-batch 16 --batch-linger-ms 5)
+    run_scenario "batch-fault-${site}" "seed=13;${site}:throw:p=0.1"
+done
+
+# Batched overload: delay faults hold the worker while the queue
+# builds, so drain passes actually coalesce multi-request batches.
+SERVER_FLAGS=(--workers 1 --max-queue 32 --max-batch 16 \
+              --batch-linger-ms 5)
+run_scenario batch-overload "seed=19;server.solve:delay=20:p=0.5"
+require_json_field "${scratch}/batch-overload.stats.json" \
+    '"batches":' batch-overload
+
+# Per-client quotas under a skewed client mix: two oversized requests
+# in the fixture exceed the 1 KiB per-client byte quota every time
+# they are sent, so quota sheds MUST appear, as `quota_exceeded` on
+# the client side and `quota_shed` (globally and in the per-client
+# ledgers) on the server side — while everything else keeps flowing.
+fat_pad="$(head -c 1200 /dev/zero | tr '\0' 'x')"
+quota_requests="${scratch}/quota_requests.jsonl"
+cp "${requests}" "${quota_requests}"
+echo "{\"workload\":{\"mpki\":47.5},\"pad\":\"${fat_pad}\"}" \
+    >> "${quota_requests}"
+echo "{\"workload\":{\"mpki\":48.5},\"pad\":\"${fat_pad}\"}" \
+    >> "${quota_requests}"
+sock="${scratch}/quota.sock"
+stats="${scratch}/quota.stats.json"
+report="${scratch}/quota.report.json"
+echo "=== scenario quota-skew (faults: server.solve delay) ==="
+MEMSENSE_FAULTS="seed=23;server.solve:delay=5:p=0.3" \
+    "${serve_bin}" --unix "${sock}" --stats-json "${stats}" \
+    --workers 2 --max-batch 16 --batch-linger-ms 2 \
+    --max-queue-per-client 8 --max-inflight-kb-per-client 1 \
+    2>"${scratch}/quota.server.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "${sock}" ] && break
+    sleep 0.05
+done
+env -u MEMSENSE_FAULTS "${loadgen_bin}" --unix "${sock}" \
+    --requests "${quota_requests}" --connections 4 --total 200 \
+    --clients-skewed 0.5 --recv-timeout-ms 10000 \
+    --report-json "${report}" \
+    >/dev/null 2>"${scratch}/quota.loadgen.log" || {
+    echo "FAIL(quota-skew): loadgen exited non-zero" >&2
+    cat "${scratch}/quota.loadgen.log" >&2
+    exit 1
+}
+kill -TERM "${server_pid}"
+rc=0
+wait "${server_pid}" || rc=$?
+server_pid=""
+[ "${rc}" -eq 0 ] || {
+    echo "FAIL(quota-skew): server exit ${rc} after SIGTERM" >&2
+    cat "${scratch}/quota.server.log" >&2
+    exit 1
+}
+require_json_field "${stats}" '"consistent":true' quota-skew
+require_json_field "${stats}" '"clients":{' quota-skew
+python3 - "${report}" "${stats}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+stats = json.load(open(sys.argv[2]))
+assert report["sent"] == 200, f"loadgen lost requests: {report}"
+assert report["quota_exceeded"] > 0, f"no quota sheds: {report}"
+assert report["ok"] > 0, f"nothing succeeded beside the fat lines: {report}"
+assert stats["quota_shed"] == report["quota_exceeded"], \
+    f'ledger mismatch: {stats["quota_shed"]} vs {report["quota_exceeded"]}'
+per_client = sum(c["quota_shed"] for c in stats["clients"].values())
+assert per_client == stats["quota_shed"], \
+    f'per-client quota ledger disagrees: {per_client} vs {stats["quota_shed"]}'
+EOF
+echo "OK: quota-skew (quota sheds ledgered globally and per client)"
+
 # --- Golden guard ------------------------------------------------------
 # The serving layer must not have drifted the batch tool's bytes
 # (the full fixture here, malformed line included).

@@ -71,6 +71,29 @@ for key, old in base.items():
     speedup = old["warm_median_s"] / new["warm_median_s"]
     print(f"{key}: {speedup:.2f}x vs pre-campaign baseline")
 
+# serve_batch: higher is better (requests/s), and the batched mode
+# must stay ahead of the one-request-per-pass baseline.
+old_sb = committed.get("serve_batch")
+new_sb = fresh.get("serve_batch")
+if new_sb:
+    ratio = new_sb["batched_speedup"]
+    print(f"serve_batch: fresh baseline {new_sb['baseline_rps']:.0f} rps,"
+          f" batched {new_sb['batched_rps']:.0f} rps ({ratio:.2f}x)")
+    if old_sb and old_sb.get("batched_rps"):
+        o, n = old_sb["batched_rps"], new_sb["batched_rps"]
+        delta = 100.0 * (n - o) / o
+        flag = " <-- REGRESSION" if -delta > threshold else ""
+        print(f"serve_batch.batched_rps: committed {o:.0f},"
+              f" fresh {n:.0f} ({delta:+.1f}%){flag}")
+        if -delta > threshold:
+            regressions.append("serve_batch.batched_rps")
+    if ratio < 1.0:
+        print("serve_batch: batching is SLOWER than the baseline"
+              " <-- REGRESSION")
+        regressions.append("serve_batch.batched_speedup")
+else:
+    print("note: serve_batch missing from the fresh run")
+
 sys.exit(1 if regressions else 0)
 EOF
 rc=$?

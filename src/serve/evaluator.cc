@@ -12,6 +12,15 @@
 namespace memsense::serve
 {
 
+namespace
+{
+
+/** Shared "never cancel" hook — keeps the ternary below reference-safe
+ *  (no temporary bound to a const reference). */
+const model::CancelCheck kNoCancel{};
+
+} // anonymous namespace
+
 Evaluator::Evaluator(model::Solver solver_in, EvaluatorOptions opts)
     : analyticSolver(std::move(solver_in)), options(opts),
       solverFp(model::solverFingerprint(analyticSolver)),
@@ -60,10 +69,14 @@ Evaluator::solveCancellable(const model::WorkloadParams &p,
 }
 
 std::vector<EvalOutcome>
-Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
+Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests,
+                         const std::vector<model::CancelCheck> &cancels)
+    const
 {
     MS_TRACE_SPAN("serve.batch");
     MS_METRIC_COUNT_N("serve.batch.requests", requests.size());
+    MS_REQUIRE(cancels.empty() || cancels.size() == requests.size(),
+               "evaluateBatch cancels must be empty or one per request");
 
     constexpr std::size_t kNotUnique = static_cast<std::size_t>(-1);
 
@@ -135,12 +148,17 @@ Evaluator::evaluateBatch(const std::vector<EvalRequest> &requests) const
     measure::ParallelExecutor executor(options.jobs);
     auto solved = executor.mapOrderedResilient(
         uniqueRequestIndex,
-        [this, &requests](std::size_t request_index) {
+        [this, &requests, &cancels](std::size_t request_index) {
             const EvalRequest &req = requests[request_index];
             // Inside the resilient wrapper: an injected fault here is
             // retried or quarantined per request, never thrown out.
             MS_FAULT_POINT("evaluator.solve");
-            return analyticSolver.solve(req.workload, req.platform);
+            // The unique solve polls the cancellation hook of the
+            // request that introduced it (see the header contract).
+            const model::CancelCheck &cancel =
+                cancels.empty() ? kNoCancel : cancels[request_index];
+            return analyticSolver.solve(req.workload, req.platform,
+                                        cancel);
         },
         options.resilience);
 

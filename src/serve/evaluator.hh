@@ -25,8 +25,12 @@
  * counters are therefore identical for any worker count. Failed solves
  * are never cached (a transient fault must not poison later batches).
  *
- * Thread-safety: solve() may be called concurrently (shard locks);
- * evaluateBatch() may not race with itself on the same Evaluator.
+ * Thread-safety: solve() and evaluateBatch() may both be called
+ * concurrently (all mutable state is the shard-locked cache plus
+ * locals). Note that concurrent batches interleave their cache-counter
+ * updates, so the counter *sequence* is only deterministic for callers
+ * that serialize their batches (the batch CLI does; the server's
+ * workers deliberately do not).
  */
 
 #ifndef MEMSENSE_SERVE_EVALUATOR_HH
@@ -101,9 +105,21 @@ class Evaluator : public model::SolveEngine
     /**
      * Evaluate a batch (see file comment). Outcomes are returned in
      * request order; failures are captured per request, never thrown.
+     *
+     * @p cancels is either empty (no cancellation) or exactly one
+     * cooperative cancellation hook per request, polled by the solver
+     * between bisection iterations. Requests that deduplicate onto one
+     * shared solve share the hook of the request that *introduced* the
+     * solve, so callers coalescing requests with different deadlines
+     * should pass the group's most permissive hook (the server does:
+     * a dedup group is cancelled only when every member's deadline has
+     * expired). A cancelled solve quarantines as a FailureRecord of
+     * type SolveCancelled and caches nothing.
      */
     std::vector<EvalOutcome>
-    evaluateBatch(const std::vector<EvalRequest> &requests) const;
+    evaluateBatch(const std::vector<EvalRequest> &requests,
+                  const std::vector<model::CancelCheck> &cancels = {})
+        const;
 
     /** Cache counters (hits/misses/evictions/collisions/size). */
     CacheStats cacheStats() const { return cache.stats(); }

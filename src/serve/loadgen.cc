@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <thread>
 
@@ -40,6 +41,7 @@ enum class ReplyClass
     Ok,
     Degraded,
     Overloaded,
+    QuotaExceeded,
     DeadlineExceeded,
     OtherError,
 };
@@ -62,6 +64,8 @@ classifyReply(const std::string &line)
                 v.at("error").at("type").asString("error.type");
             if (type == "overloaded")
                 return ReplyClass::Overloaded;
+            if (type == "quota_exceeded")
+                return ReplyClass::QuotaExceeded;
             if (type == "deadline_exceeded")
                 return ReplyClass::DeadlineExceeded;
         }
@@ -75,7 +79,11 @@ classifyReply(const std::string &line)
 /** Shared mutable state of one run. */
 struct RunState
 {
+    /** Shared work-stealing cursor. Under a hot-client skew it starts
+     *  at hotCount (the cold range); otherwise at 0 (the whole run). */
     std::atomic<std::uint64_t> nextIndex{0};
+    /** Connection 0's private cursor over [0, hotCount) under skew. */
+    std::atomic<std::uint64_t> hotNext{0};
     std::mutex mu;
     LoadReport report;
     std::vector<double> latenciesMs;
@@ -98,6 +106,8 @@ LoadgenOptions::validate() const
     requireConfig(deadlineMs >= 0.0, "loadgen deadline_ms must be >= 0");
     requireConfig(targetRatePerSec >= 0.0,
                   "loadgen rate must be >= 0");
+    requireConfig(hotClientFraction >= 0.0 && hotClientFraction <= 1.0,
+                  "loadgen hot-client fraction must be in [0, 1]");
     requireConfig(recvTimeoutMs >= 1,
                   "loadgen recv timeout must be >= 1 ms");
     reconnect.validate();
@@ -108,17 +118,19 @@ LoadReport::describe() const
 {
     return strformat(
         "%llu sent: %llu ok, %llu degraded, %llu overloaded, %llu "
-        "deadline, %llu other-err, %llu transport-err; %llu reconnects; "
-        "p50 %.3f ms, p99 %.3f ms, shed rate %.3f",
+        "quota, %llu deadline, %llu other-err, %llu transport-err; "
+        "%llu reconnects; p50 %.3f ms, p99 %.3f ms (%llu samples), "
+        "shed rate %.3f",
         static_cast<unsigned long long>(sent),
         static_cast<unsigned long long>(ok),
         static_cast<unsigned long long>(degraded),
         static_cast<unsigned long long>(overloaded),
+        static_cast<unsigned long long>(quotaExceeded),
         static_cast<unsigned long long>(deadlineExceeded),
         static_cast<unsigned long long>(otherErrors),
         static_cast<unsigned long long>(transportErrors),
         static_cast<unsigned long long>(reconnects), p50Ms, p99Ms,
-        shedRate());
+        static_cast<unsigned long long>(latencySamples), shedRate());
 }
 
 std::string
@@ -131,11 +143,14 @@ LoadReport::toJson() const
     return "{" + field("sent", sent) + "," + field("ok", ok) + "," +
            field("degraded", degraded) + "," +
            field("overloaded", overloaded) + "," +
+           field("quota_exceeded", quotaExceeded) + "," +
            field("deadline_exceeded", deadlineExceeded) + "," +
            field("other_errors", otherErrors) + "," +
            field("transport_errors", transportErrors) + "," +
            field("reconnects", reconnects) + "," +
-           field("dial_failures", dialFailures) + ",\"p50_ms\":" +
+           field("dial_failures", dialFailures) + "," +
+           field("hot_client_sent", hotClientSent) + "," +
+           field("latency_samples", latencySamples) + ",\"p50_ms\":" +
            jsonNumber(p50Ms) + ",\"p99_ms\":" + jsonNumber(p99Ms) +
            ",\"shed_rate\":" + jsonNumber(shedRate()) + "}";
 }
@@ -174,8 +189,15 @@ runLoadgen(const Dialer &dial, const LoadgenOptions &opts)
     RunState state;
     state.startMs = now();
     state.latenciesMs.reserve(opts.totalRequests);
+    // Hot-client skew: connection 0 owns the first hotCount indices;
+    // the shared cursor starts past them (see RunState).
+    const std::uint64_t hotCount = static_cast<std::uint64_t>(
+        opts.hotClientFraction *
+        static_cast<double>(opts.totalRequests));
+    state.nextIndex.store(hotCount);
 
     auto connectionLoop = [&](int conn_id) {
+        const bool is_hot = hotCount > 0 && conn_id == 0;
         std::unique_ptr<LineStream> stream;
         // Dial (and re-dial) under the bounded backoff policy; stream
         // = per-connection id keeps the jitter schedules decorrelated.
@@ -209,8 +231,10 @@ runLoadgen(const Dialer &dial, const LoadgenOptions &opts)
 
         std::string reply;
         for (;;) {
-            const std::uint64_t index = state.nextIndex.fetch_add(1);
-            if (index >= opts.totalRequests)
+            const std::uint64_t index = is_hot
+                                            ? state.hotNext.fetch_add(1)
+                                            : state.nextIndex.fetch_add(1);
+            if (is_hot ? index >= hotCount : index >= opts.totalRequests)
                 return;
             // Open-loop pacing: send k at startMs + k/rate, globally.
             if (opts.targetRatePerSec > 0.0) {
@@ -244,6 +268,8 @@ runLoadgen(const Dialer &dial, const LoadgenOptions &opts)
             {
                 std::lock_guard<std::mutex> lock(state.mu);
                 ++state.report.sent;
+                if (is_hot)
+                    ++state.report.hotClientSent;
                 if (replied) {
                     // memsense-lint: allow(no-hot-loop-alloc):
                     // reserved to totalRequests before the run
@@ -257,6 +283,9 @@ runLoadgen(const Dialer &dial, const LoadgenOptions &opts)
                         break;
                       case ReplyClass::Overloaded:
                         ++state.report.overloaded;
+                        break;
+                      case ReplyClass::QuotaExceeded:
+                        ++state.report.quotaExceeded;
                         break;
                       case ReplyClass::DeadlineExceeded:
                         ++state.report.deadlineExceeded;
@@ -292,19 +321,34 @@ runLoadgen(const Dialer &dial, const LoadgenOptions &opts)
         t.join();
 
     LoadReport report = state.report;
-    if (!state.latenciesMs.empty()) {
-        std::sort(state.latenciesMs.begin(), state.latenciesMs.end());
-        auto percentile = [&](double p) {
-            const double rank =
-                p * static_cast<double>(state.latenciesMs.size() - 1);
-            // memsense-lint: allow(unclamped-double-to-int): rank is
-            // p in [0,1] times (size-1), so always within the vector
-            return state.latenciesMs[static_cast<std::size_t>(rank)];
-        };
-        report.p50Ms = percentile(0.50);
-        report.p99Ms = percentile(0.99);
-    }
+    // Nearest-rank percentiles over the replied requests only. An
+    // all-shed/all-timeout run has no samples: the report then says so
+    // (latency_samples == 0) instead of presenting 0.0 ms as measured.
+    std::sort(state.latenciesMs.begin(), state.latenciesMs.end());
+    report.latencySamples = state.latenciesMs.size();
+    report.p50Ms = percentileNearestRank(state.latenciesMs, 0.50);
+    report.p99Ms = percentileNearestRank(state.latenciesMs, 0.99);
     return report;
+}
+
+double
+percentileNearestRank(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double n = static_cast<double>(sorted.size());
+    // Nearest rank, 1-based: ceil(p * n), clamped so p = 0 still maps
+    // to the first sample and rounding noise can never index past the
+    // end (the old p * (size-1) truncation underweighted the tail and
+    // read garbage ranks for tiny sample counts).
+    double rank = std::ceil(p * n);
+    if (rank < 1.0)
+        rank = 1.0;
+    if (rank > n)
+        rank = n;
+    // memsense-lint: allow(unclamped-double-to-int): clamped to [1, n]
+    // just above
+    return sorted[static_cast<std::size_t>(rank) - 1];
 }
 
 } // namespace memsense::serve

@@ -50,6 +50,12 @@ struct LoadgenOptions
     std::vector<std::string> fixtures;
     double deadlineMs = 0.0;   ///< per-request deadline to inject; 0 = none
     double targetRatePerSec = 0.0; ///< open-loop pacing; 0 = closed loop
+    /** Fraction of totalRequests driven by connection 0 — "the hot
+     *  client". 0 = uniform work stealing across connections. With a
+     *  skew, connection 0 replays indices [0, hot) while the others
+     *  share [hot, total): a deterministic noisy-neighbor mix for
+     *  exercising per-client quotas. */
+    double hotClientFraction = 0.0;
     int recvTimeoutMs = 5000;  ///< reply wait budget per request
     RetryPolicy reconnect;     ///< bounded backoff for redials
     std::function<double()> nowMs;      ///< injectable clock
@@ -68,19 +74,24 @@ struct LoadReport
     std::uint64_t ok = 0;         ///< full-fidelity `"ok":true`
     std::uint64_t degraded = 0;   ///< `"ok":true` with `"degraded":true`
     std::uint64_t overloaded = 0;
+    std::uint64_t quotaExceeded = 0;   ///< per-client quota sheds
     std::uint64_t deadlineExceeded = 0;
     std::uint64_t otherErrors = 0;     ///< any other `"ok":false`
     std::uint64_t transportErrors = 0; ///< no reply (drop/timeout)
     std::uint64_t reconnects = 0;      ///< successful redials
     std::uint64_t dialFailures = 0;    ///< failed dial attempts
-    double p50Ms = 0.0; ///< median reply latency (replied requests)
-    double p99Ms = 0.0; ///< 99th percentile reply latency
+    std::uint64_t hotClientSent = 0;   ///< sent by conn 0 under skew
+    /** Replied requests contributing to the percentiles below; 0 means
+     *  p50/p99 are the 0.0 placeholder, not a measured latency. */
+    std::uint64_t latencySamples = 0;
+    double p50Ms = 0.0; ///< nearest-rank median reply latency
+    double p99Ms = 0.0; ///< nearest-rank 99th percentile latency
 
     /** Requests classified (the ledger right-hand side). */
     std::uint64_t classified() const
     {
-        return ok + degraded + overloaded + deadlineExceeded +
-               otherErrors + transportErrors;
+        return ok + degraded + overloaded + quotaExceeded +
+               deadlineExceeded + otherErrors + transportErrors;
     }
 
     /** Fraction of sent requests shed or degraded by the server. */
@@ -109,6 +120,16 @@ LoadReport runLoadgen(const Dialer &dial, const LoadgenOptions &opts);
  */
 std::string loadgenRequestLine(const std::string &fixture,
                                std::uint64_t index, double deadline_ms);
+
+/**
+ * Nearest-rank percentile of @p sorted (ascending) samples: for n
+ * samples and p in [0, 1], the value at rank ceil(p * n), clamped to
+ * [1, n]; 0.0 when there are no samples. No interpolation — with one
+ * sample every percentile IS that sample, and p99 of a full set is the
+ * largest sample, never an index past the end. Exposed for tests.
+ */
+double percentileNearestRank(const std::vector<double> &sorted,
+                             double p);
 
 } // namespace memsense::serve
 

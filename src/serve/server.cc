@@ -1,10 +1,13 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "serve/json.hh"
 #include "serve/request.hh"
+#include "util/contract.hh"
 #include "util/error.hh"
 #include "util/fault_injection.hh"
 #include "util/retry.hh"
@@ -28,6 +31,31 @@ steadyNowMs()
 }
 
 /**
+ * One coarse-key field: `%.3g`, canonicalized. `%.3g` alone is not
+ * portable at the edges — glibc renders -0.0 as "-0" where other libcs
+ * render "0", denormal spellings differ, and NaN may print with a sign
+ * or payload — which made which stale slot a request maps to depend on
+ * the libc. Collapse all of those edge cases explicitly.
+ */
+std::string
+coarseNumber(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    // Covers +0.0, -0.0 (== compares equal) and denormals: at 3
+    // significant digits they are all indistinguishable from zero.
+    // memsense-lint: allow(float-equal): exact-zero class sentinel
+    if (v == 0.0 || std::fpclassify(v) == FP_SUBNORMAL)
+        return "0";
+    return strformat("%.3g", v);
+}
+
+/** Client records exported via stats(); see the header field comment. */
+constexpr std::size_t kMaxClientRecords = 4096;
+
+} // anonymous namespace
+
+/**
  * Coarse request key for the stale-answer cache: every numeric knob
  * quantized to 3 significant digits, so "the same experiment re-run
  * with jittered inputs" maps to one slot. Deliberately much coarser
@@ -36,19 +64,22 @@ steadyNowMs()
  * flagged `"degraded":true` so clients can tell.
  */
 std::string
-coarseKey(const EvalRequest &req)
+coarseRequestKey(const EvalRequest &req)
 {
     const model::WorkloadParams &w = req.workload;
     const model::Platform &p = req.platform;
-    return strformat("%.3g|%.3g|%.3g|%.3g|%.3g|%.3g|%d|%d|%.3g|%d|%.3g|"
-                     "%.3g|%.3g",
-                     w.cpiCache, w.bf, w.mpki, w.wbr, w.iopi, w.ioBytes,
-                     p.cores, p.smt, p.ghz, p.memory.channels,
-                     p.memory.megaTransfers, p.memory.efficiency,
-                     p.memory.compulsoryNs);
+    return strformat("%s|%s|%s|%s|%s|%s|%d|%d|%s|%d|%s|%s|%s",
+                     coarseNumber(w.cpiCache).c_str(),
+                     coarseNumber(w.bf).c_str(),
+                     coarseNumber(w.mpki).c_str(),
+                     coarseNumber(w.wbr).c_str(),
+                     coarseNumber(w.iopi).c_str(),
+                     coarseNumber(w.ioBytes).c_str(), p.cores, p.smt,
+                     coarseNumber(p.ghz).c_str(), p.memory.channels,
+                     coarseNumber(p.memory.megaTransfers).c_str(),
+                     coarseNumber(p.memory.efficiency).c_str(),
+                     coarseNumber(p.memory.compulsoryNs).c_str());
 }
-
-} // anonymous namespace
 
 void
 ServerOptions::validate() const
@@ -61,6 +92,9 @@ ServerOptions::validate() const
     requireConfig(maxInflightBytes >= 1,
                   "server maxInflightBytes must be >= 1");
     requireConfig(maxLineBytes >= 2, "server maxLineBytes must be >= 2");
+    requireConfig(maxBatch >= 1, "server maxBatch must be >= 1");
+    requireConfig(batchLingerMs >= 0.0,
+                  "server batchLingerMs must be >= 0");
     requireConfig(defaultDeadlineMs >= 0.0,
                   "server defaultDeadlineMs must be >= 0");
     requireConfig(drainDeadlineMs >= 0.0,
@@ -74,7 +108,8 @@ ServerStats::describe() const
     return strformat(
         "%llu conns (%llu shed): %llu accepted = %llu ok + %llu err + "
         "%llu write-fail%s; %llu hits, %llu stale, %llu shed, %llu "
-        "deadline, %llu solved, %llu drained, %llu parse errors",
+        "quota-shed, %llu deadline, %llu solved, %llu drained, %llu "
+        "batches (%llu reqs, %llu deduped), %llu parse errors",
         static_cast<unsigned long long>(connections),
         static_cast<unsigned long long>(connectionsShed),
         static_cast<unsigned long long>(accepted),
@@ -85,10 +120,30 @@ ServerStats::describe() const
         static_cast<unsigned long long>(cacheHits),
         static_cast<unsigned long long>(staleServed),
         static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(quotaShed),
         static_cast<unsigned long long>(deadlineExceeded),
         static_cast<unsigned long long>(solved),
         static_cast<unsigned long long>(drained),
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(batchedRequests),
+        static_cast<unsigned long long>(batchDeduped),
         static_cast<unsigned long long>(parseErrors));
+}
+
+std::string
+ClientStats::toJson() const
+{
+    auto field = [](const char *name, std::uint64_t v) {
+        return "\"" + std::string(name) +
+               "\":" + std::to_string(v);
+    };
+    return "{" + field("accepted", accepted) + "," +
+           field("cache_hits", cacheHits) + "," +
+           field("solved", solved) + "," + field("shed", shed) + "," +
+           field("quota_shed", quotaShed) + "," +
+           field("replies_ok", repliesOk) + "," +
+           field("replies_error", repliesError) + "," +
+           field("write_errors", writeErrors) + "}";
 }
 
 std::string
@@ -96,21 +151,33 @@ ServerStats::toJson() const
 {
     auto field = [](const char *name, std::uint64_t v) {
         return "\"" + std::string(name) +
-               "\":" + std::to_string(static_cast<unsigned long long>(v));
+               "\":" + std::to_string(v);
     };
+    std::string clients_json = "{";
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        if (i > 0)
+            clients_json += ",";
+        clients_json +=
+            "\"" + jsonEscape(clients[i].id) + "\":" + clients[i].toJson();
+    }
+    clients_json += "}";
     return "{" + field("connections", connections) + "," +
            field("connections_shed", connectionsShed) + "," +
            field("accepted", accepted) + "," +
            field("parse_errors", parseErrors) + "," +
            field("cache_hits", cacheHits) + "," +
            field("stale_served", staleServed) + "," +
-           field("shed", shed) + "," +
-           field("deadline_exceeded", deadlineExceeded) + "," +
+           field("shed", shed) + "," + field("quota_shed", quotaShed) +
+           "," + field("deadline_exceeded", deadlineExceeded) + "," +
            field("solved", solved) + "," + field("drained", drained) +
-           "," + field("replies_ok", repliesOk) + "," +
+           "," + field("batches", batches) + "," +
+           field("batched_requests", batchedRequests) + "," +
+           field("batch_deduped", batchDeduped) + "," +
+           field("replies_ok", repliesOk) + "," +
            field("replies_error", repliesError) + "," +
            field("write_errors", writeErrors) + ",\"consistent\":" +
-           (consistent() ? "true" : "false") + "}";
+           (consistent() ? "true" : "false") +
+           ",\"clients\":" + clients_json + "}";
 }
 
 Server::Server(ServerOptions opts)
@@ -214,7 +281,20 @@ ServerStats
 Server::stats() const
 {
     std::lock_guard<std::mutex> lock(statsMu);
-    return counters;
+    ServerStats snap = counters;
+    snap.clients.reserve(clientStates.size());
+    for (const auto &client : clientStates)
+        // memsense-lint: allow(no-hot-loop-alloc): reserved to
+        // clientStates.size() just above; stats() is a cold snapshot
+        snap.clients.push_back(client->counters);
+    return snap;
+}
+
+std::size_t
+Server::inflightBytesNow() const
+{
+    std::lock_guard<std::mutex> lock(queueMu);
+    return inflightBytes;
 }
 
 void
@@ -242,22 +322,38 @@ Server::acceptLoop(Transport *transport)
             shared->shutdownStream();
             continue;
         }
+        // ClientId: peer label + connection serial. The serial keeps
+        // ids unique across fd/port reuse, so per-client quotas and
+        // counter slices never blend two distinct connections.
+        auto client = std::make_shared<ClientState>();
+        const std::uint64_t serial = clientSerial.fetch_add(1) + 1;
+        // memsense-lint: allow(no-hot-loop-alloc): once per connection
+        client->id = shared->peer() + "#" + std::to_string(serial);
+        client->counters.id = client->id;
         {
             std::lock_guard<std::mutex> lock(statsMu);
             ++counters.connections;
+            if (clientStates.size() >= kMaxClientRecords)
+                clientStates.erase(clientStates.begin());
+            // memsense-lint: allow(no-hot-loop-alloc): one record per
+            // accepted connection — connection churn, not the
+            // per-request hot path; bounded by kMaxClientRecords
+            clientStates.push_back(client);
         }
+        MS_METRIC_COUNT("serve.client.connected");
         activeConnections.fetch_add(1, std::memory_order_acq_rel);
         std::lock_guard<std::mutex> lock(readerMu);
         // memsense-lint: allow(no-hot-loop-alloc): one thread per
         // accepted connection — connection churn, not the per-request
         // hot path
         readerThreads.emplace_back(
-            [this, shared] { readLoop(shared); });
+            [this, shared, client] { readLoop(shared, client); });
     }
 }
 
 void
-Server::readLoop(std::shared_ptr<LineStream> stream)
+Server::readLoop(std::shared_ptr<LineStream> stream,
+                 std::shared_ptr<ClientState> client)
 {
     std::string line;
     std::size_t line_number = 0;
@@ -278,6 +374,7 @@ Server::readLoop(std::shared_ptr<LineStream> stream)
                 std::lock_guard<std::mutex> lock(statsMu);
                 ++counters.accepted;
                 ++counters.parseErrors;
+                ++client->counters.accepted;
             }
             MS_METRIC_COUNT("serve.server.accepted");
             // Oversized-line error path: fires at most once per
@@ -289,7 +386,7 @@ Server::readLoop(std::shared_ptr<LineStream> stream)
             // memsense-lint: allow(no-hot-loop-alloc): cold error path
             cap_msg += std::to_string(options.maxLineBytes);
             cap_msg += " bytes";
-            sendReply(stream,
+            sendReply(stream, client.get(),
                       errorReplyLine(cap_id, "ConfigError", cap_msg,
                                      true),
                       false);
@@ -301,7 +398,7 @@ Server::readLoop(std::shared_ptr<LineStream> stream)
                 blank = false;
         if (blank)
             continue;
-        handleLine(stream, line, line_number);
+        handleLine(stream, client, line, line_number);
     }
     // Deliberately no shutdownStream() here: queued jobs from this
     // connection still own the stream via shared_ptr and will write
@@ -312,6 +409,7 @@ Server::readLoop(std::shared_ptr<LineStream> stream)
 
 void
 Server::handleLine(const std::shared_ptr<LineStream> &stream,
+                   const std::shared_ptr<ClientState> &client,
                    const std::string &line, std::size_t line_number)
 {
     // From here on this line is "accepted": it appears in the ledger
@@ -319,6 +417,7 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
     {
         std::lock_guard<std::mutex> lock(statsMu);
         ++counters.accepted;
+        ++client->counters.accepted;
     }
     MS_METRIC_COUNT("serve.server.accepted");
 
@@ -333,7 +432,7 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
             std::lock_guard<std::mutex> lock(statsMu);
             ++counters.parseErrors;
         }
-        sendReply(stream,
+        sendReply(stream, client.get(),
                   errorReplyLine("line-" + std::to_string(line_number),
                                  info.type, info.message,
                                  classifyException(ep) ==
@@ -355,14 +454,15 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
             {
                 std::lock_guard<std::mutex> lock(statsMu);
                 ++counters.cacheHits;
+                ++client->counters.cacheHits;
             }
-            sendReply(stream, resultLine(outcome), true);
+            sendReply(stream, client.get(), resultLine(outcome), true);
             return;
         }
     } catch (const std::exception &) {
         const ExceptionInfo info =
             describeException(std::current_exception());
-        sendReply(stream,
+        sendReply(stream, client.get(),
                   errorReplyLine(req.id, "internal",
                                  info.type + ": " + info.message, false),
                   false);
@@ -371,6 +471,7 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
 
     Job job;
     job.stream = stream;
+    job.client = client;
     job.bytes = line.size();
     const double budget_ms =
         req.deadlineMs > 0.0 ? req.deadlineMs : options.defaultDeadlineMs;
@@ -378,24 +479,47 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
         job.deadlineAtMs = now() + budget_ms;
     job.request = std::move(req);
 
-    // Admission control: bound both the queue depth and the bytes it
-    // holds, and shed instead of buffering without limit.
+    // Admission control, two tiers under one lock: the client's own
+    // quota first — a noisy neighbor is shed with `quota_exceeded`
+    // before it can trip global admission for everyone — then the
+    // global queue-depth and inflight-bytes bounds.
     bool admitted = false;
+    bool quota_shed = false;
     std::size_t depth = 0;
     std::size_t bytes_inflight = 0;
+    std::size_t client_depth = 0;
+    std::size_t client_bytes = 0;
     {
         std::lock_guard<std::mutex> lock(queueMu);
         depth = queue.size();
         bytes_inflight = inflightBytes;
-        if (!hardStop && depth < options.maxQueueDepth &&
-            inflightBytes + job.bytes <= options.maxInflightBytes) {
+        client_depth = client->queuedJobs;
+        client_bytes = client->queuedBytes;
+        const bool over_quota =
+            (options.maxQueuePerClient > 0 &&
+             client->queuedJobs >= options.maxQueuePerClient) ||
+            (options.maxInflightBytesPerClient > 0 &&
+             client->queuedBytes + job.bytes >
+                 options.maxInflightBytesPerClient);
+        if (!hardStop && over_quota) {
+            quota_shed = true;
+        } else if (!hardStop && depth < options.maxQueueDepth &&
+                   inflightBytes + job.bytes <=
+                       options.maxInflightBytes) {
             try {
                 MS_FAULT_POINT("server.enqueue");
-                inflightBytes += job.bytes;
+                const std::size_t job_bytes = job.bytes;
                 // memsense-lint: allow(no-hot-loop-alloc): the bounded
                 // admission queue is the load-shedding mechanism; its
                 // depth cap (maxQueueDepth) bounds this allocation
                 queue.push_back(std::move(job));
+                // Accounting strictly after the push (which gives the
+                // strong guarantee): a throw leaves all three ledgers
+                // untouched, so drain's inflightBytes==0 MS_ENSURE
+                // stays provable.
+                inflightBytes += job_bytes;
+                client->queuedJobs += 1;
+                client->queuedBytes += job_bytes;
                 depth = queue.size();
                 admitted = true;
             } catch (const std::exception &) {
@@ -412,11 +536,35 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
         return;
     }
 
+    if (quota_shed) {
+        // A quota shed is the client's own backlog, not server
+        // pressure: reply with the distinct type (so well-behaved
+        // clients can tell "slow down" from "server full") and never
+        // serve it stale — degradation is reserved for capacity sheds.
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            ++counters.quotaShed;
+            ++client->counters.quotaShed;
+        }
+        MS_METRIC_COUNT("serve.client.quota_shed");
+        sendReply(stream, client.get(),
+                  errorReplyLine(
+                      job.request.id, "quota_exceeded",
+                      strformat("client %s over quota: %zu requests / "
+                                "%zu bytes already queued",
+                                client->id.c_str(), client_depth,
+                                client_bytes),
+                      false),
+                  false);
+        return;
+    }
+
     // Shed path: degraded stale answer when both sides allow it,
     // otherwise a typed, explicitly-retryable overload error.
     {
         std::lock_guard<std::mutex> lock(statsMu);
         ++counters.shed;
+        ++client->counters.shed;
     }
     MS_METRIC_COUNT("serve.server.shed");
     const EvalRequest &request = job.request;
@@ -431,11 +579,11 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
                 std::lock_guard<std::mutex> lock(statsMu);
                 ++counters.staleServed;
             }
-            sendReply(stream, resultLine(outcome), true);
+            sendReply(stream, client.get(), resultLine(outcome), true);
             return;
         }
     }
-    sendReply(stream,
+    sendReply(stream, client.get(),
               errorReplyLine(request.id, "overloaded",
                              strformat("queue full: %zu queued, %zu "
                                        "bytes in flight",
@@ -447,8 +595,12 @@ Server::handleLine(const std::shared_ptr<LineStream> &stream,
 void
 Server::workerLoop()
 {
+    // One reusable batch buffer per worker: cleared, never shrunk, so
+    // steady state allocates nothing per pass.
+    std::vector<Job> batch;
+    batch.reserve(options.maxBatch);
     for (;;) {
-        Job job;
+        batch.clear();
         {
             std::unique_lock<std::mutex> lock(queueMu);
             queueCv.wait(lock, [this] {
@@ -462,13 +614,48 @@ Server::workerLoop()
                     return; // drained: nothing left to do
                 continue;
             }
-            job = std::move(queue.front());
-            queue.pop_front();
-            inflightBytes -= job.bytes;
+            // Cooperative linger: give a partial batch a bounded
+            // window (on the injectable clock) to fill before
+            // dispatching — more dedup per pass at a capped latency
+            // cost. A frozen test clock lingers until the batch fills,
+            // stop begins, or another worker drains the queue.
+            if (options.batchLingerMs > 0.0 &&
+                queue.size() < options.maxBatch) {
+                const double linger_until = now() + options.batchLingerMs;
+                while (!hardStop &&
+                       !stopFlag.load(std::memory_order_acquire) &&
+                       !queue.empty() &&
+                       queue.size() < options.maxBatch &&
+                       now() < linger_until)
+                    queueCv.wait_for(
+                        lock, std::chrono::milliseconds(options.pollMs));
+                if (hardStop)
+                    return;
+                if (queue.empty())
+                    continue;
+            }
+            while (!queue.empty() && batch.size() < options.maxBatch) {
+                Job &job = queue.front();
+                inflightBytes -= job.bytes;
+                if (job.client) {
+                    job.client->queuedJobs -= 1;
+                    job.client->queuedBytes -= job.bytes;
+                }
+                // memsense-lint: allow(no-hot-loop-alloc): reserved to
+                // maxBatch once per worker, outside the loop
+                batch.push_back(std::move(job));
+                queue.pop_front();
+            }
             if (queue.empty())
                 queueIdleCv.notify_all();
         }
-        runJob(job);
+        // A single-job pass takes the pre-batching path so reply
+        // text, counters, and fault-site behaviour stay bit-identical
+        // with maxBatch == 1.
+        if (batch.size() == 1)
+            runJob(batch.front());
+        else
+            runBatch(batch);
     }
 }
 
@@ -484,7 +671,7 @@ Server::runJob(const Job &job)
             ++counters.deadlineExceeded;
         }
         MS_METRIC_COUNT("serve.server.deadline_exceeded");
-        sendReply(job.stream,
+        sendReply(job.stream, job.client.get(),
                   errorReplyLine(req.id, "deadline_exceeded",
                                  "deadline expired while queued", false),
                   false);
@@ -507,8 +694,11 @@ Server::runJob(const Job &job)
         {
             std::lock_guard<std::mutex> lock(statsMu);
             ++counters.solved;
+            if (job.client)
+                ++job.client->counters.solved;
         }
-        sendReply(job.stream, resultLine(outcome), true);
+        sendReply(job.stream, job.client.get(), resultLine(outcome),
+                  true);
         staleStore(req, *outcome.result.value);
     } catch (const model::SolveCancelled &e) {
         {
@@ -516,7 +706,7 @@ Server::runJob(const Job &job)
             ++counters.deadlineExceeded;
         }
         MS_METRIC_COUNT("serve.server.deadline_exceeded");
-        sendReply(job.stream,
+        sendReply(job.stream, job.client.get(),
                   errorReplyLine(
                       req.id, "deadline_exceeded",
                       strformat("deadline expired mid-solve (%d "
@@ -527,11 +717,200 @@ Server::runJob(const Job &job)
     } catch (const std::exception &) {
         const std::exception_ptr ep = std::current_exception();
         const ExceptionInfo info = describeException(ep);
-        sendReply(job.stream,
+        sendReply(job.stream, job.client.get(),
                   errorReplyLine(req.id, "internal",
                                  info.type + ": " + info.message,
                                  classifyException(ep) ==
                                      ErrorClass::Fatal),
+                  false);
+    }
+}
+
+void
+Server::runBatch(std::vector<Job> &batch)
+{
+    // Triage at dequeue: a request that expired while queued is
+    // answered immediately and never joins the evaluator batch.
+    // memsense-lint: allow(no-hot-loop-alloc): per-pass scratch,
+    // bounded by maxBatch and reserved before every loop below
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Job &job = batch[i];
+        if (job.deadlineAtMs > 0.0 && now() >= job.deadlineAtMs) {
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.deadlineExceeded;
+            }
+            MS_METRIC_COUNT("serve.server.deadline_exceeded");
+            sendReply(job.stream, job.client.get(),
+                      errorReplyLine(job.request.id, "deadline_exceeded",
+                                     "deadline expired while queued",
+                                     false),
+                      false);
+            continue;
+        }
+        // memsense-lint: allow(no-hot-loop-alloc): reserved to
+        // batch.size() above
+        live.push_back(i);
+    }
+    if (live.empty())
+        return;
+    if (live.size() == 1) {
+        runJob(batch[live.front()]);
+        return;
+    }
+
+    // Group the live jobs by request fingerprint so duplicates share
+    // one solve, and derive each group's cancellation deadline: the
+    // group is cancelled only when EVERY member's deadline has expired
+    // (a member with no deadline pins the group at "never cancel"), so
+    // dedup never starves the most patient requester. Fingerprint
+    // collisions merely merge two groups' deadlines — harmlessly
+    // conservative; the evaluator dedups by full canonical key.
+    std::vector<EvalRequest> requests;
+    std::vector<model::CancelCheck> cancels;
+    std::vector<std::uint64_t> fps;
+    std::vector<std::size_t> groupOf;
+    std::vector<std::uint64_t> groupFp;
+    std::vector<double> groupDeadlineAtMs; // 0 = never cancel
+    requests.reserve(live.size());
+    cancels.reserve(live.size());
+    fps.reserve(live.size());
+    groupOf.reserve(live.size());
+    groupFp.reserve(live.size());
+    groupDeadlineAtMs.reserve(live.size());
+    const std::uint64_t solver_fp = eval.solverFingerprint();
+    for (std::size_t j = 0; j < live.size(); ++j) {
+        const Job &job = batch[live[j]];
+        const std::uint64_t fp = model::requestFingerprint(
+            job.request.workload, job.request.platform, solver_fp);
+        // memsense-lint: allow(no-hot-loop-alloc): reserved above
+        fps.push_back(fp);
+        // Linear group scan: a batch holds at most maxBatch entries,
+        // so this beats a hash map and allocates nothing.
+        std::size_t g = groupFp.size();
+        for (std::size_t k = 0; k < groupFp.size(); ++k) {
+            if (groupFp[k] == fp) {
+                g = k;
+                break;
+            }
+        }
+        if (g == groupFp.size()) {
+            // memsense-lint: allow(no-hot-loop-alloc): reserved above
+            groupFp.push_back(fp);
+            // memsense-lint: allow(no-hot-loop-alloc): reserved above
+            groupDeadlineAtMs.push_back(job.deadlineAtMs);
+        } else if (groupDeadlineAtMs[g] > 0.0) {
+            groupDeadlineAtMs[g] =
+                job.deadlineAtMs > 0.0
+                    ? std::max(groupDeadlineAtMs[g], job.deadlineAtMs)
+                    : 0.0;
+        }
+        // memsense-lint: allow(no-hot-loop-alloc): reserved above
+        groupOf.push_back(g);
+        // memsense-lint: allow(no-hot-loop-alloc): reserved above
+        requests.push_back(job.request);
+    }
+    for (std::size_t j = 0; j < live.size(); ++j) {
+        const double group_deadline = groupDeadlineAtMs[groupOf[j]];
+        model::CancelCheck cancel;
+        if (group_deadline > 0.0)
+            cancel = [this, group_deadline] {
+                return now() >= group_deadline;
+            };
+        // memsense-lint: allow(no-hot-loop-alloc): reserved above
+        cancels.push_back(std::move(cancel));
+    }
+    const std::size_t deduped = live.size() - groupFp.size();
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++counters.batches;
+        counters.batchedRequests += live.size();
+        counters.batchDeduped += deduped;
+    }
+    MS_METRIC_COUNT("serve.batch.dispatched");
+    MS_METRIC_OBSERVE("serve.batch.size",
+                      static_cast<double>(live.size()));
+    MS_METRIC_COUNT_N("serve.batch.deduped", deduped);
+
+    std::vector<EvalOutcome> outcomes;
+    try {
+        // The dedicated batch fault site sits between batch assembly
+        // and the evaluator call; server.solve fires here too so the
+        // chaos solve scenarios cover both dispatch shapes.
+        MS_FAULT_POINT("server.batch");
+        MS_FAULT_POINT("server.solve");
+        outcomes = eval.evaluateBatch(requests, cancels);
+    } catch (const std::exception &) {
+        // Whole-batch abort (e.g. an injected fault in the serial
+        // probe pass): every live job still gets exactly one typed
+        // reply — the ledger holds even when the evaluator gives up.
+        const std::exception_ptr ep = std::current_exception();
+        const ExceptionInfo info = describeException(ep);
+        const bool fatal = classifyException(ep) == ErrorClass::Fatal;
+        for (std::size_t idx : live) {
+            const Job &job = batch[idx];
+            sendReply(job.stream, job.client.get(),
+                      errorReplyLine(job.request.id, "internal",
+                                     info.type + ": " + info.message,
+                                     fatal),
+                      false);
+        }
+        return;
+    }
+    MS_INVARIANT(outcomes.size() == live.size(),
+                 "evaluateBatch must return one outcome per request");
+
+    // Fan replies back out. Deadlines are re-checked after the solve:
+    // a request whose deadline expired while its batch was in flight
+    // still gets `deadline_exceeded`, exactly like the single-job path.
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        const Job &job = batch[live[j]];
+        EvalOutcome &outcome = outcomes[j];
+        const bool cancelled =
+            !outcome.result.ok() && outcome.result.failure &&
+            outcome.result.failure->errorType == "SolveCancelled";
+        const bool expired =
+            job.deadlineAtMs > 0.0 && now() >= job.deadlineAtMs;
+        if (cancelled || expired) {
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.deadlineExceeded;
+            }
+            MS_METRIC_COUNT("serve.server.deadline_exceeded");
+            sendReply(job.stream, job.client.get(),
+                      errorReplyLine(job.request.id, "deadline_exceeded",
+                                     cancelled
+                                         ? "deadline expired mid-solve "
+                                           "(batched)"
+                                         : "deadline expired mid-batch",
+                                     false),
+                      false);
+            continue;
+        }
+        if (outcome.result.ok()) {
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                if (outcome.cacheHit) {
+                    ++counters.cacheHits;
+                    if (job.client)
+                        ++job.client->counters.cacheHits;
+                } else {
+                    ++counters.solved;
+                    if (job.client)
+                        ++job.client->counters.solved;
+                }
+            }
+            sendReply(job.stream, job.client.get(), resultLine(outcome),
+                      true);
+            if (!outcome.cacheHit)
+                staleStore(job.request, *outcome.result.value);
+            continue;
+        }
+        // Quarantined per-request failure: surface the typed record
+        // (same shape as the batch CLI's error lines).
+        sendReply(job.stream, job.client.get(), resultLine(outcome),
                   false);
     }
 }
@@ -543,7 +922,23 @@ Server::flushQueueAsDrained()
     {
         std::lock_guard<std::mutex> lock(queueMu);
         leftover.swap(queue);
-        inflightBytes = 0;
+        // Release per flushed job, NOT a wholesale `inflightBytes = 0`:
+        // bytes of jobs a worker already dequeued were released at
+        // dequeue, so zeroing here would silently hide any accounting
+        // drift (and a worker mid-write is not "drained"). With the
+        // per-job decrements, an empty queue provably holds zero bytes.
+        for (const Job &job : leftover) {
+            MS_ENSURE(inflightBytes >= job.bytes,
+                      "drain would release more bytes than are in "
+                      "flight");
+            inflightBytes -= job.bytes;
+            if (job.client) {
+                job.client->queuedJobs -= 1;
+                job.client->queuedBytes -= job.bytes;
+            }
+        }
+        MS_ENSURE(inflightBytes == 0,
+                  "inflight bytes must be zero once the queue is empty");
     }
     for (const Job &job : leftover) {
         {
@@ -551,7 +946,7 @@ Server::flushQueueAsDrained()
             ++counters.drained;
         }
         MS_METRIC_COUNT("serve.server.drained");
-        sendReply(job.stream,
+        sendReply(job.stream, job.client.get(),
                   errorReplyLine(job.request.id, "overloaded",
                                  "server draining", false),
                   false);
@@ -560,7 +955,8 @@ Server::flushQueueAsDrained()
 
 void
 Server::sendReply(const std::shared_ptr<LineStream> &stream,
-                  const std::string &reply_line, bool ok)
+                  ClientState *client, const std::string &reply_line,
+                  bool ok)
 {
     bool delivered = false;
     try {
@@ -571,19 +967,26 @@ Server::sendReply(const std::shared_ptr<LineStream> &stream,
         delivered = false;
     }
     std::lock_guard<std::mutex> lock(statsMu);
-    if (!delivered)
+    if (!delivered) {
         ++counters.writeErrors;
-    else if (ok)
+        if (client)
+            ++client->counters.writeErrors;
+    } else if (ok) {
         ++counters.repliesOk;
-    else
+        if (client)
+            ++client->counters.repliesOk;
+    } else {
         ++counters.repliesError;
+        if (client)
+            ++client->counters.repliesError;
+    }
 }
 
 std::optional<model::OperatingPoint>
 Server::staleLookup(const EvalRequest &req) const
 {
     std::lock_guard<std::mutex> lock(staleMu);
-    auto it = staleCache.find(coarseKey(req));
+    auto it = staleCache.find(coarseRequestKey(req));
     if (it == staleCache.end())
         return std::nullopt;
     return it->second;
@@ -600,7 +1003,7 @@ Server::staleStore(const EvalRequest &req,
     // costs degraded-answer coverage, never correctness.
     if (staleCache.size() >= 4096)
         staleCache.clear();
-    staleCache[coarseKey(req)] = op;
+    staleCache[coarseRequestKey(req)] = op;
 }
 
 } // namespace memsense::serve

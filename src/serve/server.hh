@@ -22,6 +22,22 @@
  *     cold solves. With `allowStale` enabled (server opt-in AND the
  *     request not opting out) a shed request may instead be answered
  *     from a coarse-fingerprint stale cache, flagged `"degraded":true`.
+ *     Per-client quotas (`maxQueuePerClient`,
+ *     `maxInflightBytesPerClient`) shed a noisy neighbor with a
+ *     distinct `quota_exceeded` error *before* it can trip global
+ *     admission for everyone else; quota sheds are never answered
+ *     stale — the client caused them, so the honest signal is the
+ *     typed error.
+ *
+ *  2b. Batch, then solve. Workers drain up to `maxBatch` queued
+ *     requests per pass (after a cooperative `batchLingerMs` wait on
+ *     the injectable clock to let a batch fill) into one
+ *     Evaluator::evaluateBatch call, which deduplicates identical
+ *     fingerprints — N duplicate cold requests cost one solve and N
+ *     replies. Per-request deadlines survive batching: a dedup group
+ *     is cancelled only when every member's deadline has expired, and
+ *     each request is re-checked after the solve so one whose deadline
+ *     expired mid-batch still gets `deadline_exceeded`.
  *
  *  3. Deadlines are cooperative and injectable. A request's
  *     `deadline_ms` budget starts at admission; workers check it when
@@ -37,7 +53,8 @@
  *     one reply per accepted request.
  *
  * Fault sites (MS_FAULT_POINT): server.accept, server.read,
- * server.parse, server.enqueue, server.solve, server.write, plus the
+ * server.parse, server.enqueue, server.batch (between batch assembly
+ * and the evaluator call), server.solve, server.write, plus the
  * evaluator.probe/solve/insert sites underneath. The chaos harness
  * (scripts/check_chaos.sh) runs the matrix of these against live
  * traffic and asserts the ledger, clean exits, and ASan silence.
@@ -74,6 +91,20 @@ struct ServerOptions
     std::size_t maxQueueDepth = 256;    ///< queued cold solves
     std::size_t maxInflightBytes = 4u << 20; ///< queued request bytes
     std::size_t maxLineBytes = 64u << 10;    ///< per-line byte cap
+    /** Requests one worker pass drains into a single
+     *  Evaluator::evaluateBatch call (>= 1; 1 = the pre-batching
+     *  one-job-per-pass behaviour, bit-identical reply stream). */
+    std::size_t maxBatch = 16;
+    /** Cooperative wait (injectable clock) for a partial batch to fill
+     *  before dispatching; 0 = dispatch whatever is queued. Trades a
+     *  bounded latency bump for better dedup/amortization when the
+     *  queue trickles. */
+    double batchLingerMs = 0.0;
+    /** Per-client queue-depth quota; 0 disables. A client at its quota
+     *  is shed with `quota_exceeded` before global admission trips. */
+    std::size_t maxQueuePerClient = 0;
+    /** Per-client queued-bytes quota; 0 disables. */
+    std::size_t maxInflightBytesPerClient = 0;
     double defaultDeadlineMs = 0.0; ///< applied when a request has none
     double drainDeadlineMs = 2000.0; ///< queue budget after stop
     int pollMs = 50;           ///< accept/read wakeup granularity
@@ -92,6 +123,28 @@ struct ServerOptions
     void validate() const;
 };
 
+/** Per-client slice of the counters, keyed by the connection's
+ *  ClientId (peer label + connection serial). Exported under the
+ *  `"clients"` object of --stats-json; the same numbers aggregate into
+ *  the global ledger, so per-client rows always sum to <= the global
+ *  row (global also counts requests with no surviving client record).
+ */
+struct ClientStats
+{
+    std::string id;                ///< "<peer>#<serial>"
+    std::uint64_t accepted = 0;    ///< lines read on this connection
+    std::uint64_t cacheHits = 0;   ///< answered inline from the cache
+    std::uint64_t solved = 0;      ///< full solves replied ok
+    std::uint64_t shed = 0;        ///< global-admission sheds
+    std::uint64_t quotaShed = 0;   ///< per-client quota sheds
+    std::uint64_t repliesOk = 0;   ///< `"ok":true` replies written
+    std::uint64_t repliesError = 0; ///< `"ok":false` replies written
+    std::uint64_t writeErrors = 0; ///< replies this peer never got
+
+    /** JSON object (stable key order) for --stats-json artifacts. */
+    std::string toJson() const;
+};
+
 /** Monotonic counters of one server run (see the ledger invariant). */
 struct ServerStats
 {
@@ -102,12 +155,19 @@ struct ServerStats
     std::uint64_t cacheHits = 0;   ///< answered inline from the cache
     std::uint64_t staleServed = 0; ///< degraded coarse-cache answers
     std::uint64_t shed = 0;        ///< refused by admission control
+    std::uint64_t quotaShed = 0;   ///< refused by a per-client quota
     std::uint64_t deadlineExceeded = 0; ///< expired before/during solve
     std::uint64_t solved = 0;      ///< full solves that replied ok
     std::uint64_t drained = 0;     ///< flushed at shutdown (overloaded)
+    std::uint64_t batches = 0;     ///< multi-request worker passes
+    std::uint64_t batchedRequests = 0; ///< requests dispatched in them
+    std::uint64_t batchDeduped = 0; ///< requests sharing another's solve
     std::uint64_t repliesOk = 0;   ///< `"ok":true` replies written
     std::uint64_t repliesError = 0; ///< `"ok":false` replies written
     std::uint64_t writeErrors = 0; ///< replies the peer never got
+
+    /** Per-client slices, in connection-accept order. */
+    std::vector<ClientStats> clients;
 
     /** The exactly-one-reply ledger. */
     bool
@@ -157,6 +217,10 @@ class Server
     /** The wrapped evaluator (cache stats etc.). */
     const Evaluator &evaluator() const { return eval; }
 
+    /** Bytes currently held by queued jobs (thread-safe; tests assert
+     *  the drain path returns this to exactly zero). */
+    std::size_t inflightBytesNow() const;
+
     /** True once requestStop()/stop() began. */
     bool
     stopping() const
@@ -172,25 +236,48 @@ class Server
     }
 
   private:
+    /**
+     * Per-connection identity and accounting. The id ("<peer>#<serial>")
+     * is derived once at accept; the live queue occupancy fields are
+     * only touched under queueMu (admission, dequeue, drain) and the
+     * counter slice only under statsMu, mirroring the global split.
+     */
+    struct ClientState
+    {
+        std::string id;
+        std::size_t queuedJobs = 0;  ///< jobs of this client in queue
+        std::size_t queuedBytes = 0; ///< their byte footprint
+        ClientStats counters;        ///< statsMu-guarded slice
+    };
+
     /** One queued cold solve, owing exactly one reply. */
     struct Job
     {
         std::shared_ptr<LineStream> stream;
+        std::shared_ptr<ClientState> client;
         EvalRequest request;
         std::size_t bytes = 0;     ///< admission accounting
         double deadlineAtMs = 0.0; ///< absolute, 0 = none
     };
 
     void acceptLoop(Transport *transport);
-    void readLoop(std::shared_ptr<LineStream> stream);
+    void readLoop(std::shared_ptr<LineStream> stream,
+                  std::shared_ptr<ClientState> client);
     void workerLoop();
     void handleLine(const std::shared_ptr<LineStream> &stream,
+                    const std::shared_ptr<ClientState> &client,
                     const std::string &line, std::size_t line_number);
     void runJob(const Job &job);
+    /** Solve a worker pass of >= 2 jobs via Evaluator::evaluateBatch
+     *  (dedup + shared-group cancellation + per-request deadline
+     *  recheck); single-job passes take runJob's unchanged path. */
+    void runBatch(std::vector<Job> &batch);
     void flushQueueAsDrained();
-    /** Write one reply; counts ok/error/writeError per the ledger. */
+    /** Write one reply; counts ok/error/writeError per the ledger,
+     *  globally and on @p client when one is attached. */
     void sendReply(const std::shared_ptr<LineStream> &stream,
-                   const std::string &reply_line, bool ok);
+                   ClientState *client, const std::string &reply_line,
+                   bool ok);
     double now() const;
 
     /** Coarse stale-answer cache (see allowStale). */
@@ -208,7 +295,7 @@ class Server
     std::mutex readerMu;
     std::vector<std::thread> readerThreads;
 
-    std::mutex queueMu;
+    mutable std::mutex queueMu;
     std::condition_variable queueCv;
     std::condition_variable queueIdleCv; ///< signalled when queue empties
     std::deque<Job> queue;
@@ -219,13 +306,29 @@ class Server
     std::atomic<bool> started{false};
     std::atomic<bool> stopped{false};
     std::atomic<int> activeConnections{0};
+    std::atomic<std::uint64_t> clientSerial{0};
 
     mutable std::mutex statsMu;
     ServerStats counters;
+    /** Client records in accept order (statsMu-guarded). Bounded: past
+     *  kMaxClientRecords the oldest record is dropped from the export —
+     *  its counters stay in the global row, and any in-flight jobs keep
+     *  it alive through their shared_ptr. */
+    std::vector<std::shared_ptr<ClientState>> clientStates;
 
     mutable std::mutex staleMu;
     std::unordered_map<std::string, model::OperatingPoint> staleCache;
 };
+
+/**
+ * Coarse request key of the stale-answer cache: every numeric knob
+ * quantized to 3 significant digits. Canonical across platforms and
+ * libcs — negative zero renders as "0", denormals collapse to "0"
+ * (their %.3g spellings are not portable), and NaN renders as "nan"
+ * regardless of sign/payload — so which degraded answer a given
+ * request maps to is deterministic. Exposed for fuzz tests.
+ */
+std::string coarseRequestKey(const EvalRequest &req);
 
 } // namespace memsense::serve
 

@@ -300,5 +300,101 @@ TEST(LoadgenRun, OpenLoopPacingSleepsTowardTheTargetRate)
     lb.server->stop();
 }
 
+TEST(LoadgenPercentile, NearestRankHandlesTinySampleSets)
+{
+    // Nearest-rank: rank ceil(p * n) clamped to [1, n], no
+    // interpolation. The old (p * (n-1))-index form understated tails
+    // and had nothing sane to say about 0 or 1 samples.
+    const std::vector<double> none;
+    EXPECT_DOUBLE_EQ(percentileNearestRank(none, 0.50), 0.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(none, 0.99), 0.0);
+    const std::vector<double> one = {7.5};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(one, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(one, 0.50), 7.5);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(one, 0.99), 7.5);
+    const std::vector<double> two = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentileNearestRank(two, 0.50), 1.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(two, 0.99), 2.0);
+    std::vector<double> ten;
+    for (int i = 1; i <= 10; ++i)
+        ten.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(percentileNearestRank(ten, 0.50), 5.0);
+    // p99 of a full set is the largest sample, never an index past
+    // the end — and never the second-largest.
+    EXPECT_DOUBLE_EQ(percentileNearestRank(ten, 0.99), 10.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(ten, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileNearestRank(ten, 0.0), 1.0);
+}
+
+TEST(LoadgenRun, ReplylessRunReportsZeroLatencySamples)
+{
+    // When nothing ever replied there are no latencies; the report
+    // must say so (latencySamples == 0) instead of dressing the 0.0
+    // placeholders up as measured percentiles.
+    Dialer dead = []() -> std::unique_ptr<LineStream> {
+        throw ConfigError("connection refused (test)");
+    };
+    LoadgenOptions opts;
+    opts.connections = 1;
+    opts.totalRequests = 4;
+    opts.fixtures = {"{\"workload\":{}}"};
+    opts.reconnect.maxAttempts = 2;
+    opts.sleepMs = [](double) {};
+    const LoadReport report = runLoadgen(dead, opts);
+    EXPECT_EQ(report.latencySamples, 0u);
+    EXPECT_DOUBLE_EQ(report.p50Ms, 0.0);
+    EXPECT_DOUBLE_EQ(report.p99Ms, 0.0);
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"latency_samples\":0"), std::string::npos)
+        << json;
+}
+
+TEST(LoadgenRun, QuotaExceededRepliesGetTheirOwnBucket)
+{
+    ScriptedServer fake({
+        "{\"id\":\"a\",\"ok\":true,\"op\":{}}",
+        "{\"id\":\"b\",\"ok\":false,\"error\":{\"type\":"
+        "\"quota_exceeded\",\"message\":\"client c#1 over quota\","
+        "\"fatal\":false,\"attempts\":0}}",
+    });
+    LoadgenOptions opts;
+    opts.connections = 1;
+    opts.totalRequests = 4;
+    opts.fixtures = {"{\"workload\":{}}"};
+    const LoadReport report = runLoadgen(fake.dialer(), opts);
+    EXPECT_EQ(report.sent, 4u);
+    EXPECT_EQ(report.ok, 2u);
+    EXPECT_EQ(report.quotaExceeded, 2u);
+    EXPECT_EQ(report.otherErrors, 0u);
+    EXPECT_EQ(report.classified(), report.sent);
+    EXPECT_EQ(report.latencySamples, 4u);
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"quota_exceeded\":2"), std::string::npos)
+        << json;
+}
+
+TEST(LoadgenRun, HotClientSkewPartitionsRequestsDeterministically)
+{
+    LoopbackServer lb;
+    LoadgenOptions opts;
+    opts.connections = 3;
+    opts.totalRequests = 30;
+    opts.hotClientFraction = 0.5;
+    opts.fixtures = {"{\"workload\":{\"mpki\":17}}",
+                     "{\"workload\":{\"mpki\":18}}"};
+    const LoadReport report = runLoadgen(lb.dialer(), opts);
+    // Connection 0 owns exactly the hot half of the index space; the
+    // other two connections share the rest. Nothing is sent twice and
+    // nothing is dropped.
+    EXPECT_EQ(report.sent, 30u);
+    EXPECT_EQ(report.hotClientSent, 15u);
+    EXPECT_EQ(report.ok, 30u);
+    EXPECT_EQ(report.classified(), report.sent);
+    lb.server->stop();
+    const ServerStats stats = lb.server->stats();
+    EXPECT_EQ(stats.accepted, 30u);
+    EXPECT_TRUE(stats.consistent());
+}
+
 } // anonymous namespace
 } // namespace memsense::serve

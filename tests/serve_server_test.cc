@@ -20,6 +20,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -463,6 +466,264 @@ TEST_F(ServeServerTest, StatsJsonCarriesTheLedger)
     EXPECT_NE(json.find("\"accepted\":1"), std::string::npos) << json;
     EXPECT_NE(json.find("\"consistent\":true"), std::string::npos)
         << json;
+}
+
+// ---------------------------------------------------------------------
+// Batching, dedup, and per-client quotas.
+
+TEST_F(ServeServerTest, BatchCoalescesAndDedupsQueuedDuplicates)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.maxBatch = 16;
+    opts.maxQueueDepth = 16;
+    TestServer ts(opts);
+    // Hold the single worker inside its first solve while duplicates
+    // pile up behind it, then let one drain pass coalesce them.
+    fault::configure("server.solve:delay=600:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("busy", 20.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    })) << "worker never picked up the blocking request";
+    // Six queued requests, three distinct shapes: the batch must cost
+    // exactly three cold solves.
+    const std::string lines[] = {
+        coldRequest("a1", 91.0), coldRequest("a2", 91.0),
+        coldRequest("a3", 91.0), coldRequest("b1", 92.0),
+        coldRequest("b2", 92.0), coldRequest("c1", 93.0),
+    };
+    std::size_t queued_bytes = 0;
+    for (const std::string &line : lines) {
+        client.send(line);
+        queued_bytes += line.size();
+    }
+    ASSERT_TRUE(spinUntil([&ts, queued_bytes] {
+        return ts.server->inflightBytesNow() == queued_bytes;
+    })) << "queued requests never all landed in the admission queue";
+    for (int i = 0; i < 7; ++i)
+        EXPECT_NE(mustRecv(client).find("\"ok\":true"),
+                  std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    // The acceptance invariant: cold-solve count == unique shapes.
+    // busy + three unique batch members insert; the duplicates do not.
+    EXPECT_EQ(ts.server->evaluator().cacheStats().inserts, 4u);
+    EXPECT_EQ(stats.solved, 7u);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batchedRequests, 6u);
+    EXPECT_EQ(stats.batchDeduped, 3u);
+    EXPECT_TRUE(stats.consistent()) << stats.describe();
+}
+
+TEST_F(ServeServerTest, DeadlineCanExpireMidBatchAfterASharedSolve)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    // Step 1000ms per observation. The deadline-carrying duplicate
+    // observes the clock at enqueue (t=1000, deadline 2500), at batch
+    // triage (t=2000, still live), and at the post-solve recheck
+    // (t=3000, expired): its patient twin pins the dedup group at
+    // "never cancel", so the shared solve completes and the expiry is
+    // caught by the mid-batch recheck, not by cancellation.
+    opts.nowMs = autoAdvancingClock(1000.0);
+    TestServer ts(opts);
+    fault::configure("server.solve:delay=400:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("busy", 40.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    }));
+    const std::string patient = coldRequest("dup-patient", 95.0);
+    const std::string hurried =
+        "{\"id\":\"dup-hurried\",\"deadline_ms\":1500,"
+        "\"workload\":{\"mpki\":95}}";
+    client.send(patient);
+    client.send(hurried);
+    const std::size_t queued_bytes = patient.size() + hurried.size();
+    ASSERT_TRUE(spinUntil([&ts, queued_bytes] {
+        return ts.server->inflightBytesNow() == queued_bytes;
+    }));
+    int ok = 0;
+    std::string hurried_reply;
+    for (int i = 0; i < 3; ++i) {
+        const std::string reply = mustRecv(client);
+        if (reply.find("\"id\":\"dup-hurried\"") != std::string::npos)
+            hurried_reply = reply;
+        else if (reply.find("\"ok\":true") != std::string::npos)
+            ++ok;
+    }
+    EXPECT_EQ(ok, 2); // busy + the patient duplicate
+    EXPECT_NE(hurried_reply.find("\"type\":\"deadline_exceeded\""),
+              std::string::npos)
+        << hurried_reply;
+    EXPECT_NE(hurried_reply.find("deadline expired mid-batch"),
+              std::string::npos)
+        << hurried_reply;
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.deadlineExceeded, 1u);
+    EXPECT_EQ(stats.solved, 2u);
+    EXPECT_EQ(stats.batchDeduped, 1u);
+    EXPECT_TRUE(stats.consistent()) << stats.describe();
+}
+
+TEST_F(ServeServerTest, PerClientQuotaShedsBeforeGlobalAdmission)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.maxQueueDepth = 1;
+    opts.maxQueuePerClient = 1;
+    TestServer ts(opts);
+    fault::configure("server.solve:delay=600:count=1");
+    InProcessClient noisy = ts.transport->connect();
+    InProcessClient good = ts.transport->connect();
+    noisy.send(coldRequest("busy", 20.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    }));
+    // The noisy client's one queued job is both its whole quota and the
+    // whole global queue.
+    const std::string n1 = coldRequest("n1", 21.0);
+    noisy.send(n1);
+    ASSERT_TRUE(spinUntil([&ts, &n1] {
+        return ts.server->inflightBytesNow() == n1.size();
+    }));
+    // Both the noisy client's quota AND the global queue bound would
+    // now refuse its next request; the quota tier must win, so the
+    // noisy neighbor hears "slow down", not "server full".
+    noisy.send(coldRequest("n2", 22.0));
+    const std::string quota_reply = mustRecv(noisy);
+    EXPECT_NE(quota_reply.find("\"type\":\"quota_exceeded\""),
+              std::string::npos)
+        << quota_reply;
+    EXPECT_NE(quota_reply.find("over quota"), std::string::npos)
+        << quota_reply;
+    // The well-behaved client has nothing queued, so its quota is
+    // clean; hitting the full global queue draws the capacity error,
+    // not the quota error.
+    good.send(coldRequest("g1", 23.0));
+    const std::string shed_reply = mustRecv(good);
+    EXPECT_NE(shed_reply.find("\"type\":\"overloaded\""),
+              std::string::npos)
+        << shed_reply;
+    // The jammed and queued solves drain normally.
+    EXPECT_NE(mustRecv(noisy).find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(mustRecv(noisy).find("\"ok\":true"), std::string::npos);
+    ts.server->stop();
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.quotaShed, 1u);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.solved, 2u);
+    EXPECT_TRUE(stats.consistent()) << stats.describe();
+    // Per-client ledgers: the quota shed landed on the noisy client,
+    // the capacity shed on the other, and both survive into the JSON.
+    ASSERT_EQ(stats.clients.size(), 2u);
+    std::uint64_t quota_sheds = 0;
+    std::uint64_t capacity_sheds = 0;
+    for (const ClientStats &c : stats.clients) {
+        quota_sheds += c.quotaShed;
+        capacity_sheds += c.shed;
+        if (c.quotaShed > 0) {
+            EXPECT_EQ(c.shed, 0u) << c.id;
+        }
+    }
+    EXPECT_EQ(quota_sheds, 1u);
+    EXPECT_EQ(capacity_sheds, 1u);
+    const std::string json = stats.toJson();
+    EXPECT_NE(json.find("\"clients\":{"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"quota_shed\":1"), std::string::npos) << json;
+}
+
+TEST_F(ServeServerTest, DrainReleasesInflightBytesPerJobExactly)
+{
+    ServerOptions opts = testOptions();
+    opts.workers = 1;
+    opts.drainDeadlineMs = 50.0;
+    TestServer ts(opts);
+    fault::configure("server.solve:delay=400:count=1");
+    InProcessClient client = ts.transport->connect();
+    client.send(coldRequest("busy", 40.0));
+    ASSERT_TRUE(spinUntil([] {
+        return fault::fireCount("server.solve") >= 1;
+    }));
+    const std::string q1 = coldRequest("q1", 41.0);
+    const std::string q2 = coldRequest("q2", 42.0);
+    client.send(q1);
+    client.send(q2);
+    // The queue's byte ledger must hold exactly the two queued lines
+    // (the jammed request's bytes were released at dequeue) ...
+    const std::size_t queued_bytes = q1.size() + q2.size();
+    ASSERT_TRUE(spinUntil([&ts, queued_bytes] {
+        return ts.server->inflightBytesNow() == queued_bytes;
+    })) << ts.server->inflightBytesNow();
+    // ... and the drain flush must release it per job, landing on
+    // exactly zero — the regression guard for the drain path once
+    // zeroing the counter wholesale instead of per flushed job.
+    ts.server->stop();
+    EXPECT_EQ(ts.server->inflightBytesNow(), 0u);
+    const ServerStats stats = ts.server->stats();
+    EXPECT_EQ(stats.drained, 2u);
+    EXPECT_EQ(stats.solved, 1u);
+    EXPECT_TRUE(stats.consistent()) << stats.describe();
+}
+
+TEST_F(ServeServerTest, CoarseStaleKeyCanonicalizesFloatEdgeCases)
+{
+    // The coarse stale-cache key must not let bitwise float oddities
+    // split one coarse slot into several: -0.0 vs +0.0, denormals vs
+    // zero, and every NaN payload all render one canonical token.
+    EvalRequest base;
+    EvalRequest probe;
+    base.workload.wbr = 0.0;
+    probe.workload.wbr = -0.0;
+    EXPECT_EQ(coarseRequestKey(base), coarseRequestKey(probe));
+    probe.workload.wbr = std::numeric_limits<double>::denorm_min();
+    EXPECT_EQ(coarseRequestKey(base), coarseRequestKey(probe));
+    probe.workload.wbr = -std::numeric_limits<double>::denorm_min();
+    EXPECT_EQ(coarseRequestKey(base), coarseRequestKey(probe));
+    base.workload.iopi = std::numeric_limits<double>::quiet_NaN();
+    probe.workload.wbr = base.workload.wbr;
+    probe.workload.iopi = -std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(coarseRequestKey(base), coarseRequestKey(probe));
+
+    // Deterministic bit-pattern fuzz: for any double, the key must be
+    // class-canonical — NaNs key like the canonical NaN, zeros and
+    // denormals like 0.0 — and negating a zero/denormal never changes
+    // the key.
+    const std::string zero_key = [] {
+        EvalRequest r;
+        r.workload.wbr = 0.0;
+        return coarseRequestKey(r);
+    }();
+    const std::string nan_key = [] {
+        EvalRequest r;
+        r.workload.wbr = std::numeric_limits<double>::quiet_NaN();
+        return coarseRequestKey(r);
+    }();
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 256; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        double v;
+        static_assert(sizeof(v) == sizeof(lcg), "double is 64-bit");
+        std::memcpy(&v, &lcg, sizeof(v));
+        EvalRequest r;
+        r.workload.wbr = v;
+        const std::string key = coarseRequestKey(r);
+        const bool zeroClass =
+            // memsense-lint: allow(float-equal): exact-zero sentinel
+            v == 0.0 || std::fpclassify(v) == FP_SUBNORMAL;
+        if (std::isnan(v)) {
+            EXPECT_EQ(key, nan_key) << "bits " << lcg;
+        } else if (zeroClass) {
+            EXPECT_EQ(key, zero_key) << "bits " << lcg;
+        }
+        EvalRequest neg;
+        neg.workload.wbr = -v;
+        if (zeroClass) {
+            EXPECT_EQ(coarseRequestKey(neg), key) << "bits " << lcg;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -146,5 +146,62 @@ TEST_F(ServeSoakTest, DeadlinePressureUnderDelayFaultsDrainsCleanly)
     EXPECT_TRUE(stats.consistent()) << stats.describe();
 }
 
+TEST_F(ServeSoakTest, SkewedClientsUnderQuotasAndBatchFaultsStayLedgered)
+{
+    // A noisy-neighbor mix (half the traffic from one connection)
+    // against tight per-client quotas and batching, with faults firing
+    // between batch assembly and the solve. The contract is the same
+    // survival ledger: every request classified, every accepted
+    // request answered exactly once, and quota sheds landing as their
+    // own bucket rather than leaking into overload counts.
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.pollMs = 5;
+    opts.maxQueueDepth = 16;
+    opts.maxBatch = 8;
+    opts.batchLingerMs = 1.0;
+    opts.maxQueuePerClient = 2;
+    opts.drainDeadlineMs = 500.0;
+    Server server(opts);
+    auto transport_owned = std::make_unique<InProcessTransport>();
+    InProcessTransport *transport = transport_owned.get();
+    server.addTransport(std::move(transport_owned));
+    server.start();
+
+    fault::configure("seed=77;"
+                     "server.batch:throw:p=0.05;"
+                     "server.solve:delay=5:p=0.2;"
+                     "evaluator.solve:throw:p=0.05");
+
+    LoadgenOptions load;
+    load.connections = 4;
+    load.totalRequests = 240;
+    load.hotClientFraction = 0.5;
+    load.fixtures = {
+        "{\"workload\":{\"mpki\":30}}",
+        "{\"workload\":{\"mpki\":31}}",
+        "{\"workload\":{\"mpki\":30},\"platform\":{\"channels\":4}}",
+        "{\"workload\":{\"mpki\":32}}",
+    };
+    load.recvTimeoutMs = 2000;
+    Dialer dial = [transport] { return transport->connect().asStream(); };
+    const LoadReport report = runLoadgen(dial, load);
+
+    EXPECT_EQ(report.classified(), report.sent);
+    EXPECT_EQ(report.sent, 240u);
+    EXPECT_EQ(report.hotClientSent, 120u);
+    EXPECT_GT(report.ok, 0u);
+
+    server.stop();
+    const ServerStats stats = server.stats();
+    EXPECT_TRUE(stats.consistent()) << stats.describe();
+    // Per-client ledgers cover every connection the run dialed.
+    EXPECT_GE(stats.clients.size(), 4u);
+    std::uint64_t client_quota_sheds = 0;
+    for (const ClientStats &c : stats.clients)
+        client_quota_sheds += c.quotaShed;
+    EXPECT_EQ(client_quota_sheds, stats.quotaShed);
+}
+
 } // anonymous namespace
 } // namespace memsense::serve

@@ -82,6 +82,17 @@ main(int argc, char **argv)
     cli.addInt("max-queue", 256, "admission queue depth cap");
     cli.addInt("max-inflight-kb", 4096,
                "admission cap on queued request bytes (KiB)");
+    cli.addInt("max-batch", 16,
+               "requests one worker pass coalesces into a single "
+               "evaluator batch (1 = no batching)");
+    cli.addDouble("batch-linger-ms", 0.0,
+                  "wait this long for a partial batch to fill before "
+                  "dispatching (0 = dispatch immediately)");
+    cli.addInt("max-queue-per-client", 0,
+               "per-client queued-request quota; over-quota requests "
+               "get quota_exceeded (0 = no quota)");
+    cli.addInt("max-inflight-kb-per-client", 0,
+               "per-client queued-bytes quota in KiB (0 = no quota)");
     cli.addInt("max-line-kb", 64, "per-request line size cap (KiB)");
     cli.addInt("max-connections", 64, "concurrent connection cap");
     cli.addDouble("default-deadline-ms", 0.0,
@@ -121,6 +132,21 @@ main(int argc, char **argv)
                       "--max-line-kb must be >= 1");
         opts.maxLineBytes =
             static_cast<std::size_t>(cli.getInt("max-line-kb")) * 1024u;
+        requireConfig(cli.getInt("max-batch") >= 1,
+                      "--max-batch must be >= 1");
+        opts.maxBatch =
+            static_cast<std::size_t>(cli.getInt("max-batch"));
+        opts.batchLingerMs = cli.getDouble("batch-linger-ms");
+        requireConfig(cli.getInt("max-queue-per-client") >= 0,
+                      "--max-queue-per-client must be >= 0");
+        opts.maxQueuePerClient = static_cast<std::size_t>(
+            cli.getInt("max-queue-per-client"));
+        requireConfig(cli.getInt("max-inflight-kb-per-client") >= 0,
+                      "--max-inflight-kb-per-client must be >= 0");
+        opts.maxInflightBytesPerClient =
+            static_cast<std::size_t>(
+                cli.getInt("max-inflight-kb-per-client")) *
+            1024u;
         opts.defaultDeadlineMs = cli.getDouble("default-deadline-ms");
         opts.drainDeadlineMs = cli.getDouble("drain-deadline-ms");
         opts.allowStale = cli.getBool("allow-stale");
